@@ -1,0 +1,161 @@
+//! ASCII chart rendering: boxplots and scatter/line grids, so the
+//! `exp_*` binaries can *show* each figure, not just tabulate it.
+
+use crate::stats::BoxStats;
+
+/// Renders horizontal boxplots (the shape of the paper's Figure 2):
+/// whiskers at p10/p90 (`|`), box `[`…`]` between the quartiles, median
+/// `M`. One row per labelled entry, sharing a common scale `0..=max`.
+pub fn boxplot(rows: &[(String, BoxStats)], max: f64, width: usize) -> String {
+    assert!(width >= 10, "boxplot needs at least 10 columns");
+    assert!(max > 0.0, "boxplot scale must be positive");
+    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let pos = |v: f64| -> usize {
+        ((v.clamp(0.0, max) / max) * (width - 1) as f64).round() as usize
+    };
+    let mut out = String::new();
+    for (label, b) in rows {
+        let mut row = vec![b' '; width];
+        for i in pos(b.p10)..=pos(b.p90) {
+            row[i] = b'-';
+        }
+        row[pos(b.p10)] = b'|';
+        row[pos(b.p90)] = b'|';
+        for i in pos(b.q1)..=pos(b.q3) {
+            if row[i] == b'-' {
+                row[i] = b'=';
+            }
+        }
+        row[pos(b.q1)] = b'[';
+        row[pos(b.q3)] = b']';
+        row[pos(b.median)] = b'M';
+        out.push_str(&format!(
+            "{label:<label_w$} {}\n",
+            String::from_utf8(row).expect("ascii bytes")
+        ));
+    }
+    out.push_str(&format!(
+        "{:label_w$} 0{:>pad$}\n",
+        "",
+        format!("{max:.0}"),
+        pad = width - 1
+    ));
+    out
+}
+
+/// One series of a scatter/line chart.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points (x, y).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders a multi-series scatter chart on a `width`×`height` grid.
+/// Axes are scaled to the data (y from 0 to the max by default, so
+/// fraction-valued series read naturally).
+pub fn scatter(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    let all: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let x_min = all.iter().map(|p| p.0).fold(f64::MAX, f64::min);
+    let x_max = all.iter().map(|p| p.0).fold(f64::MIN, f64::max);
+    let y_max = all.iter().map(|p| p.1).fold(f64::MIN, f64::max).max(1e-12);
+    let x_span = (x_max - x_min).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row_from_bottom =
+                ((y.clamp(0.0, y_max) / y_max) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row_from_bottom;
+            grid[row][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = if i == 0 {
+            format!("{y_max:>6.2}")
+        } else if i == height - 1 {
+            format!("{:>6.2}", 0.0)
+        } else {
+            " ".repeat(6)
+        };
+        out.push_str(&format!("{y_label} |{}|\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "{:>6} +{}+\n{:>6}  {:<w2$}{:>w2$}\n",
+        "",
+        "-".repeat(width),
+        "",
+        format!("{x_min:.0}"),
+        format!("{x_max:.0}"),
+        w2 = width / 2,
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("        {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boxplot_marks_in_order() {
+        let rows = vec![(
+            "2A".to_string(),
+            BoxStats { p10: 1.0, q1: 2.0, median: 4.0, q3: 6.0, p90: 9.0 },
+        )];
+        let s = boxplot(&rows, 10.0, 40);
+        let line = s.lines().next().unwrap();
+        let idx = |c: char| line.find(c).unwrap();
+        assert!(idx('[') < idx('M'));
+        assert!(idx('M') < idx(']'));
+        assert!(line.find('|').unwrap() < idx('['));
+        assert!(line.rfind('|').unwrap() > idx(']'));
+    }
+
+    #[test]
+    fn boxplot_clamps_out_of_scale() {
+        let rows = vec![(
+            "x".to_string(),
+            BoxStats { p10: 0.0, q1: 5.0, median: 50.0, q3: 500.0, p90: 5_000.0 },
+        )];
+        let s = boxplot(&rows, 10.0, 30);
+        assert!(s.lines().next().unwrap().len() <= 33);
+    }
+
+    #[test]
+    fn scatter_plots_each_series_with_its_glyph() {
+        let series = vec![
+            Series { label: "EU".into(), points: vec![(2.0, 0.8), (30.0, 0.6)] },
+            Series { label: "OC".into(), points: vec![(2.0, 0.2), (30.0, 0.4)] },
+        ];
+        let s = scatter(&series, 40, 10);
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("* EU"));
+        assert!(s.contains("o OC"));
+        // Higher y must render on an earlier (upper) line.
+        let star_line = s.lines().position(|l| l.contains('*')).unwrap();
+        let o_line = s.lines().position(|l| l.contains('o')).unwrap();
+        assert!(star_line < o_line);
+    }
+
+    #[test]
+    fn scatter_empty_is_graceful() {
+        assert_eq!(scatter(&[], 40, 10), "(no data)\n");
+    }
+}

@@ -1,0 +1,35 @@
+//! # dnswild-analysis
+//!
+//! The analyses behind every figure and table of *Recursives in the
+//! Wild*: coverage (Figure 2), query share vs RTT (Figure 3), individual
+//! preference and per-continent splits (Figure 4 / Table 2), RTT
+//! sensitivity (Figure 5), interval sweeps (Figure 6), and rank-share
+//! profiles of production traffic (Figure 7) — plus the statistics and
+//! text-table plumbing they share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+mod coverage;
+mod interval;
+mod preference;
+mod rank;
+mod sensitivity;
+mod share;
+pub mod stats;
+mod table;
+mod timeline;
+
+pub use coverage::{coverage, queries_to_cover, CoverageSummary};
+pub use interval::{interval_sweep, IntervalPoint};
+pub use preference::{
+    preference, preference_growth, ContinentRow, GrowthSummary, PreferenceSummary,
+    VpPreference, RTT_DIFFERENCE_FILTER_MS, STRONG_PREFERENCE, WEAK_PREFERENCE,
+};
+pub use rank::{rank_profile, RankProfile};
+pub use sensitivity::{rtt_sensitivity, SensitivityPoint};
+pub use share::{query_share, AuthShare};
+pub use stats::{mean, median, percentile, BoxStats};
+pub use table::TextTable;
+pub use timeline::{timeline, TimeBucket};

@@ -1,0 +1,154 @@
+//! Figure 7: rank-share profiles of production traffic — for each busy
+//! recursive, how its queries distribute across the available
+//! authoritatives when ranked from most- to least-queried.
+//!
+//! This analysis is deployment-agnostic: it consumes per-client query
+//! counts (client → authoritative → count) so it serves both the
+//! simulated Root letters and the `.nl` name servers.
+
+use std::collections::HashMap;
+
+use crate::stats::mean;
+
+/// Summary of per-recursive authoritative usage (one panel of Figure 7).
+#[derive(Debug, Clone)]
+pub struct RankProfile {
+    /// Number of observed authoritatives.
+    pub n_auths: usize,
+    /// Clients that met the minimum-query threshold.
+    pub client_count: usize,
+    /// Percentage of clients that queried exactly one authoritative
+    /// (the paper sees ~20% at the Root).
+    pub single_auth_pct: f64,
+    /// Percentage of clients that queried every authoritative
+    /// (~2% at the Root for 10 letters).
+    pub all_auths_pct: f64,
+    /// For k = 1..=n_auths: percentage of clients that queried at least
+    /// k distinct authoritatives ("60% query at least 6").
+    pub at_least_k_pct: Vec<f64>,
+    /// Mean share of traffic going to a client's rank-k authoritative
+    /// (rank 1 = its favourite); the color bands of Figure 7.
+    pub mean_rank_share: Vec<f64>,
+}
+
+/// Builds the profile from per-client counts. Clients with fewer than
+/// `min_queries` total are dropped (the paper uses 250 queries/hour).
+pub fn rank_profile(
+    clients: &[HashMap<String, u64>],
+    n_auths: usize,
+    min_queries: u64,
+) -> RankProfile {
+    let mut distinct_counts: Vec<usize> = Vec::new();
+    let mut rank_shares: Vec<Vec<f64>> = vec![Vec::new(); n_auths];
+
+    for counts in clients {
+        let total: u64 = counts.values().sum();
+        if total < min_queries {
+            continue;
+        }
+        let mut sorted: Vec<u64> = counts.values().copied().filter(|&c| c > 0).collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        distinct_counts.push(sorted.len());
+        for k in 0..n_auths {
+            let share = sorted.get(k).copied().unwrap_or(0) as f64 / total as f64;
+            rank_shares[k].push(share);
+        }
+    }
+
+    let n = distinct_counts.len();
+    let pct_where = |pred: &dyn Fn(usize) -> bool| -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        distinct_counts.iter().filter(|&&d| pred(d)).count() as f64 / n as f64 * 100.0
+    };
+
+    RankProfile {
+        n_auths,
+        client_count: n,
+        single_auth_pct: pct_where(&|d| d == 1),
+        all_auths_pct: pct_where(&|d| d >= n_auths),
+        at_least_k_pct: (1..=n_auths).map(|k| pct_where(&move |d| d >= k)).collect(),
+        mean_rank_share: rank_shares
+            .iter()
+            .map(|shares| mean(shares).unwrap_or(0.0))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client(pairs: &[(&str, u64)]) -> HashMap<String, u64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn threshold_filters_quiet_clients() {
+        let clients =
+            vec![client(&[("a", 300), ("b", 100)]), client(&[("a", 10)])];
+        let p = rank_profile(&clients, 2, 250);
+        assert_eq!(p.client_count, 1);
+    }
+
+    #[test]
+    fn single_and_all_percentages() {
+        let clients = vec![
+            client(&[("a", 500)]),                 // single
+            client(&[("a", 300), ("b", 300)]),     // all (of 2)
+            client(&[("b", 600)]),                 // single
+            client(&[("a", 400), ("b", 200)]),     // all
+        ];
+        let p = rank_profile(&clients, 2, 250);
+        assert_eq!(p.client_count, 4);
+        assert!((p.single_auth_pct - 50.0).abs() < 1e-9);
+        assert!((p.all_auths_pct - 50.0).abs() < 1e-9);
+        assert_eq!(p.at_least_k_pct.len(), 2);
+        assert!((p.at_least_k_pct[0] - 100.0).abs() < 1e-9);
+        assert!((p.at_least_k_pct[1] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_shares_ordered_and_sum_to_one() {
+        let clients = vec![
+            client(&[("a", 600), ("b", 300), ("c", 100)]),
+            client(&[("a", 250), ("b", 250), ("c", 500)]),
+        ];
+        let p = rank_profile(&clients, 3, 250);
+        // Rank shares are non-increasing by construction.
+        for w in p.mean_rank_share.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "{:?}", p.mean_rank_share);
+        }
+        let total: f64 = p.mean_rank_share.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum {total}");
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = rank_profile(&[], 4, 250);
+        assert_eq!(p.client_count, 0);
+        assert_eq!(p.single_auth_pct, 0.0);
+        assert_eq!(p.mean_rank_share.len(), 4);
+    }
+
+    #[test]
+    fn sticky_population_shows_single_letter_spike() {
+        // 20% sticky clients, 80% uniform across 10 letters: the profile
+        // should show ~20% single-authoritative clients, like the Root.
+        let letters: Vec<String> = (b'a'..=b'j').map(|c| (c as char).to_string()).collect();
+        let mut clients = Vec::new();
+        for i in 0..100 {
+            if i % 5 == 0 {
+                clients.push(HashMap::from([(letters[i % 10].clone(), 1_000u64)]));
+            } else {
+                clients.push(
+                    letters.iter().map(|l| (l.clone(), 100u64)).collect::<HashMap<_, _>>(),
+                );
+            }
+        }
+        let p = rank_profile(&clients, 10, 250);
+        assert!((p.single_auth_pct - 20.0).abs() < 1e-9);
+        assert!((p.all_auths_pct - 80.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 5: RTT sensitivity — among the VPs that favour a given site,
+//! how fast is that site for them and how much of their traffic gets it?
+//!
+//! The paper plots, per continent and per site of configuration 2B, the
+//! median RTT of the VPs that prefer that site against the fraction of
+//! queries those VPs send to it, showing that latency-driven preference
+//! weakens once every authoritative is far away (≳150 ms).
+
+use dnswild_atlas::MeasurementResult;
+use dnswild_netsim::Continent;
+
+use crate::preference::{preference, VpPreference};
+use crate::stats::{mean, median};
+
+/// One point of Figure 5.
+#[derive(Debug, Clone)]
+pub struct SensitivityPoint {
+    /// Continent of the VPs.
+    pub continent: Continent,
+    /// The site these VPs favour.
+    pub site: String,
+    /// Number of VPs favouring it.
+    pub vp_count: usize,
+    /// Median (across those VPs) of their median RTT to that site, ms.
+    pub median_rtt_ms: f64,
+    /// Mean fraction of their queries that go to that site.
+    pub mean_fraction: f64,
+}
+
+/// Computes Figure 5's points for a two-authoritative measurement.
+pub fn rtt_sensitivity(result: &MeasurementResult) -> Vec<SensitivityPoint> {
+    let summary = preference(result);
+    let mut points = Vec::new();
+    for &continent in &Continent::ALL {
+        let members: Vec<&VpPreference> =
+            summary.vps.iter().filter(|v| v.continent == continent).collect();
+        for (i, site) in summary.auths.iter().enumerate() {
+            // VPs whose majority of queries went to this site.
+            let fans: Vec<&&VpPreference> =
+                members.iter().filter(|v| v.fraction_to(i) > 0.5).collect();
+            if fans.is_empty() {
+                continue;
+            }
+            let rtts: Vec<f64> = fans.iter().filter_map(|v| v.median_rtt_ms[i]).collect();
+            let fracs: Vec<f64> = fans.iter().map(|v| v.fraction_to(i)).collect();
+            let (Some(rtt), Some(frac)) = (median(&rtts), mean(&fracs)) else {
+                continue;
+            };
+            points.push(SensitivityPoint {
+                continent,
+                site: site.clone(),
+                vp_count: fans.len(),
+                median_rtt_ms: rtt,
+                mean_fraction: frac,
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswild_atlas::{run_measurement, MeasurementConfig, StandardConfig};
+
+    #[test]
+    fn nearby_continents_show_stronger_preference_than_distant() {
+        let mut cfg = MeasurementConfig::quick(StandardConfig::C2B, 300, 51);
+        cfg.rounds = 31;
+        let result = run_measurement(&cfg);
+        let points = rtt_sensitivity(&result);
+        assert!(!points.is_empty());
+
+        // The paper's core claim for Figure 5: EU VPs (close to DUB/FRA,
+        // low RTT) split *more decisively* than VPs on continents where
+        // both sites are far (e.g. Asia, RTT > 150ms sees a near-even
+        // split despite similar absolute RTT differences).
+        let eu_rtt: Vec<&SensitivityPoint> =
+            points.iter().filter(|p| p.continent == Continent::Eu).collect();
+        for p in &eu_rtt {
+            assert!(
+                p.median_rtt_ms < 120.0,
+                "EU to {} should be fast, got {:.0}ms",
+                p.site,
+                p.median_rtt_ms
+            );
+        }
+        let far: Vec<&SensitivityPoint> = points
+            .iter()
+            .filter(|p| matches!(p.continent, Continent::Oc | Continent::As))
+            .collect();
+        for p in &far {
+            assert!(
+                p.median_rtt_ms > 100.0,
+                "{} to {} should be slow, got {:.0}ms",
+                p.continent,
+                p.site,
+                p.median_rtt_ms
+            );
+        }
+    }
+
+    #[test]
+    fn fractions_are_majorities() {
+        let mut cfg = MeasurementConfig::quick(StandardConfig::C2B, 100, 52);
+        cfg.rounds = 15;
+        let result = run_measurement(&cfg);
+        for p in rtt_sensitivity(&result) {
+            assert!(
+                p.mean_fraction > 0.5 && p.mean_fraction <= 1.0,
+                "{} {}: fraction {:.2}",
+                p.continent,
+                p.site,
+                p.mean_fraction
+            );
+            assert!(p.vp_count > 0);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Small statistics toolkit: percentiles, quartile summaries, means.
+
+/// Linear-interpolation percentile (the common "type 7" estimator).
+/// `p` is in `[0, 100]`. Returns `None` on empty input.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in data"));
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// Percentile over already-sorted data (ascending).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Median, or `None` when empty.
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Arithmetic mean, or `None` when empty.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// The five-number summary used by the paper's box plots (Figure 2):
+/// whiskers at the 10th/90th percentiles, box at the quartiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// 10th percentile (lower whisker).
+    pub p10: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// 90th percentile (upper whisker).
+    pub p90: f64,
+}
+
+impl BoxStats {
+    /// Computes the summary; `None` on empty input.
+    pub fn of(values: &[f64]) -> Option<BoxStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in data"));
+        Some(BoxStats {
+            p10: percentile_sorted(&sorted, 10.0),
+            q1: percentile_sorted(&sorted, 25.0),
+            median: percentile_sorted(&sorted, 50.0),
+            q3: percentile_sorted(&sorted, 75.0),
+            p90: percentile_sorted(&sorted, 90.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&v, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&v, 100.0).unwrap(), 100.0);
+        let med = percentile(&v, 50.0).unwrap();
+        assert!((med - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = vec![10.0, 20.0];
+        assert_eq!(percentile(&v, 50.0).unwrap(), 15.0);
+        assert_eq!(percentile(&v, 25.0).unwrap(), 12.5);
+    }
+
+    #[test]
+    fn percentile_single_and_empty() {
+        assert_eq!(percentile(&[42.0], 90.0).unwrap(), 42.0);
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let v = vec![3.0, 1.0, 2.0];
+        assert_eq!(median(&v).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn mean_and_median() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+        assert_eq!(median(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn box_stats_ordering() {
+        let v: Vec<f64> = (0..1000).map(|x| x as f64).collect();
+        let b = BoxStats::of(&v).unwrap();
+        assert!(b.p10 < b.q1 && b.q1 < b.median && b.median < b.q3 && b.q3 < b.p90);
+        assert!((b.median - 499.5).abs() < 1.0);
+        assert!(BoxStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, -5.0).unwrap(), 1.0);
+        assert_eq!(percentile(&v, 150.0).unwrap(), 3.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! A minimal fixed-width text-table renderer for experiment output.
+
+/// A text table with a header row.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; must match the header width.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i] - cell.chars().count();
+                // Right-align numeric-looking cells, left-align the rest.
+                let numeric = cell.chars().next().is_some_and(|c| {
+                    c.is_ascii_digit() || c == '-' || c == '+' || c == '.'
+                });
+                if numeric {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                } else {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["cont", "share", "rtt"]);
+        t.push_row(["EU", "0.83", "39"]);
+        t.push_row(["OC", "0.22", "370"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("cont"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("EU"));
+        // Numeric columns right-aligned: "39" should end at same col as "370".
+        let rtt_col_end_2 = lines[2].len();
+        let rtt_col_end_3 = lines[3].len();
+        assert_eq!(rtt_col_end_2, rtt_col_end_3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = TextTable::new(["x"]);
+        assert!(t.is_empty());
+        t.push_row(["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! DNS forwarders: the MI boxes of the paper's Figure 1.
+//!
+//! Home routers and CPE gear often interpose a forwarding proxy between
+//! the stub and the "real" recursive; some spread queries over several
+//! upstreams. The paper checks that such middleboxes "have only minor
+//! effects" on its client-side data by cross-checking against
+//! authoritative-side captures (§3.1). This actor lets measurements
+//! include that population and reproduce the check.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use dnswild_netsim::{Actor, Context, Datagram, SimAddr};
+
+/// A transparent DNS forwarder with one or more upstream resolvers,
+/// rotated round-robin. Message IDs are rewritten in place (no parse
+/// needed beyond the header), like cheap CPE implementations.
+pub struct Forwarder {
+    upstreams: Vec<SimAddr>,
+    next_upstream: usize,
+    next_id: u16,
+    /// Outstanding forwarded queries: our ID → (client, client's ID).
+    pending: HashMap<u16, (SimAddr, u16)>,
+    /// Queries forwarded (stat).
+    pub forwarded: u64,
+    /// Responses relayed back (stat).
+    pub relayed: u64,
+}
+
+impl Forwarder {
+    /// Creates a forwarder with the given upstream resolvers.
+    pub fn new(upstreams: Vec<SimAddr>) -> Self {
+        assert!(!upstreams.is_empty(), "forwarder needs at least one upstream");
+        Forwarder {
+            upstreams,
+            next_upstream: 0,
+            next_id: 1,
+            pending: HashMap::new(),
+            forwarded: 0,
+            relayed: 0,
+        }
+    }
+
+    fn alloc_id(&mut self) -> u16 {
+        loop {
+            let id = self.next_id;
+            self.next_id = self.next_id.wrapping_add(1).max(1);
+            if !self.pending.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+}
+
+impl Actor for Forwarder {
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, dgram: Datagram) {
+        if dgram.payload.len() < 12 {
+            return; // not even a DNS header
+        }
+        let qr = dgram.payload[2] & 0x80 != 0;
+        let own = ctx.own_addr();
+        if !qr {
+            // A query from a client: rewrite the ID and pass it on.
+            let client_id = u16::from_be_bytes([dgram.payload[0], dgram.payload[1]]);
+            let our_id = self.alloc_id();
+            self.pending.insert(our_id, (dgram.src, client_id));
+            let mut payload = dgram.payload;
+            payload[0..2].copy_from_slice(&our_id.to_be_bytes());
+            let upstream = self.upstreams[self.next_upstream % self.upstreams.len()];
+            self.next_upstream = self.next_upstream.wrapping_add(1);
+            self.forwarded += 1;
+            ctx.send(own, upstream, payload);
+        } else {
+            // A response from an upstream: restore the ID and relay.
+            let our_id = u16::from_be_bytes([dgram.payload[0], dgram.payload[1]]);
+            let Some((client, client_id)) = self.pending.remove(&our_id) else {
+                return; // late or unsolicited
+            };
+            let mut payload = dgram.payload;
+            payload[0..2].copy_from_slice(&client_id.to_be_bytes());
+            self.relayed += 1;
+            ctx.send(own, client, payload);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswild_netsim::geo::datacenters;
+    use dnswild_netsim::{HostConfig, LatencyConfig, SimDuration, Simulator};
+    use dnswild_proto::{Message, Name, RType};
+    use dnswild_resolver::{PolicyKind, RecursiveResolver};
+    use dnswild_server::AuthoritativeServer;
+    use dnswild_zone::presets::test_domain_zone;
+
+    struct Client {
+        target: SimAddr,
+        count: u32,
+        responses: Vec<Message>,
+    }
+    impl Actor for Client {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _t: u64) {
+            if self.count == 0 {
+                return;
+            }
+            self.count -= 1;
+            let qname =
+                Name::parse(&format!("q{}.ourtestdomain.nl", self.count)).unwrap();
+            let q = Message::stub_query(self.count as u16 + 100, qname, RType::Txt);
+            let own = ctx.own_addr();
+            ctx.send(own, self.target, q.encode().unwrap());
+            ctx.set_timer(SimDuration::from_secs(5), 0);
+        }
+        fn on_datagram(&mut self, _ctx: &mut Context<'_>, d: Datagram) {
+            self.responses.push(Message::decode(&d.payload).unwrap());
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn forwarder_relays_and_restores_ids() {
+        let mut sim = Simulator::with_latency(
+            51,
+            LatencyConfig { loss_rate: 0.0, jitter_mean_ms: 0.0, ..LatencyConfig::default() },
+        );
+        let origin = Name::parse("ourtestdomain.nl").unwrap();
+        let sh = sim.add_host(
+            HostConfig::at_place(&datacenters::FRA, SimDuration::from_millis(1), 1),
+            Box::new(AuthoritativeServer::new("FRA", vec![test_domain_zone(&origin, 1)])),
+        );
+        let saddr = sim.bind_unicast(sh);
+
+        // Two resolvers behind the forwarder.
+        let mut resolver_addrs = Vec::new();
+        let mut resolver_hosts = Vec::new();
+        for i in 0..2 {
+            let mut r = RecursiveResolver::with_policy(PolicyKind::BindSrtt);
+            r.add_delegation(origin.clone(), vec![saddr]);
+            let rh = sim.add_host(
+                HostConfig::at_place(&datacenters::DUB, SimDuration::from_millis(2), 2 + i),
+                Box::new(r),
+            );
+            resolver_hosts.push(rh);
+            resolver_addrs.push(sim.bind_unicast(rh));
+        }
+
+        let fh = sim.add_host(
+            HostConfig::at_place(&datacenters::DUB, SimDuration::from_millis(1), 10),
+            Box::new(Forwarder::new(resolver_addrs)),
+        );
+        let faddr = sim.bind_unicast(fh);
+
+        let ch = sim.add_host(
+            HostConfig::at_place(&datacenters::DUB, SimDuration::from_millis(5), 11),
+            Box::new(Client { target: faddr, count: 6, responses: vec![] }),
+        );
+        sim.bind_unicast(ch);
+        sim.run_until_idle();
+
+        let client = sim.actor::<Client>(ch).unwrap();
+        assert_eq!(client.responses.len(), 6);
+        // IDs restored: clients allocated 100..=105.
+        let mut ids: Vec<u16> = client.responses.iter().map(|m| m.header.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![100, 101, 102, 103, 104, 105]);
+
+        // Round-robin really split the load over both upstreams.
+        for rh in resolver_hosts {
+            let r = sim.actor::<RecursiveResolver>(rh).unwrap();
+            assert_eq!(r.stats().stub_queries, 3);
+        }
+        let f = sim.actor::<Forwarder>(fh).unwrap();
+        assert_eq!(f.forwarded, 6);
+        assert_eq!(f.relayed, 6);
+    }
+
+    #[test]
+    fn forwarder_ignores_unsolicited_responses() {
+        let mut sim = Simulator::with_latency(
+            52,
+            LatencyConfig { loss_rate: 0.0, jitter_mean_ms: 0.0, ..LatencyConfig::default() },
+        );
+        struct Spoofer {
+            target: SimAddr,
+        }
+        impl Actor for Spoofer {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let mut m = Message::stub_query(9, Name::parse("x.y").unwrap(), RType::A);
+                m.header.response = true;
+                let own = ctx.own_addr();
+                ctx.send(own, self.target, m.encode().unwrap());
+            }
+            fn on_datagram(&mut self, _ctx: &mut Context<'_>, _d: Datagram) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        // Upstream address: any bound address works; use the spoofer's.
+        let sp = sim.add_host(
+            HostConfig::at_place(&datacenters::FRA, SimDuration::from_millis(1), 1),
+            Box::new(Spoofer { target: SimAddr::from_ipv4("10.0.0.1".parse().unwrap()).unwrap() }),
+        );
+        let spaddr = sim.bind_unicast(sp);
+        let fh = sim.add_host(
+            HostConfig::at_place(&datacenters::DUB, SimDuration::from_millis(1), 2),
+            Box::new(Forwarder::new(vec![spaddr])),
+        );
+        let faddr = sim.bind_unicast(fh);
+        // Point the spoofer at the forwarder (address allocated above is
+        // a guess; fix it by rebuilding the actor state directly).
+        sim.actor_mut::<Spoofer>(sp).unwrap().target = faddr;
+        sim.run_until_idle();
+        let f = sim.actor::<Forwarder>(fh).unwrap();
+        assert_eq!(f.relayed, 0);
+        assert_eq!(f.forwarded, 0);
+    }
+}

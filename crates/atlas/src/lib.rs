@@ -1,0 +1,31 @@
+//! # dnswild-atlas
+//!
+//! The measurement harness: a synthetic RIPE Atlas. It builds a vantage-
+//! point population with the Atlas continent skew, attaches each VP to a
+//! recursive resolver drawn from an implementation mix, deploys a
+//! configuration of authoritative servers (Table 1 of the paper, or any
+//! custom unicast/anycast deployment), probes a TXT record on a schedule
+//! with unique labels, and returns per-probe records identifying which
+//! authoritative answered and at what latency.
+//!
+//! ```
+//! use dnswild_atlas::{run_measurement, MeasurementConfig, StandardConfig};
+//!
+//! let mut cfg = MeasurementConfig::quick(StandardConfig::C2B, 25, 42);
+//! cfg.rounds = 5;
+//! let result = run_measurement(&cfg);
+//! assert_eq!(result.vps.len(), 25);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod forwarder;
+mod measurement;
+pub mod places;
+
+pub use config::{AuthoritativeSpec, DeploymentSpec, PolicyMix, StandardConfig};
+pub use measurement::{
+    run_measurement, MeasurementConfig, MeasurementResult, OutageSpec, ProbeRecord, VpResult,
+};

@@ -1,0 +1,195 @@
+//! Vantage-point geography: a catalog of cities and the continent
+//! weighting of the RIPE Atlas probe population.
+//!
+//! Atlas probes are famously Europe-heavy. The weights below reproduce
+//! the per-continent VP counts the paper reports for configuration 2B in
+//! Figure 5 (EU 6221, NA 1181, AS 692, OC 245, AF 215, SA 131 of 8685),
+//! so per-continent sample sizes in our tables line up with the paper's.
+
+use dnswild_netsim::{Continent, Place};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One candidate VP location with a relative weight within its continent.
+#[derive(Debug, Clone)]
+pub struct WeightedPlace {
+    /// The location.
+    pub place: Place,
+    /// Relative weight within the continent (not globally).
+    pub weight: f64,
+}
+
+macro_rules! wp {
+    ($code:literal, $name:literal, $lat:expr, $lon:expr, $cont:ident, $w:expr) => {
+        WeightedPlace {
+            place: Place::new($code, $name, $lat, $lon, Continent::$cont),
+            weight: $w,
+        }
+    };
+}
+
+/// Per-continent shares of the VP population, matching Figure 5's counts.
+pub const CONTINENT_SHARES: [(Continent, f64); 6] = [
+    (Continent::Eu, 0.7163),
+    (Continent::Na, 0.1360),
+    (Continent::As, 0.0797),
+    (Continent::Oc, 0.0282),
+    (Continent::Af, 0.0248),
+    (Continent::Sa, 0.0151),
+];
+
+/// The VP city catalog. Weights within a continent are rough population/
+/// connectivity proxies; exact values are not load-bearing, they only
+/// spread VPs over distinct latency positions.
+pub fn vp_catalog() -> Vec<WeightedPlace> {
+    vec![
+        // Europe — the bulk of Atlas.
+        wp!("AMS", "Amsterdam", 52.37, 4.90, Eu, 1.4),
+        wp!("LON", "London", 51.51, -0.13, Eu, 1.5),
+        wp!("PAR", "Paris", 48.86, 2.35, Eu, 1.3),
+        wp!("BER", "Berlin", 52.52, 13.40, Eu, 1.4),
+        wp!("MUC", "Munich", 48.14, 11.58, Eu, 1.0),
+        wp!("MAD", "Madrid", 40.42, -3.70, Eu, 0.9),
+        wp!("MIL", "Milan", 45.46, 9.19, Eu, 0.9),
+        wp!("STO", "Stockholm", 59.33, 18.07, Eu, 0.8),
+        wp!("WAW", "Warsaw", 52.23, 21.01, Eu, 0.8),
+        wp!("PRG", "Prague", 50.08, 14.44, Eu, 0.7),
+        wp!("VIE", "Vienna", 48.21, 16.37, Eu, 0.7),
+        wp!("ZRH", "Zurich", 47.38, 8.54, Eu, 0.7),
+        wp!("DUB", "Dublin", 53.35, -6.26, Eu, 0.5),
+        wp!("HEL", "Helsinki", 60.17, 24.94, Eu, 0.5),
+        wp!("LIS", "Lisbon", 38.72, -9.14, Eu, 0.4),
+        wp!("ATH", "Athens", 37.98, 23.73, Eu, 0.4),
+        wp!("BUH", "Bucharest", 44.43, 26.10, Eu, 0.5),
+        wp!("MOW", "Moscow", 55.76, 37.62, Eu, 0.8),
+        // North America.
+        wp!("NYC", "New York", 40.71, -74.01, Na, 1.4),
+        wp!("CHI", "Chicago", 41.88, -87.63, Na, 1.0),
+        wp!("DAL", "Dallas", 32.78, -96.80, Na, 0.8),
+        wp!("LAX", "Los Angeles", 34.05, -118.24, Na, 1.0),
+        wp!("SEA", "Seattle", 47.61, -122.33, Na, 0.7),
+        wp!("YYZ", "Toronto", 43.65, -79.38, Na, 0.8),
+        wp!("YVR", "Vancouver", 49.28, -123.12, Na, 0.4),
+        wp!("MEX", "Mexico City", 19.43, -99.13, Na, 0.4),
+        wp!("ATL", "Atlanta", 33.75, -84.39, Na, 0.7),
+        // Asia.
+        wp!("TYO", "Tokyo", 35.68, 139.69, As, 1.1),
+        wp!("SEL", "Seoul", 37.57, 126.98, As, 0.8),
+        wp!("SIN", "Singapore", 1.35, 103.82, As, 0.9),
+        wp!("HKG", "Hong Kong", 22.32, 114.17, As, 0.8),
+        wp!("BOM", "Mumbai", 19.08, 72.88, As, 0.7),
+        wp!("DEL", "Delhi", 28.61, 77.21, As, 0.6),
+        wp!("BKK", "Bangkok", 13.76, 100.50, As, 0.5),
+        wp!("TLV", "Tel Aviv", 32.07, 34.78, As, 0.5),
+        wp!("DXB", "Dubai", 25.20, 55.27, As, 0.4),
+        // Oceania.
+        wp!("SYA", "Sydney", -33.87, 151.21, Oc, 1.2),
+        wp!("MEL", "Melbourne", -37.81, 144.96, Oc, 1.0),
+        wp!("BNE", "Brisbane", -27.47, 153.03, Oc, 0.5),
+        wp!("AKL", "Auckland", -36.85, 174.76, Oc, 0.6),
+        wp!("PER", "Perth", -31.95, 115.86, Oc, 0.4),
+        // Africa.
+        wp!("JNB", "Johannesburg", -26.20, 28.05, Af, 1.0),
+        wp!("CPT", "Cape Town", -33.92, 18.42, Af, 0.6),
+        wp!("NBO", "Nairobi", -1.29, 36.82, Af, 0.5),
+        wp!("LOS", "Lagos", 6.52, 3.38, Af, 0.5),
+        wp!("CAI", "Cairo", 30.04, 31.24, Af, 0.6),
+        wp!("TUN", "Tunis", 36.81, 10.18, Af, 0.4),
+        // South America.
+        wp!("SAO", "São Paulo", -23.55, -46.63, Sa, 1.2),
+        wp!("BUE", "Buenos Aires", -34.60, -58.38, Sa, 0.8),
+        wp!("SCL", "Santiago", -33.45, -70.67, Sa, 0.6),
+        wp!("BOG", "Bogotá", 4.71, -74.07, Sa, 0.5),
+        wp!("LIM", "Lima", -12.05, -77.04, Sa, 0.4),
+    ]
+}
+
+/// Samples a continent according to [`CONTINENT_SHARES`].
+pub fn sample_continent(rng: &mut SmallRng) -> Continent {
+    let x: f64 = rng.gen_range(0.0..1.0);
+    let mut acc = 0.0;
+    for &(continent, share) in &CONTINENT_SHARES {
+        acc += share;
+        if x < acc {
+            return continent;
+        }
+    }
+    Continent::Eu // rounding residue goes to the most common class
+}
+
+/// Samples a city within `continent` from the catalog.
+pub fn sample_city(catalog: &[WeightedPlace], continent: Continent, rng: &mut SmallRng) -> Place {
+    let candidates: Vec<&WeightedPlace> =
+        catalog.iter().filter(|wp| wp.place.continent == continent).collect();
+    assert!(!candidates.is_empty(), "catalog has no city on {continent}");
+    let total: f64 = candidates.iter().map(|wp| wp.weight).sum();
+    let mut x: f64 = rng.gen_range(0.0..total);
+    for wp in &candidates {
+        x -= wp.weight;
+        if x <= 0.0 {
+            return wp.place.clone();
+        }
+    }
+    candidates.last().expect("non-empty").place.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn catalog_covers_all_continents() {
+        let catalog = vp_catalog();
+        for continent in Continent::ALL {
+            assert!(
+                catalog.iter().any(|wp| wp.place.continent == continent),
+                "no city on {continent}"
+            );
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let total: f64 = CONTINENT_SHARES.iter().map(|&(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 0.01, "shares sum {total}");
+    }
+
+    #[test]
+    fn continent_sampling_matches_shares() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut counts: HashMap<Continent, usize> = HashMap::new();
+        for _ in 0..n {
+            *counts.entry(sample_continent(&mut rng)).or_default() += 1;
+        }
+        for &(continent, share) in &CONTINENT_SHARES {
+            let got = counts[&continent] as f64 / n as f64;
+            assert!(
+                (got - share).abs() < 0.01,
+                "{continent}: got {got}, want {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn city_sampling_stays_on_continent() {
+        let catalog = vp_catalog();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for continent in Continent::ALL {
+            for _ in 0..100 {
+                let city = sample_city(&catalog, continent, &mut rng);
+                assert_eq!(city.continent, continent);
+            }
+        }
+    }
+
+    #[test]
+    fn city_codes_unique() {
+        let catalog = vp_catalog();
+        let codes: std::collections::HashSet<_> =
+            catalog.iter().map(|wp| wp.place.code).collect();
+        assert_eq!(codes.len(), catalog.len());
+    }
+}

@@ -1,0 +1,124 @@
+//! One benchmark per paper artifact: each regenerates a scaled-down
+//! version of the table/figure pipeline end to end (deployment →
+//! measurement → analysis), so `cargo bench` exercises every
+//! reproduction path and tracks its cost.
+//!
+//! Scale note: populations here are tiny (tens of VPs) to keep Criterion
+//! iterations fast; the `exp_*` binaries run the full-scale versions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dnswild::analysis::{
+    coverage, interval_sweep, preference, query_share, rank_profile, rtt_sensitivity,
+};
+use dnswild::guidance::{compare, demo_pair};
+use dnswild::production::{run_production, ProductionConfig};
+use dnswild::{Experiment, PolicyMix, SimDuration, StandardConfig};
+
+fn small(config: StandardConfig, seed: u64) -> dnswild::Report {
+    Experiment::standard(config, seed).vantage_points(30).rounds(8).run()
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("figures/table1_deployments", |b| {
+        b.iter(|| {
+            for config in StandardConfig::ALL {
+                black_box(config.deployment());
+            }
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("figures/fig2_coverage_pipeline", |b| {
+        b.iter(|| {
+            let report = small(StandardConfig::C2A, 1);
+            black_box(coverage(&report.result))
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("figures/fig3_share_pipeline", |b| {
+        b.iter(|| {
+            let report = small(StandardConfig::C2C, 2);
+            black_box(query_share(&report.result))
+        })
+    });
+}
+
+fn bench_fig4_table2(c: &mut Criterion) {
+    c.bench_function("figures/fig4_table2_preference_pipeline", |b| {
+        b.iter(|| {
+            let report = small(StandardConfig::C2B, 3);
+            black_box(preference(&report.result))
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("figures/fig5_sensitivity_pipeline", |b| {
+        b.iter(|| {
+            let report = small(StandardConfig::C2B, 4);
+            black_box(rtt_sensitivity(&report.result))
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("figures/fig6_interval_pipeline", |b| {
+        b.iter(|| {
+            let fast = Experiment::standard(StandardConfig::C2C, 5)
+                .vantage_points(20)
+                .rounds(6)
+                .interval(SimDuration::from_mins(2))
+                .run();
+            let slow = Experiment::standard(StandardConfig::C2C, 5)
+                .vantage_points(20)
+                .rounds(6)
+                .interval(SimDuration::from_mins(30))
+                .run();
+            let results = vec![(2u64, &fast.result), (30u64, &slow.result)];
+            black_box(interval_sweep(&results, "FRA"))
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig7_production_pipeline", |b| {
+        b.iter(|| {
+            let mut cfg = ProductionConfig::root(25, 6);
+            cfg.queries_per_client = 300;
+            let result = run_production(&cfg);
+            black_box(rank_profile(&result.per_client_counts, 10, 250))
+        })
+    });
+    group.finish();
+}
+
+fn bench_guidance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("guidance_compare_pipeline", |b| {
+        b.iter(|| {
+            let (mixed, all) = demo_pair();
+            black_box(compare(vec![mixed, all], 25, 6, 7, &PolicyMix::default()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4_table2,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_guidance
+);
+criterion_main!(benches);

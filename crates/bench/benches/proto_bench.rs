@@ -1,0 +1,69 @@
+//! Microbenchmarks of the DNS wire format: the per-packet cost every
+//! simulated query pays four times (stub→resolver→auth and back).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dnswild_proto::rdata::{Ns, Txt};
+use dnswild_proto::{Message, Name, RData, RType, Rcode, Record};
+
+fn typical_query() -> Message {
+    Message::stub_query(
+        0x2a2a,
+        Name::parse("v1234-r17.ourtestdomain.nl").unwrap(),
+        RType::Txt,
+    )
+}
+
+fn typical_response() -> Message {
+    let q = typical_query();
+    let mut resp = Message::response_to(&q, Rcode::NoError);
+    resp.header.authoritative = true;
+    resp.answers.push(Record::new(
+        q.questions[0].qname.clone(),
+        5,
+        RData::Txt(Txt::from_string("site=FRA@FRA").unwrap()),
+    ));
+    for i in 1..=4 {
+        resp.authorities.push(Record::new(
+            Name::parse("ourtestdomain.nl").unwrap(),
+            3600,
+            RData::Ns(Ns::new(Name::parse(&format!("ns{i}.ourtestdomain.nl")).unwrap())),
+        ));
+    }
+    resp
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let query = typical_query();
+    let response = typical_response();
+    c.bench_function("proto/encode_query", |b| {
+        b.iter(|| black_box(&query).encode().unwrap())
+    });
+    c.bench_function("proto/encode_response_compressed", |b| {
+        b.iter(|| black_box(&response).encode().unwrap())
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let query = typical_query().encode().unwrap();
+    let response = typical_response().encode().unwrap();
+    c.bench_function("proto/decode_query", |b| {
+        b.iter(|| Message::decode(black_box(&query)).unwrap())
+    });
+    c.bench_function("proto/decode_response_compressed", |b| {
+        b.iter(|| Message::decode(black_box(&response)).unwrap())
+    });
+}
+
+fn bench_name(c: &mut Criterion) {
+    c.bench_function("proto/name_parse", |b| {
+        b.iter(|| Name::parse(black_box("v1234-r17.probe.ourtestdomain.nl")).unwrap())
+    });
+    let name = Name::parse("v1234-r17.probe.ourtestdomain.nl").unwrap();
+    c.bench_function("proto/name_canonical_wire", |b| {
+        b.iter(|| black_box(&name).canonical_wire())
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_name);
+criterion_main!(benches);

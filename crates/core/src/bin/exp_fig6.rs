@@ -1,0 +1,74 @@
+//! Figure 6: the effect of query frequency on selection (configuration
+//! 2C), probing the resolvers' infrastructure-cache expiry by varying
+//! the probe interval from 2 to 30 minutes.
+//!
+//! Paper's result: preferences are sharpest with frequent probing, but
+//! persist — surprisingly — beyond the nominal 10-minute (BIND) and
+//! 15-minute (Unbound) infrastructure-cache timeouts.
+
+use dnswild::analysis::interval_sweep;
+use dnswild::cli::ExpArgs;
+use dnswild::report::render_interval;
+use dnswild::{Experiment, SimDuration, StandardConfig};
+
+fn main() {
+    let args = ExpArgs::parse("exp_fig6", 1_500);
+    let intervals: [u64; 6] = [2, 5, 10, 15, 20, 30];
+    println!(
+        "== Figure 6: fraction of queries to FRA (config 2C) vs probe interval \
+         ({} VPs/interval, seed {}) ==\n",
+        args.vps, args.seed
+    );
+    let results: Vec<_> = intervals
+        .iter()
+        .map(|&minutes| {
+            let report = Experiment::standard(StandardConfig::C2C, args.seed)
+                .vantage_points(args.vps)
+                .interval(SimDuration::from_mins(minutes))
+                .rounds(16)
+                .run();
+            eprintln!("  {minutes}-minute interval done");
+            (minutes, report)
+        })
+        .collect();
+    let borrowed: Vec<(u64, &dnswild::MeasurementResult)> =
+        results.iter().map(|(m, r)| (*m, &r.result)).collect();
+    let points = interval_sweep(&borrowed, "FRA");
+    println!("{}", render_interval(&points, "FRA"));
+
+    // EU drawn last so the headline series wins overlapping cells.
+    let order = [
+        dnswild::Continent::Af,
+        dnswild::Continent::As,
+        dnswild::Continent::Na,
+        dnswild::Continent::Oc,
+        dnswild::Continent::Sa,
+        dnswild::Continent::Eu,
+    ];
+    let series: Vec<dnswild::analysis::ascii::Series> = order
+        .iter()
+        .filter_map(|&c| {
+            let pts: Vec<(f64, f64)> = points
+                .iter()
+                .filter(|p| p.continent == c)
+                .map(|p| (p.interval_min as f64, p.fraction))
+                .collect();
+            (!pts.is_empty()).then(|| dnswild::analysis::ascii::Series {
+                label: c.code().to_string(),
+                points: pts,
+            })
+        })
+        .collect();
+    println!("fraction of queries to FRA vs interval (minutes):\n");
+    println!("{}", dnswild::analysis::ascii::scatter(&series, 56, 14));
+    if let Some(dir) = &args.dump {
+        dnswild::export::write_dump(dir, "fig6_points.tsv", &dnswild::export::interval_tsv(&points))
+            .expect("dump writes");
+    }
+    println!(
+        "paper: EU fraction to FRA ~0.85 at 2min, declining but staying well\n\
+         above 0.5 at 30min; OC fraction stays low (SYD wins there). The\n\
+         persistence beyond 10/15min comes from implementations that never\n\
+         expire latency state (PowerDNS-likes) and from sticky forwarders."
+    );
+}

@@ -1,0 +1,104 @@
+//! Resilience extension (paper §7, "Other Considerations"): anycast is
+//! important to mitigate DDoS. This experiment injects a 20-minute
+//! outage in the middle of a one-hour measurement and contrasts:
+//!
+//! 1. a **unicast NS dying** — its traffic blackholes until resolvers'
+//!    retry logic fails over, showing up as a failure-rate spike and a
+//!    share shift;
+//! 2. an **anycast site withdrawn** — BGP reconvergence moves its
+//!    catchment to the surviving sites; clients see a latency bump but
+//!    no failures.
+
+use dnswild::analysis::{timeline, TextTable, TimeBucket};
+use dnswild::cli::ExpArgs;
+use dnswild::atlas::{run_measurement, MeasurementConfig, OutageSpec};
+use dnswild::netsim::geo::datacenters::{FRA, IAD, SYD};
+use dnswild::{AuthoritativeSpec, DeploymentSpec, SimDuration, StandardConfig};
+
+fn render_timeline(name: &str, auths: &[String], buckets: &[TimeBucket]) -> String {
+    let mut headers = vec!["minute".to_string(), "probes".to_string(), "fail%".to_string(), "median RTT(ms)".to_string()];
+    headers.extend(auths.iter().map(|a| format!("%->{a}")));
+    let mut t = TextTable::new(headers);
+    for b in buckets {
+        let mut row = vec![
+            format!("{}", b.start.as_micros() / 60_000_000),
+            b.probes.to_string(),
+            format!("{:.1}", b.failure_rate() * 100.0),
+            b.median_rtt_ms.map(|r| format!("{r:.0}")).unwrap_or_else(|| "-".into()),
+        ];
+        row.extend(b.share.iter().map(|s| format!("{:.0}", s * 100.0)));
+        t.push_row(row);
+    }
+    format!("--- {name} ---\n{}", t.render())
+}
+
+fn main() {
+    let args = ExpArgs::parse("exp_outage", 1_000);
+    let outage_from = SimDuration::from_mins(20);
+    let outage_until = SimDuration::from_mins(40);
+    println!(
+        "== Outage drill: 20-minute failure injected at minute 20 \
+         ({} VPs, seed {}) ==\n",
+        args.vps, args.seed
+    );
+
+    // Scenario 1: unicast NS dies (config 2C, FRA down).
+    let mut cfg = MeasurementConfig::standard(StandardConfig::C2C, args.seed);
+    cfg.vp_count = args.vps;
+    cfg.outages =
+        vec![OutageSpec { auth: 0, site: None, from: outage_from, until: outage_until }];
+    let result = run_measurement(&cfg);
+    let buckets = timeline(&result, SimDuration::from_mins(5));
+    println!(
+        "{}",
+        render_timeline(
+            "unicast NS dies: FRA+SYD, FRA down minutes 20-40",
+            &result.auth_codes(),
+            &buckets,
+        )
+    );
+    if let Some(dir) = &args.dump {
+        dnswild::export::write_dump(
+            dir,
+            "outage_unicast_timeline.tsv",
+            &dnswild::export::timeline_tsv(&buckets, &result.auth_codes()),
+        )
+        .expect("dump writes");
+    }
+
+    // Scenario 2: one site of an anycast NS withdrawn.
+    let deployment = DeploymentSpec {
+        name: "anycast-drill".into(),
+        authoritatives: vec![AuthoritativeSpec::anycast("ns1", &[&FRA, &IAD, &SYD])],
+    };
+    let mut cfg = MeasurementConfig::standard(StandardConfig::C2C, args.seed);
+    cfg.deployment = deployment;
+    cfg.vp_count = args.vps;
+    cfg.outages =
+        vec![OutageSpec { auth: 0, site: Some(0), from: outage_from, until: outage_until }];
+    let result = run_measurement(&cfg);
+    let buckets = timeline(&result, SimDuration::from_mins(5));
+    println!(
+        "{}",
+        render_timeline(
+            "anycast site withdrawn: ns1@{FRA,IAD,SYD}, FRA site down minutes 20-40",
+            &result.auth_codes(),
+            &buckets,
+        )
+    );
+    if let Some(dir) = &args.dump {
+        dnswild::export::write_dump(
+            dir,
+            "outage_anycast_timeline.tsv",
+            &dnswild::export::timeline_tsv(&buckets, &result.auth_codes()),
+        )
+        .expect("dump writes");
+    }
+
+    println!(
+        "reading: the dead unicast NS shows a failure spike and a hard share\n\
+         shift while resolvers learn to avoid it (and a recovery tail after);\n\
+         the withdrawn anycast site is absorbed by BGP rerouting — clients\n\
+         only see a modest latency bump. This is §7's DDoS argument in data."
+    );
+}

@@ -1,0 +1,113 @@
+//! Tiny argument parsing shared by the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--vps N` — vantage points per measurement (default varies);
+//! * `--seed S` — simulation seed (default 2017);
+//! * `--full` — paper-scale population (~8,700 VPs, slower);
+//! * `--help` — usage.
+
+/// Parsed common options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Vantage points per measurement.
+    pub vps: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Whether `--full` was passed.
+    pub full: bool,
+    /// Directory for raw TSV dumps (`--dump DIR`).
+    pub dump: Option<String>,
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args`, with `default_vps` used unless `--vps`
+    /// or `--full` overrides it. Exits with usage on `--help` or parse
+    /// errors.
+    pub fn parse(binary: &str, default_vps: usize) -> ExpArgs {
+        Self::parse_from(binary, default_vps, std::env::args().skip(1))
+    }
+
+    /// Testable core of [`ExpArgs::parse`].
+    pub fn parse_from<I>(binary: &str, default_vps: usize, args: I) -> ExpArgs
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut out = ExpArgs { vps: default_vps, seed: 2017, full: false, dump: None };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--vps" => {
+                    let v = it.next().and_then(|s| s.parse().ok());
+                    out.vps = v.unwrap_or_else(|| usage_exit(binary));
+                }
+                "--seed" => {
+                    let v = it.next().and_then(|s| s.parse().ok());
+                    out.seed = v.unwrap_or_else(|| usage_exit(binary));
+                }
+                "--full" => {
+                    out.full = true;
+                    out.vps = 8_700;
+                }
+                "--dump" => {
+                    let dir = it.next().unwrap_or_else(|| usage_exit(binary));
+                    out.dump = Some(dir);
+                }
+                "--help" | "-h" => {
+                    usage_exit::<()>(binary);
+                }
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    usage_exit::<()>(binary);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn usage_exit<T>(binary: &str) -> T {
+    eprintln!(
+        "usage: {binary} [--vps N] [--seed S] [--full] [--dump DIR]\n\
+         --vps N     vantage points per measurement\n\
+         --seed S    simulation seed (default 2017)\n\
+         --full      paper-scale population (~8,700 VPs)\n\
+         --dump DIR  write raw TSV series to DIR"
+    );
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ExpArgs {
+        ExpArgs::parse_from("test", 1_000, args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a, ExpArgs { vps: 1_000, seed: 2017, full: false, dump: None });
+    }
+
+    #[test]
+    fn dump_dir_parsed() {
+        let a = parse(&["--dump", "/tmp/out"]);
+        assert_eq!(a.dump.as_deref(), Some("/tmp/out"));
+    }
+
+    #[test]
+    fn overrides() {
+        let a = parse(&["--vps", "50", "--seed", "7"]);
+        assert_eq!(a.vps, 50);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn full_scale() {
+        let a = parse(&["--full"]);
+        assert!(a.full);
+        assert_eq!(a.vps, 8_700);
+    }
+}

@@ -1,0 +1,157 @@
+//! The high-level experiment API: one type that runs a measurement and
+//! hands back every analysis the paper reports.
+
+use dnswild_analysis::{
+    coverage, preference, query_share, rtt_sensitivity, AuthShare, CoverageSummary,
+    PreferenceSummary, SensitivityPoint,
+};
+use dnswild_atlas::{
+    run_measurement, DeploymentSpec, MeasurementConfig, MeasurementResult, PolicyMix,
+    StandardConfig,
+};
+use dnswild_netsim::{LatencyConfig, SimDuration};
+
+/// A configured, not-yet-run experiment.
+///
+/// ```
+/// use dnswild::{Experiment, StandardConfig};
+///
+/// let report = Experiment::standard(StandardConfig::C2B, 42)
+///     .vantage_points(60)
+///     .rounds(8)
+///     .run();
+/// let shares = report.share();
+/// assert_eq!(shares.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: MeasurementConfig,
+}
+
+impl Experiment {
+    /// An experiment on one of the paper's Table 1 configurations, at the
+    /// paper's scale (overridable with the builder methods).
+    pub fn standard(config: StandardConfig, seed: u64) -> Self {
+        Experiment { config: MeasurementConfig::standard(config, seed) }
+    }
+
+    /// An experiment on a custom deployment.
+    pub fn custom(deployment: DeploymentSpec, seed: u64) -> Self {
+        let mut config = MeasurementConfig::standard(StandardConfig::C2A, seed);
+        config.deployment = deployment;
+        Experiment { config }
+    }
+
+    /// Sets the vantage-point count.
+    pub fn vantage_points(mut self, n: usize) -> Self {
+        self.config.vp_count = n;
+        self
+    }
+
+    /// Sets the probe interval.
+    pub fn interval(mut self, interval: SimDuration) -> Self {
+        self.config.interval = interval;
+        self
+    }
+
+    /// Sets the number of probe rounds per VP.
+    pub fn rounds(mut self, rounds: u32) -> Self {
+        self.config.rounds = rounds;
+        self
+    }
+
+    /// Sets the resolver-implementation mix.
+    pub fn mix(mut self, mix: PolicyMix) -> Self {
+        self.config.mix = mix;
+        self
+    }
+
+    /// Sets the latency model.
+    pub fn latency(mut self, latency: LatencyConfig) -> Self {
+        self.config.latency = latency;
+        self
+    }
+
+    /// Switches the authoritatives to IPv6-like addressing.
+    pub fn ipv6(mut self, on: bool) -> Self {
+        self.config.ipv6 = on;
+        self
+    }
+
+    /// The underlying measurement configuration.
+    pub fn config(&self) -> &MeasurementConfig {
+        &self.config
+    }
+
+    /// Runs the measurement and returns the report.
+    pub fn run(self) -> Report {
+        Report { result: run_measurement(&self.config) }
+    }
+}
+
+/// A completed experiment with analysis accessors.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The raw measurement.
+    pub result: MeasurementResult,
+}
+
+impl Report {
+    /// Figure 2: coverage summary.
+    pub fn coverage(&self) -> CoverageSummary {
+        coverage(&self.result)
+    }
+
+    /// Figure 3: per-authoritative query share and median RTT.
+    pub fn share(&self) -> Vec<AuthShare> {
+        query_share(&self.result)
+    }
+
+    /// Figure 4 / Table 2: preference analysis (two-NS configs only).
+    pub fn preference(&self) -> PreferenceSummary {
+        preference(&self.result)
+    }
+
+    /// Figure 5: RTT sensitivity points (two-NS configs only).
+    pub fn sensitivity(&self) -> Vec<SensitivityPoint> {
+        rtt_sensitivity(&self.result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswild_resolver::PolicyKind;
+
+    #[test]
+    fn builder_round_trip() {
+        let exp = Experiment::standard(StandardConfig::C2C, 1)
+            .vantage_points(30)
+            .rounds(5)
+            .interval(SimDuration::from_mins(5))
+            .mix(PolicyMix::pure(PolicyKind::UniformRandom))
+            .ipv6(true);
+        assert_eq!(exp.config().vp_count, 30);
+        assert_eq!(exp.config().rounds, 5);
+        assert!(exp.config().ipv6);
+        let report = exp.run();
+        assert_eq!(report.result.vps.len(), 30);
+        assert_eq!(report.share().len(), 2);
+    }
+
+    #[test]
+    fn custom_deployment_runs() {
+        use dnswild_atlas::AuthoritativeSpec;
+        use dnswild_netsim::geo::datacenters;
+        let dep = DeploymentSpec {
+            name: "mixed".into(),
+            authoritatives: vec![
+                AuthoritativeSpec::anycast("any1", &[&datacenters::FRA, &datacenters::SYD]),
+                AuthoritativeSpec::unicast(&datacenters::GRU),
+            ],
+        };
+        let report = Experiment::custom(dep, 2).vantage_points(25).rounds(4).run();
+        assert_eq!(report.result.deployment.name, "mixed");
+        assert_eq!(report.coverage().ns_count, 2);
+    }
+}

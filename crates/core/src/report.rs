@@ -1,0 +1,226 @@
+//! Rendering helpers shared by the experiment binaries: turn analysis
+//! structs into the text tables the paper's figures and tables report.
+
+use dnswild_analysis::{
+    AuthShare, CoverageSummary, IntervalPoint, PreferenceSummary, RankProfile,
+    SensitivityPoint, TextTable,
+};
+use dnswild_netsim::Continent;
+
+fn fmt_ms(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.0}")).unwrap_or_else(|| "-".into())
+}
+
+/// Figure 2 rows: one per configuration.
+pub fn render_coverage(rows: &[CoverageSummary]) -> String {
+    let mut t = TextTable::new([
+        "config", "NSes", "VPs", "%query-all", "p10", "q1", "median", "q3", "p90",
+    ]);
+    for r in rows {
+        let b = r.queries_after_first;
+        let get = |f: fn(&dnswild_analysis::BoxStats) -> f64| -> String {
+            b.as_ref().map(|b| format!("{:.0}", f(b))).unwrap_or_else(|| "-".into())
+        };
+        t.push_row([
+            r.config.clone(),
+            r.ns_count.to_string(),
+            r.vp_count.to_string(),
+            format!("{:.1}%", r.pct_reaching_all),
+            get(|b| b.p10),
+            get(|b| b.q1),
+            get(|b| b.median),
+            get(|b| b.q3),
+            get(|b| b.p90),
+        ]);
+    }
+    t.render()
+}
+
+/// Figure 3 rows for one configuration.
+pub fn render_share(config: &str, shares: &[AuthShare]) -> String {
+    let mut t = TextTable::new(["config", "authoritative", "query-share", "median-RTT(ms)"]);
+    for s in shares {
+        t.push_row([
+            config.to_string(),
+            s.auth.clone(),
+            format!("{:.3}", s.share),
+            fmt_ms(s.median_rtt_ms),
+        ]);
+    }
+    t.render()
+}
+
+/// Table 2 (plus the Figure 4 headline percentages) for one two-NS
+/// configuration.
+pub fn render_preference(p: &PreferenceSummary) -> String {
+    let mut out = format!(
+        "config {}: weak preference (>=60%): {:.0}% strong (>=90%): {:.0}% \
+         [RTT-gap>=50ms filtered; unfiltered: weak {:.0}%, strong {:.0}%]\n",
+        p.config, p.weak_pct, p.strong_pct, p.weak_pct_unfiltered, p.strong_pct_unfiltered
+    );
+    let mut t = TextTable::new([
+        "cont",
+        &format!("%->{}", p.auths[0]),
+        &format!("RTT {}", p.auths[0]),
+        &format!("%->{}", p.auths[1]),
+        &format!("RTT {}", p.auths[1]),
+        "VPs",
+    ]);
+    for row in &p.table {
+        if row.vp_count == 0 {
+            continue;
+        }
+        t.push_row([
+            row.continent.code().to_string(),
+            format!("{:.0}", row.share[0] * 100.0),
+            fmt_ms(row.median_rtt_ms[0]),
+            format!("{:.0}", row.share[1] * 100.0),
+            fmt_ms(row.median_rtt_ms[1]),
+            row.vp_count.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Figure 4's per-continent preference deciles (the text rendition of
+/// the fraction-of-queries curves).
+pub fn render_preference_curves(p: &PreferenceSummary) -> String {
+    let mut t = TextTable::new([
+        "cont", "VPs", "d10", "d25", "d50", "d75", "d90",
+    ]);
+    for &continent in &Continent::ALL {
+        let fracs: Vec<f64> = p
+            .vps
+            .iter()
+            .filter(|v| v.continent == continent)
+            .map(|v| v.fraction_to(0))
+            .collect();
+        if fracs.is_empty() {
+            continue;
+        }
+        let d = |q: f64| {
+            dnswild_analysis::percentile(&fracs, q)
+                .map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "-".into())
+        };
+        t.push_row([
+            continent.code().to_string(),
+            fracs.len().to_string(),
+            d(10.0),
+            d(25.0),
+            d(50.0),
+            d(75.0),
+            d(90.0),
+        ]);
+    }
+    format!("fraction of queries to {} (deciles per continent):\n{}", p.auths[0], t.render())
+}
+
+/// Figure 5's points.
+pub fn render_sensitivity(points: &[SensitivityPoint]) -> String {
+    let mut t = TextTable::new(["cont", "site", "VPs", "median-RTT(ms)", "mean-fraction"]);
+    for p in points {
+        t.push_row([
+            p.continent.code().to_string(),
+            p.site.clone(),
+            p.vp_count.to_string(),
+            format!("{:.0}", p.median_rtt_ms),
+            format!("{:.2}", p.mean_fraction),
+        ]);
+    }
+    t.render()
+}
+
+/// Figure 6's series: interval × continent → fraction.
+pub fn render_interval(points: &[IntervalPoint], target: &str) -> String {
+    let mut intervals: Vec<u64> = points.iter().map(|p| p.interval_min).collect();
+    intervals.sort_unstable();
+    intervals.dedup();
+    let mut headers = vec!["cont".to_string()];
+    headers.extend(intervals.iter().map(|m| format!("{m}min")));
+    let mut t = TextTable::new(headers);
+    for &continent in &Continent::ALL {
+        let mut row = vec![continent.code().to_string()];
+        let mut any = false;
+        for &m in &intervals {
+            let cell = points
+                .iter()
+                .find(|p| p.interval_min == m && p.continent == continent)
+                .map(|p| {
+                    any = true;
+                    format!("{:.2}", p.fraction)
+                })
+                .unwrap_or_else(|| "-".into());
+            row.push(cell);
+        }
+        if any {
+            t.push_row(row);
+        }
+    }
+    format!("fraction of queries to {target} by probe interval:\n{}", t.render())
+}
+
+/// Figure 7's profile for one deployment.
+pub fn render_rank_profile(name: &str, p: &RankProfile) -> String {
+    let mut out = format!(
+        "{name}: {} busy clients | query one NS only: {:.0}% | query all {}: {:.0}%\n",
+        p.client_count, p.single_auth_pct, p.n_auths, p.all_auths_pct
+    );
+    let mut t = TextTable::new(["k", "% querying >=k NSes", "mean share of rank-k NS"]);
+    for k in 1..=p.n_auths {
+        t.push_row([
+            k.to_string(),
+            format!("{:.0}", p.at_least_k_pct[k - 1]),
+            format!("{:.3}", p.mean_rank_share[k - 1]),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswild_analysis::BoxStats;
+
+    #[test]
+    fn coverage_render_includes_percentages() {
+        let rows = vec![CoverageSummary {
+            config: "2A".into(),
+            ns_count: 2,
+            vp_count: 100,
+            pct_reaching_all: 96.0,
+            queries_after_first: BoxStats::of(&[1.0, 1.0, 2.0, 5.0, 9.0]),
+        }];
+        let s = render_coverage(&rows);
+        assert!(s.contains("2A"));
+        assert!(s.contains("96.0%"));
+    }
+
+    #[test]
+    fn share_render() {
+        let shares = vec![
+            AuthShare { auth: "FRA".into(), share: 0.7, median_rtt_ms: Some(39.0), p90_rtt_ms: Some(80.0) },
+            AuthShare { auth: "SYD".into(), share: 0.3, median_rtt_ms: None, p90_rtt_ms: None },
+        ];
+        let s = render_share("2C", &shares);
+        assert!(s.contains("0.700"));
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn rank_render() {
+        let p = RankProfile {
+            n_auths: 2,
+            client_count: 10,
+            single_auth_pct: 20.0,
+            all_auths_pct: 80.0,
+            at_least_k_pct: vec![100.0, 80.0],
+            mean_rank_share: vec![0.7, 0.3],
+        };
+        let s = render_rank_profile("root", &p);
+        assert!(s.contains("root: 10 busy clients"));
+        assert!(s.contains("0.700"));
+    }
+}

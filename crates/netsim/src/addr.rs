@@ -1,0 +1,156 @@
+//! Simulated network addresses.
+//!
+//! A [`SimAddr`] plays the role of an IP address: the key under which
+//! resolvers keep their infrastructure caches, and the thing an anycast
+//! service shares across sites. Addresses are allocated by the simulator
+//! and are meaningful only within one simulation.
+
+use std::fmt;
+
+/// A simulated network address.
+///
+/// Addresses are dense `u32`s; [`SimAddr::family`] tags them as v4 or v6
+/// so the paper's IPv6 spot-check (§3.1) can run over "IPv6-only"
+/// authoritatives without modelling real 128-bit addressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SimAddr {
+    index: u32,
+    family: AddrFamily,
+}
+
+/// Address family tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AddrFamily {
+    /// IPv4-like.
+    V4,
+    /// IPv6-like.
+    V6,
+}
+
+impl SimAddr {
+    /// Constructs an address. Only the simulator's allocator should call
+    /// this; actors receive addresses, they never mint them.
+    pub(crate) fn new(index: u32, family: AddrFamily) -> Self {
+        SimAddr { index, family }
+    }
+
+    /// Dense index of the address.
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// Address family.
+    pub fn family(self) -> AddrFamily {
+        self.family
+    }
+}
+
+impl SimAddr {
+    /// Encodes the address as an IPv4 address in `10.0.0.0/8` (only for
+    /// V4-family addresses). This is how simulated addresses travel
+    /// inside DNS glue records: a zone's A records carry the encoded
+    /// form, and resolvers decode them back with [`SimAddr::from_ipv4`].
+    pub fn to_ipv4(self) -> Option<std::net::Ipv4Addr> {
+        match self.family {
+            AddrFamily::V4 => Some(std::net::Ipv4Addr::new(
+                10,
+                ((self.index >> 16) & 0xff) as u8,
+                ((self.index >> 8) & 0xff) as u8,
+                (self.index & 0xff) as u8,
+            )),
+            AddrFamily::V6 => None,
+        }
+    }
+
+    /// Decodes an address previously encoded with [`SimAddr::to_ipv4`].
+    pub fn from_ipv4(addr: std::net::Ipv4Addr) -> Option<SimAddr> {
+        let [a, b, c, d] = addr.octets();
+        if a != 10 {
+            return None;
+        }
+        Some(SimAddr::new(((b as u32) << 16) | ((c as u32) << 8) | d as u32, AddrFamily::V4))
+    }
+
+    /// Encodes the address as an IPv6 address in `fd00::/8` (only for
+    /// V6-family addresses).
+    pub fn to_ipv6(self) -> Option<std::net::Ipv6Addr> {
+        match self.family {
+            AddrFamily::V6 => Some(std::net::Ipv6Addr::new(
+                0xfd00,
+                0,
+                0,
+                0,
+                0,
+                0,
+                (self.index >> 16) as u16,
+                (self.index & 0xffff) as u16,
+            )),
+            AddrFamily::V4 => None,
+        }
+    }
+
+    /// Decodes an address previously encoded with [`SimAddr::to_ipv6`].
+    pub fn from_ipv6(addr: std::net::Ipv6Addr) -> Option<SimAddr> {
+        let seg = addr.segments();
+        if seg[0] != 0xfd00 || seg[1..6] != [0, 0, 0, 0, 0] {
+            return None;
+        }
+        Some(SimAddr::new(((seg[6] as u32) << 16) | seg[7] as u32, AddrFamily::V6))
+    }
+}
+
+impl fmt::Display for SimAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.family {
+            AddrFamily::V4 => write!(
+                f,
+                "10.{}.{}.{}",
+                (self.index >> 16) & 0xff,
+                (self.index >> 8) & 0xff,
+                self.index & 0xff
+            ),
+            AddrFamily::V6 => write!(f, "fd00::{:x}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimAddr::new(0x010203, AddrFamily::V4).to_string(), "10.1.2.3");
+        assert_eq!(SimAddr::new(0x2a, AddrFamily::V6).to_string(), "fd00::2a");
+    }
+
+    #[test]
+    fn ipv4_encoding_round_trips() {
+        for i in [0u32, 1, 255, 256, 0xffffff] {
+            let addr = SimAddr::new(i, AddrFamily::V4);
+            let ip = addr.to_ipv4().unwrap();
+            assert_eq!(SimAddr::from_ipv4(ip), Some(addr));
+        }
+        assert_eq!(SimAddr::from_ipv4("192.0.2.1".parse().unwrap()), None);
+        assert!(SimAddr::new(1, AddrFamily::V6).to_ipv4().is_none());
+    }
+
+    #[test]
+    fn ipv6_encoding_round_trips() {
+        for i in [0u32, 1, 0xffff, 0x10000, 0xffffff] {
+            let addr = SimAddr::new(i, AddrFamily::V6);
+            let ip = addr.to_ipv6().unwrap();
+            assert_eq!(SimAddr::from_ipv6(ip), Some(addr));
+        }
+        assert_eq!(SimAddr::from_ipv6("2001:db8::1".parse().unwrap()), None);
+        assert!(SimAddr::new(1, AddrFamily::V4).to_ipv6().is_none());
+    }
+
+    #[test]
+    fn ordering_and_eq() {
+        let a = SimAddr::new(1, AddrFamily::V4);
+        let b = SimAddr::new(2, AddrFamily::V4);
+        assert!(a < b);
+        assert_ne!(SimAddr::new(1, AddrFamily::V4), SimAddr::new(1, AddrFamily::V6));
+    }
+}

@@ -1,0 +1,142 @@
+//! The event queue: a time-ordered heap with a sequence-number tiebreak
+//! so simultaneous events dispatch in insertion order, keeping runs
+//! fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::engine::{Datagram, HostId};
+use crate::time::SimTime;
+
+/// Something scheduled to happen to a host.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// A datagram arrives.
+    Deliver(Datagram),
+    /// A timer fires with the actor-chosen token.
+    Timer(u64),
+    /// An anycast site is withdrawn from (`false`) or restored to
+    /// (`true`) the service with the given address index. The `host`
+    /// field of the [`Scheduled`] entry names the site. Handled by the
+    /// engine itself, not dispatched to an actor.
+    SetAnnounced {
+        /// Index of the anycast address.
+        addr_index: u32,
+        /// Whether the site announces the prefix after this event.
+        announced: bool,
+    },
+}
+
+#[derive(Debug)]
+pub(crate) struct Scheduled {
+    pub time: SimTime,
+    pub seq: u64,
+    pub host: HostId,
+    pub event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so earliest time (then lowest
+        // sequence number) pops first.
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic min-queue of scheduled events.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, time: SimTime, host: HostId, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, host, event });
+    }
+
+    pub fn pop(&mut self) -> Option<Scheduled> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+        q.push(t(30), HostId::from_index(0), Event::Timer(3));
+        q.push(t(10), HostId::from_index(0), Event::Timer(1));
+        q.push(t(20), HostId::from_index(0), Event::Timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.event {
+                Event::Timer(k) => k,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::ZERO + SimDuration::from_millis(5);
+        for k in 0..10 {
+            q.push(t, HostId::from_index(0), Event::Timer(k));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.event {
+                Event::Timer(k) => k,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_micros(9), HostId::from_index(1), Event::Timer(0));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(9)));
+    }
+}

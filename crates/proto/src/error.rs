@@ -1,0 +1,68 @@
+//! Error types for DNS wire-format processing.
+
+use std::fmt;
+
+/// Result alias used throughout the proto crate.
+pub type ProtoResult<T> = Result<T, ProtoError>;
+
+/// Errors raised while encoding or decoding DNS messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The buffer ended before the indicated number of bytes was available.
+    UnexpectedEnd {
+        /// Offset (or length) that was required.
+        wanted: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A label exceeded the 63-octet limit of RFC 1035 §2.3.4.
+    LabelTooLong(usize),
+    /// An encoded name exceeded the 255-octet limit of RFC 1035 §2.3.4.
+    NameTooLong(usize),
+    /// A domain name in presentation format was malformed.
+    BadNameSyntax(String),
+    /// A compression pointer pointed forward or formed a loop.
+    BadCompressionPointer(usize),
+    /// An unknown label type (the two high bits were `01` or `10`).
+    BadLabelType(u8),
+    /// The message would exceed the 64 KiB wire limit.
+    MessageTooLong(usize),
+    /// RDATA length did not match the parsed RDATA.
+    RdataLengthMismatch {
+        /// RDLENGTH from the wire.
+        declared: usize,
+        /// Bytes actually consumed by the RDATA parser.
+        consumed: usize,
+    },
+    /// A TXT character-string exceeded 255 octets.
+    CharacterStringTooLong(usize),
+    /// Any other malformed-message condition.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::UnexpectedEnd { wanted, available } => {
+                write!(f, "unexpected end of buffer: wanted {wanted} bytes, have {available}")
+            }
+            ProtoError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
+            ProtoError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255"),
+            ProtoError::BadNameSyntax(s) => write!(f, "bad name syntax: {s:?}"),
+            ProtoError::BadCompressionPointer(p) => {
+                write!(f, "bad compression pointer to offset {p}")
+            }
+            ProtoError::BadLabelType(b) => write!(f, "unknown label type in octet {b:#04x}"),
+            ProtoError::MessageTooLong(n) => write!(f, "message of {n} bytes exceeds 64 KiB"),
+            ProtoError::RdataLengthMismatch { declared, consumed } => {
+                write!(f, "rdata length mismatch: declared {declared}, consumed {consumed}")
+            }
+            ProtoError::CharacterStringTooLong(n) => {
+                write!(f, "character-string of {n} octets exceeds 255")
+            }
+            ProtoError::Malformed(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}

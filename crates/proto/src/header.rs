@@ -1,0 +1,150 @@
+//! The 12-octet DNS message header (RFC 1035 §4.1.1).
+
+use crate::error::ProtoResult;
+use crate::types::{Opcode, Rcode};
+use crate::wire::{WireReader, WireWriter};
+
+/// Parsed DNS header: ID, flags, and the four section counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Query identifier, echoed in responses.
+    pub id: u16,
+    /// `QR`: true for responses.
+    pub response: bool,
+    /// Operation code.
+    pub opcode: Opcode,
+    /// `AA`: answer is authoritative.
+    pub authoritative: bool,
+    /// `TC`: message was truncated.
+    pub truncated: bool,
+    /// `RD`: recursion desired.
+    pub recursion_desired: bool,
+    /// `RA`: recursion available.
+    pub recursion_available: bool,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Entries in the question section.
+    pub qdcount: u16,
+    /// Entries in the answer section.
+    pub ancount: u16,
+    /// Entries in the authority section.
+    pub nscount: u16,
+    /// Entries in the additional section.
+    pub arcount: u16,
+}
+
+impl Default for Header {
+    fn default() -> Self {
+        Header {
+            id: 0,
+            response: false,
+            opcode: Opcode::Query,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: false,
+            recursion_available: false,
+            rcode: Rcode::NoError,
+            qdcount: 0,
+            ancount: 0,
+            nscount: 0,
+            arcount: 0,
+        }
+    }
+}
+
+impl Header {
+    /// Wire size of the header.
+    pub const WIRE_LEN: usize = 12;
+
+    /// Encodes the header.
+    pub fn encode(&self, w: &mut WireWriter) -> ProtoResult<()> {
+        w.write_u16(self.id)?;
+        let mut flags: u16 = 0;
+        if self.response {
+            flags |= 0x8000;
+        }
+        flags |= (self.opcode.to_u8() as u16) << 11;
+        if self.authoritative {
+            flags |= 0x0400;
+        }
+        if self.truncated {
+            flags |= 0x0200;
+        }
+        if self.recursion_desired {
+            flags |= 0x0100;
+        }
+        if self.recursion_available {
+            flags |= 0x0080;
+        }
+        flags |= self.rcode.to_u8() as u16;
+        w.write_u16(flags)?;
+        w.write_u16(self.qdcount)?;
+        w.write_u16(self.ancount)?;
+        w.write_u16(self.nscount)?;
+        w.write_u16(self.arcount)
+    }
+
+    /// Decodes the header.
+    pub fn decode(r: &mut WireReader<'_>) -> ProtoResult<Self> {
+        let id = r.read_u16()?;
+        let flags = r.read_u16()?;
+        Ok(Header {
+            id,
+            response: flags & 0x8000 != 0,
+            opcode: Opcode::from_u8((flags >> 11) as u8),
+            authoritative: flags & 0x0400 != 0,
+            truncated: flags & 0x0200 != 0,
+            recursion_desired: flags & 0x0100 != 0,
+            recursion_available: flags & 0x0080 != 0,
+            rcode: Rcode::from_u8(flags as u8),
+            qdcount: r.read_u16()?,
+            ancount: r.read_u16()?,
+            nscount: r.read_u16()?,
+            arcount: r.read_u16()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_flags() {
+        let h = Header {
+            id: 0x1234,
+            response: true,
+            opcode: Opcode::Status,
+            authoritative: true,
+            truncated: true,
+            recursion_desired: true,
+            recursion_available: true,
+            rcode: Rcode::Refused,
+            qdcount: 1,
+            ancount: 2,
+            nscount: 3,
+            arcount: 4,
+        };
+        let mut w = WireWriter::new();
+        h.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), Header::WIRE_LEN);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(Header::decode(&mut r).unwrap(), h);
+    }
+
+    #[test]
+    fn round_trip_default() {
+        let h = Header::default();
+        let mut w = WireWriter::new();
+        h.encode(&mut w).unwrap();
+        let mut r = WireReader::new(w.as_slice());
+        assert_eq!(Header::decode(&mut r).unwrap(), h);
+    }
+
+    #[test]
+    fn decode_short_buffer_fails() {
+        let mut r = WireReader::new(&[0; 11]);
+        assert!(Header::decode(&mut r).is_err());
+    }
+}

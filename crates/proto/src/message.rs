@@ -1,0 +1,280 @@
+//! Whole DNS messages: sections, encoding, decoding, and convenience
+//! constructors for queries and responses.
+
+use crate::error::{ProtoError, ProtoResult};
+use crate::header::Header;
+use crate::name::{Name, NameCompressor};
+use crate::question::Question;
+use crate::rdata::{Opt, RData};
+use crate::record::Record;
+use crate::types::{Class, RType, Rcode};
+use crate::wire::{WireReader, WireWriter};
+
+/// Advertised EDNS0 UDP payload size we use in queries.
+pub const DEFAULT_EDNS_PAYLOAD: u16 = 1232;
+
+/// A DNS message: header plus the four sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Message header. Section counts are recomputed on encode.
+    pub header: Header,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section.
+    pub authorities: Vec<Record>,
+    /// Additional section (includes the OPT pseudo-record, if any).
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// A fresh query for `qname`/`qtype` with recursion desired —
+    /// what a stub sends to its recursive resolver.
+    pub fn stub_query(id: u16, qname: Name, qtype: RType) -> Self {
+        let mut m = Message {
+            header: Header { id, recursion_desired: true, ..Header::default() },
+            questions: vec![Question::new(qname, qtype)],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        };
+        m.add_edns(DEFAULT_EDNS_PAYLOAD);
+        m
+    }
+
+    /// An iterative (non-RD) query — what a recursive sends to an
+    /// authoritative server.
+    pub fn iterative_query(id: u16, qname: Name, qtype: RType) -> Self {
+        let mut m = Message {
+            header: Header { id, recursion_desired: false, ..Header::default() },
+            questions: vec![Question::new(qname, qtype)],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        };
+        m.add_edns(DEFAULT_EDNS_PAYLOAD);
+        m
+    }
+
+    /// Starts a response echoing a query's ID and question.
+    pub fn response_to(query: &Message, rcode: Rcode) -> Self {
+        Message {
+            header: Header {
+                id: query.header.id,
+                response: true,
+                opcode: query.header.opcode,
+                recursion_desired: query.header.recursion_desired,
+                rcode,
+                ..Header::default()
+            },
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Appends an EDNS0 OPT pseudo-record advertising `payload_size`.
+    pub fn add_edns(&mut self, payload_size: u16) {
+        self.additionals.push(Record {
+            name: Name::root(),
+            class: Class::Unknown(payload_size),
+            ttl: 0,
+            rdata: RData::Opt(Opt::empty()),
+        });
+    }
+
+    /// The OPT pseudo-record, if present.
+    pub fn edns(&self) -> Option<&Record> {
+        self.additionals.iter().find(|r| r.rtype() == RType::Opt)
+    }
+
+    /// The EDNS-advertised UDP payload size, if EDNS is present.
+    pub fn edns_payload_size(&self) -> Option<u16> {
+        self.edns().map(|r| r.class.to_u16())
+    }
+
+    /// The first (usually only) question.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// Whether this message is a response.
+    pub fn is_response(&self) -> bool {
+        self.header.response
+    }
+
+    /// The response code.
+    pub fn rcode(&self) -> Rcode {
+        self.header.rcode
+    }
+
+    /// Encodes the message, recomputing all section counts.
+    pub fn encode(&self) -> ProtoResult<Vec<u8>> {
+        let mut w = WireWriter::new();
+        let mut c = NameCompressor::new();
+        let header = Header {
+            qdcount: self.questions.len() as u16,
+            ancount: self.answers.len() as u16,
+            nscount: self.authorities.len() as u16,
+            arcount: self.additionals.len() as u16,
+            ..self.header
+        };
+        header.encode(&mut w)?;
+        for q in &self.questions {
+            q.encode(&mut w, &mut c)?;
+        }
+        for section in [&self.answers, &self.authorities, &self.additionals] {
+            for rec in section {
+                rec.encode(&mut w, &mut c)?;
+            }
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Decodes a message from the wire.
+    pub fn decode(buf: &[u8]) -> ProtoResult<Self> {
+        let mut r = WireReader::new(buf);
+        let header = Header::decode(&mut r)?;
+        let mut questions = Vec::with_capacity(header.qdcount as usize);
+        for _ in 0..header.qdcount {
+            questions.push(Question::decode(&mut r)?);
+        }
+        let decode_section = |r: &mut WireReader<'_>, n: u16| -> ProtoResult<Vec<Record>> {
+            let mut out = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                out.push(Record::decode(r)?);
+            }
+            Ok(out)
+        };
+        let answers = decode_section(&mut r, header.ancount)?;
+        let authorities = decode_section(&mut r, header.nscount)?;
+        let additionals = decode_section(&mut r, header.arcount)?;
+        if !r.is_empty() {
+            return Err(ProtoError::Malformed("trailing bytes after last section"));
+        }
+        Ok(Message { header, questions, answers, authorities, additionals })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdata::{Ns, Txt, A};
+    use crate::types::Opcode;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    /// Compares everything except the section counts, which are only
+    /// authoritative after an encode.
+    fn assert_same_content(a: &Message, b: &Message) {
+        assert_eq!(a.questions, b.questions);
+        assert_eq!(a.answers, b.answers);
+        assert_eq!(a.authorities, b.authorities);
+        assert_eq!(a.additionals, b.additionals);
+        let strip = |h: &Header| Header { qdcount: 0, ancount: 0, nscount: 0, arcount: 0, ..*h };
+        assert_eq!(strip(&a.header), strip(&b.header));
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = Message::stub_query(0x4242, name("p17.ourtestdomain.nl"), RType::Txt);
+        let bytes = q.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        assert_same_content(&back, &q);
+        assert!(back.header.recursion_desired);
+        assert_eq!(back.edns_payload_size(), Some(DEFAULT_EDNS_PAYLOAD));
+    }
+
+    #[test]
+    fn iterative_query_has_no_rd() {
+        let q = Message::iterative_query(7, name("x.nl"), RType::A);
+        assert!(!q.header.recursion_desired);
+    }
+
+    #[test]
+    fn response_round_trip_with_all_sections() {
+        let q = Message::iterative_query(9, name("q.ourtestdomain.nl"), RType::Txt);
+        let mut resp = Message::response_to(&q, Rcode::NoError);
+        resp.header.authoritative = true;
+        resp.answers.push(Record::new(
+            name("q.ourtestdomain.nl"),
+            5,
+            RData::Txt(Txt::from_string("site=SYD").unwrap()),
+        ));
+        resp.authorities.push(Record::new(
+            name("ourtestdomain.nl"),
+            3600,
+            RData::Ns(Ns::new(name("ns1.ourtestdomain.nl"))),
+        ));
+        resp.additionals.push(Record::new(
+            name("ns1.ourtestdomain.nl"),
+            3600,
+            RData::A(A::new(Ipv4Addr::new(203, 0, 113, 1))),
+        ));
+        let bytes = resp.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back.header.id, 9);
+        assert!(back.header.authoritative);
+        assert_eq!(back.answers, resp.answers);
+        assert_eq!(back.authorities, resp.authorities);
+        assert_eq!(back.additionals, resp.additionals);
+    }
+
+    #[test]
+    fn counts_recomputed_on_encode() {
+        let mut m = Message::stub_query(1, name("a.b"), RType::A);
+        m.header.qdcount = 99; // stale; encode must fix it
+        let bytes = m.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back.header.qdcount, 1);
+        assert_eq!(back.header.arcount, 1); // the OPT record
+    }
+
+    #[test]
+    fn compression_shrinks_response() {
+        let q = Message::iterative_query(3, name("q.ourtestdomain.nl"), RType::Txt);
+        let mut resp = Message::response_to(&q, Rcode::NoError);
+        for i in 1..=4 {
+            resp.authorities.push(Record::new(
+                name("ourtestdomain.nl"),
+                3600,
+                RData::Ns(Ns::new(name(&format!("ns{i}.ourtestdomain.nl")))),
+            ));
+        }
+        let bytes = resp.encode().unwrap();
+        // Four NS records naming the same suffix: compression should keep
+        // the message well under the uncompressed size.
+        let uncompressed: usize = resp.authorities.iter().map(|r| r.name.wire_len() + 10 + r.name.wire_len()).sum();
+        assert!(bytes.len() < uncompressed);
+        assert_same_content(&Message::decode(&bytes).unwrap(), &resp);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let q = Message::stub_query(5, name("a.b"), RType::A);
+        let mut bytes = q.encode().unwrap();
+        bytes.push(0);
+        assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let q = Message::stub_query(5, name("a.b"), RType::A);
+        let bytes = q.encode().unwrap();
+        assert!(Message::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn opcode_preserved_in_response() {
+        let mut q = Message::stub_query(1, name("a.b"), RType::A);
+        q.header.opcode = Opcode::Notify;
+        let r = Message::response_to(&q, Rcode::NotImp);
+        assert_eq!(r.header.opcode, Opcode::Notify);
+        assert_eq!(r.rcode(), Rcode::NotImp);
+    }
+}

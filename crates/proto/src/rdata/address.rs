@@ -1,0 +1,86 @@
+//! A and AAAA record payloads.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::error::ProtoResult;
+use crate::wire::{WireReader, WireWriter};
+
+/// An `A` record: a 32-bit IPv4 address (RFC 1035 §3.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct A(pub Ipv4Addr);
+
+impl A {
+    /// Wraps an IPv4 address.
+    pub fn new(addr: Ipv4Addr) -> Self {
+        A(addr)
+    }
+
+    /// The address.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.0
+    }
+
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> ProtoResult<()> {
+        w.write_bytes(&self.0.octets())
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> ProtoResult<Self> {
+        let b = r.read_bytes(4)?;
+        Ok(A(Ipv4Addr::new(b[0], b[1], b[2], b[3])))
+    }
+}
+
+/// An `AAAA` record: a 128-bit IPv6 address (RFC 3596).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Aaaa(pub Ipv6Addr);
+
+impl Aaaa {
+    /// Wraps an IPv6 address.
+    pub fn new(addr: Ipv6Addr) -> Self {
+        Aaaa(addr)
+    }
+
+    /// The address.
+    pub fn addr(&self) -> Ipv6Addr {
+        self.0
+    }
+
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> ProtoResult<()> {
+        w.write_bytes(&self.0.octets())
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> ProtoResult<Self> {
+        let b = r.read_bytes(16)?;
+        let mut octets = [0u8; 16];
+        octets.copy_from_slice(b);
+        Ok(Aaaa(Ipv6Addr::from(octets)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_wire_is_four_octets() {
+        let mut w = WireWriter::new();
+        A::new(Ipv4Addr::new(10, 1, 2, 3)).encode(&mut w).unwrap();
+        assert_eq!(w.as_slice(), &[10, 1, 2, 3]);
+    }
+
+    #[test]
+    fn aaaa_wire_is_sixteen_octets() {
+        let mut w = WireWriter::new();
+        Aaaa::new("::1".parse().unwrap()).encode(&mut w).unwrap();
+        assert_eq!(w.as_slice().len(), 16);
+        assert_eq!(w.as_slice()[15], 1);
+    }
+
+    #[test]
+    fn truncated_decode_fails() {
+        let mut r = WireReader::new(&[1, 2, 3]);
+        assert!(A::decode(&mut r).is_err());
+        let mut r = WireReader::new(&[0; 15]);
+        assert!(Aaaa::decode(&mut r).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! MX record payload (RFC 1035 §3.3.9).
+
+use crate::error::ProtoResult;
+use crate::name::{Name, NameCompressor};
+use crate::wire::{WireReader, WireWriter};
+
+/// Mail-exchange record: preference plus exchange host.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mx {
+    /// Lower is preferred.
+    pub preference: u16,
+    /// The mail exchange host.
+    pub exchange: Name,
+}
+
+impl Mx {
+    /// Creates an MX payload.
+    pub fn new(preference: u16, exchange: Name) -> Self {
+        Mx { preference, exchange }
+    }
+
+    pub(crate) fn encode(&self, w: &mut WireWriter, c: &mut NameCompressor) -> ProtoResult<()> {
+        w.write_u16(self.preference)?;
+        self.exchange.encode(w, c)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> ProtoResult<Self> {
+        Ok(Mx { preference: r.read_u16()?, exchange: Name::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mx = Mx::new(10, Name::parse("mail.example.nl").unwrap());
+        let mut w = WireWriter::new();
+        let mut c = NameCompressor::new();
+        mx.encode(&mut w, &mut c).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(Mx::decode(&mut r).unwrap(), mx);
+    }
+}

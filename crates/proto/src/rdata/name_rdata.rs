@@ -1,0 +1,82 @@
+//! RDATA types whose payload is a single domain name: NS, CNAME, PTR.
+
+use crate::error::ProtoResult;
+use crate::name::{Name, NameCompressor};
+use crate::wire::{WireReader, WireWriter};
+
+macro_rules! single_name_rdata {
+    ($(#[$doc:meta])* $ty:ident, $field_doc:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+        pub struct $ty(pub Name);
+
+        impl $ty {
+            #[doc = concat!("Wraps ", $field_doc, ".")]
+            pub fn new(name: Name) -> Self {
+                $ty(name)
+            }
+
+            /// The contained name.
+            pub fn name(&self) -> &Name {
+                &self.0
+            }
+
+            pub(crate) fn encode(
+                &self,
+                w: &mut WireWriter,
+                c: &mut NameCompressor,
+            ) -> ProtoResult<()> {
+                self.0.encode(w, c)
+            }
+
+            pub(crate) fn decode(r: &mut WireReader<'_>) -> ProtoResult<Self> {
+                Ok($ty(Name::decode(r)?))
+            }
+        }
+    };
+}
+
+single_name_rdata!(
+    /// An `NS` record: the host name of an authoritative server
+    /// (RFC 1035 §3.3.11).
+    Ns,
+    "the name-server host name"
+);
+
+single_name_rdata!(
+    /// A `CNAME` record: the canonical name of an alias (RFC 1035 §3.3.1).
+    Cname,
+    "the canonical name"
+);
+
+single_name_rdata!(
+    /// A `PTR` record: a pointer to another name (RFC 1035 §3.3.12).
+    Ptr,
+    "the target name"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_round_trip_with_compression() {
+        let mut w = WireWriter::new();
+        let mut c = NameCompressor::new();
+        let n1 = Ns::new(Name::parse("ns1.example.nl").unwrap());
+        let n2 = Ns::new(Name::parse("ns2.example.nl").unwrap());
+        n1.encode(&mut w, &mut c).unwrap();
+        n2.encode(&mut w, &mut c).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(Ns::decode(&mut r).unwrap(), n1);
+        assert_eq!(Ns::decode(&mut r).unwrap(), n2);
+    }
+
+    #[test]
+    fn accessors() {
+        let name = Name::parse("a.b").unwrap();
+        assert_eq!(Cname::new(name.clone()).name(), &name);
+        assert_eq!(Ptr::new(name.clone()).name(), &name);
+    }
+}

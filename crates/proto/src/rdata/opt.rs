@@ -1,0 +1,99 @@
+//! EDNS0 OPT pseudo-record payload (RFC 6891).
+//!
+//! Modern recursive resolvers attach an OPT record to nearly every query,
+//! so the authoritative server must at least parse and echo it. The
+//! interesting fields for us live in the record *header* (UDP payload
+//! size in CLASS, extended RCODE/flags in TTL); the RDATA itself is a
+//! list of attribute-value options, which we preserve opaquely.
+
+use crate::error::{ProtoError, ProtoResult};
+use crate::wire::{WireReader, WireWriter};
+
+/// One EDNS option (code plus opaque data).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EdnsOption {
+    /// Option code (e.g. 10 = COOKIE, 8 = Client Subnet).
+    pub code: u16,
+    /// Raw option payload.
+    pub data: Vec<u8>,
+}
+
+/// OPT RDATA: a sequence of EDNS options.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Opt {
+    /// Options in wire order.
+    pub options: Vec<EdnsOption>,
+}
+
+impl Opt {
+    /// An OPT payload with no options (the common case for plain EDNS0).
+    pub fn empty() -> Self {
+        Opt::default()
+    }
+
+    /// Builds an OPT payload from options.
+    pub fn new(options: Vec<EdnsOption>) -> Self {
+        Opt { options }
+    }
+
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> ProtoResult<()> {
+        for opt in &self.options {
+            w.write_u16(opt.code)?;
+            if opt.data.len() > u16::MAX as usize {
+                return Err(ProtoError::Malformed("EDNS option too long"));
+            }
+            w.write_u16(opt.data.len() as u16)?;
+            w.write_bytes(&opt.data)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, rdlength: usize) -> ProtoResult<Self> {
+        let end = r.position() + rdlength;
+        let mut options = Vec::new();
+        while r.position() < end {
+            let code = r.read_u16()?;
+            let len = r.read_u16()? as usize;
+            if r.position() + len > end {
+                return Err(ProtoError::Malformed("EDNS option crosses RDATA boundary"));
+            }
+            options.push(EdnsOption { code, data: r.read_bytes(len)?.to_vec() });
+        }
+        Ok(Opt { options })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_round_trip() {
+        let opt = Opt::empty();
+        let mut w = WireWriter::new();
+        opt.encode(&mut w).unwrap();
+        assert!(w.as_slice().is_empty());
+        let mut r = WireReader::new(w.as_slice());
+        assert_eq!(Opt::decode(&mut r, 0).unwrap(), opt);
+    }
+
+    #[test]
+    fn options_round_trip() {
+        let opt = Opt::new(vec![
+            EdnsOption { code: 10, data: vec![1, 2, 3, 4, 5, 6, 7, 8] },
+            EdnsOption { code: 8, data: vec![0, 1, 24, 0, 192, 0, 2] },
+        ]);
+        let mut w = WireWriter::new();
+        opt.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(Opt::decode(&mut r, bytes.len()).unwrap(), opt);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_option() {
+        let bytes = [0u8, 10, 0, 8, 1, 2]; // claims 8 bytes, has 2
+        let mut r = WireReader::new(&bytes);
+        assert!(Opt::decode(&mut r, bytes.len()).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! SOA record payload (RFC 1035 §3.3.13).
+
+use crate::error::ProtoResult;
+use crate::name::{Name, NameCompressor};
+use crate::wire::{WireReader, WireWriter};
+
+/// Start-of-authority record: zone apex metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Soa {
+    /// Primary master name server.
+    pub mname: Name,
+    /// Mailbox of the person responsible (encoded as a name).
+    pub rname: Name,
+    /// Zone serial number.
+    pub serial: u32,
+    /// Secondary refresh interval, seconds.
+    pub refresh: u32,
+    /// Retry interval, seconds.
+    pub retry: u32,
+    /// Expiry interval, seconds.
+    pub expire: u32,
+    /// Negative-caching TTL (RFC 2308 semantics).
+    pub minimum: u32,
+}
+
+impl Soa {
+    /// Creates an SOA payload.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        mname: Name,
+        rname: Name,
+        serial: u32,
+        refresh: u32,
+        retry: u32,
+        expire: u32,
+        minimum: u32,
+    ) -> Self {
+        Soa { mname, rname, serial, refresh, retry, expire, minimum }
+    }
+
+    pub(crate) fn encode(&self, w: &mut WireWriter, c: &mut NameCompressor) -> ProtoResult<()> {
+        self.mname.encode(w, c)?;
+        self.rname.encode(w, c)?;
+        w.write_u32(self.serial)?;
+        w.write_u32(self.refresh)?;
+        w.write_u32(self.retry)?;
+        w.write_u32(self.expire)?;
+        w.write_u32(self.minimum)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> ProtoResult<Self> {
+        Ok(Soa {
+            mname: Name::decode(r)?,
+            rname: Name::decode(r)?,
+            serial: r.read_u32()?,
+            refresh: r.read_u32()?,
+            retry: r.read_u32()?,
+            expire: r.read_u32()?,
+            minimum: r.read_u32()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let soa = Soa::new(
+            Name::parse("ns1.dns.nl").unwrap(),
+            Name::parse("hostmaster.dns.nl").unwrap(),
+            2017041200,
+            3600,
+            600,
+            2419200,
+            300,
+        );
+        let mut w = WireWriter::new();
+        let mut c = NameCompressor::new();
+        soa.encode(&mut w, &mut c).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(Soa::decode(&mut r).unwrap(), soa);
+    }
+
+    #[test]
+    fn truncated_fails() {
+        let mut w = WireWriter::new();
+        let mut c = NameCompressor::new();
+        let soa = Soa::new(Name::root(), Name::root(), 1, 2, 3, 4, 5);
+        soa.encode(&mut w, &mut c).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes[..bytes.len() - 1]);
+        assert!(Soa::decode(&mut r).is_err());
+    }
+}

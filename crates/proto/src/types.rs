@@ -1,0 +1,266 @@
+//! Core DNS enumerations: record types, classes, opcodes and rcodes.
+
+use std::fmt;
+
+/// A resource-record TYPE (RFC 1035 §3.2.2 plus later additions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RType {
+    /// IPv4 host address.
+    A,
+    /// Authoritative name server.
+    Ns,
+    /// Canonical name (alias).
+    Cname,
+    /// Start of a zone of authority.
+    Soa,
+    /// Domain name pointer (reverse mapping).
+    Ptr,
+    /// Mail exchange.
+    Mx,
+    /// Text strings.
+    Txt,
+    /// IPv6 host address (RFC 3596).
+    Aaaa,
+    /// EDNS0 pseudo-RR (RFC 6891).
+    Opt,
+    /// Any type not otherwise modelled.
+    Unknown(u16),
+}
+
+impl RType {
+    /// Wire value of the type code.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RType::A => 1,
+            RType::Ns => 2,
+            RType::Cname => 5,
+            RType::Soa => 6,
+            RType::Ptr => 12,
+            RType::Mx => 15,
+            RType::Txt => 16,
+            RType::Aaaa => 28,
+            RType::Opt => 41,
+            RType::Unknown(v) => v,
+        }
+    }
+
+    /// Maps a wire value to the type, falling back to [`RType::Unknown`].
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => RType::A,
+            2 => RType::Ns,
+            5 => RType::Cname,
+            6 => RType::Soa,
+            12 => RType::Ptr,
+            15 => RType::Mx,
+            16 => RType::Txt,
+            28 => RType::Aaaa,
+            41 => RType::Opt,
+            other => RType::Unknown(other),
+        }
+    }
+}
+
+impl fmt::Display for RType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RType::A => write!(f, "A"),
+            RType::Ns => write!(f, "NS"),
+            RType::Cname => write!(f, "CNAME"),
+            RType::Soa => write!(f, "SOA"),
+            RType::Ptr => write!(f, "PTR"),
+            RType::Mx => write!(f, "MX"),
+            RType::Txt => write!(f, "TXT"),
+            RType::Aaaa => write!(f, "AAAA"),
+            RType::Opt => write!(f, "OPT"),
+            RType::Unknown(v) => write!(f, "TYPE{v}"),
+        }
+    }
+}
+
+/// A resource-record CLASS.
+///
+/// `CH` (CHAOS) matters to this system: `hostname.bind TXT CH` is the
+/// classic way to identify an anycast site, and the paper explicitly
+/// avoids it because CHAOS queries are answered by the recursive itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// The Internet.
+    In,
+    /// CHAOS, used for server identification.
+    Ch,
+    /// Any other class.
+    Unknown(u16),
+}
+
+impl Class {
+    /// Wire value of the class code.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            Class::In => 1,
+            Class::Ch => 3,
+            Class::Unknown(v) => v,
+        }
+    }
+
+    /// Maps a wire value to the class.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => Class::In,
+            3 => Class::Ch,
+            other => Class::Unknown(other),
+        }
+    }
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Class::In => write!(f, "IN"),
+            Class::Ch => write!(f, "CH"),
+            Class::Unknown(v) => write!(f, "CLASS{v}"),
+        }
+    }
+}
+
+/// Message OPCODE (we only generate QUERY, but parse the rest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Standard query.
+    Query,
+    /// Inverse query (obsolete).
+    IQuery,
+    /// Server status request.
+    Status,
+    /// Zone change notification (RFC 1996).
+    Notify,
+    /// Dynamic update (RFC 2136).
+    Update,
+    /// Any other opcode.
+    Unknown(u8),
+}
+
+impl Opcode {
+    /// Wire value (4 bits).
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::IQuery => 1,
+            Opcode::Status => 2,
+            Opcode::Notify => 4,
+            Opcode::Update => 5,
+            Opcode::Unknown(v) => v & 0x0f,
+        }
+    }
+
+    /// Maps the 4-bit wire value to an opcode.
+    pub fn from_u8(v: u8) -> Self {
+        match v & 0x0f {
+            0 => Opcode::Query,
+            1 => Opcode::IQuery,
+            2 => Opcode::Status,
+            4 => Opcode::Notify,
+            5 => Opcode::Update,
+            other => Opcode::Unknown(other),
+        }
+    }
+}
+
+/// Response code (RCODE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist (authoritative only).
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Refused by policy.
+    Refused,
+    /// Any other rcode.
+    Unknown(u8),
+}
+
+impl Rcode {
+    /// Wire value (4 bits).
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Unknown(v) => v & 0x0f,
+        }
+    }
+
+    /// Maps the 4-bit wire value to an rcode.
+    pub fn from_u8(v: u8) -> Self {
+        match v & 0x0f {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Unknown(other),
+        }
+    }
+}
+
+impl fmt::Display for Rcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rcode::NoError => write!(f, "NOERROR"),
+            Rcode::FormErr => write!(f, "FORMERR"),
+            Rcode::ServFail => write!(f, "SERVFAIL"),
+            Rcode::NxDomain => write!(f, "NXDOMAIN"),
+            Rcode::NotImp => write!(f, "NOTIMP"),
+            Rcode::Refused => write!(f, "REFUSED"),
+            Rcode::Unknown(v) => write!(f, "RCODE{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtype_round_trip() {
+        for v in 0..100u16 {
+            assert_eq!(RType::from_u16(v).to_u16(), v);
+        }
+        assert_eq!(RType::from_u16(16), RType::Txt);
+        assert_eq!(RType::from_u16(28), RType::Aaaa);
+    }
+
+    #[test]
+    fn class_round_trip() {
+        for v in 0..10u16 {
+            assert_eq!(Class::from_u16(v).to_u16(), v);
+        }
+        assert_eq!(Class::from_u16(3), Class::Ch);
+    }
+
+    #[test]
+    fn opcode_rcode_round_trip() {
+        for v in 0..16u8 {
+            assert_eq!(Opcode::from_u8(v).to_u8(), v);
+            assert_eq!(Rcode::from_u8(v).to_u8(), v);
+        }
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(RType::Txt.to_string(), "TXT");
+        assert_eq!(RType::Unknown(99).to_string(), "TYPE99");
+        assert_eq!(Class::In.to_string(), "IN");
+        assert_eq!(Rcode::NxDomain.to_string(), "NXDOMAIN");
+    }
+}

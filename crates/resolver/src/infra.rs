@@ -1,0 +1,341 @@
+//! The infrastructure cache: per-authoritative latency state.
+//!
+//! Besides the record cache, real recursives keep an *infrastructure
+//! cache* with smoothed round-trip-time (SRTT) estimates per server
+//! address (§2 of the paper). BIND's ADB keeps entries for ~10 minutes,
+//! Unbound's infra cache for ~15 minutes (§4.4); PowerDNS effectively
+//! remembers speeds for as long as the process lives. The expiry of this
+//! cache is exactly what the paper's Figure 6 probes by varying the query
+//! interval.
+
+use std::collections::HashMap;
+
+use dnswild_netsim::{SimAddr, SimDuration, SimTime};
+
+/// Latency state for one authoritative server address.
+#[derive(Debug, Clone, Copy)]
+pub struct InfraEntry {
+    /// Smoothed RTT, milliseconds.
+    pub srtt_ms: f64,
+    /// RTT variance estimate, milliseconds (TCP-style, for RTO).
+    pub rttvar_ms: f64,
+    /// Consecutive timeouts since the last successful response.
+    pub timeouts: u32,
+    /// Last time this entry was read or written; expiry is measured from
+    /// here (BIND and Unbound both expire on disuse, not absolute age).
+    pub last_used: SimTime,
+    /// Whether a real RTT sample has ever been observed (false while the
+    /// entry only carries a synthetic exploration value).
+    pub measured: bool,
+}
+
+impl InfraEntry {
+    /// Retransmission timeout derived from this entry, clamped to
+    /// `[floor, ceil]`.
+    ///
+    /// The SRTT is multiplied by 1.5 so the RTO keeps a margin above the
+    /// converged RTT even when RTTVAR shrinks toward zero on a stable
+    /// path — otherwise every response would race its own timer.
+    pub fn rto(&self, floor: SimDuration, ceil: SimDuration) -> SimDuration {
+        let rto_ms = self.srtt_ms * 1.5 + 4.0 * self.rttvar_ms;
+        let rto = SimDuration::from_millis_f64(rto_ms);
+        rto.max(floor).min(ceil)
+    }
+}
+
+/// Smoothing parameters for RTT samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Smoothing {
+    /// Weight of the new sample in the SRTT update (TCP uses 1/8; BIND's
+    /// ADB uses a heavier 0.3).
+    pub alpha: f64,
+    /// Weight of the new deviation in the RTTVAR update (TCP uses 1/4).
+    pub beta: f64,
+}
+
+impl Smoothing {
+    /// TCP-style smoothing (RFC 6298), used by Unbound.
+    pub const TCP: Smoothing = Smoothing { alpha: 0.125, beta: 0.25 };
+    /// Heavier smoothing resembling BIND's ADB adjustment.
+    pub const BIND: Smoothing = Smoothing { alpha: 0.3, beta: 0.25 };
+}
+
+/// The cache itself.
+#[derive(Debug, Clone)]
+pub struct InfraCache {
+    entries: HashMap<SimAddr, InfraEntry>,
+    /// Entries unused for this long are forgotten; `None` never expires.
+    expiry: Option<SimDuration>,
+    smoothing: Smoothing,
+}
+
+impl InfraCache {
+    /// Creates a cache with the given expiry and smoothing.
+    pub fn new(expiry: Option<SimDuration>, smoothing: Smoothing) -> Self {
+        InfraCache { entries: HashMap::new(), expiry, smoothing }
+    }
+
+    /// The configured expiry.
+    pub fn expiry(&self) -> Option<SimDuration> {
+        self.expiry
+    }
+
+    /// Looks up a live entry, refreshing its use-time (reads count as use,
+    /// matching BIND/Unbound disuse-based expiry).
+    pub fn touch(&mut self, addr: SimAddr, now: SimTime) -> Option<InfraEntry> {
+        if self.is_expired(addr, now) {
+            self.entries.remove(&addr);
+            return None;
+        }
+        let entry = self.entries.get_mut(&addr)?;
+        entry.last_used = now;
+        Some(*entry)
+    }
+
+    /// Looks up a live entry without refreshing it.
+    pub fn peek(&self, addr: SimAddr, now: SimTime) -> Option<InfraEntry> {
+        if self.is_expired(addr, now) {
+            None
+        } else {
+            self.entries.get(&addr).copied()
+        }
+    }
+
+    fn is_expired(&self, addr: SimAddr, now: SimTime) -> bool {
+        match (self.entries.get(&addr), self.expiry) {
+            (Some(e), Some(expiry)) => now.since(e.last_used) > expiry,
+            _ => false,
+        }
+    }
+
+    /// Records a successful RTT sample.
+    pub fn observe_rtt(&mut self, addr: SimAddr, rtt: SimDuration, now: SimTime) {
+        let rtt_ms = rtt.as_millis_f64();
+        let Smoothing { alpha, beta } = self.smoothing;
+        let reuse = match self.entries.get(&addr) {
+            Some(e) if e.measured => match self.expiry {
+                Some(expiry) => now.since(e.last_used) <= expiry,
+                None => true,
+            },
+            _ => false,
+        };
+        if reuse {
+            let e = self.entries.get_mut(&addr).expect("checked above");
+            let deviation = (e.srtt_ms - rtt_ms).abs();
+            e.rttvar_ms = (1.0 - beta) * e.rttvar_ms + beta * deviation;
+            e.srtt_ms = (1.0 - alpha) * e.srtt_ms + alpha * rtt_ms;
+            e.timeouts = 0;
+            e.last_used = now;
+        } else {
+            self.entries.insert(
+                addr,
+                InfraEntry {
+                    srtt_ms: rtt_ms,
+                    rttvar_ms: rtt_ms / 2.0,
+                    timeouts: 0,
+                    last_used: now,
+                    measured: true,
+                },
+            );
+        }
+    }
+
+    /// Records a timeout: doubles the effective SRTT (capped) so the
+    /// server looks slower, the standard back-off behaviour.
+    pub fn observe_timeout(&mut self, addr: SimAddr, now: SimTime) {
+        const TIMEOUT_CAP_MS: f64 = 8_000.0;
+        let entry = self.entries.entry(addr).or_insert(InfraEntry {
+            srtt_ms: 400.0,
+            rttvar_ms: 200.0,
+            timeouts: 0,
+            last_used: now,
+            measured: false,
+        });
+        entry.srtt_ms = (entry.srtt_ms * 2.0).min(TIMEOUT_CAP_MS);
+        entry.timeouts += 1;
+        entry.last_used = now;
+    }
+
+    /// Seeds a synthetic exploration entry (e.g. BIND's random initial
+    /// SRTT for servers it has never queried). Does not overwrite a
+    /// measured entry.
+    pub fn seed_unmeasured(&mut self, addr: SimAddr, srtt_ms: f64, now: SimTime) {
+        if self.touch(addr, now).is_none() {
+            self.entries.insert(
+                addr,
+                InfraEntry {
+                    srtt_ms,
+                    rttvar_ms: srtt_ms / 2.0,
+                    timeouts: 0,
+                    last_used: now,
+                    measured: false,
+                },
+            );
+        }
+    }
+
+    /// Multiplies the stored SRTT of `addr` by `factor` (BIND-style aging
+    /// of non-selected servers, so slower servers are retried eventually).
+    pub fn decay(&mut self, addr: SimAddr, factor: f64) {
+        if let Some(e) = self.entries.get_mut(&addr) {
+            e.srtt_ms *= factor;
+        }
+    }
+
+    /// Number of live entries (expired entries may still be counted until
+    /// next touch; exposed for tests and stats only).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache has no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(i: u32) -> SimAddr {
+        // Addresses are only comparable tokens here; mint them through a
+        // simulator to stay within the public API.
+        use dnswild_netsim::geo::datacenters;
+        use dnswild_netsim::{HostConfig, SimDuration, Simulator};
+        struct Nop;
+        impl dnswild_netsim::Actor for Nop {
+            fn on_datagram(&mut self, _: &mut dnswild_netsim::Context<'_>, _: dnswild_netsim::Datagram) {}
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let mut last = None;
+        for _ in 0..=i {
+            let h = sim.add_host(
+                HostConfig::at_place(&datacenters::FRA, SimDuration::from_millis(1), 1),
+                Box::new(Nop),
+            );
+            last = Some(sim.bind_unicast(h));
+        }
+        last.unwrap()
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut c = InfraCache::new(None, Smoothing::TCP);
+        c.observe_rtt(addr(0), SimDuration::from_millis(100), t(0));
+        let e = c.peek(addr(0), t(0)).unwrap();
+        assert_eq!(e.srtt_ms, 100.0);
+        assert!(e.measured);
+    }
+
+    #[test]
+    fn smoothing_converges_toward_samples() {
+        let mut c = InfraCache::new(None, Smoothing::TCP);
+        let a = addr(0);
+        c.observe_rtt(a, SimDuration::from_millis(100), t(0));
+        for i in 1..50 {
+            c.observe_rtt(a, SimDuration::from_millis(20), t(i));
+        }
+        let e = c.peek(a, t(50)).unwrap();
+        assert!((e.srtt_ms - 20.0).abs() < 5.0, "srtt {}", e.srtt_ms);
+    }
+
+    #[test]
+    fn expiry_on_disuse() {
+        let mut c = InfraCache::new(Some(SimDuration::from_mins(10)), Smoothing::BIND);
+        let a = addr(0);
+        c.observe_rtt(a, SimDuration::from_millis(50), t(0));
+        assert!(c.touch(a, t(9 * 60)).is_some(), "alive inside expiry");
+        // Touch refreshed last_used, so it survives to 18 minutes.
+        assert!(c.touch(a, t(18 * 60)).is_some());
+        // But 11 minutes of silence kills it.
+        assert!(c.touch(a, t(18 * 60 + 11 * 60)).is_none());
+    }
+
+    #[test]
+    fn no_expiry_when_none() {
+        let mut c = InfraCache::new(None, Smoothing::BIND);
+        let a = addr(0);
+        c.observe_rtt(a, SimDuration::from_millis(50), t(0));
+        assert!(c.touch(a, t(86_400)).is_some());
+    }
+
+    #[test]
+    fn timeout_penalizes() {
+        let mut c = InfraCache::new(None, Smoothing::TCP);
+        let a = addr(0);
+        c.observe_rtt(a, SimDuration::from_millis(100), t(0));
+        c.observe_timeout(a, t(1));
+        let e = c.peek(a, t(1)).unwrap();
+        assert_eq!(e.srtt_ms, 200.0);
+        assert_eq!(e.timeouts, 1);
+        // A success resets the timeout count.
+        c.observe_rtt(a, SimDuration::from_millis(100), t(2));
+        assert_eq!(c.peek(a, t(2)).unwrap().timeouts, 0);
+    }
+
+    #[test]
+    fn timeout_on_unknown_server_creates_entry() {
+        let mut c = InfraCache::new(None, Smoothing::TCP);
+        c.observe_timeout(addr(0), t(0));
+        let e = c.peek(addr(0), t(0)).unwrap();
+        assert!(!e.measured);
+        assert_eq!(e.srtt_ms, 800.0);
+    }
+
+    #[test]
+    fn seed_does_not_overwrite_measured() {
+        let mut c = InfraCache::new(None, Smoothing::TCP);
+        let a = addr(0);
+        c.observe_rtt(a, SimDuration::from_millis(70), t(0));
+        c.seed_unmeasured(a, 5.0, t(1));
+        assert_eq!(c.peek(a, t(1)).unwrap().srtt_ms, 70.0);
+    }
+
+    #[test]
+    fn seed_then_measure_replaces_synthetic_value() {
+        let mut c = InfraCache::new(None, Smoothing::TCP);
+        let a = addr(0);
+        c.seed_unmeasured(a, 5.0, t(0));
+        assert!(!c.peek(a, t(0)).unwrap().measured);
+        c.observe_rtt(a, SimDuration::from_millis(300), t(1));
+        let e = c.peek(a, t(1)).unwrap();
+        assert!(e.measured);
+        assert_eq!(e.srtt_ms, 300.0, "synthetic value discarded, not smoothed");
+    }
+
+    #[test]
+    fn decay_ages_srtt() {
+        let mut c = InfraCache::new(None, Smoothing::TCP);
+        let a = addr(0);
+        c.observe_rtt(a, SimDuration::from_millis(100), t(0));
+        c.decay(a, 0.5);
+        assert_eq!(c.peek(a, t(0)).unwrap().srtt_ms, 50.0);
+    }
+
+    #[test]
+    fn rto_clamped() {
+        let e = InfraEntry {
+            srtt_ms: 10.0,
+            rttvar_ms: 1.0,
+            timeouts: 0,
+            last_used: SimTime::ZERO,
+            measured: true,
+        };
+        let floor = SimDuration::from_millis(50);
+        let ceil = SimDuration::from_secs(5);
+        assert_eq!(e.rto(floor, ceil), floor);
+        let slow = InfraEntry { srtt_ms: 50_000.0, ..e };
+        assert_eq!(slow.rto(floor, ceil), ceil);
+    }
+}

@@ -1,0 +1,32 @@
+//! # dnswild-resolver
+//!
+//! Recursive resolvers with configurable authoritative-selection
+//! policies: the population whose aggregate behaviour the *Recursives in
+//! the Wild* paper measures.
+//!
+//! The crate provides:
+//!
+//! * [`InfraCache`] — the per-server SRTT store (BIND's ADB, Unbound's
+//!   infra cache) whose expiry drives the paper's Figure 6;
+//! * [`RecordCache`] — the TTL-respecting answer cache the paper's
+//!   methodology deliberately bypasses with unique labels;
+//! * six [`SelectionPolicy`] implementations modelled on the documented
+//!   algorithms of the major implementations (see [`PolicyKind`]);
+//! * [`RecursiveResolver`] — the full actor: stub interface, caches,
+//!   retransmission with per-server RTOs, and failover.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod infra;
+mod policy;
+mod rcache;
+mod resolver;
+
+pub use infra::{InfraCache, InfraEntry, Smoothing};
+pub use policy::{
+    BindSrtt, PolicyKind, PowerDnsSpeed, RoundRobin, SelectionPolicy, StickyPrimary,
+    UniformRandom, UnboundBand,
+};
+pub use rcache::{CacheStats, CachedResponse, RecordCache};
+pub use resolver::{RecursiveResolver, ResolverConfig, ResolverStats, UpstreamSample};

@@ -1,0 +1,218 @@
+//! The record cache: answers kept until their TTL runs out.
+//!
+//! The paper goes out of its way to defeat this cache (unique labels,
+//! TTL=5, 4-hour gaps between runs) so that every probe actually reaches
+//! an authoritative. We implement it faithfully anyway: the cold-cache
+//! methodology is only meaningful if a cache exists to be cold.
+
+use std::collections::HashMap;
+
+use dnswild_netsim::{SimDuration, SimTime};
+use dnswild_proto::{Name, RType, Rcode, Record};
+
+/// Cache key: question name and type (class is always IN here).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    qname: Name,
+    qtype: RType,
+}
+
+/// A cached response: positive answers or a negative result.
+#[derive(Debug, Clone)]
+struct CacheValue {
+    answers: Vec<Record>,
+    rcode: Rcode,
+    expires: SimTime,
+}
+
+/// What a cache lookup yields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedResponse {
+    /// Answer records with TTLs decremented to the remaining lifetime.
+    pub answers: Vec<Record>,
+    /// The cached response code (NOERROR or NXDOMAIN).
+    pub rcode: Rcode,
+}
+
+/// Statistics for cache behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or only an expired entry).
+    pub misses: u64,
+    /// Entries stored.
+    pub inserts: u64,
+}
+
+/// A TTL-respecting record cache.
+#[derive(Debug, Default)]
+pub struct RecordCache {
+    entries: HashMap<CacheKey, CacheValue>,
+    stats: CacheStats,
+}
+
+impl RecordCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        RecordCache::default()
+    }
+
+    /// Stores a response. TTL is the minimum across answer records, or
+    /// `negative_ttl` when there are none (NODATA/NXDOMAIN).
+    pub fn insert(
+        &mut self,
+        qname: Name,
+        qtype: RType,
+        answers: Vec<Record>,
+        rcode: Rcode,
+        negative_ttl: u32,
+        now: SimTime,
+    ) {
+        let ttl = answers.iter().map(|r| r.ttl).min().unwrap_or(negative_ttl);
+        if ttl == 0 {
+            return; // uncacheable
+        }
+        self.stats.inserts += 1;
+        self.entries.insert(
+            CacheKey { qname, qtype },
+            CacheValue { answers, rcode, expires: now + SimDuration::from_secs(ttl as u64) },
+        );
+    }
+
+    /// Looks a question up; live entries get their TTLs adjusted to the
+    /// remaining lifetime, as a real cache serves them.
+    pub fn get(&mut self, qname: &Name, qtype: RType, now: SimTime) -> Option<CachedResponse> {
+        let key = CacheKey { qname: qname.clone(), qtype };
+        match self.entries.get(&key) {
+            Some(v) if v.expires > now => {
+                self.stats.hits += 1;
+                let remaining = (v.expires.since(now).as_secs()).max(1) as u32;
+                let answers = v
+                    .answers
+                    .iter()
+                    .map(|r| {
+                        let mut r = r.clone();
+                        r.ttl = r.ttl.min(remaining);
+                        r
+                    })
+                    .collect();
+                Some(CachedResponse { answers, rcode: v.rcode })
+            }
+            Some(_) => {
+                self.entries.remove(&key);
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Drops everything (the "cold cache" the paper enforces with 4-hour
+    /// breaks between measurements).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Live entry count (expired entries may linger until probed).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswild_proto::rdata::Txt;
+    use dnswild_proto::RData;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn txt_record(owner: &str, ttl: u32) -> Record {
+        Record::new(name(owner), ttl, RData::Txt(Txt::from_string("x").unwrap()))
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn hit_within_ttl() {
+        let mut c = RecordCache::new();
+        c.insert(name("a.nl"), RType::Txt, vec![txt_record("a.nl", 5)], Rcode::NoError, 300, t(0));
+        let hit = c.get(&name("a.nl"), RType::Txt, t(4)).unwrap();
+        assert_eq!(hit.rcode, Rcode::NoError);
+        assert_eq!(hit.answers[0].ttl, 1, "ttl decremented to remaining");
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn miss_after_ttl() {
+        let mut c = RecordCache::new();
+        c.insert(name("a.nl"), RType::Txt, vec![txt_record("a.nl", 5)], Rcode::NoError, 300, t(0));
+        assert!(c.get(&name("a.nl"), RType::Txt, t(5)).is_none());
+        assert_eq!(c.stats().misses, 1);
+        assert!(c.is_empty(), "expired entry evicted");
+    }
+
+    #[test]
+    fn negative_entries_cached_with_negative_ttl() {
+        let mut c = RecordCache::new();
+        c.insert(name("nx.nl"), RType::A, vec![], Rcode::NxDomain, 60, t(0));
+        let hit = c.get(&name("nx.nl"), RType::A, t(59)).unwrap();
+        assert_eq!(hit.rcode, Rcode::NxDomain);
+        assert!(c.get(&name("nx.nl"), RType::A, t(61)).is_none());
+    }
+
+    #[test]
+    fn zero_ttl_not_cached() {
+        let mut c = RecordCache::new();
+        c.insert(name("z.nl"), RType::Txt, vec![txt_record("z.nl", 0)], Rcode::NoError, 300, t(0));
+        assert!(c.get(&name("z.nl"), RType::Txt, t(0)).is_none());
+        assert_eq!(c.stats().inserts, 0);
+    }
+
+    #[test]
+    fn distinct_types_are_distinct_entries() {
+        let mut c = RecordCache::new();
+        c.insert(name("a.nl"), RType::Txt, vec![txt_record("a.nl", 60)], Rcode::NoError, 300, t(0));
+        assert!(c.get(&name("a.nl"), RType::A, t(1)).is_none());
+        assert!(c.get(&name("a.nl"), RType::Txt, t(1)).is_some());
+    }
+
+    #[test]
+    fn unique_labels_never_hit() {
+        // The paper's methodology in miniature.
+        let mut c = RecordCache::new();
+        for i in 0..10 {
+            let qname = name(&format!("probe-{i}.test.nl"));
+            assert!(c.get(&qname, RType::Txt, t(i)).is_none());
+            c.insert(qname, RType::Txt, vec![txt_record("x.nl", 5)], Rcode::NoError, 300, t(i));
+        }
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.stats().misses, 10);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = RecordCache::new();
+        c.insert(name("a.nl"), RType::Txt, vec![txt_record("a.nl", 60)], Rcode::NoError, 300, t(0));
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! # dnswild-zone
+//!
+//! Authoritative zone data for the *Recursives in the Wild* reproduction:
+//! RRsets, the RFC 1034 lookup algorithm (exact match, CNAME chains,
+//! delegations, wildcard synthesis, NODATA/NXDOMAIN), a master-file
+//! parser, and preset zones for the measurement experiments.
+//!
+//! Wildcards are first-class here because the reproduced measurement
+//! methodology relies on them: every probe queries a unique label under
+//! the test domain (defeating record caches), and a wildcard TXT record
+//! answers all of them.
+//!
+//! ```
+//! use dnswild_proto::{Name, RType};
+//! use dnswild_zone::{presets, Lookup};
+//!
+//! let origin = Name::parse("ourtestdomain.nl").unwrap();
+//! let zone = presets::test_domain_zone(&origin, 2);
+//! let q = Name::parse("probe-17-round-1.ourtestdomain.nl").unwrap();
+//! assert!(matches!(zone.lookup(&q, RType::Txt), Lookup::Answer(_)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parser;
+pub mod presets;
+mod rrset;
+mod serializer;
+mod zone;
+
+pub use parser::{parse_zone, ParseError};
+pub use rrset::{RrKey, RrSet};
+pub use serializer::write_zone;
+pub use zone::{Lookup, Zone};

@@ -1,0 +1,89 @@
+//! Ready-made zones for the reproduction experiments.
+
+use dnswild_proto::rdata::{Ns, Soa, Txt, A};
+use dnswild_proto::{Name, RData, Record};
+use std::net::Ipv4Addr;
+
+use crate::zone::Zone;
+
+/// The placeholder the authoritative server substitutes with its own site
+/// identity when answering probe TXT queries (the paper's trick of giving
+/// each NS a different response for the same record).
+pub const SITE_PLACEHOLDER: &str = "@SITE@";
+
+/// TTL of the probe TXT record; the paper uses 5 seconds so responses
+/// never survive in record caches between probe rounds.
+pub const PROBE_TTL: u32 = 5;
+
+/// Builds the measurement zone: `origin` with `ns_count` name servers
+/// (`ns1` … `nsN`) and a wildcard TXT at the apex answering any unique
+/// probe label with [`SITE_PLACEHOLDER`].
+///
+/// The NS A records here are decorative (the simulator routes by
+/// `SimAddr`); they make the zone well-formed and give
+/// the delegation realistic glue.
+pub fn test_domain_zone(origin: &Name, ns_count: usize) -> Zone {
+    assert!(ns_count >= 1, "a zone needs at least one NS");
+    let mut zone = Zone::new(origin.clone());
+    zone.insert(Record::new(
+        origin.clone(),
+        3600,
+        RData::Soa(Soa::new(
+            origin.prepend("ns1").expect("short label"),
+            origin.prepend("hostmaster").expect("short label"),
+            2017041201,
+            7200,
+            3600,
+            604800,
+            300,
+        )),
+    ));
+    for i in 1..=ns_count {
+        let ns_name = origin.prepend(&format!("ns{i}")).expect("short label");
+        zone.insert(Record::new(origin.clone(), 3600, RData::Ns(Ns::new(ns_name.clone()))));
+        zone.insert(Record::new(
+            ns_name,
+            3600,
+            RData::A(A::new(Ipv4Addr::new(203, 0, 113, i as u8))),
+        ));
+    }
+    zone.insert(Record::new(
+        origin.prepend("*").expect("short label"),
+        PROBE_TTL,
+        RData::Txt(Txt::from_string(SITE_PLACEHOLDER).expect("short string")),
+    ));
+    zone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::Lookup;
+    use dnswild_proto::RType;
+
+    #[test]
+    fn zone_answers_unique_labels() {
+        let origin = Name::parse("ourtestdomain.nl").unwrap();
+        let zone = test_domain_zone(&origin, 4);
+        assert_eq!(zone.apex_ns().unwrap().len(), 4);
+        let q = Name::parse("p99-round3.ourtestdomain.nl").unwrap();
+        match zone.lookup(&q, RType::Txt) {
+            Lookup::Answer(recs) => {
+                assert_eq!(recs[0].ttl, PROBE_TTL);
+                if let RData::Txt(t) = &recs[0].rdata {
+                    assert_eq!(t.first_as_string(), SITE_PLACEHOLDER);
+                } else {
+                    panic!("not TXT");
+                }
+            }
+            other => panic!("expected answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one NS")]
+    fn zero_ns_rejected() {
+        let origin = Name::parse("x.nl").unwrap();
+        test_domain_zone(&origin, 0);
+    }
+}

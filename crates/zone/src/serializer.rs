@@ -1,0 +1,123 @@
+//! Serializing a [`Zone`] back to master-file text — the inverse of
+//! [`crate::parse_zone`], used for zone inspection, golden tests and
+//! round-trip verification.
+
+use dnswild_proto::{RData, RType, Record};
+
+use crate::zone::Zone;
+
+/// Renders the zone in master-file format: `$ORIGIN` and `$TTL`
+/// directives, SOA first, then apex records, then everything else in a
+/// deterministic (sorted) order with absolute names.
+pub fn write_zone(zone: &Zone) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("$ORIGIN {}\n", zone.origin()));
+    out.push_str("$TTL 3600\n");
+
+    let mut records: Vec<&Record> = zone.iter().flat_map(|set| set.records().iter()).collect();
+    records.sort_by_key(|r| {
+        let type_rank = match r.rtype() {
+            RType::Soa => 0,
+            RType::Ns => 1,
+            _ => 2,
+        };
+        let apex_rank = if &r.name == zone.origin() { 0 } else { 1 };
+        (apex_rank, type_rank, r.name.to_string(), r.rtype().to_u16(), format!("{r}"))
+    });
+
+    for record in records {
+        out.push_str(&render_record(record));
+        out.push('\n');
+    }
+    out
+}
+
+fn render_record(r: &Record) -> String {
+    let mut line = format!("{} {} {} {}", r.name, r.ttl, r.class, r.rtype());
+    match &r.rdata {
+        RData::A(a) => line.push_str(&format!(" {}", a.addr())),
+        RData::Aaaa(a) => line.push_str(&format!(" {}", a.addr())),
+        RData::Ns(n) => line.push_str(&format!(" {}", n.name())),
+        RData::Cname(n) => line.push_str(&format!(" {}", n.name())),
+        RData::Ptr(n) => line.push_str(&format!(" {}", n.name())),
+        RData::Mx(m) => line.push_str(&format!(" {} {}", m.preference, m.exchange)),
+        RData::Txt(t) => {
+            for s in t.strings() {
+                line.push_str(&format!(" \"{}\"", String::from_utf8_lossy(s)));
+            }
+        }
+        RData::Soa(s) => line.push_str(&format!(
+            " {} {} ( {} {} {} {} {} )",
+            s.mname, s.rname, s.serial, s.refresh, s.retry, s.expire, s.minimum
+        )),
+        RData::Opt(_) => line.push_str(" ; OPT pseudo-records do not belong in zone files"),
+        RData::Unknown { data, .. } => line.push_str(&format!(" \\# {}", data.len())),
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_zone;
+    use crate::presets::test_domain_zone;
+    use dnswild_proto::Name;
+
+    #[test]
+    fn preset_zone_round_trips() {
+        let origin = Name::parse("ourtestdomain.nl").unwrap();
+        let zone = test_domain_zone(&origin, 4);
+        let text = write_zone(&zone);
+        let back = parse_zone(&text, &origin).expect("serialized zone parses");
+        assert_eq!(back.rrset_count(), zone.rrset_count());
+        // Every original record must survive the round trip.
+        for set in zone.iter() {
+            let reparsed = back.get(set.name(), set.rtype()).expect("rrset present");
+            assert_eq!(reparsed.len(), set.len(), "{} {}", set.name(), set.rtype());
+        }
+    }
+
+    #[test]
+    fn soa_comes_first() {
+        let origin = Name::parse("x.nl").unwrap();
+        let zone = test_domain_zone(&origin, 2);
+        let text = write_zone(&zone);
+        let first_record_line =
+            text.lines().find(|l| !l.starts_with('$')).expect("has records");
+        assert!(first_record_line.contains("SOA"), "got {first_record_line}");
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let origin = Name::parse("x.nl").unwrap();
+        let a = write_zone(&test_domain_zone(&origin, 3));
+        let b = write_zone(&test_domain_zone(&origin, 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hand_written_zone_round_trips() {
+        let origin = Name::parse("example.nl").unwrap();
+        let text = r#"
+$ORIGIN example.nl.
+$TTL 300
+@ IN SOA ns1 hostmaster ( 7 3600 600 86400 60 )
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+ns1 IN AAAA 2001:db8::1
+www IN CNAME web
+web 60 IN A 192.0.2.80
+mail IN MX 10 mx1
+mx1 IN A 192.0.2.25
+txt IN TXT "hello world" "second"
+"#;
+        let zone = parse_zone(text, &origin).unwrap();
+        let rendered = write_zone(&zone);
+        let back = parse_zone(&rendered, &origin).unwrap();
+        assert_eq!(back.rrset_count(), zone.rrset_count());
+        for set in zone.iter() {
+            let reparsed = back.get(set.name(), set.rtype()).expect("rrset survives");
+            assert_eq!(reparsed.records(), set.records(), "{}", set.name());
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! The zone store and authoritative lookup algorithm (RFC 1034 §4.3.2,
+//! minus DNSSEC), including wildcard synthesis — which the reproduced
+//! measurement depends on: every probe queries a *unique* label under the
+//! test domain, answered by a wildcard TXT record.
+
+use std::collections::{HashMap, HashSet};
+
+use dnswild_proto::{Name, RData, RType, Record};
+
+use crate::rrset::{RrKey, RrSet};
+
+/// Result of an authoritative lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// The answer RRset (owner name already rewritten for wildcards),
+    /// possibly preceded by CNAME records that led to it.
+    Answer(Vec<Record>),
+    /// The name exists but has no records of the requested type. The SOA
+    /// record for negative caching is included.
+    NoData {
+        /// Zone SOA for the authority section.
+        soa: Record,
+    },
+    /// The name does not exist. The SOA record is included.
+    NxDomain {
+        /// Zone SOA for the authority section.
+        soa: Record,
+    },
+    /// The name is delegated to a child zone: NS records plus any glue.
+    Referral {
+        /// The delegation NS RRset.
+        ns: Vec<Record>,
+        /// Glue address records for in-zone name servers.
+        glue: Vec<Record>,
+    },
+    /// The name is not within this zone at all.
+    OutOfZone,
+}
+
+/// An authoritative zone: an origin plus its RRsets.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    origin: Name,
+    rrsets: HashMap<RrKey, RrSet>,
+    /// Every name that "exists" (has records or descendants with records);
+    /// needed to distinguish NODATA from NXDOMAIN at empty non-terminals.
+    names: HashSet<Name>,
+}
+
+impl Zone {
+    /// Creates an empty zone. Call [`Zone::insert`] with at least an SOA
+    /// before serving it.
+    pub fn new(origin: Name) -> Self {
+        Zone { origin, rrsets: HashMap::new(), names: HashSet::new() }
+    }
+
+    /// The zone origin (apex name).
+    pub fn origin(&self) -> &Name {
+        &self.origin
+    }
+
+    /// Inserts a record. Panics if the owner is outside the zone —
+    /// building a zone with foreign names is a programming error.
+    pub fn insert(&mut self, record: Record) {
+        assert!(
+            record.name.is_subdomain_of(&self.origin),
+            "record owner {} outside zone {}",
+            record.name,
+            self.origin
+        );
+        // Register the owner and all ancestors up to the origin so empty
+        // non-terminals resolve to NODATA, not NXDOMAIN.
+        let mut n = record.name.clone();
+        loop {
+            self.names.insert(n.clone());
+            if n == self.origin {
+                break;
+            }
+            n = n.parent().expect("walked past the root while inside the zone");
+        }
+        let key = RrKey::new(record.name.clone(), record.rtype());
+        match self.rrsets.get_mut(&key) {
+            Some(set) => set.push(record),
+            None => {
+                self.rrsets.insert(key, RrSet::new(record));
+            }
+        }
+    }
+
+    /// The zone's SOA record, if present.
+    pub fn soa(&self) -> Option<&Record> {
+        self.rrsets
+            .get(&RrKey::new(self.origin.clone(), RType::Soa))
+            .map(|s| &s.records()[0])
+    }
+
+    /// The apex NS RRset, if present.
+    pub fn apex_ns(&self) -> Option<&RrSet> {
+        self.rrsets.get(&RrKey::new(self.origin.clone(), RType::Ns))
+    }
+
+    /// Direct RRset fetch (no wildcard or CNAME processing).
+    pub fn get(&self, name: &Name, rtype: RType) -> Option<&RrSet> {
+        self.rrsets.get(&RrKey::new(name.clone(), rtype))
+    }
+
+    /// Number of RRsets in the zone.
+    pub fn rrset_count(&self) -> usize {
+        self.rrsets.len()
+    }
+
+    /// Iterates all RRsets.
+    pub fn iter(&self) -> impl Iterator<Item = &RrSet> {
+        self.rrsets.values()
+    }
+
+    /// Authoritative lookup per RFC 1034 §4.3.2.
+    pub fn lookup(&self, qname: &Name, qtype: RType) -> Lookup {
+        if !qname.is_subdomain_of(&self.origin) {
+            return Lookup::OutOfZone;
+        }
+        let soa = match self.soa() {
+            Some(s) => s.clone(),
+            None => return Lookup::OutOfZone, // not a servable zone
+        };
+
+        // Check for a delegation strictly between the apex and the qname.
+        if let Some(referral) = self.find_delegation(qname) {
+            return referral;
+        }
+
+        if self.names.contains(qname) {
+            // Name exists: exact type, CNAME, or NODATA.
+            if let Some(set) = self.get(qname, qtype) {
+                return Lookup::Answer(set.records().to_vec());
+            }
+            if qtype != RType::Cname {
+                if let Some(cname_set) = self.get(qname, RType::Cname) {
+                    return self.chase_cname(cname_set.records().to_vec(), qtype, soa);
+                }
+            }
+            return Lookup::NoData { soa };
+        }
+
+        // Wildcard synthesis: find `*` at the closest encloser.
+        let mut encloser = qname.parent();
+        while let Some(ancestor) = encloser {
+            if !ancestor.is_subdomain_of(&self.origin) {
+                break;
+            }
+            if self.names.contains(&ancestor) {
+                if let Ok(wild) = ancestor.prepend("*") {
+                    if let Some(set) = self.get(&wild, qtype) {
+                        return Lookup::Answer(set.materialize_at(qname));
+                    }
+                    if self.names.contains(&wild) {
+                        if let Some(cname_set) = self.get(&wild, RType::Cname) {
+                            return self.chase_cname(
+                                cname_set.materialize_at(qname),
+                                qtype,
+                                soa,
+                            );
+                        }
+                        return Lookup::NoData { soa };
+                    }
+                }
+                // Closest encloser found but no wildcard: the name is absent.
+                break;
+            }
+            encloser = ancestor.parent();
+        }
+        Lookup::NxDomain { soa }
+    }
+
+    /// Finds a delegation point between the apex (exclusive) and `qname`
+    /// (inclusive), returning a referral if one exists.
+    fn find_delegation(&self, qname: &Name) -> Option<Lookup> {
+        // Walk cut candidates from just below the apex down to qname.
+        let qlabels = qname.label_count();
+        let olabels = self.origin.label_count();
+        for depth in (olabels + 1)..=qlabels {
+            let skip = qlabels - depth;
+            let candidate = Name::from_labels(
+                qname.labels()[skip..].iter().map(|l| l.as_bytes().to_vec()),
+            )
+            .expect("suffix of a valid name is valid");
+            if candidate == self.origin {
+                continue;
+            }
+            if let Some(ns_set) = self.get(&candidate, RType::Ns) {
+                let ns = ns_set.records().to_vec();
+                let mut glue = Vec::new();
+                for rec in &ns {
+                    if let RData::Ns(target) = &rec.rdata {
+                        for t in [RType::A, RType::Aaaa] {
+                            if let Some(set) = self.get(target.name(), t) {
+                                glue.extend(set.records().iter().cloned());
+                            }
+                        }
+                    }
+                }
+                return Some(Lookup::Referral { ns, glue });
+            }
+        }
+        None
+    }
+
+    /// Follows an in-zone CNAME chain (bounded to avoid loops), appending
+    /// the target RRset when it resolves inside the zone.
+    fn chase_cname(&self, mut chain: Vec<Record>, qtype: RType, soa: Record) -> Lookup {
+        const MAX_CHAIN: usize = 8;
+        let mut hops = 0;
+        loop {
+            let last = chain.last().expect("chain starts non-empty");
+            let RData::Cname(target) = &last.rdata else {
+                return Lookup::Answer(chain);
+            };
+            let target = target.name().clone();
+            hops += 1;
+            if hops > MAX_CHAIN || !target.is_subdomain_of(&self.origin) {
+                // Out-of-zone or too-long chains: return what we have; the
+                // recursive restarts resolution at the CNAME target.
+                return Lookup::Answer(chain);
+            }
+            if let Some(set) = self.get(&target, qtype) {
+                chain.extend(set.records().iter().cloned());
+                return Lookup::Answer(chain);
+            }
+            if let Some(next) = self.get(&target, RType::Cname) {
+                chain.extend(next.records().iter().cloned());
+                continue;
+            }
+            if self.names.contains(&target) {
+                return Lookup::Answer(chain);
+            }
+            let _ = soa; // chain dead-ends: still an answer with the CNAMEs
+            return Lookup::Answer(chain);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswild_proto::rdata::{Cname, Ns, Soa, Txt, A};
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn test_zone() -> Zone {
+        let origin = name("ourtestdomain.nl");
+        let mut z = Zone::new(origin.clone());
+        z.insert(Record::new(
+            origin.clone(),
+            3600,
+            RData::Soa(Soa::new(
+                name("ns1.ourtestdomain.nl"),
+                name("hostmaster.ourtestdomain.nl"),
+                2017,
+                7200,
+                3600,
+                604800,
+                300,
+            )),
+        ));
+        z.insert(Record::new(origin.clone(), 3600, RData::Ns(Ns::new(name("ns1.ourtestdomain.nl")))));
+        z.insert(Record::new(origin.clone(), 3600, RData::Ns(Ns::new(name("ns2.ourtestdomain.nl")))));
+        z.insert(Record::new(
+            name("ns1.ourtestdomain.nl"),
+            3600,
+            RData::A(A::new(Ipv4Addr::new(203, 0, 113, 1))),
+        ));
+        z.insert(Record::new(
+            name("ns2.ourtestdomain.nl"),
+            3600,
+            RData::A(A::new(Ipv4Addr::new(203, 0, 113, 2))),
+        ));
+        // The measurement wildcard: any unique label answers with TXT.
+        z.insert(Record::new(
+            name("*.probe.ourtestdomain.nl"),
+            5,
+            RData::Txt(Txt::from_string("@SITE@").unwrap()),
+        ));
+        z.insert(Record::new(
+            name("www.ourtestdomain.nl"),
+            300,
+            RData::Cname(Cname::new(name("web.ourtestdomain.nl"))),
+        ));
+        z.insert(Record::new(
+            name("web.ourtestdomain.nl"),
+            300,
+            RData::A(A::new(Ipv4Addr::new(203, 0, 113, 10))),
+        ));
+        // A delegation.
+        z.insert(Record::new(
+            name("child.ourtestdomain.nl"),
+            3600,
+            RData::Ns(Ns::new(name("ns.child.ourtestdomain.nl"))),
+        ));
+        z.insert(Record::new(
+            name("ns.child.ourtestdomain.nl"),
+            3600,
+            RData::A(A::new(Ipv4Addr::new(203, 0, 113, 20))),
+        ));
+        z
+    }
+
+    #[test]
+    fn exact_match() {
+        let z = test_zone();
+        match z.lookup(&name("web.ourtestdomain.nl"), RType::A) {
+            Lookup::Answer(recs) => {
+                assert_eq!(recs.len(), 1);
+                assert_eq!(recs[0].rtype(), RType::A);
+            }
+            other => panic!("expected answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_synthesis_unique_labels() {
+        let z = test_zone();
+        for label in ["q1", "q2", "probe-417-20170412"] {
+            let qname = name(&format!("{label}.probe.ourtestdomain.nl"));
+            match z.lookup(&qname, RType::Txt) {
+                Lookup::Answer(recs) => {
+                    assert_eq!(recs[0].name, qname, "owner rewritten to qname");
+                    assert_eq!(recs[0].ttl, 5, "paper's anti-caching TTL");
+                }
+                other => panic!("expected wildcard answer, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wildcard_does_not_apply_to_existing_name() {
+        let z = test_zone();
+        // `probe` itself exists (as an empty non-terminal); no wildcard.
+        match z.lookup(&name("probe.ourtestdomain.nl"), RType::Txt) {
+            Lookup::NoData { .. } => {}
+            other => panic!("expected NODATA at empty non-terminal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nxdomain_when_no_wildcard() {
+        let z = test_zone();
+        match z.lookup(&name("nosuch.ourtestdomain.nl"), RType::A) {
+            Lookup::NxDomain { soa } => assert_eq!(soa.rtype(), RType::Soa),
+            other => panic!("expected NXDOMAIN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nodata_on_wrong_type() {
+        let z = test_zone();
+        match z.lookup(&name("web.ourtestdomain.nl"), RType::Txt) {
+            Lookup::NoData { .. } => {}
+            other => panic!("expected NODATA, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cname_chased_in_zone() {
+        let z = test_zone();
+        match z.lookup(&name("www.ourtestdomain.nl"), RType::A) {
+            Lookup::Answer(recs) => {
+                assert_eq!(recs.len(), 2);
+                assert_eq!(recs[0].rtype(), RType::Cname);
+                assert_eq!(recs[1].rtype(), RType::A);
+            }
+            other => panic!("expected CNAME chain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cname_query_returns_cname_itself() {
+        let z = test_zone();
+        match z.lookup(&name("www.ourtestdomain.nl"), RType::Cname) {
+            Lookup::Answer(recs) => {
+                assert_eq!(recs.len(), 1);
+                assert_eq!(recs[0].rtype(), RType::Cname);
+            }
+            other => panic!("expected CNAME answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn referral_below_delegation() {
+        let z = test_zone();
+        match z.lookup(&name("deep.child.ourtestdomain.nl"), RType::A) {
+            Lookup::Referral { ns, glue } => {
+                assert_eq!(ns.len(), 1);
+                assert_eq!(glue.len(), 1, "in-zone glue present");
+            }
+            other => panic!("expected referral, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_zone() {
+        let z = test_zone();
+        assert_eq!(z.lookup(&name("example.com"), RType::A), Lookup::OutOfZone);
+    }
+
+    #[test]
+    fn apex_queries() {
+        let z = test_zone();
+        match z.lookup(&name("ourtestdomain.nl"), RType::Ns) {
+            Lookup::Answer(recs) => assert_eq!(recs.len(), 2),
+            other => panic!("expected apex NS, got {other:?}"),
+        }
+        assert!(z.soa().is_some());
+        assert_eq!(z.apex_ns().unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside zone")]
+    fn insert_foreign_name_panics() {
+        let mut z = Zone::new(name("ourtestdomain.nl"));
+        z.insert(Record::new(
+            name("other.example"),
+            60,
+            RData::A(A::new(Ipv4Addr::new(1, 2, 3, 4))),
+        ));
+    }
+}

@@ -1,0 +1,141 @@
+//! Delegation walk: a recursive resolver that starts knowing only a
+//! "root" server and discovers the test domain's NS set by following
+//! glued referrals — then keeps preferring the fastest authoritative it
+//! learned about, exactly the behaviour the paper measures.
+//!
+//! Run with: `cargo run --release --example delegation_walk`
+
+use std::any::Any;
+
+use dnswild::netsim::geo::datacenters::{DUB, FRA, IAD, SYD};
+use dnswild::netsim::{Actor, Context, Datagram, HostConfig, LatencyConfig, SimAddr, SimDuration, Simulator};
+use dnswild::proto::rdata::{Ns, Soa, A};
+use dnswild::proto::{Message, Name, RData, RType, Record};
+use dnswild::resolver::{PolicyKind, RecursiveResolver};
+use dnswild::server::AuthoritativeServer;
+use dnswild::zone::presets::test_domain_zone;
+use dnswild::zone::Zone;
+
+struct Walker {
+    resolver: SimAddr,
+    origin: Name,
+    sent: u32,
+    sites: Vec<String>,
+}
+
+impl Actor for Walker {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _t: u64) {
+        if self.sent >= 8 {
+            return;
+        }
+        let qname = self.origin.prepend(&format!("probe-{}", self.sent)).unwrap();
+        let q = Message::stub_query(self.sent as u16 + 1, qname, RType::Txt);
+        self.sent += 1;
+        let own = ctx.own_addr();
+        ctx.send(own, self.resolver, q.encode().unwrap());
+        ctx.set_timer(SimDuration::from_secs(30), 0);
+    }
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, d: Datagram) {
+        let m = Message::decode(&d.payload).unwrap();
+        if let Some(RData::Txt(t)) = m.answers.first().map(|r| &r.rdata) {
+            println!("{}  answer from {}", ctx.now(), t.first_as_string());
+            self.sites.push(t.first_as_string());
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn main() {
+    let mut sim = Simulator::with_latency(
+        7,
+        LatencyConfig { loss_rate: 0.0, ..LatencyConfig::default() },
+    );
+    let parent_origin = Name::parse("nl").unwrap();
+    let child_origin = Name::parse("ourtestdomain.nl").unwrap();
+
+    // Two authoritatives for the test domain: near (FRA) and far (SYD).
+    let mut child_addrs = Vec::new();
+    for site in [&FRA, &SYD] {
+        let h = sim.add_host(
+            HostConfig::at_place(site, SimDuration::from_millis(1), 64500),
+            Box::new(AuthoritativeServer::new(site.code, vec![test_domain_zone(&child_origin, 2)])),
+        );
+        child_addrs.push(sim.bind_unicast(h));
+    }
+
+    // The parent (.nl) zone, holding the glued delegation.
+    let mut parent_zone = Zone::new(parent_origin.clone());
+    parent_zone.insert(Record::new(
+        parent_origin.clone(),
+        3600,
+        RData::Soa(Soa::new(
+            Name::parse("ns1.dns.nl").unwrap(),
+            Name::parse("hostmaster.dns.nl").unwrap(),
+            2017,
+            7200,
+            3600,
+            604800,
+            300,
+        )),
+    ));
+    parent_zone.insert(Record::new(
+        parent_origin.clone(),
+        3600,
+        RData::Ns(Ns::new(Name::parse("ns1.dns.nl").unwrap())),
+    ));
+    for (i, addr) in child_addrs.iter().enumerate() {
+        let ns = Name::parse(&format!("ns{}.ourtestdomain.nl", i + 1)).unwrap();
+        parent_zone.insert(Record::new(child_origin.clone(), 172_800, RData::Ns(Ns::new(ns.clone()))));
+        parent_zone.insert(Record::new(ns, 172_800, RData::A(A::new(addr.to_ipv4().unwrap()))));
+    }
+    let ph = sim.add_host(
+        HostConfig::at_place(&IAD, SimDuration::from_millis(1), 64501),
+        Box::new(AuthoritativeServer::new("nl-parent", vec![parent_zone])),
+    );
+    let parent_addr = sim.bind_unicast(ph);
+
+    // The recursive knows ONLY the parent.
+    let mut recursive = RecursiveResolver::with_policy(PolicyKind::BindSrtt);
+    recursive.add_delegation(parent_origin, vec![parent_addr]);
+    let rh = sim.add_host(
+        HostConfig::at_place(&DUB, SimDuration::from_millis(2), 64502),
+        Box::new(recursive),
+    );
+    let raddr = sim.bind_unicast(rh);
+
+    let wh = sim.add_host(
+        HostConfig::at_place(&DUB, SimDuration::from_millis(8), 64503),
+        Box::new(Walker { resolver: raddr, origin: child_origin.clone(), sent: 0, sites: vec![] }),
+    );
+    sim.bind_unicast(wh);
+
+    println!("walking: stub → recursive → .nl parent → referral → child NSes\n");
+    sim.run_until_idle();
+
+    let resolver = sim.actor::<RecursiveResolver>(rh).unwrap();
+    println!("\nlearned delegations:");
+    for (origin, servers) in resolver.learned_delegations(sim.now()) {
+        println!("  {origin} → {} servers", servers.len());
+    }
+    let parent = sim.actor::<AuthoritativeServer>(ph).unwrap();
+    println!(
+        "parent saw {} query ({} referral) — everything else went straight to the child NSes",
+        parent.stats().queries,
+        parent.stats().referrals
+    );
+    let walker = sim.actor::<Walker>(wh).unwrap();
+    let fra = walker.sites.iter().filter(|s| s.contains("FRA")).count();
+    println!(
+        "and the recursive settled on the fast server: {}/{} answers from FRA",
+        fra,
+        walker.sites.len()
+    );
+}

@@ -1,0 +1,65 @@
+//! Operator planning: use the guidance engine to answer "should I
+//! upgrade my remaining unicast name servers to anycast?" — the paper's
+//! §7 recommendation, quantified for your own deployment.
+//!
+//! Run with: `cargo run --release --example operator_planning`
+
+use dnswild::guidance::{assess, catchment_map, primary_recommendation};
+use dnswild::netsim::geo::datacenters::{FRA, GRU, IAD, NRT, SYD};
+use dnswild::{AuthoritativeSpec, DeploymentSpec};
+
+fn main() {
+    // Your zone today: a well-provisioned anycast service, plus one
+    // legacy unicast server in São Paulo that predates the anycast
+    // rollout.
+    let current = DeploymentSpec {
+        name: "current".into(),
+        authoritatives: vec![
+            AuthoritativeSpec::anycast("ns1", &[&FRA, &IAD, &SYD, &NRT]),
+            AuthoritativeSpec::unicast(&GRU),
+        ],
+    };
+
+    // The candidate: make the legacy server an anycast service too.
+    let candidate = DeploymentSpec {
+        name: "upgraded".into(),
+        authoritatives: vec![
+            AuthoritativeSpec::anycast("ns1", &[&FRA, &IAD, &SYD, &NRT]),
+            AuthoritativeSpec::anycast("ns2", &[&GRU, &FRA, &NRT]),
+        ],
+    };
+
+    println!("measuring both deployments against the same 600-VP population...\n");
+    let before = assess(current, 600, 16, 2017);
+    let after = assess(candidate, 600, 16, 2017);
+
+    for a in [&before, &after] {
+        println!(
+            "{:<9} mean {:>4.0} ms | median {:>4.0} ms | p90 {:>4.0} ms",
+            a.name, a.mean_rtt_ms, a.median_rtt_ms, a.p90_rtt_ms
+        );
+        for share in &a.per_auth {
+            println!(
+                "  {:<4} carries {:>5.1}% of queries at median {:>4} ms",
+                share.auth,
+                share.share * 100.0,
+                share.median_rtt_ms.map(|r| format!("{r:.0}")).unwrap_or_else(|| "-".into()),
+            );
+        }
+        println!();
+    }
+
+    println!("{}", primary_recommendation(&before, &after));
+
+    // Where would the upgraded ns2's traffic actually land?
+    println!("catchments of the proposed ns2 anycast service:");
+    let ns2 = AuthoritativeSpec::anycast("ns2", &[&GRU, &FRA, &NRT]);
+    for row in catchment_map(&ns2, 600, 2017) {
+        println!(
+            "  {:<4} {:>5.1}% of clients at mean {:>4.0} ms",
+            row.site,
+            row.share * 100.0,
+            row.mean_rtt_ms
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Integration tests spanning the whole stack: proto ↔ zone ↔ server ↔
+//! resolver ↔ atlas ↔ analysis, through the simulator.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dnswild::analysis;
+use dnswild::atlas::{run_measurement, MeasurementConfig, StandardConfig};
+use dnswild::netsim::geo::datacenters;
+use dnswild::netsim::{Continent, HostConfig, LatencyConfig, SimDuration, Simulator};
+use dnswild::proto::{Message, Name, RType};
+use dnswild::resolver::{PolicyKind, RecursiveResolver};
+use dnswild::server::{AuthoritativeServer, ServerLog};
+use dnswild::zone::presets::test_domain_zone;
+use dnswild::Experiment;
+
+#[test]
+fn full_pipeline_produces_consistent_analyses() {
+    let mut cfg = MeasurementConfig::quick(StandardConfig::C2B, 120, 1);
+    cfg.rounds = 12;
+    let result = run_measurement(&cfg);
+
+    let coverage = analysis::coverage(&result);
+    let shares = analysis::query_share(&result);
+    let pref = analysis::preference(&result);
+
+    // Cross-consistency: the same probes drive all three analyses.
+    assert_eq!(coverage.vp_count, result.vps.iter().filter(|v| !v.probes.is_empty()).count());
+    let share_total: f64 = shares.iter().map(|s| s.share).sum();
+    assert!((share_total - 1.0).abs() < 1e-9);
+
+    // Table 2 shares must be consistent with per-VP fractions: every
+    // continent row's shares sum to 1.
+    for row in pref.table.iter().filter(|r| r.vp_count > 0) {
+        assert!((row.share[0] + row.share[1] - 1.0).abs() < 1e-9);
+    }
+}
+
+/// The paper's middlebox sanity check (§3.1): client-side observations
+/// and authoritative-side logs tell the same story.
+#[test]
+fn client_and_server_views_agree() {
+    // Build a small measurement manually so we can attach server logs.
+    let mut sim = Simulator::with_latency(
+        7,
+        LatencyConfig { loss_rate: 0.0, jitter_mean_ms: 0.5, ..LatencyConfig::default() },
+    );
+    let origin = Name::parse("ourtestdomain.nl").unwrap();
+    let log: ServerLog = Arc::new(Mutex::new(Vec::new()));
+
+    let mut server_addrs = Vec::new();
+    let mut server_hosts = Vec::new();
+    for site in [&datacenters::FRA, &datacenters::SYD] {
+        let zone = test_domain_zone(&origin, 2);
+        let server =
+            AuthoritativeServer::new(format!("{}@{}", site.code, site.code), vec![zone])
+                .with_log(log.clone());
+        let h = sim.add_host(
+            HostConfig::at_place(site, SimDuration::from_millis(1), 1),
+            Box::new(server),
+        );
+        server_hosts.push(h);
+        server_addrs.push(sim.bind_unicast(h));
+    }
+
+    let mut resolver = RecursiveResolver::with_policy(PolicyKind::UniformRandom);
+    resolver.add_delegation(origin.clone(), server_addrs.clone());
+    let rh = sim.add_host(
+        HostConfig::at_place(&datacenters::DUB, SimDuration::from_millis(2), 2),
+        Box::new(resolver),
+    );
+    let raddr = sim.bind_unicast(rh);
+
+    // Drive queries directly as a stub actor would.
+    use dnswild::netsim::{Actor, Context, Datagram};
+    use std::any::Any;
+    struct Driver {
+        resolver: dnswild::netsim::SimAddr,
+        origin: Name,
+        sent: u32,
+        answers: Vec<String>,
+    }
+    impl Actor for Driver {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _t: u64) {
+            if self.sent >= 20 {
+                return;
+            }
+            let qname = self.origin.prepend(&format!("q{}", self.sent)).unwrap();
+            let q = Message::stub_query(self.sent as u16 + 1, qname, RType::Txt);
+            self.sent += 1;
+            let own = ctx.own_addr();
+            ctx.send(own, self.resolver, q.encode().unwrap());
+            ctx.set_timer(SimDuration::from_secs(10), 0);
+        }
+        fn on_datagram(&mut self, _ctx: &mut Context<'_>, d: Datagram) {
+            let m = Message::decode(&d.payload).unwrap();
+            if let dnswild::proto::RData::Txt(t) = &m.answers[0].rdata {
+                self.answers.push(t.first_as_string());
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+    let dh = sim.add_host(
+        HostConfig::at_place(&datacenters::DUB, SimDuration::from_millis(5), 3),
+        Box::new(Driver { resolver: raddr, origin, sent: 0, answers: vec![] }),
+    );
+    sim.bind_unicast(dh);
+    sim.run_until_idle();
+
+    // Client view: count answers by site.
+    let driver = sim.actor::<Driver>(dh).unwrap();
+    assert_eq!(driver.answers.len(), 20);
+    let mut client_counts: HashMap<String, usize> = HashMap::new();
+    for a in &driver.answers {
+        *client_counts.entry(a.clone()).or_default() += 1;
+    }
+
+    // Server view: the combined logs, counted per service address.
+    let entries = log.lock();
+    assert_eq!(entries.len(), 20, "every probe reached exactly one authoritative");
+    let mut server_counts: HashMap<String, usize> = HashMap::new();
+    for e in entries.iter() {
+        let idx = server_addrs.iter().position(|&a| a == e.service).unwrap();
+        let code = ["FRA", "SYD"][idx];
+        *server_counts.entry(format!("site={code}@{code}")).or_default() += 1;
+    }
+    assert_eq!(client_counts, server_counts, "middleboxes absent: views agree");
+}
+
+#[test]
+fn three_and_four_ns_configs_work_end_to_end() {
+    for (config, ns) in [(StandardConfig::C3B, 3usize), (StandardConfig::C4A, 4usize)] {
+        let report = Experiment::standard(config, 3).vantage_points(60).rounds(12).run();
+        let coverage = report.coverage();
+        assert_eq!(coverage.ns_count, ns);
+        assert!(coverage.pct_reaching_all > 50.0, "{}: {:.0}%", config.label(), coverage.pct_reaching_all);
+        let shares = report.share();
+        assert_eq!(shares.len(), ns);
+        let total: f64 = shares.iter().map(|s| s.share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn continents_present_in_population() {
+    let report = Experiment::standard(StandardConfig::C2B, 4).vantage_points(500).rounds(4).run();
+    for continent in Continent::ALL {
+        let n = report.result.vps.iter().filter(|v| v.continent == continent).count();
+        assert!(n > 0, "no VPs on {continent}");
+    }
+}
+
+#[test]
+fn experiment_is_deterministic_across_full_stack() {
+    let run = || {
+        let report =
+            Experiment::standard(StandardConfig::C2C, 99).vantage_points(50).rounds(8).run();
+        let pref = report.preference();
+        (
+            format!("{:.6}", pref.weak_pct),
+            format!("{:.6}", pref.strong_pct),
+            report.result.probe_count(),
+        )
+    };
+    assert_eq!(run(), run());
+}

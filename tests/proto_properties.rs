@@ -1,0 +1,183 @@
+//! Property-based tests of the DNS wire format: round-trip invariants
+//! and decoder robustness against arbitrary bytes.
+
+use proptest::prelude::*;
+
+use dnswild_proto::rdata::{Aaaa, Cname, Mx, Ns, Ptr, Soa, Txt, A};
+use dnswild_proto::{Message, Name, RData, RType, Rcode, Record};
+
+/// A strategy for valid DNS labels (1–20 arbitrary bytes, avoiding
+/// length-edge blowups while still exercising binary labels).
+fn label_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 1..20)
+}
+
+/// A strategy for valid names: up to 6 labels.
+fn name_strategy() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(label_strategy(), 0..6)
+        .prop_map(|labels| Name::from_labels(labels).expect("labels within limits"))
+}
+
+fn rdata_strategy() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(A::new(o.into()))),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Aaaa::new(o.into()))),
+        name_strategy().prop_map(|n| RData::Ns(Ns::new(n))),
+        name_strategy().prop_map(|n| RData::Cname(Cname::new(n))),
+        name_strategy().prop_map(|n| RData::Ptr(Ptr::new(n))),
+        (any::<u16>(), name_strategy()).prop_map(|(p, n)| RData::Mx(Mx::new(p, n))),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..4)
+            .prop_map(|s| RData::Txt(Txt::new(s).expect("strings within limits"))),
+        (name_strategy(), name_strategy(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(m, r, s, re, rt, e, mi)| RData::Soa(Soa::new(m, r, s, re, rt, e, mi))),
+        proptest::collection::vec(any::<u8>(), 0..50)
+            .prop_map(|data| RData::Unknown { rtype: 200, data }),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    (name_strategy(), any::<u32>(), rdata_strategy())
+        .prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+}
+
+proptest! {
+    #[test]
+    fn name_round_trips(name in name_strategy()) {
+        let mut w = dnswild_proto::WireWriter::new();
+        name.encode_uncompressed(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = dnswild_proto::WireReader::new(&bytes);
+        let back = Name::decode(&mut r).unwrap();
+        prop_assert_eq!(back, name);
+    }
+
+    #[test]
+    fn name_display_parse_round_trips(name in name_strategy()) {
+        let text = name.to_string();
+        let back = Name::parse(&text).unwrap();
+        prop_assert_eq!(back, name);
+    }
+
+    #[test]
+    fn message_round_trips(
+        id in any::<u16>(),
+        qname in name_strategy(),
+        answers in proptest::collection::vec(record_strategy(), 0..5),
+        authorities in proptest::collection::vec(record_strategy(), 0..3),
+    ) {
+        let mut msg = Message::iterative_query(id, qname, RType::Txt);
+        msg.header.response = true;
+        msg.header.rcode = Rcode::NoError;
+        msg.answers = answers;
+        msg.authorities = authorities;
+        let bytes = msg.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(back.header.id, msg.header.id);
+        prop_assert_eq!(back.questions, msg.questions);
+        prop_assert_eq!(back.answers, msg.answers);
+        prop_assert_eq!(back.authorities, msg.authorities);
+        prop_assert_eq!(back.additionals, msg.additionals);
+    }
+
+    /// The decoder must never panic, whatever bytes arrive. (Errors are
+    /// fine; crashes are not — this is the server's untrusted input.)
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Decoding a truncated valid message must error, not panic or
+    /// succeed with garbage sections.
+    #[test]
+    fn truncation_is_an_error(
+        qname in name_strategy(),
+        cut in 1usize..20,
+    ) {
+        let msg = Message::stub_query(1, qname, RType::A);
+        let bytes = msg.encode().unwrap();
+        let cut = cut.min(bytes.len() - 1);
+        let truncated = &bytes[..bytes.len() - cut];
+        prop_assert!(Message::decode(truncated).is_err());
+    }
+
+    /// Compression must never grow a message beyond its uncompressed size.
+    #[test]
+    fn compression_never_grows(
+        names in proptest::collection::vec(name_strategy(), 1..6),
+    ) {
+        let mut msg = Message::iterative_query(9, names[0].clone(), RType::Ns);
+        for n in &names {
+            msg.answers.push(Record::new(
+                names[0].clone(),
+                60,
+                RData::Ns(Ns::new(n.clone())),
+            ));
+        }
+        let compressed = msg.encode().unwrap().len();
+        let uncompressed: usize = {
+            // Rebuild with compression defeated by unique first labels is
+            // complex; instead bound by the sum of wire_lens plus fixed
+            // section overhead, which an uncompressed encoding would meet
+            // or exceed.
+            let name_bytes: usize = msg
+                .answers
+                .iter()
+                .map(|r| r.name.wire_len() + 10 + match &r.rdata {
+                    RData::Ns(n) => n.name().wire_len(),
+                    _ => 0,
+                })
+                .sum::<usize>()
+                + msg.questions[0].qname.wire_len() + 4
+                + 12
+                + 11; // OPT record
+            name_bytes
+        };
+        prop_assert!(compressed <= uncompressed, "{compressed} > {uncompressed}");
+    }
+}
+
+proptest! {
+    /// Structure-aware fuzzing: flip any single byte of a valid message;
+    /// the decoder must never panic (error or reinterpretation are both
+    /// acceptable outcomes).
+    #[test]
+    fn single_byte_flip_never_panics(
+        qname in name_strategy(),
+        answers in proptest::collection::vec(
+            (name_strategy(), any::<u32>()), 0..4
+        ),
+        flip_pos in any::<proptest::sample::Index>(),
+        flip_bits in 1u8..=255,
+    ) {
+        let mut msg = Message::iterative_query(7, qname, RType::Ns);
+        msg.header.response = true;
+        for (name, ttl) in answers {
+            msg.answers.push(Record::new(
+                name.clone(),
+                ttl,
+                RData::Ns(Ns::new(name)),
+            ));
+        }
+        let mut bytes = msg.encode().unwrap();
+        let pos = flip_pos.index(bytes.len());
+        bytes[pos] ^= flip_bits;
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Double-decode consistency: whatever decodes successfully must
+    /// re-encode and decode to the same structure (idempotent wire form).
+    #[test]
+    fn decode_encode_decode_is_stable(
+        qname in name_strategy(),
+        recs in proptest::collection::vec(record_strategy(), 0..4),
+    ) {
+        let mut msg = Message::iterative_query(3, qname, RType::Txt);
+        msg.header.response = true;
+        msg.answers = recs;
+        let once = Message::decode(&msg.encode().unwrap()).unwrap();
+        let twice = Message::decode(&once.encode().unwrap()).unwrap();
+        prop_assert_eq!(once.answers, twice.answers);
+        prop_assert_eq!(once.questions, twice.questions);
+        prop_assert_eq!(once.header.id, twice.header.id);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the simulator substrate and resolver caches:
+//! latency-model invariants, time arithmetic, and SRTT behaviour.
+
+use proptest::prelude::*;
+
+use dnswild::netsim::geo::datacenters;
+use dnswild::netsim::{GeoPoint, HostConfig, SimDuration, SimTime, Simulator};
+use dnswild::resolver::{InfraCache, Smoothing};
+
+/// Builds a throwaway simulator with `n` hosts at arbitrary coordinates.
+fn sim_with_hosts(coords: &[(f64, f64)]) -> (Simulator, Vec<dnswild::netsim::HostId>) {
+    use dnswild::netsim::{Actor, Context, Datagram};
+    use std::any::Any;
+    struct Nop;
+    impl Actor for Nop {
+        fn on_datagram(&mut self, _: &mut Context<'_>, _: Datagram) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+    let mut sim = Simulator::new(1);
+    let hosts = coords
+        .iter()
+        .map(|&(lat, lon)| {
+            sim.add_host(
+                HostConfig {
+                    point: GeoPoint::new(lat, lon),
+                    continent: dnswild::Continent::Eu,
+                    asn: 1,
+                    access_latency: SimDuration::from_millis(2),
+                    label: "prop".into(),
+                },
+                Box::new(Nop),
+            )
+        })
+        .collect();
+    (sim, hosts)
+}
+
+proptest! {
+    /// Base RTT is symmetric and strictly positive.
+    #[test]
+    fn base_rtt_symmetric_positive(
+        lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
+        lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
+    ) {
+        let (sim, hosts) = sim_with_hosts(&[(lat1, lon1), (lat2, lon2)]);
+        let ab = sim.base_rtt(hosts[0], hosts[1]);
+        let ba = sim.base_rtt(hosts[1], hosts[0]);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab.as_millis_f64() > 0.0);
+        // And bounded: nothing on Earth is more than ~1.2s away in this
+        // model (half circumference at max inflation, plus access).
+        prop_assert!(ab.as_millis_f64() < 1_200.0, "rtt {ab}");
+    }
+
+    /// Great-circle distance satisfies the triangle inequality (within
+    /// floating-point slack).
+    #[test]
+    fn distance_triangle_inequality(
+        lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
+        lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
+        lat3 in -80.0f64..80.0, lon3 in -179.0f64..179.0,
+    ) {
+        let a = GeoPoint::new(lat1, lon1);
+        let b = GeoPoint::new(lat2, lon2);
+        let c = GeoPoint::new(lat3, lon3);
+        let ab = a.distance_km(&b);
+        let bc = b.distance_km(&c);
+        let ac = a.distance_km(&c);
+        prop_assert!(ac <= ab + bc + 1e-6, "{ac} > {ab} + {bc}");
+    }
+
+    /// SimTime/SimDuration arithmetic is consistent.
+    #[test]
+    fn time_arithmetic(start in 0u64..10_000_000, d1 in 0u64..10_000_000, d2 in 0u64..10_000_000) {
+        let t0 = SimTime::from_micros(start);
+        let t1 = t0 + SimDuration::from_micros(d1);
+        let t2 = t1 + SimDuration::from_micros(d2);
+        prop_assert_eq!(t2.since(t0), SimDuration::from_micros(d1 + d2));
+        prop_assert_eq!(t2 - t1, SimDuration::from_micros(d2));
+        prop_assert!(t2 >= t1 && t1 >= t0);
+    }
+
+    /// SRTT stays positive, finite, and within the range of observed
+    /// samples (it is a convex combination).
+    #[test]
+    fn srtt_stays_within_sample_range(samples in proptest::collection::vec(1u64..5_000, 1..50)) {
+        let (mut sim, hosts) = sim_with_hosts(&[(50.0, 8.0)]);
+        let a = sim.bind_unicast(hosts[0]);
+        let mut cache = InfraCache::new(None, Smoothing::TCP);
+        let lo = *samples.iter().min().unwrap() as f64;
+        let hi = *samples.iter().max().unwrap() as f64;
+        for (i, &s) in samples.iter().enumerate() {
+            cache.observe_rtt(a, SimDuration::from_millis(s), SimTime::from_micros(i as u64));
+        }
+        let e = cache.peek(a, SimTime::from_micros(samples.len() as u64)).unwrap();
+        prop_assert!(e.srtt_ms.is_finite());
+        prop_assert!(e.srtt_ms >= lo - 1e-9 && e.srtt_ms <= hi + 1e-9,
+            "srtt {} outside [{lo}, {hi}]", e.srtt_ms);
+    }
+
+    /// Timeout penalties grow the SRTT monotonically and cap out.
+    #[test]
+    fn timeout_penalty_monotone(n in 1u32..30) {
+        let (mut sim, hosts) = sim_with_hosts(&[(50.0, 8.0)]);
+        let a = sim.bind_unicast(hosts[0]);
+        let mut cache = InfraCache::new(None, Smoothing::TCP);
+        cache.observe_rtt(a, SimDuration::from_millis(100), SimTime::ZERO);
+        let mut last = 100.0;
+        for i in 0..n {
+            cache.observe_timeout(a, SimTime::from_micros(i as u64 + 1));
+            let now = cache.peek(a, SimTime::from_micros(i as u64 + 1)).unwrap().srtt_ms;
+            prop_assert!(now >= last);
+            prop_assert!(now <= 8_000.0 + 1e-9);
+            last = now;
+        }
+    }
+}
+
+#[test]
+fn datacenter_rtt_matrix_is_plausible() {
+    // Sanity net: every datacenter pair's base RTT sits between pure
+    // speed-of-light time and a generous inflation bound.
+    let coords: Vec<(f64, f64)> =
+        datacenters::ALL.iter().map(|p| (p.point.lat, p.point.lon)).collect();
+    let (sim, hosts) = sim_with_hosts(&coords);
+    for (i, a) in datacenters::ALL.iter().enumerate() {
+        for (j, b) in datacenters::ALL.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let rtt = sim.base_rtt(hosts[i], hosts[j]).as_millis_f64();
+            let light_ms = 2.0 * a.point.distance_km(&b.point) / 200.0;
+            assert!(rtt >= light_ms, "{}-{}: rtt {rtt} < light {light_ms}", a.code, b.code);
+            assert!(
+                rtt <= light_ms * 2.4 + 20.0,
+                "{}-{}: rtt {rtt} too inflated vs {light_ms}",
+                a.code,
+                b.code
+            );
+        }
+    }
+}
