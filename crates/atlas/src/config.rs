@@ -4,8 +4,7 @@
 use dnswild_netsim::geo::datacenters;
 use dnswild_netsim::Place;
 use dnswild_resolver::PolicyKind;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use detrand::{DetRng, Rng};
 
 /// One authoritative NS of a deployment: a code (its NS label in reports)
 /// plus one site (unicast) or several (an IP anycast service).
@@ -189,7 +188,7 @@ impl PolicyMix {
     }
 
     /// Samples a policy.
-    pub fn sample(&self, rng: &mut SmallRng) -> PolicyKind {
+    pub fn sample(&self, rng: &mut DetRng) -> PolicyKind {
         let mut x: f64 = rng.gen_range(0.0..1.0);
         for &(kind, w) in &self.weights {
             x -= w;
@@ -204,7 +203,6 @@ impl PolicyMix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use std::collections::HashMap;
 
     #[test]
@@ -244,7 +242,7 @@ mod tests {
             (PolicyKind::BindSrtt, 2.0),
             (PolicyKind::UniformRandom, 2.0),
         ]);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let mut counts: HashMap<PolicyKind, usize> = HashMap::new();
         for _ in 0..10_000 {
             *counts.entry(mix.sample(&mut rng)).or_default() += 1;
@@ -263,7 +261,7 @@ mod tests {
     #[test]
     fn pure_mix_always_samples_same() {
         let mix = PolicyMix::pure(PolicyKind::RoundRobin);
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         for _ in 0..100 {
             assert_eq!(mix.sample(&mut rng), PolicyKind::RoundRobin);
         }

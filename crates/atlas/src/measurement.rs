@@ -11,8 +11,7 @@
 use std::any::Any;
 use std::collections::HashMap;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use detrand::{DetRng, Rng};
 
 use dnswild_netsim::{
     Actor, AddrFamily, Context, Continent, Datagram, HostConfig, HostId, LatencyConfig,
@@ -327,7 +326,7 @@ pub fn run_measurement(config: &MeasurementConfig) -> MeasurementResult {
 
     // Population: separate RNG so placement doesn't depend on packet
     // timing and vice versa.
-    let mut prng = SmallRng::seed_from_u64(config.seed ^ 0x9e3779b97f4a7c15);
+    let mut prng = DetRng::seed_from_u64(config.seed ^ 0x9e3779b97f4a7c15);
     let catalog = vp_catalog();
     let mut vp_hosts: Vec<HostId> = Vec::with_capacity(config.vp_count);
     let mut resolver_hosts: Vec<Vec<HostId>> = Vec::with_capacity(config.vp_count);

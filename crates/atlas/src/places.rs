@@ -7,8 +7,7 @@
 //! so per-continent sample sizes in our tables line up with the paper's.
 
 use dnswild_netsim::{Continent, Place};
-use rand::rngs::SmallRng;
-use rand::Rng;
+use detrand::{DetRng, Rng};
 
 /// One candidate VP location with a relative weight within its continent.
 #[derive(Debug, Clone)]
@@ -105,7 +104,7 @@ pub fn vp_catalog() -> Vec<WeightedPlace> {
 }
 
 /// Samples a continent according to [`CONTINENT_SHARES`].
-pub fn sample_continent(rng: &mut SmallRng) -> Continent {
+pub fn sample_continent(rng: &mut DetRng) -> Continent {
     let x: f64 = rng.gen_range(0.0..1.0);
     let mut acc = 0.0;
     for &(continent, share) in &CONTINENT_SHARES {
@@ -118,7 +117,7 @@ pub fn sample_continent(rng: &mut SmallRng) -> Continent {
 }
 
 /// Samples a city within `continent` from the catalog.
-pub fn sample_city(catalog: &[WeightedPlace], continent: Continent, rng: &mut SmallRng) -> Place {
+pub fn sample_city(catalog: &[WeightedPlace], continent: Continent, rng: &mut DetRng) -> Place {
     let candidates: Vec<&WeightedPlace> =
         catalog.iter().filter(|wp| wp.place.continent == continent).collect();
     assert!(!candidates.is_empty(), "catalog has no city on {continent}");
@@ -136,7 +135,6 @@ pub fn sample_city(catalog: &[WeightedPlace], continent: Continent, rng: &mut Sm
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use std::collections::HashMap;
 
     #[test]
@@ -158,7 +156,7 @@ mod tests {
 
     #[test]
     fn continent_sampling_matches_shares() {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let n = 100_000;
         let mut counts: HashMap<Continent, usize> = HashMap::new();
         for _ in 0..n {
@@ -176,7 +174,7 @@ mod tests {
     #[test]
     fn city_sampling_stays_on_continent() {
         let catalog = vp_catalog();
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         for continent in Continent::ALL {
             for _ in 0..100 {
                 let city = sample_city(&catalog, continent, &mut rng);

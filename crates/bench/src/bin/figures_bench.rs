@@ -1,0 +1,83 @@
+//! One benchmark per paper artifact: each regenerates a scaled-down
+//! version of the table/figure pipeline end to end (deployment →
+//! measurement → analysis), so the bench run exercises every
+//! reproduction path and tracks its cost.
+//!
+//! Scale note: populations here are tiny (tens of VPs) to keep
+//! iterations fast; the `exp_*` binaries run the full-scale versions.
+
+use dnswild_bench::{black_box, Runner};
+
+use dnswild::analysis::{
+    coverage, interval_sweep, preference, query_share, rank_profile, rtt_sensitivity,
+};
+use dnswild::guidance::{compare, demo_pair};
+use dnswild::production::{run_production, ProductionConfig};
+use dnswild::{Experiment, PolicyMix, SimDuration, StandardConfig};
+
+fn small(config: StandardConfig, seed: u64) -> dnswild::Report {
+    Experiment::standard(config, seed).vantage_points(30).rounds(8).run()
+}
+
+fn main() {
+    let mut r = Runner::from_env("figures");
+    // Whole-pipeline benches are expensive; a criterion-style 200-sample
+    // run would take minutes per bench.
+    r.set_samples(20);
+
+    r.bench("table1_deployments", || {
+        for config in StandardConfig::ALL {
+            black_box(config.deployment());
+        }
+    });
+
+    r.bench("fig2_coverage_pipeline", || {
+        let report = small(StandardConfig::C2A, 1);
+        black_box(coverage(&report.result))
+    });
+
+    r.bench("fig3_share_pipeline", || {
+        let report = small(StandardConfig::C2C, 2);
+        black_box(query_share(&report.result))
+    });
+
+    r.bench("fig4_table2_preference_pipeline", || {
+        let report = small(StandardConfig::C2B, 3);
+        black_box(preference(&report.result))
+    });
+
+    r.bench("fig5_sensitivity_pipeline", || {
+        let report = small(StandardConfig::C2B, 4);
+        black_box(rtt_sensitivity(&report.result))
+    });
+
+    r.bench("fig6_interval_pipeline", || {
+        let fast = Experiment::standard(StandardConfig::C2C, 5)
+            .vantage_points(20)
+            .rounds(6)
+            .interval(SimDuration::from_mins(2))
+            .run();
+        let slow = Experiment::standard(StandardConfig::C2C, 5)
+            .vantage_points(20)
+            .rounds(6)
+            .interval(SimDuration::from_mins(30))
+            .run();
+        let results = vec![(2u64, &fast.result), (30u64, &slow.result)];
+        black_box(interval_sweep(&results, "FRA"))
+    });
+
+    r.set_samples(10);
+    r.bench("fig7_production_pipeline", || {
+        let mut cfg = ProductionConfig::root(25, 6);
+        cfg.queries_per_client = 300;
+        let result = run_production(&cfg);
+        black_box(rank_profile(&result.per_client_counts, 10, 250))
+    });
+
+    r.bench("guidance_compare_pipeline", || {
+        let (mixed, all) = demo_pair();
+        black_box(compare(vec![mixed, all], 25, 6, 7, &PolicyMix::default()))
+    });
+
+    r.finish();
+}

@@ -1,7 +1,7 @@
 //! Microbenchmarks of the DNS wire format: the per-packet cost every
 //! simulated query pays four times (stub→resolver→auth and back).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dnswild_bench::{black_box, Runner};
 
 use dnswild_proto::rdata::{Ns, Txt};
 use dnswild_proto::{Message, Name, RData, RType, Rcode, Record};
@@ -33,37 +33,24 @@ fn typical_response() -> Message {
     resp
 }
 
-fn bench_encode(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::from_env("proto");
+
     let query = typical_query();
     let response = typical_response();
-    c.bench_function("proto/encode_query", |b| {
-        b.iter(|| black_box(&query).encode().unwrap())
-    });
-    c.bench_function("proto/encode_response_compressed", |b| {
-        b.iter(|| black_box(&response).encode().unwrap())
-    });
-}
+    r.bench("encode_query", || black_box(&query).encode().unwrap());
+    r.bench("encode_response_compressed", || black_box(&response).encode().unwrap());
 
-fn bench_decode(c: &mut Criterion) {
-    let query = typical_query().encode().unwrap();
-    let response = typical_response().encode().unwrap();
-    c.bench_function("proto/decode_query", |b| {
-        b.iter(|| Message::decode(black_box(&query)).unwrap())
+    let query_wire = typical_query().encode().unwrap();
+    let response_wire = typical_response().encode().unwrap();
+    r.bench("decode_query", || Message::decode(black_box(&query_wire)).unwrap());
+    r.bench("decode_response_compressed", || {
+        Message::decode(black_box(&response_wire)).unwrap()
     });
-    c.bench_function("proto/decode_response_compressed", |b| {
-        b.iter(|| Message::decode(black_box(&response)).unwrap())
-    });
-}
 
-fn bench_name(c: &mut Criterion) {
-    c.bench_function("proto/name_parse", |b| {
-        b.iter(|| Name::parse(black_box("v1234-r17.probe.ourtestdomain.nl")).unwrap())
-    });
+    r.bench("name_parse", || Name::parse(black_box("v1234-r17.probe.ourtestdomain.nl")).unwrap());
     let name = Name::parse("v1234-r17.probe.ourtestdomain.nl").unwrap();
-    c.bench_function("proto/name_canonical_wire", |b| {
-        b.iter(|| black_box(&name).canonical_wire())
-    });
-}
+    r.bench("name_canonical_wire", || black_box(&name).canonical_wire());
 
-criterion_group!(benches, bench_encode, bench_decode, bench_name);
-criterion_main!(benches);
+    r.finish();
+}

@@ -1,0 +1,168 @@
+//! Substrate benchmarks: simulator event throughput, anycast catchment
+//! computation, and the resolver-side caches and selection policies.
+
+use detrand::DetRng;
+use dnswild_bench::{black_box, Runner};
+use std::any::Any;
+
+use dnswild_netsim::geo::datacenters;
+use dnswild_netsim::{
+    Actor, Context, Datagram, HostConfig, LatencyConfig, SimAddr, SimDuration, Simulator,
+};
+use dnswild_resolver::{InfraCache, PolicyKind, RecordCache, Smoothing};
+
+struct Echo;
+impl Actor for Echo {
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, d: Datagram) {
+        ctx.send(d.dst, d.src, d.payload);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Fires `n` ping-pong rounds through the event loop.
+struct Chatter {
+    peer: SimAddr,
+    remaining: u32,
+}
+impl Actor for Chatter {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let own = ctx.own_addr();
+        ctx.send(own, self.peer, vec![0u8; 64]);
+    }
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, d: Datagram) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(d.dst, d.src, d.payload);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn bench_event_loop(r: &mut Runner) {
+    r.bench("netsim_ping_pong_1000_rounds", || {
+        let mut sim = Simulator::with_latency(
+            1,
+            LatencyConfig { loss_rate: 0.0, ..LatencyConfig::default() },
+        );
+        let e = sim.add_host(
+            HostConfig::at_place(&datacenters::FRA, SimDuration::from_millis(1), 1),
+            Box::new(Echo),
+        );
+        let ea = sim.bind_unicast(e);
+        let ch = sim.add_host(
+            HostConfig::at_place(&datacenters::DUB, SimDuration::from_millis(1), 2),
+            Box::new(Chatter { peer: ea, remaining: 1_000 }),
+        );
+        sim.bind_unicast(ch);
+        sim.run_until_idle();
+        black_box(sim.stats().delivered)
+    });
+}
+
+fn bench_anycast_catchment(r: &mut Runner) {
+    // Setup cost (building the simulator) is inside the timed closure
+    // here; it is small relative to the 100 catchment computations.
+    r.bench("netsim_anycast_catchment_100_senders", || {
+        let mut sim = Simulator::new(2);
+        let sites: Vec<_> = datacenters::ALL
+            .iter()
+            .map(|p| {
+                sim.add_host(
+                    HostConfig::at_place(p, SimDuration::from_millis(1), 1),
+                    Box::new(Echo),
+                )
+            })
+            .collect();
+        let svc = sim.bind_anycast(&sites);
+        let senders: Vec<_> = (0..100)
+            .map(|i| {
+                let p = datacenters::ALL[i % 7];
+                let h = sim.add_host(
+                    HostConfig::at_place(p, SimDuration::from_millis(2), 2),
+                    Box::new(Echo),
+                );
+                sim.bind_unicast(h);
+                h
+            })
+            .collect();
+        for h in senders {
+            black_box(sim.catchment(h, svc));
+        }
+    });
+}
+
+fn bench_caches(r: &mut Runner) {
+    // Mint some addresses.
+    let mut sim = Simulator::new(3);
+    let addrs: Vec<SimAddr> = (0..4)
+        .map(|_| {
+            let h = sim.add_host(
+                HostConfig::at_place(&datacenters::FRA, SimDuration::from_millis(1), 1),
+                Box::new(Echo),
+            );
+            sim.bind_unicast(h)
+        })
+        .collect();
+
+    {
+        let mut cache = InfraCache::new(Some(SimDuration::from_mins(10)), Smoothing::BIND);
+        let mut i = 0u64;
+        r.bench("resolver_infra_observe_and_peek", || {
+            let now = dnswild_netsim::SimTime::from_micros(i * 1_000);
+            let addr = addrs[(i % 4) as usize];
+            cache.observe_rtt(addr, SimDuration::from_millis(40 + (i % 50)), now);
+            i += 1;
+            black_box(cache.peek(addr, now))
+        });
+    }
+
+    {
+        use dnswild_proto::rdata::Txt;
+        use dnswild_proto::{Name, RData, RType, Rcode, Record};
+        let mut cache = RecordCache::new();
+        let names: Vec<Name> = (0..64)
+            .map(|i| Name::parse(&format!("q{i}.ourtestdomain.nl")).unwrap())
+            .collect();
+        let rec = Record::new(names[0].clone(), 5, RData::Txt(Txt::from_string("x").unwrap()));
+        let mut i = 0usize;
+        r.bench("resolver_record_cache_roundtrip", || {
+            let now = dnswild_netsim::SimTime::from_micros(i as u64);
+            let name = &names[i % 64];
+            cache.insert(name.clone(), RType::Txt, vec![rec.clone()], Rcode::NoError, 300, now);
+            i += 1;
+            black_box(cache.get(name, RType::Txt, now))
+        });
+    }
+
+    for kind in [PolicyKind::BindSrtt, PolicyKind::UnboundBand, PolicyKind::PowerDnsSpeed] {
+        let mut policy = kind.build();
+        let mut infra = InfraCache::new(kind.default_infra_expiry(), kind.smoothing());
+        let mut rng = DetRng::seed_from_u64(4);
+        let mut i = 0u64;
+        r.bench(&format!("resolver_select_{}", kind.label()), || {
+            let now = dnswild_netsim::SimTime::from_micros(i * 2_000_000);
+            let chosen = policy.select(&addrs, &[], &mut infra, now, &mut rng);
+            infra.observe_rtt(chosen, SimDuration::from_millis(30), now);
+            i += 1;
+            black_box(chosen)
+        });
+    }
+}
+
+fn main() {
+    let mut r = Runner::from_env("substrate");
+    bench_event_loop(&mut r);
+    bench_anycast_catchment(&mut r);
+    bench_caches(&mut r);
+    r.finish();
+}

@@ -1,7 +1,7 @@
 //! Zone-lookup and server query-handling benchmarks: the per-query cost
 //! on the authoritative side, which bounds how fast measurements run.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dnswild_bench::{black_box, Runner};
 use std::any::Any;
 
 use dnswild_netsim::geo::datacenters;
@@ -28,40 +28,38 @@ fn big_zone(hosts: usize) -> Zone {
     zone
 }
 
-fn bench_zone_lookup(c: &mut Criterion) {
+fn bench_zone_lookup(r: &mut Runner) {
     let zone = big_zone(2_000);
     let origin = Name::parse("bench.test").unwrap();
     let exact = origin.prepend("host-999").unwrap();
     let wildcard = origin.prepend("no-such-label-xyz").unwrap();
     let nxdomain = Name::parse("deep.under.host-1.bench.test").unwrap();
 
-    c.bench_function("zone/lookup_exact_2k_rrsets", |b| {
-        b.iter(|| black_box(zone.lookup(black_box(&exact), RType::A)))
+    r.bench("zone_lookup_exact_2k_rrsets", || {
+        black_box(zone.lookup(black_box(&exact), RType::A))
     });
-    c.bench_function("zone/lookup_wildcard_synthesis", |b| {
-        b.iter(|| {
-            let r = zone.lookup(black_box(&wildcard), RType::Txt);
-            assert!(matches!(r, Lookup::Answer(_)));
-            black_box(r)
-        })
+    r.bench("zone_lookup_wildcard_synthesis", || {
+        let res = zone.lookup(black_box(&wildcard), RType::Txt);
+        assert!(matches!(res, Lookup::Answer(_)));
+        black_box(res)
     });
-    c.bench_function("zone/lookup_nxdomain_walk", |b| {
-        b.iter(|| black_box(zone.lookup(black_box(&nxdomain), RType::A)))
+    r.bench("zone_lookup_nxdomain_walk", || {
+        black_box(zone.lookup(black_box(&nxdomain), RType::A))
     });
 }
 
-fn bench_zone_parse_write(c: &mut Criterion) {
+fn bench_zone_parse_write(r: &mut Runner) {
     let zone = big_zone(500);
     let text = write_zone(&zone);
     let origin = Name::parse("bench.test").unwrap();
-    c.bench_function("zone/write_500_rrsets", |b| b.iter(|| black_box(write_zone(&zone))));
-    c.bench_function("zone/parse_500_rrsets", |b| {
-        b.iter(|| black_box(parse_zone(black_box(&text), &origin).unwrap()))
+    r.bench("zone_write_500_rrsets", || black_box(write_zone(&zone)));
+    r.bench("zone_parse_500_rrsets", || {
+        black_box(parse_zone(black_box(&text), &origin).unwrap())
     });
 }
 
 /// Drives one query through a server actor inside a minimal simulation.
-fn bench_server_query(c: &mut Criterion) {
+fn bench_server_query(r: &mut Runner) {
     struct Collector {
         target: dnswild_netsim::SimAddr,
         payload: Vec<u8>,
@@ -87,32 +85,33 @@ fn bench_server_query(c: &mut Criterion) {
         }
     }
 
-    let mut group = c.benchmark_group("server");
-    group.sample_size(20);
-    group.bench_function("thousand_txt_queries_end_to_end", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::with_latency(
-                1,
-                LatencyConfig { loss_rate: 0.0, jitter_mean_ms: 0.0, ..LatencyConfig::default() },
-            );
-            let origin = Name::parse("bench.test").unwrap();
-            let sh = sim.add_host(
-                HostConfig::at_place(&datacenters::FRA, SimDuration::from_millis(1), 1),
-                Box::new(AuthoritativeServer::new("FRA", vec![big_zone(100)])),
-            );
-            let saddr = sim.bind_unicast(sh);
-            let q = Message::iterative_query(1, origin.prepend("p").unwrap(), RType::Txt);
-            let ch = sim.add_host(
-                HostConfig::at_place(&datacenters::DUB, SimDuration::from_millis(1), 2),
-                Box::new(Collector { target: saddr, payload: q.encode().unwrap(), got: 0 }),
-            );
-            sim.bind_unicast(ch);
-            sim.run_until_idle();
-            black_box(sim.stats().delivered)
-        })
+    r.set_samples(20);
+    r.bench("server_thousand_txt_queries_end_to_end", || {
+        let mut sim = Simulator::with_latency(
+            1,
+            LatencyConfig { loss_rate: 0.0, jitter_mean_ms: 0.0, ..LatencyConfig::default() },
+        );
+        let origin = Name::parse("bench.test").unwrap();
+        let sh = sim.add_host(
+            HostConfig::at_place(&datacenters::FRA, SimDuration::from_millis(1), 1),
+            Box::new(AuthoritativeServer::new("FRA", vec![big_zone(100)])),
+        );
+        let saddr = sim.bind_unicast(sh);
+        let q = Message::iterative_query(1, origin.prepend("p").unwrap(), RType::Txt);
+        let ch = sim.add_host(
+            HostConfig::at_place(&datacenters::DUB, SimDuration::from_millis(1), 2),
+            Box::new(Collector { target: saddr, payload: q.encode().unwrap(), got: 0 }),
+        );
+        sim.bind_unicast(ch);
+        sim.run_until_idle();
+        black_box(sim.stats().delivered)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_zone_lookup, bench_zone_parse_write, bench_server_query);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env("zone_server");
+    bench_zone_lookup(&mut r);
+    bench_zone_parse_write(&mut r);
+    bench_server_query(&mut r);
+    r.finish();
+}

@@ -1,1 +1,203 @@
-//! Benchmark support crate.
+//! Benchmark support crate: a small wall-clock bench runner replacing
+//! `criterion`.
+//!
+//! Benches are ordinary binaries under `src/bin/` (so `cargo build
+//! --release` compiles them and they need no registry access or
+//! `[[bench]]` wiring). Each binary builds a [`Runner`] and registers
+//! closures:
+//!
+//! ```no_run
+//! use dnswild_bench::{black_box, Runner};
+//!
+//! let mut r = Runner::from_env("example");
+//! r.bench("sum", || black_box((0..1000u64).sum::<u64>()));
+//! r.finish();
+//! ```
+//!
+//! Per bench the runner does a warmup phase, then times individual
+//! iterations and reports min / median / p99 / max wall-clock times,
+//! both human-readable on stderr and as one JSON object per bench on
+//! stdout (machine-diffable across commits).
+//!
+//! Environment knobs: `BENCH_WARMUP_MS` (default 200),
+//! `BENCH_SAMPLES` (default 200 timed iterations),
+//! `BENCH_FILTER` (substring; skip benches that don't match).
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Summary statistics for one bench, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    pub name: String,
+    pub samples: usize,
+    pub min_ns: u128,
+    pub median_ns: u128,
+    pub p99_ns: u128,
+    pub max_ns: u128,
+}
+
+impl Stats {
+    fn from_samples(name: &str, mut ns: Vec<u128>) -> Stats {
+        ns.sort_unstable();
+        let pick = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
+        Stats {
+            name: name.to_string(),
+            samples: ns.len(),
+            min_ns: ns[0],
+            median_ns: pick(0.5),
+            p99_ns: pick(0.99),
+            max_ns: *ns.last().unwrap(),
+        }
+    }
+
+    /// One JSON object, hand-rolled: the values are integers and the
+    /// name is a bench identifier, so no escaping machinery is needed.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"samples\":{},\"min_ns\":{},\"median_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            self.name.replace('"', "'"),
+            self.samples,
+            self.min_ns,
+            self.median_ns,
+            self.p99_ns,
+            self.max_ns
+        )
+    }
+}
+
+fn human(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Collects and runs benches for one binary.
+pub struct Runner {
+    group: String,
+    warmup: Duration,
+    samples: usize,
+    samples_pinned_by_env: bool,
+    filter: Option<String>,
+    results: Vec<Stats>,
+}
+
+impl Runner {
+    /// A runner with explicit settings.
+    pub fn new(group: &str, warmup: Duration, samples: usize) -> Runner {
+        Runner {
+            group: group.to_string(),
+            warmup,
+            samples: samples.max(1),
+            samples_pinned_by_env: false,
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// A runner configured from the environment (see module docs).
+    pub fn from_env(group: &str) -> Runner {
+        let warmup_ms = std::env::var("BENCH_WARMUP_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200u64);
+        let env_samples: Option<usize> =
+            std::env::var("BENCH_SAMPLES").ok().and_then(|v| v.parse().ok());
+        let mut r =
+            Runner::new(group, Duration::from_millis(warmup_ms), env_samples.unwrap_or(200));
+        r.samples_pinned_by_env = env_samples.is_some();
+        r.filter = std::env::var("BENCH_FILTER").ok();
+        r
+    }
+
+    /// Lowers the sample count for subsequent (expensive) benches. An
+    /// explicit `BENCH_SAMPLES` in the environment still wins.
+    pub fn set_samples(&mut self, samples: usize) {
+        if !self.samples_pinned_by_env {
+            self.samples = samples.max(1);
+        }
+    }
+
+    /// Times `f`, one closure call per sample. The closure's return
+    /// value is passed through [`black_box`] so the computation is not
+    /// optimised away.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> Option<&Stats> {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        // Warmup: run until the warmup budget elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let mut ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            ns.push(t.elapsed().as_nanos());
+        }
+        let stats = Stats::from_samples(name, ns);
+        eprintln!(
+            "{}/{:<40} min {:>10}  median {:>10}  p99 {:>10}  max {:>10}",
+            self.group,
+            stats.name,
+            human(stats.min_ns),
+            human(stats.median_ns),
+            human(stats.p99_ns),
+            human(stats.max_ns)
+        );
+        self.results.push(stats);
+        self.results.last()
+    }
+
+    /// Emits the JSON report (one line per bench) on stdout.
+    pub fn finish(self) {
+        for s in &self.results {
+            println!("{}", s.to_json());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_order_holds() {
+        let s = Stats::from_samples("x", vec![5, 1, 9, 3, 7]);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.median_ns, 5);
+        assert_eq!(s.max_ns, 9);
+        assert!(s.p99_ns <= s.max_ns && s.p99_ns >= s.median_ns);
+    }
+
+    #[test]
+    fn runner_produces_stats_and_json() {
+        let mut r = Runner::new("test", Duration::from_millis(1), 10);
+        let stats = r.bench("noop", || 1 + 1).expect("not filtered").clone();
+        assert_eq!(stats.samples, 10);
+        let json = stats.to_json();
+        assert!(json.starts_with("{\"name\":\"noop\""), "{json}");
+        assert!(json.contains("\"median_ns\":"), "{json}");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut r = Runner::new("test", Duration::from_millis(1), 5);
+        r.filter = Some("match".to_string());
+        assert!(r.bench("other", || ()).is_none());
+        assert!(r.bench("match_this", || ()).is_some());
+    }
+}

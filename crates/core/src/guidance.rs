@@ -9,8 +9,6 @@
 //! population and reports query-weighted latency, the per-NS breakdown,
 //! and which NS bounds the worst case.
 
-use crossbeam::thread;
-
 use dnswild_analysis::{median, percentile, query_share, AuthShare};
 use dnswild_atlas::{
     run_measurement, AuthoritativeSpec, DeploymentSpec, MeasurementConfig, MeasurementResult,
@@ -83,12 +81,12 @@ pub fn compare(
     seed: u64,
     mix: &PolicyMix,
 ) -> Vec<DeploymentAssessment> {
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = deployments
             .into_iter()
             .map(|deployment| {
                 let mix = mix.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut config = MeasurementConfig::standard(StandardConfig::C2A, seed);
                     config.deployment = deployment;
                     config.vp_count = vp_count;
@@ -98,9 +96,15 @@ pub fn compare(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("assessment thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| {
+                // Re-raise a worker panic on the caller's thread instead
+                // of swallowing it behind a generic join error.
+                h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+            })
+            .collect()
     })
-    .expect("scoped threads join cleanly")
 }
 
 /// The paper's `.nl` case study (§7): SIDN ran 5 unicast authoritatives
@@ -207,8 +211,7 @@ pub fn catchment_map(
 ) -> Vec<CatchmentRow> {
     use dnswild_atlas::places::{sample_city, sample_continent, vp_catalog};
     use dnswild_netsim::{HostConfig, SimDuration, Simulator};
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use detrand::{DetRng, Rng};
     use std::any::Any;
 
     struct Nop;
@@ -244,7 +247,7 @@ pub fn catchment_map(
         sim.bind_anycast(&site_hosts)
     };
 
-    let mut prng = SmallRng::seed_from_u64(seed ^ 0x5bd1e995);
+    let mut prng = DetRng::seed_from_u64(seed ^ 0x5bd1e995);
     let catalog = vp_catalog();
     let mut counts = vec![0usize; spec.sites.len()];
     let mut rtt_sums = vec![0.0f64; spec.sites.len()];

@@ -1,0 +1,22 @@
+//! Same-seed runs must be byte-identical: the whole point of the
+//! in-tree deterministic PRNG is that every experiment is replayable,
+//! so a figure in EXPERIMENTS.md can be regenerated exactly.
+
+use std::process::Command;
+
+fn run_fig3() -> (Vec<u8>, Vec<u8>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_exp_fig3"))
+        .args(["--vps", "60", "--seed", "2017"])
+        .output()
+        .expect("exp_fig3 runs");
+    assert!(out.status.success(), "exp_fig3 failed: {}", String::from_utf8_lossy(&out.stderr));
+    (out.stdout, out.stderr)
+}
+
+#[test]
+fn exp_fig3_same_seed_is_byte_identical() {
+    let (stdout_a, _) = run_fig3();
+    let (stdout_b, _) = run_fig3();
+    assert!(!stdout_a.is_empty(), "exp_fig3 produced no output");
+    assert_eq!(stdout_a, stdout_b, "two seed-2017 runs diverged");
+}

@@ -1,0 +1,421 @@
+//! # detrand
+//!
+//! The workspace's deterministic randomness substrate: a small, fast
+//! PRNG (SplitMix64-seeded xoshiro256++) exposing the subset of the
+//! `rand` crate API this workspace actually uses, plus an in-tree
+//! property-testing harness ([`qc`]).
+//!
+//! The build environment is hermetic — no crates-registry access — so
+//! every source of randomness in the reproduction goes through this
+//! crate. That buys two things the external crates could not guarantee
+//! together:
+//!
+//! * **Byte-identical replay.** The generator's output for a given seed
+//!   is fixed by this file, not by whatever `rand` version resolves.
+//!   Experiment results regenerated years apart stay comparable.
+//! * **Zero dependencies.** `cargo build --offline` works from a clean
+//!   checkout; see `tests/hermetic.rs` at the repository root for the
+//!   guard that keeps it that way.
+//!
+//! The API mirrors `rand`'s naming (`seed_from_u64`, `gen_range`,
+//! `gen_bool`, `gen::<u64>()`, `choose`) so call sites read identically
+//! to their upstream counterparts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod qc;
+
+use std::ops::Range;
+
+/// SplitMix64: a tiny, high-quality mixing function. Used for seed
+/// expansion here and for stable hash-derived randomness elsewhere in
+/// the workspace (e.g. per-pair path inflation in the latency model).
+pub const fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The workspace PRNG: xoshiro256++ (Blackman & Vigna), seeded through
+/// SplitMix64. Not cryptographic — statistical quality and speed only,
+/// which is exactly what a simulator needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Builds a generator whose full 256-bit state is expanded from one
+    /// `u64` via the SplitMix64 stream (the seeding scheme the xoshiro
+    /// authors recommend). Same seed, same sequence, forever.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            *slot = splitmix64(x.wrapping_sub(0x9e3779b97f4a7c15));
+        }
+        // All-zero state is the one fixed point of xoshiro; SplitMix64
+        // cannot emit four zeros in a row, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9e3779b97f4a7c15;
+        }
+        DetRng { s }
+    }
+
+    /// Derives an independent generator from this one (for splitting a
+    /// stream into decorrelated substreams, e.g. placement vs. packets).
+    pub fn fork(&mut self) -> Self {
+        DetRng::seed_from_u64(self.next_u64() ^ 0x6c62_272e_07bb_0142)
+    }
+}
+
+impl Rng for DetRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The random-value interface, mirroring the `rand::Rng` subset the
+/// workspace uses. Implementors provide `next_u64`; everything else is
+/// derived.
+pub trait Rng {
+    /// The next 64 raw bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform value over `range` (half-open, like `rand::gen_range`).
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleRange>(&mut self, range: T) -> T::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// A uniform value of a primitive type, `rand`'s `gen::<T>()`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+/// A uniform bounded integer in `[0, span)` via Lemire's multiply-shift
+/// method with rejection (unbiased).
+fn bounded_u64<R: Rng>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        let low = m as u64;
+        if low < span {
+            let threshold = span.wrapping_neg() % span;
+            if low < threshold {
+                continue;
+            }
+        }
+        return (m >> 64) as u64;
+    }
+}
+
+/// Types usable as a `gen_range` argument.
+pub trait SampleRange {
+    /// The sampled value's type.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range {:?}", self);
+        let x = self.start + rng.next_f64() * (self.end - self.start);
+        // Floating-point rounding can land exactly on `end` when the
+        // span is huge; keep the half-open contract.
+        if x >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            x
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range {:?}", self);
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize);
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniform value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u16 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let bytes = rng.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        out
+    }
+}
+
+/// Slice helpers, mirroring `rand::seq::SliceRandom`'s `choose`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+    /// A uniformly chosen element, or `None` for an empty slice.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn reference_vector_is_pinned() {
+        // Golden output: if this changes, every experiment result in
+        // the repository changes with it. Bump results/ and
+        // EXPERIMENTS.md together with this constant, never alone.
+        let mut rng = DetRng::seed_from_u64(2017);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                15911864215892620972,
+                11070097849148133230,
+                18339293108428838506,
+                18126694561063136353,
+            ]
+        );
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = DetRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut rng = DetRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(1.5..3.25);
+            assert!((1.5..3.25).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_central() {
+        let mut rng = DetRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((0.49..0.51).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn int_range_covers_all_values_uniformly() {
+        let mut rng = DetRng::seed_from_u64(10);
+        let mut counts = [0usize; 5];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..5)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let share = c as f64 / n as f64;
+            assert!((0.18..0.22).contains(&share), "bucket {i}: {share}");
+        }
+    }
+
+    #[test]
+    fn int_range_single_value() {
+        let mut rng = DetRng::seed_from_u64(11);
+        for _ in 0..100 {
+            assert_eq!(rng.gen_range(3u64..4), 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = DetRng::seed_from_u64(12);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((0.29..0.31).contains(&rate), "rate {rate}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(-1.0));
+        assert!(rng.gen_bool(2.0));
+    }
+
+    #[test]
+    fn choose_is_uniform_and_total() {
+        let mut rng = DetRng::seed_from_u64(13);
+        let items = [1, 2, 3];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[*items.choose(&mut rng).unwrap() - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn gen_typed_values() {
+        let mut rng = DetRng::seed_from_u64(14);
+        let _: u64 = rng.gen();
+        let _: u32 = rng.gen();
+        let _: u16 = rng.gen();
+        let _: u8 = rng.gen();
+        let _: bool = rng.gen();
+        let x: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let a: [u8; 4] = rng.gen();
+        let b: [u8; 16] = rng.gen();
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 16);
+    }
+
+    #[test]
+    fn byte_arrays_are_not_degenerate() {
+        let mut rng = DetRng::seed_from_u64(15);
+        // A 16-byte draw must use more than one u64 of entropy: its two
+        // halves should differ (overwhelmingly likely for a working
+        // chunked fill, impossible if the same u64 filled both).
+        let v: [u8; 16] = rng.gen();
+        assert_ne!(v[..8], v[8..]);
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut a = DetRng::seed_from_u64(16);
+        let mut b = a.fork();
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn splitmix_reference() {
+        // Vector from the SplitMix64 reference implementation.
+        assert_eq!(splitmix64(0), 0xe220a8397b1dcdaf);
+    }
+}

@@ -9,8 +9,7 @@
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use detrand::DetRng;
 
 use crate::addr::{AddrFamily, SimAddr};
 use crate::event::{Event, EventQueue};
@@ -156,7 +155,7 @@ struct World {
     routes: Vec<Route>,
     families: Vec<AddrFamily>,
     latency: LatencyModel,
-    rng: SmallRng,
+    rng: DetRng,
     stats: NetStats,
     /// Memoized anycast catchments: (sender host, anycast addr) → site.
     catchments: HashMap<(HostId, u32), HostId>,
@@ -240,7 +239,7 @@ impl<'a> Context<'a> {
     }
 
     /// The shared deterministic RNG.
-    pub fn rng(&mut self) -> &mut SmallRng {
+    pub fn rng(&mut self) -> &mut DetRng {
         &mut self.world.rng
     }
 
@@ -300,7 +299,7 @@ impl Simulator {
                 routes: Vec::new(),
                 families: Vec::new(),
                 latency: LatencyModel::new(config, seed ^ 0xd1f4_5e0c_9a2b_7310),
-                rng: SmallRng::seed_from_u64(seed),
+                rng: DetRng::seed_from_u64(seed),
                 stats: NetStats::default(),
                 catchments: HashMap::new(),
                 withdrawn: HashSet::new(),

@@ -15,7 +15,7 @@
 //! always sees roughly the same RTT to a given authoritative — exactly the
 //! signal SRTT-based selection feeds on) but varies across pairs.
 
-use rand::Rng;
+use detrand::{splitmix64, Rng};
 
 use crate::engine::HostId;
 use crate::geo::GeoPoint;
@@ -114,21 +114,11 @@ impl LatencyModel {
     }
 }
 
-/// SplitMix64: a tiny, high-quality mixing function; used to derive
-/// stable per-pair randomness from host ids.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e3779b97f4a7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
-    x ^ (x >> 31)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::geo::datacenters;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use detrand::DetRng;
 
     fn host(i: u32) -> HostId {
         HostId::from_index(i)
@@ -185,7 +175,7 @@ mod tests {
     #[test]
     fn jitter_positive_and_small_on_average() {
         let m = LatencyModel::new(LatencyConfig::default(), 7);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let n = 10_000;
         let total: f64 = (0..n).map(|_| m.sample_jitter(&mut rng).as_millis_f64()).sum();
         let mean = total / n as f64;
@@ -196,7 +186,7 @@ mod tests {
     fn loss_rate_respected() {
         let cfg = LatencyConfig { loss_rate: 0.1, ..LatencyConfig::default() };
         let m = LatencyModel::new(cfg, 7);
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         let n = 20_000;
         let lost = (0..n).filter(|_| m.sample_loss(&mut rng)).count();
         let rate = lost as f64 / n as f64;
@@ -207,7 +197,7 @@ mod tests {
     fn zero_loss_never_drops() {
         let cfg = LatencyConfig { loss_rate: 0.0, ..LatencyConfig::default() };
         let m = LatencyModel::new(cfg, 7);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         assert!((0..1000).all(|_| !m.sample_loss(&mut rng)));
     }
 }

@@ -9,9 +9,7 @@
 //! implementations generate that aggregate from the documented per-
 //! implementation algorithms.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use detrand::{DetRng, Rng, SliceRandom};
 
 use dnswild_netsim::{SimAddr, SimDuration, SimTime};
 
@@ -122,7 +120,7 @@ pub trait SelectionPolicy: Send {
         exclude: &[SimAddr],
         infra: &mut InfraCache,
         now: SimTime,
-        rng: &mut SmallRng,
+        rng: &mut DetRng,
     ) -> SimAddr;
 
     /// The policy's kind (for reporting).
@@ -157,7 +155,7 @@ impl SelectionPolicy for BindSrtt {
         exclude: &[SimAddr],
         infra: &mut InfraCache,
         now: SimTime,
-        rng: &mut SmallRng,
+        rng: &mut DetRng,
     ) -> SimAddr {
         let usable = usable(candidates, exclude);
         // Seed unknown servers with small random SRTTs: this is what makes
@@ -216,7 +214,7 @@ impl SelectionPolicy for UnboundBand {
         exclude: &[SimAddr],
         infra: &mut InfraCache,
         now: SimTime,
-        rng: &mut SmallRng,
+        rng: &mut DetRng,
     ) -> SimAddr {
         let usable = usable(candidates, exclude);
         let rto = |addr: SimAddr| -> f64 {
@@ -259,7 +257,7 @@ impl SelectionPolicy for PowerDnsSpeed {
         exclude: &[SimAddr],
         infra: &mut InfraCache,
         now: SimTime,
-        rng: &mut SmallRng,
+        rng: &mut DetRng,
     ) -> SimAddr {
         let usable = usable(candidates, exclude);
         let chosen = usable
@@ -267,7 +265,7 @@ impl SelectionPolicy for PowerDnsSpeed {
             .copied()
             .min_by(|&a, &b| {
                 // Unqueried servers score 0: PowerDNS tries them first.
-                let score = |addr: SimAddr, rng: &mut SmallRng| -> f64 {
+                let score = |addr: SimAddr, rng: &mut DetRng| -> f64 {
                     let base = infra.peek(addr, now).map(|e| e.srtt_ms).unwrap_or(0.0);
                     base * rng.gen_range(1.0 - self.jitter..1.0 + self.jitter)
                 };
@@ -296,7 +294,7 @@ impl SelectionPolicy for UniformRandom {
         exclude: &[SimAddr],
         _infra: &mut InfraCache,
         _now: SimTime,
-        rng: &mut SmallRng,
+        rng: &mut DetRng,
     ) -> SimAddr {
         *usable(candidates, exclude).choose(rng).expect("candidates is never empty")
     }
@@ -319,7 +317,7 @@ impl SelectionPolicy for RoundRobin {
         exclude: &[SimAddr],
         _infra: &mut InfraCache,
         _now: SimTime,
-        rng: &mut SmallRng,
+        rng: &mut DetRng,
     ) -> SimAddr {
         let start = *self.counter.get_or_insert_with(|| rng.gen_range(0..candidates.len()));
         self.counter = Some(start.wrapping_add(1));
@@ -361,7 +359,7 @@ impl SelectionPolicy for StickyPrimary {
         exclude: &[SimAddr],
         _infra: &mut InfraCache,
         _now: SimTime,
-        rng: &mut SmallRng,
+        rng: &mut DetRng,
     ) -> SimAddr {
         if let Some(p) = self.pinned {
             if candidates.contains(&p) {
@@ -400,7 +398,7 @@ impl SelectionPolicy for FixedOrder {
         exclude: &[SimAddr],
         _infra: &mut InfraCache,
         _now: SimTime,
-        _rng: &mut SmallRng,
+        _rng: &mut DetRng,
     ) -> SimAddr {
         // Walk the configured order, skipping servers that failed this
         // query (once each is enough to step past them).
@@ -420,7 +418,6 @@ impl SelectionPolicy for FixedOrder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use std::collections::HashMap;
 
     /// Mints `n` distinct addresses through a throwaway simulator.
@@ -469,7 +466,7 @@ mod tests {
     ) -> HashMap<SimAddr, usize> {
         let mut policy = kind.build();
         let mut infra = InfraCache::new(kind.default_infra_expiry(), kind.smoothing());
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let mut counts: HashMap<SimAddr, usize> = HashMap::new();
         for i in 0..n {
             let now = t(i as u64 * 2);
@@ -568,7 +565,7 @@ mod tests {
         let servers = addrs(2);
         let mut policy = PolicyKind::StickyPrimary.build();
         let mut infra = InfraCache::new(None, Smoothing::TCP);
-        let mut rng = SmallRng::seed_from_u64(9);
+        let mut rng = DetRng::seed_from_u64(9);
         let first = policy.select(&servers, &[], &mut infra, t(0), &mut rng);
         // One failure: retransmit to the same upstream.
         let retry = policy.select(&servers, &[first], &mut infra, t(1), &mut rng);
@@ -591,7 +588,7 @@ mod tests {
         for kind in PolicyKind::ALL {
             let mut policy = kind.build();
             let mut infra = InfraCache::new(None, Smoothing::TCP);
-            let mut rng = SmallRng::seed_from_u64(10);
+            let mut rng = DetRng::seed_from_u64(10);
             for round in 0..20 {
                 let chosen = policy.select(&servers, &exclude, &mut infra, t(round), &mut rng);
                 assert_eq!(chosen, servers[2], "{kind:?} must honor exclusion");
@@ -605,7 +602,7 @@ mod tests {
         for kind in PolicyKind::ALL {
             let mut policy = kind.build();
             let mut infra = InfraCache::new(None, Smoothing::TCP);
-            let mut rng = SmallRng::seed_from_u64(11);
+            let mut rng = DetRng::seed_from_u64(11);
             let chosen = policy.select(&servers, &servers, &mut infra, t(0), &mut rng);
             assert!(servers.contains(&chosen), "{kind:?} must still pick someone");
         }
@@ -616,7 +613,7 @@ mod tests {
         let servers = addrs(3);
         let mut policy = PolicyKind::FixedOrder.build();
         let mut infra = InfraCache::new(None, Smoothing::TCP);
-        let mut rng = SmallRng::seed_from_u64(12);
+        let mut rng = DetRng::seed_from_u64(12);
         for round in 0..10 {
             assert_eq!(policy.select(&servers, &[], &mut infra, t(round), &mut rng), servers[0]);
         }

@@ -24,7 +24,7 @@
 use std::any::Any;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use dnswild_netsim::{Actor, Context, Datagram, SimAddr, SimTime, Transport};
 use dnswild_proto::rdata::Txt;
@@ -293,7 +293,7 @@ impl Actor for AuthoritativeServer {
             self.stats.tcp_queries += 1;
         }
         if let (Some(log), Some(q)) = (&self.log, query.question()) {
-            log.lock().push(ServerLogEntry {
+            log.lock().expect("server log mutex poisoned").push(ServerLogEntry {
                 time: ctx.now(),
                 client: dgram.src,
                 service: dgram.dst,
@@ -533,7 +533,7 @@ mod tests {
         );
         sim.bind_unicast(ch);
         sim.run_until_idle();
-        let entries = log.lock();
+        let entries = log.lock().expect("server log mutex poisoned");
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].qtype, RType::Txt);
     }
@@ -603,7 +603,7 @@ mod tests {
         let client = sim.actor::<Client>(ch).unwrap();
         assert_eq!(client.responses.len(), 1);
         // And the server log recorded the anycast service address.
-        let entries = log.lock();
+        let entries = log.lock().expect("server log mutex poisoned");
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].service, svc);
     }

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run fully offline: the workspace must build and
+# test with no registry access (see "hermetic build policy" in README.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use dnswild::analysis;
 use dnswild::atlas::{run_measurement, MeasurementConfig, StandardConfig};
@@ -126,7 +126,7 @@ fn client_and_server_views_agree() {
     }
 
     // Server view: the combined logs, counted per service address.
-    let entries = log.lock();
+    let entries = log.lock().expect("server log mutex poisoned");
     assert_eq!(entries.len(), 20, "every probe reached exactly one authoritative");
     let mut server_counts: HashMap<String, usize> = HashMap::new();
     for e in entries.iter() {

@@ -1,0 +1,134 @@
+//! The hermetic-build guard: every manifest in the workspace may only
+//! declare in-tree `path` dependencies. A registry dependency would make
+//! the tier-1 gate (`cargo build --release && cargo test -q`) die at
+//! dependency resolution in offline environments, which is exactly the
+//! bug this workspace once had.
+//!
+//! Parsing is deliberately minimal (line/section based) because a TOML
+//! parser would itself be a registry dependency.
+
+use std::path::{Path, PathBuf};
+
+/// A single `name = ...` entry under a dependency-ish section.
+#[derive(Debug)]
+struct DepEntry {
+    manifest: PathBuf,
+    section: String,
+    line_no: usize,
+    line: String,
+}
+
+impl DepEntry {
+    /// Hermetic entries either point into the tree (`path = "..."`) or
+    /// defer to `[workspace.dependencies]` (`workspace = true`), which
+    /// this test checks separately.
+    fn is_hermetic(&self) -> bool {
+        let v = self.line.splitn(2, '=').nth(1).unwrap_or("").trim();
+        v.contains("path =") || v.contains("path=") || v.contains("workspace = true")
+    }
+}
+
+fn dependency_sections(manifest: &Path) -> Vec<DepEntry> {
+    let text = std::fs::read_to_string(manifest)
+        .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+    let mut entries = Vec::new();
+    let mut section = String::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        let in_dep_section = section == "dependencies"
+            || section == "dev-dependencies"
+            || section == "build-dependencies"
+            || section == "workspace.dependencies"
+            || section.starts_with("target.") && section.ends_with("dependencies");
+        if !in_dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.contains('=') {
+            entries.push(DepEntry {
+                manifest: manifest.to_path_buf(),
+                section: section.clone(),
+                line_no: i + 1,
+                line: line.to_string(),
+            });
+        }
+    }
+    entries
+}
+
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates_dir = root.join("crates");
+    for entry in std::fs::read_dir(&crates_dir).expect("crates/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        let manifest = path.join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    manifests
+}
+
+#[test]
+fn every_dependency_is_a_path_dependency() {
+    let mut violations = Vec::new();
+    let mut total = 0;
+    for manifest in workspace_manifests() {
+        for entry in dependency_sections(&manifest) {
+            total += 1;
+            if !entry.is_hermetic() {
+                violations.push(format!(
+                    "{}:{} [{}] {}",
+                    entry.manifest.display(),
+                    entry.line_no,
+                    entry.section,
+                    entry.line
+                ));
+            }
+        }
+    }
+    assert!(total >= 10, "manifest scan looks broken: only {total} dependency entries found");
+    assert!(
+        violations.is_empty(),
+        "non-path dependencies reintroduced (breaks the hermetic/offline build):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn workspace_dependency_table_is_path_only() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    let entries = dependency_sections(&root);
+    let ws: Vec<_> = entries.iter().filter(|e| e.section == "workspace.dependencies").collect();
+    assert!(!ws.is_empty(), "workspace.dependencies section not found in root manifest");
+    for entry in ws {
+        assert!(
+            entry.line.contains("path"),
+            "workspace dependency without a path (registry dep?): {} (line {})",
+            entry.line,
+            entry.line_no
+        );
+    }
+}
+
+#[test]
+fn known_banned_crates_are_absent() {
+    // The five crates this workspace once pulled from the registry. Name
+    // checks catch a reintroduction even via a creative spelling of the
+    // dependency value.
+    const BANNED: [&str; 5] = ["rand", "proptest", "criterion", "crossbeam", "parking_lot"];
+    let mut violations = Vec::new();
+    for manifest in workspace_manifests() {
+        for entry in dependency_sections(&manifest) {
+            let name = entry.line.split('=').next().unwrap_or("").trim();
+            if BANNED.contains(&name) {
+                violations.push(format!("{}:{} {}", entry.manifest.display(), entry.line_no, name));
+            }
+        }
+    }
+    assert!(violations.is_empty(), "banned registry crates found:\n{}", violations.join("\n"));
+}

@@ -1,70 +1,95 @@
 //! Property-based tests of the DNS wire format: round-trip invariants
 //! and decoder robustness against arbitrary bytes.
+//!
+//! Ported from `proptest` to the in-tree `detrand::qc` harness with
+//! higher case counts (512 vs proptest's default 256).
 
-use proptest::prelude::*;
+use detrand::qc::{property, Gen};
 
 use dnswild_proto::rdata::{Aaaa, Cname, Mx, Ns, Ptr, Soa, Txt, A};
 use dnswild_proto::{Message, Name, RData, RType, Rcode, Record};
 
-/// A strategy for valid DNS labels (1–20 arbitrary bytes, avoiding
-/// length-edge blowups while still exercising binary labels).
-fn label_strategy() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(any::<u8>(), 1..20)
+const CASES: u32 = 512;
+
+/// A valid DNS label: 1–19 arbitrary bytes (avoiding length-edge
+/// blowups while still exercising binary labels).
+fn gen_label(g: &mut Gen) -> Vec<u8> {
+    g.bytes(1..20)
 }
 
-/// A strategy for valid names: up to 6 labels.
-fn name_strategy() -> impl Strategy<Value = Name> {
-    proptest::collection::vec(label_strategy(), 0..6)
-        .prop_map(|labels| Name::from_labels(labels).expect("labels within limits"))
+/// A valid name: up to 5 labels.
+fn gen_name(g: &mut Gen) -> Name {
+    let labels = g.vec(0..6, gen_label);
+    Name::from_labels(labels).expect("labels within limits")
 }
 
-fn rdata_strategy() -> impl Strategy<Value = RData> {
-    prop_oneof![
-        any::<[u8; 4]>().prop_map(|o| RData::A(A::new(o.into()))),
-        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Aaaa::new(o.into()))),
-        name_strategy().prop_map(|n| RData::Ns(Ns::new(n))),
-        name_strategy().prop_map(|n| RData::Cname(Cname::new(n))),
-        name_strategy().prop_map(|n| RData::Ptr(Ptr::new(n))),
-        (any::<u16>(), name_strategy()).prop_map(|(p, n)| RData::Mx(Mx::new(p, n))),
-        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..4)
-            .prop_map(|s| RData::Txt(Txt::new(s).expect("strings within limits"))),
-        (name_strategy(), name_strategy(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
-            .prop_map(|(m, r, s, re, rt, e, mi)| RData::Soa(Soa::new(m, r, s, re, rt, e, mi))),
-        proptest::collection::vec(any::<u8>(), 0..50)
-            .prop_map(|data| RData::Unknown { rtype: 200, data }),
-    ]
+fn gen_rdata(g: &mut Gen) -> RData {
+    match g.index(9) {
+        0 => {
+            let mut o = [0u8; 4];
+            o.iter_mut().for_each(|b| *b = g.u8());
+            RData::A(A::new(o.into()))
+        }
+        1 => {
+            let mut o = [0u8; 16];
+            o.iter_mut().for_each(|b| *b = g.u8());
+            RData::Aaaa(Aaaa::new(o.into()))
+        }
+        2 => RData::Ns(Ns::new(gen_name(g))),
+        3 => RData::Cname(Cname::new(gen_name(g))),
+        4 => RData::Ptr(Ptr::new(gen_name(g))),
+        5 => RData::Mx(Mx::new(g.u16(), gen_name(g))),
+        6 => {
+            let strings = g.vec(1..4, |g| g.bytes(0..40));
+            RData::Txt(Txt::new(strings).expect("strings within limits"))
+        }
+        7 => RData::Soa(Soa::new(
+            gen_name(g),
+            gen_name(g),
+            g.u32(),
+            g.u32(),
+            g.u32(),
+            g.u32(),
+            g.u32(),
+        )),
+        _ => RData::Unknown { rtype: 200, data: g.bytes(0..50) },
+    }
 }
 
-fn record_strategy() -> impl Strategy<Value = Record> {
-    (name_strategy(), any::<u32>(), rdata_strategy())
-        .prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+fn gen_record(g: &mut Gen) -> Record {
+    Record::new(gen_name(g), g.u32(), gen_rdata(g))
 }
 
-proptest! {
-    #[test]
-    fn name_round_trips(name in name_strategy()) {
+#[test]
+fn name_round_trips() {
+    property("name_round_trips").cases(CASES).check(|g| {
+        let name = gen_name(g);
         let mut w = dnswild_proto::WireWriter::new();
         name.encode_uncompressed(&mut w).unwrap();
         let bytes = w.into_bytes();
         let mut r = dnswild_proto::WireReader::new(&bytes);
         let back = Name::decode(&mut r).unwrap();
-        prop_assert_eq!(back, name);
-    }
+        assert_eq!(back, name);
+    });
+}
 
-    #[test]
-    fn name_display_parse_round_trips(name in name_strategy()) {
+#[test]
+fn name_display_parse_round_trips() {
+    property("name_display_parse_round_trips").cases(CASES).check(|g| {
+        let name = gen_name(g);
         let text = name.to_string();
         let back = Name::parse(&text).unwrap();
-        prop_assert_eq!(back, name);
-    }
+        assert_eq!(back, name);
+    });
+}
 
-    #[test]
-    fn message_round_trips(
-        id in any::<u16>(),
-        qname in name_strategy(),
-        answers in proptest::collection::vec(record_strategy(), 0..5),
-        authorities in proptest::collection::vec(record_strategy(), 0..3),
-    ) {
+#[test]
+fn message_round_trips() {
+    property("message_round_trips").cases(CASES).check(|g| {
+        let id = g.u16();
+        let qname = gen_name(g);
+        let answers = g.vec(0..5, gen_record);
+        let authorities = g.vec(0..3, gen_record);
         let mut msg = Message::iterative_query(id, qname, RType::Txt);
         msg.header.response = true;
         msg.header.rcode = Rcode::NoError;
@@ -72,46 +97,47 @@ proptest! {
         msg.authorities = authorities;
         let bytes = msg.encode().unwrap();
         let back = Message::decode(&bytes).unwrap();
-        prop_assert_eq!(back.header.id, msg.header.id);
-        prop_assert_eq!(back.questions, msg.questions);
-        prop_assert_eq!(back.answers, msg.answers);
-        prop_assert_eq!(back.authorities, msg.authorities);
-        prop_assert_eq!(back.additionals, msg.additionals);
-    }
+        assert_eq!(back.header.id, msg.header.id);
+        assert_eq!(back.questions, msg.questions);
+        assert_eq!(back.answers, msg.answers);
+        assert_eq!(back.authorities, msg.authorities);
+        assert_eq!(back.additionals, msg.additionals);
+    });
+}
 
-    /// The decoder must never panic, whatever bytes arrive. (Errors are
-    /// fine; crashes are not — this is the server's untrusted input.)
-    #[test]
-    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+/// The decoder must never panic, whatever bytes arrive. (Errors are
+/// fine; crashes are not — this is the server's untrusted input.)
+#[test]
+fn decoder_never_panics() {
+    property("decoder_never_panics").cases(2 * CASES).check(|g| {
+        let bytes = g.bytes(0..600);
         let _ = Message::decode(&bytes);
-    }
+    });
+}
 
-    /// Decoding a truncated valid message must error, not panic or
-    /// succeed with garbage sections.
-    #[test]
-    fn truncation_is_an_error(
-        qname in name_strategy(),
-        cut in 1usize..20,
-    ) {
+/// Decoding a truncated valid message must error, not panic or
+/// succeed with garbage sections.
+#[test]
+fn truncation_is_an_error() {
+    property("truncation_is_an_error").cases(CASES).check(|g| {
+        let qname = gen_name(g);
+        let cut = g.usize_in(1..20);
         let msg = Message::stub_query(1, qname, RType::A);
         let bytes = msg.encode().unwrap();
         let cut = cut.min(bytes.len() - 1);
         let truncated = &bytes[..bytes.len() - cut];
-        prop_assert!(Message::decode(truncated).is_err());
-    }
+        assert!(Message::decode(truncated).is_err());
+    });
+}
 
-    /// Compression must never grow a message beyond its uncompressed size.
-    #[test]
-    fn compression_never_grows(
-        names in proptest::collection::vec(name_strategy(), 1..6),
-    ) {
+/// Compression must never grow a message beyond its uncompressed size.
+#[test]
+fn compression_never_grows() {
+    property("compression_never_grows").cases(CASES).check(|g| {
+        let names = g.vec(1..6, gen_name);
         let mut msg = Message::iterative_query(9, names[0].clone(), RType::Ns);
         for n in &names {
-            msg.answers.push(Record::new(
-                names[0].clone(),
-                60,
-                RData::Ns(Ns::new(n.clone())),
-            ));
+            msg.answers.push(Record::new(names[0].clone(), 60, RData::Ns(Ns::new(n.clone()))));
         }
         let compressed = msg.encode().unwrap().len();
         let uncompressed: usize = {
@@ -122,62 +148,60 @@ proptest! {
             let name_bytes: usize = msg
                 .answers
                 .iter()
-                .map(|r| r.name.wire_len() + 10 + match &r.rdata {
-                    RData::Ns(n) => n.name().wire_len(),
-                    _ => 0,
+                .map(|r| {
+                    r.name.wire_len()
+                        + 10
+                        + match &r.rdata {
+                            RData::Ns(n) => n.name().wire_len(),
+                            _ => 0,
+                        }
                 })
                 .sum::<usize>()
-                + msg.questions[0].qname.wire_len() + 4
+                + msg.questions[0].qname.wire_len()
+                + 4
                 + 12
                 + 11; // OPT record
             name_bytes
         };
-        prop_assert!(compressed <= uncompressed, "{compressed} > {uncompressed}");
-    }
+        assert!(compressed <= uncompressed, "{compressed} > {uncompressed}");
+    });
 }
 
-proptest! {
-    /// Structure-aware fuzzing: flip any single byte of a valid message;
-    /// the decoder must never panic (error or reinterpretation are both
-    /// acceptable outcomes).
-    #[test]
-    fn single_byte_flip_never_panics(
-        qname in name_strategy(),
-        answers in proptest::collection::vec(
-            (name_strategy(), any::<u32>()), 0..4
-        ),
-        flip_pos in any::<proptest::sample::Index>(),
-        flip_bits in 1u8..=255,
-    ) {
+/// Structure-aware fuzzing: flip any single byte of a valid message;
+/// the decoder must never panic (error or reinterpretation are both
+/// acceptable outcomes).
+#[test]
+fn single_byte_flip_never_panics() {
+    property("single_byte_flip_never_panics").cases(2 * CASES).check(|g| {
+        let qname = gen_name(g);
+        let answers = g.vec(0..4, |g| (gen_name(g), g.u32()));
+        let flip_bits = g.u32_in(1..256) as u8;
         let mut msg = Message::iterative_query(7, qname, RType::Ns);
         msg.header.response = true;
         for (name, ttl) in answers {
-            msg.answers.push(Record::new(
-                name.clone(),
-                ttl,
-                RData::Ns(Ns::new(name)),
-            ));
+            msg.answers.push(Record::new(name.clone(), ttl, RData::Ns(Ns::new(name))));
         }
         let mut bytes = msg.encode().unwrap();
-        let pos = flip_pos.index(bytes.len());
+        let pos = g.index(bytes.len());
         bytes[pos] ^= flip_bits;
         let _ = Message::decode(&bytes);
-    }
+    });
+}
 
-    /// Double-decode consistency: whatever decodes successfully must
-    /// re-encode and decode to the same structure (idempotent wire form).
-    #[test]
-    fn decode_encode_decode_is_stable(
-        qname in name_strategy(),
-        recs in proptest::collection::vec(record_strategy(), 0..4),
-    ) {
+/// Double-decode consistency: whatever decodes successfully must
+/// re-encode and decode to the same structure (idempotent wire form).
+#[test]
+fn decode_encode_decode_is_stable() {
+    property("decode_encode_decode_is_stable").cases(CASES).check(|g| {
+        let qname = gen_name(g);
+        let recs = g.vec(0..4, gen_record);
         let mut msg = Message::iterative_query(3, qname, RType::Txt);
         msg.header.response = true;
         msg.answers = recs;
         let once = Message::decode(&msg.encode().unwrap()).unwrap();
         let twice = Message::decode(&once.encode().unwrap()).unwrap();
-        prop_assert_eq!(once.answers, twice.answers);
-        prop_assert_eq!(once.questions, twice.questions);
-        prop_assert_eq!(once.header.id, twice.header.id);
-    }
+        assert_eq!(once.answers, twice.answers);
+        assert_eq!(once.questions, twice.questions);
+        assert_eq!(once.header.id, twice.header.id);
+    });
 }

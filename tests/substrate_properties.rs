@@ -1,11 +1,16 @@
 //! Property-based tests of the simulator substrate and resolver caches:
 //! latency-model invariants, time arithmetic, and SRTT behaviour.
+//!
+//! Ported from `proptest` to the in-tree `detrand::qc` harness with
+//! higher case counts (512 vs proptest's default 256).
 
-use proptest::prelude::*;
+use detrand::qc::property;
 
 use dnswild::netsim::geo::datacenters;
 use dnswild::netsim::{GeoPoint, HostConfig, SimDuration, SimTime, Simulator};
 use dnswild::resolver::{InfraCache, Smoothing};
+
+const CASES: u32 = 512;
 
 /// Builds a throwaway simulator with `n` hosts at arbitrary coordinates.
 fn sim_with_hosts(coords: &[(f64, f64)]) -> (Simulator, Vec<dnswild::netsim::HostId>) {
@@ -40,55 +45,60 @@ fn sim_with_hosts(coords: &[(f64, f64)]) -> (Simulator, Vec<dnswild::netsim::Hos
     (sim, hosts)
 }
 
-proptest! {
-    /// Base RTT is symmetric and strictly positive.
-    #[test]
-    fn base_rtt_symmetric_positive(
-        lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
-        lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
-    ) {
+/// Base RTT is symmetric and strictly positive.
+#[test]
+fn base_rtt_symmetric_positive() {
+    property("base_rtt_symmetric_positive").cases(CASES).check(|g| {
+        let (lat1, lon1) = (g.f64_in(-80.0..80.0), g.f64_in(-179.0..179.0));
+        let (lat2, lon2) = (g.f64_in(-80.0..80.0), g.f64_in(-179.0..179.0));
         let (sim, hosts) = sim_with_hosts(&[(lat1, lon1), (lat2, lon2)]);
         let ab = sim.base_rtt(hosts[0], hosts[1]);
         let ba = sim.base_rtt(hosts[1], hosts[0]);
-        prop_assert_eq!(ab, ba);
-        prop_assert!(ab.as_millis_f64() > 0.0);
+        assert_eq!(ab, ba);
+        assert!(ab.as_millis_f64() > 0.0);
         // And bounded: nothing on Earth is more than ~1.2s away in this
         // model (half circumference at max inflation, plus access).
-        prop_assert!(ab.as_millis_f64() < 1_200.0, "rtt {ab}");
-    }
+        assert!(ab.as_millis_f64() < 1_200.0, "rtt {ab}");
+    });
+}
 
-    /// Great-circle distance satisfies the triangle inequality (within
-    /// floating-point slack).
-    #[test]
-    fn distance_triangle_inequality(
-        lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
-        lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
-        lat3 in -80.0f64..80.0, lon3 in -179.0f64..179.0,
-    ) {
-        let a = GeoPoint::new(lat1, lon1);
-        let b = GeoPoint::new(lat2, lon2);
-        let c = GeoPoint::new(lat3, lon3);
+/// Great-circle distance satisfies the triangle inequality (within
+/// floating-point slack).
+#[test]
+fn distance_triangle_inequality() {
+    property("distance_triangle_inequality").cases(CASES).check(|g| {
+        let a = GeoPoint::new(g.f64_in(-80.0..80.0), g.f64_in(-179.0..179.0));
+        let b = GeoPoint::new(g.f64_in(-80.0..80.0), g.f64_in(-179.0..179.0));
+        let c = GeoPoint::new(g.f64_in(-80.0..80.0), g.f64_in(-179.0..179.0));
         let ab = a.distance_km(&b);
         let bc = b.distance_km(&c);
         let ac = a.distance_km(&c);
-        prop_assert!(ac <= ab + bc + 1e-6, "{ac} > {ab} + {bc}");
-    }
+        assert!(ac <= ab + bc + 1e-6, "{ac} > {ab} + {bc}");
+    });
+}
 
-    /// SimTime/SimDuration arithmetic is consistent.
-    #[test]
-    fn time_arithmetic(start in 0u64..10_000_000, d1 in 0u64..10_000_000, d2 in 0u64..10_000_000) {
+/// SimTime/SimDuration arithmetic is consistent.
+#[test]
+fn time_arithmetic() {
+    property("time_arithmetic").cases(CASES).check(|g| {
+        let start = g.u64_in(0..10_000_000);
+        let d1 = g.u64_in(0..10_000_000);
+        let d2 = g.u64_in(0..10_000_000);
         let t0 = SimTime::from_micros(start);
         let t1 = t0 + SimDuration::from_micros(d1);
         let t2 = t1 + SimDuration::from_micros(d2);
-        prop_assert_eq!(t2.since(t0), SimDuration::from_micros(d1 + d2));
-        prop_assert_eq!(t2 - t1, SimDuration::from_micros(d2));
-        prop_assert!(t2 >= t1 && t1 >= t0);
-    }
+        assert_eq!(t2.since(t0), SimDuration::from_micros(d1 + d2));
+        assert_eq!(t2 - t1, SimDuration::from_micros(d2));
+        assert!(t2 >= t1 && t1 >= t0);
+    });
+}
 
-    /// SRTT stays positive, finite, and within the range of observed
-    /// samples (it is a convex combination).
-    #[test]
-    fn srtt_stays_within_sample_range(samples in proptest::collection::vec(1u64..5_000, 1..50)) {
+/// SRTT stays positive, finite, and within the range of observed
+/// samples (it is a convex combination).
+#[test]
+fn srtt_stays_within_sample_range() {
+    property("srtt_stays_within_sample_range").cases(CASES).check(|g| {
+        let samples = g.vec(1..50, |g| g.u64_in(1..5_000));
         let (mut sim, hosts) = sim_with_hosts(&[(50.0, 8.0)]);
         let a = sim.bind_unicast(hosts[0]);
         let mut cache = InfraCache::new(None, Smoothing::TCP);
@@ -98,14 +108,20 @@ proptest! {
             cache.observe_rtt(a, SimDuration::from_millis(s), SimTime::from_micros(i as u64));
         }
         let e = cache.peek(a, SimTime::from_micros(samples.len() as u64)).unwrap();
-        prop_assert!(e.srtt_ms.is_finite());
-        prop_assert!(e.srtt_ms >= lo - 1e-9 && e.srtt_ms <= hi + 1e-9,
-            "srtt {} outside [{lo}, {hi}]", e.srtt_ms);
-    }
+        assert!(e.srtt_ms.is_finite());
+        assert!(
+            e.srtt_ms >= lo - 1e-9 && e.srtt_ms <= hi + 1e-9,
+            "srtt {} outside [{lo}, {hi}]",
+            e.srtt_ms
+        );
+    });
+}
 
-    /// Timeout penalties grow the SRTT monotonically and cap out.
-    #[test]
-    fn timeout_penalty_monotone(n in 1u32..30) {
+/// Timeout penalties grow the SRTT monotonically and cap out.
+#[test]
+fn timeout_penalty_monotone() {
+    property("timeout_penalty_monotone").cases(CASES).check(|g| {
+        let n = g.u32_in(1..30);
         let (mut sim, hosts) = sim_with_hosts(&[(50.0, 8.0)]);
         let a = sim.bind_unicast(hosts[0]);
         let mut cache = InfraCache::new(None, Smoothing::TCP);
@@ -114,11 +130,11 @@ proptest! {
         for i in 0..n {
             cache.observe_timeout(a, SimTime::from_micros(i as u64 + 1));
             let now = cache.peek(a, SimTime::from_micros(i as u64 + 1)).unwrap().srtt_ms;
-            prop_assert!(now >= last);
-            prop_assert!(now <= 8_000.0 + 1e-9);
+            assert!(now >= last);
+            assert!(now <= 8_000.0 + 1e-9);
             last = now;
         }
-    }
+    });
 }
 
 #[test]
