@@ -1,0 +1,97 @@
+//! Real-socket serving-plane benchmarks: closed-loop loopback
+//! throughput of the `dnswild-netio` UDP front-end, and the encode
+//! paths that bound its per-response cost.
+//!
+//! Unlike the other bench binaries these numbers involve the kernel's
+//! UDP stack, so they are noisier — but they are the workspace's only
+//! measurement of the *actual* serving plane rather than the simulated
+//! one.
+
+use std::sync::Arc;
+
+use dnswild_bench::{black_box, Runner, Stats};
+use dnswild_netio::{blast, serve, LoadConfig, QueryMix, ServeConfig};
+use dnswild_proto::{Message, Name, RType};
+use dnswild_zone::presets::test_domain_zone;
+
+fn origin() -> Name {
+    Name::parse("bench.test").unwrap()
+}
+
+/// Per-iteration cost of answering one query end to end over loopback
+/// (closed loop, so one outstanding query: the latency floor).
+fn bench_loopback_round_trips(r: &mut Runner) {
+    let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+    let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(2))
+        .expect("bind loopback");
+    let addr = handle.local_addr();
+
+    r.set_samples(30);
+    r.bench("netio_blast_1k_probe_only", || {
+        let report = blast(
+            LoadConfig::new(addr, origin())
+                .concurrency(2)
+                .queries(1_000)
+                .mix(QueryMix::probe_only()),
+        )
+        .expect("blast");
+        assert!(report.all_answered(), "loopback run lost queries: {report:?}");
+        black_box(report.received)
+    });
+    r.bench("netio_blast_1k_mixed", || {
+        let report = blast(LoadConfig::new(addr, origin()).concurrency(4).queries(1_000))
+            .expect("blast");
+        assert!(report.all_answered(), "loopback run lost queries: {report:?}");
+        black_box(report.received)
+    });
+
+    // One larger run, reported through the same JSON pipeline: the
+    // per-query latency distribution and achieved qps of a 10k blast.
+    let report = blast(LoadConfig::new(addr, origin()).concurrency(4).queries(10_000))
+        .expect("blast");
+    assert!(report.all_answered(), "loopback run lost queries: {report:?}");
+    eprintln!("netio/blast_10k achieved {:.0} qps", report.qps());
+    r.record(Stats::from_ns_samples(
+        "netio_query_latency_10k_mixed",
+        report.latencies_ns().iter().map(|&ns| ns as u128).collect(),
+    ));
+
+    handle.shutdown();
+}
+
+/// The encode paths feeding the hot loop: allocating vs. buffer-reuse.
+fn bench_encode_paths(r: &mut Runner) {
+    let zones = vec![test_domain_zone(&origin(), 2)];
+    let mut engine = dnswild_server::AnswerEngine::new("FRA", zones);
+    let query = Message::iterative_query(7, origin().prepend("p1-q1").unwrap(), RType::Txt);
+    let payload = query.encode().unwrap();
+
+    r.set_samples(200);
+    let resp = {
+        let mut buf = Vec::new();
+        engine.handle_packet(&payload, dnswild_server::TransportKind::Udp, &mut buf);
+        Message::decode(&buf).unwrap()
+    };
+    r.bench("response_encode_alloc", || black_box(resp.encode().unwrap()));
+    let mut reuse = Vec::with_capacity(1024);
+    r.bench("response_encode_into_reused_buf", || {
+        resp.encode_into(&mut reuse).unwrap();
+        black_box(reuse.len())
+    });
+    let mut resp_buf = Vec::with_capacity(1024);
+    r.bench("engine_handle_packet_zero_alloc", || {
+        let handled = engine.handle_packet(
+            black_box(&payload),
+            dnswild_server::TransportKind::Udp,
+            &mut resp_buf,
+        );
+        black_box(handled.response)
+    });
+}
+
+fn main() {
+    let mut r = Runner::from_env("netio");
+    bench_encode_paths(&mut r);
+    bench_loopback_round_trips(&mut r);
+    r.finish();
+}

@@ -39,6 +39,16 @@ pub struct Stats {
 }
 
 impl Stats {
+    /// Summarises externally collected nanosecond samples (e.g. the
+    /// per-query latencies of `dnswild-netio`'s load generator) into the
+    /// same min/median/p99/max shape the runner produces, so external
+    /// measurements share the JSON report format. Panics on an empty
+    /// sample set.
+    pub fn from_ns_samples(name: &str, ns: Vec<u128>) -> Stats {
+        assert!(!ns.is_empty(), "no samples for bench '{name}'");
+        Stats::from_samples(name, ns)
+    }
+
     fn from_samples(name: &str, mut ns: Vec<u128>) -> Stats {
         ns.sort_unstable();
         let pick = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
@@ -162,6 +172,27 @@ impl Runner {
         self.results.last()
     }
 
+    /// Registers externally collected stats (see
+    /// [`Stats::from_ns_samples`]) alongside the runner's own timings:
+    /// same stderr line, same JSON report line from [`Runner::finish`].
+    pub fn record(&mut self, stats: Stats) {
+        if let Some(filter) = &self.filter {
+            if !stats.name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        eprintln!(
+            "{}/{:<40} min {:>10}  median {:>10}  p99 {:>10}  max {:>10}",
+            self.group,
+            stats.name,
+            human(stats.min_ns),
+            human(stats.median_ns),
+            human(stats.p99_ns),
+            human(stats.max_ns)
+        );
+        self.results.push(stats);
+    }
+
     /// Emits the JSON report (one line per bench) on stdout.
     pub fn finish(self) {
         for s in &self.results {
@@ -191,6 +222,17 @@ mod tests {
         let json = stats.to_json();
         assert!(json.starts_with("{\"name\":\"noop\""), "{json}");
         assert!(json.contains("\"median_ns\":"), "{json}");
+    }
+
+    #[test]
+    fn external_samples_summarised_like_runner_output() {
+        let s = Stats::from_ns_samples("blast_latency", vec![40, 10, 30, 20]);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 40);
+        assert_eq!(s.samples, 4);
+        let mut r = Runner::new("test", Duration::from_millis(1), 5);
+        r.record(s);
+        assert_eq!(r.results.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! The `dnswild` operator CLI: the real-socket serving plane and its
+//! load generator.
+//!
+//! * `dnswild serve` — run the authoritative UDP front-end on a real
+//!   socket, answering the preset measurement zone with a site identity;
+//! * `dnswild blast` — closed-loop load generator against any address,
+//!   reporting qps and latency percentiles;
+//! * `dnswild smoke` — self-contained loopback check: start a server on
+//!   an ephemeral port, fire queries at it, assert 100% answered and
+//!   consistent counters. Exits non-zero on any discrepancy (CI gate).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dnswild_netio::{blast, serve, LoadConfig, QueryMix, ServeConfig};
+use dnswild_proto::Name;
+use dnswild_server::ServerStats;
+use dnswild_zone::presets::test_domain_zone;
+
+fn usage_exit(code: i32) -> ! {
+    eprintln!(
+        "usage: dnswild <command> [options]\n\
+         \n\
+         commands:\n\
+           serve   run the UDP serving plane\n\
+             --addr A:P       bind address (default 127.0.0.1:5300; port 0 = ephemeral)\n\
+             --threads N      worker threads (default: available parallelism, max 8)\n\
+             --site CODE      site identity (default FRA)\n\
+             --origin NAME    zone origin (default ourtestdomain.nl)\n\
+             --ns N           NS count in the preset zone (default 2)\n\
+             --duration SECS  stop after SECS (default: run until killed)\n\
+           blast   closed-loop load generator\n\
+             --addr A:P       target address (default 127.0.0.1:5300)\n\
+             --concurrency N  client threads (default 4)\n\
+             --queries N      total queries (default 10000)\n\
+             --timeout-ms M   per-query timeout (default 1000)\n\
+             --seed S         query-mix seed (default 2017)\n\
+             --origin NAME    zone origin (default ourtestdomain.nl)\n\
+             --probe-only     send only probe TXT queries\n\
+           smoke   loopback self-test (server + blast in-process)\n\
+             --queries N      total queries (default 1000)\n\
+             --threads N      server worker threads (default 2)"
+    );
+    std::process::exit(code)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage_exit(2)
+        })
+}
+
+fn print_stats(stats: ServerStats) {
+    println!(
+        "stats: queries={} answers={} nxdomain={} nodata={} referrals={} refused={} \
+         formerr={} notimp={} chaos={} truncated={} dropped={}",
+        stats.queries,
+        stats.answers,
+        stats.nxdomain,
+        stats.nodata,
+        stats.referrals,
+        stats.refused,
+        stats.formerr,
+        stats.notimp,
+        stats.chaos,
+        stats.truncated,
+        stats.dropped
+    );
+}
+
+fn report_blast(report: &dnswild_netio::LoadReport) {
+    let pct = |q: f64| report.latency_percentile(q).unwrap_or(0);
+    println!(
+        "sent={} received={} timeouts={} mismatched={} elapsed_ms={} qps={:.0}",
+        report.sent,
+        report.received,
+        report.timeouts,
+        report.mismatched,
+        report.elapsed.as_millis(),
+        report.qps()
+    );
+    println!(
+        "latency_us: p50={:.1} p90={:.1} p99={:.1} max={:.1}",
+        pct(0.50) as f64 / 1e3,
+        pct(0.90) as f64 / 1e3,
+        pct(0.99) as f64 / 1e3,
+        pct(1.0) as f64 / 1e3
+    );
+}
+
+fn cmd_serve(args: &[String]) {
+    let mut addr = "127.0.0.1:5300".to_string();
+    let mut threads: Option<usize> = None;
+    let mut site = "FRA".to_string();
+    let mut origin = "ourtestdomain.nl".to_string();
+    let mut ns = 2usize;
+    let mut duration: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse_flag(&mut it, "--addr"),
+            "--threads" => threads = Some(parse_flag(&mut it, "--threads")),
+            "--site" => site = parse_flag(&mut it, "--site"),
+            "--origin" => origin = parse_flag(&mut it, "--origin"),
+            "--ns" => ns = parse_flag(&mut it, "--ns"),
+            "--duration" => duration = Some(parse_flag(&mut it, "--duration")),
+            "--help" | "-h" => usage_exit(0),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage_exit(2)
+            }
+        }
+    }
+    let origin = Name::parse(&origin).unwrap_or_else(|e| {
+        eprintln!("bad --origin: {e:?}");
+        std::process::exit(2)
+    });
+    let zones = Arc::new(vec![test_domain_zone(&origin, ns)]);
+    let mut config = ServeConfig::new(addr, site.clone(), zones);
+    if let Some(t) = threads {
+        config = config.threads(t);
+    }
+    let handle = serve(config).unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        std::process::exit(1)
+    });
+    eprintln!(
+        "serving {} as site {} on udp://{} with {} workers",
+        origin,
+        site,
+        handle.local_addr(),
+        handle.threads()
+    );
+    match duration {
+        Some(secs) => {
+            std::thread::sleep(Duration::from_secs(secs));
+            print_stats(handle.shutdown());
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(10));
+            print_stats(handle.stats());
+        },
+    }
+}
+
+fn cmd_blast(args: &[String]) {
+    let mut addr = "127.0.0.1:5300".to_string();
+    let mut concurrency = 4usize;
+    let mut queries = 10_000u64;
+    let mut timeout_ms = 1_000u64;
+    let mut seed = 2017u64;
+    let mut origin = "ourtestdomain.nl".to_string();
+    let mut probe_only = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse_flag(&mut it, "--addr"),
+            "--concurrency" => concurrency = parse_flag(&mut it, "--concurrency"),
+            "--queries" => queries = parse_flag(&mut it, "--queries"),
+            "--timeout-ms" => timeout_ms = parse_flag(&mut it, "--timeout-ms"),
+            "--seed" => seed = parse_flag(&mut it, "--seed"),
+            "--origin" => origin = parse_flag(&mut it, "--origin"),
+            "--probe-only" => probe_only = true,
+            "--help" | "-h" => usage_exit(0),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage_exit(2)
+            }
+        }
+    }
+    let origin = Name::parse(&origin).unwrap_or_else(|e| {
+        eprintln!("bad --origin: {e:?}");
+        std::process::exit(2)
+    });
+    let target = addr.parse().unwrap_or_else(|e| {
+        eprintln!("bad --addr: {e}");
+        std::process::exit(2)
+    });
+    let mut config = LoadConfig::new(target, origin).concurrency(concurrency).queries(queries);
+    config.timeout = Duration::from_millis(timeout_ms);
+    config.seed = seed;
+    if probe_only {
+        config = config.mix(QueryMix::probe_only());
+    }
+    let report = blast(config).unwrap_or_else(|e| {
+        eprintln!("blast: {e}");
+        std::process::exit(1)
+    });
+    report_blast(&report);
+    if !report.all_answered() {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_smoke(args: &[String]) {
+    let mut queries = 1_000u64;
+    let mut threads = 2usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--queries" => queries = parse_flag(&mut it, "--queries"),
+            "--threads" => threads = parse_flag(&mut it, "--threads"),
+            "--help" | "-h" => usage_exit(0),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage_exit(2)
+            }
+        }
+    }
+    let origin = Name::parse("ourtestdomain.nl").expect("static origin");
+    let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
+    let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads))
+        .unwrap_or_else(|e| {
+            eprintln!("smoke: serve: {e}");
+            std::process::exit(1)
+        });
+    eprintln!("smoke: serving on udp://{} with {} workers", handle.local_addr(), handle.threads());
+    let report = blast(
+        LoadConfig::new(handle.local_addr(), origin).concurrency(4).queries(queries),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("smoke: blast: {e}");
+        std::process::exit(1)
+    });
+    let stats = handle.shutdown();
+    report_blast(&report);
+    print_stats(stats);
+    if !report.all_answered() {
+        eprintln!("smoke: FAIL — lost or stale responses");
+        std::process::exit(1);
+    }
+    if let Err(complaint) = report.check_server_stats(stats) {
+        eprintln!("smoke: FAIL — {complaint}");
+        std::process::exit(1);
+    }
+    println!("smoke: PASS — {} queries, 100% answered, counters consistent", report.sent);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("blast") => cmd_blast(&args[1..]),
+        Some("smoke") => cmd_smoke(&args[1..]),
+        Some("--help") | Some("-h") | None => usage_exit(if args.is_empty() { 2 } else { 0 }),
+        Some(other) => {
+            eprintln!("unknown command: {other}");
+            usage_exit(2)
+        }
+    }
+}

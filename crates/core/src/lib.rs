@@ -19,7 +19,10 @@
 //!   implementations, with infrastructure and record caches;
 //! * [`dnswild_atlas`] — the synthetic RIPE Atlas (VP population,
 //!   probing schedule, per-query records);
-//! * [`dnswild_analysis`] — every figure/table analysis in §4–§5.
+//! * [`dnswild_analysis`] — every figure/table analysis in §4–§5;
+//! * [`dnswild_netio`] — the real-socket serving plane: the same
+//!   authoritative engine on a multi-threaded UDP front-end, with a
+//!   closed-loop load generator (`dnswild serve` / `dnswild blast`).
 //!
 //! On top of those, this crate offers the [`Experiment`] builder, the
 //! operator [`guidance`] engine (§7 as what-if analysis), and the
@@ -56,6 +59,7 @@ pub use experiment::{Experiment, Report};
 // Re-export the full stack under one roof.
 pub use dnswild_analysis as analysis;
 pub use dnswild_atlas as atlas;
+pub use dnswild_netio as netio;
 pub use dnswild_netsim as netsim;
 pub use dnswild_proto as proto;
 pub use dnswild_resolver as resolver;

@@ -1,0 +1,46 @@
+//! # dnswild-netio
+//!
+//! The real-socket serving plane: everything in this crate runs on
+//! actual operating-system UDP sockets rather than inside the
+//! deterministic simulator.
+//!
+//! The paper's engineering guidance (§6–§7) is addressed to operators of
+//! real authoritative servers under heavy recursive traffic; the rest of
+//! this workspace *verifies* the answering semantics in simulation, and
+//! this crate puts the same logic on the wire:
+//!
+//! * [`server`] — a multi-threaded UDP front-end: one bound
+//!   [`std::net::UdpSocket`], N worker threads, per-thread reusable
+//!   receive/encode buffers, a shared `Arc`'d zone set, lock-free
+//!   atomic stats aggregation and clean stop-flag shutdown. Every
+//!   worker drives the *same* [`dnswild_server::AnswerEngine`] the
+//!   simulator actor uses, so behaviour proven by the `exp_*`
+//!   reproductions is the behaviour that serves.
+//! * [`load`] — a closed-loop in-process load generator: configurable
+//!   concurrency, a deterministic query mix over the preset measurement
+//!   zone, and per-query latency capture for qps / percentile
+//!   reporting.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use dnswild_netio::{blast, serve, LoadConfig, ServeConfig};
+//! use dnswild_proto::Name;
+//! use dnswild_zone::presets::test_domain_zone;
+//!
+//! let origin = Name::parse("ourtestdomain.nl").unwrap();
+//! let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
+//! let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones)).unwrap();
+//! let report = blast(LoadConfig::new(handle.local_addr(), origin)).unwrap();
+//! println!("{:.0} qps, p99 {} ns", report.qps(), report.latency_percentile(0.99).unwrap());
+//! let stats = handle.shutdown();
+//! assert_eq!(stats.queries, report.sent);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod load;
+pub mod server;
+
+pub use load::{blast, LoadConfig, LoadReport, QueryMix};
+pub use server::{serve, AtomicStats, ServeConfig, ServeHandle};

@@ -1,0 +1,402 @@
+//! The closed-loop load generator.
+//!
+//! `concurrency` client threads each run a closed loop against the
+//! target server: build a query, send it, wait for the matching
+//! response (or a timeout), record the latency, repeat. Closed-loop
+//! means at most one outstanding query per thread, so the offered load
+//! adapts to the server rather than overrunning socket buffers — the
+//! right shape for measuring serving capacity on loopback, and the same
+//! discipline the paper's vantage points impose (one probe, then wait).
+//!
+//! The query mix is drawn deterministically (per-thread `detrand`
+//! streams seeded from [`LoadConfig::seed`]) over the preset measurement
+//! zone: unique-label probe TXT lookups (the paper's cold-cache trick),
+//! apex NS, glue A, apex TXT (a NODATA), and CHAOS identification.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+use detrand::{DetRng, Rng};
+use dnswild_proto::{Class, Message, Name, RType};
+use dnswild_server::ServerStats;
+
+/// Relative weights of the query kinds the generator draws from.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryMix {
+    /// Unique-label wildcard TXT probes (`p<thread>-q<n>.<origin>`).
+    pub probe_txt: u32,
+    /// `<origin> NS` — the apex NS RRset.
+    pub apex_ns: u32,
+    /// `ns1.<origin> A` — delegation glue.
+    pub glue_a: u32,
+    /// `<origin> TXT` — a NODATA (the wildcard does not cover the apex).
+    pub apex_txt: u32,
+    /// `hostname.bind CH TXT` — CHAOS site identification.
+    pub chaos: u32,
+}
+
+impl Default for QueryMix {
+    /// A recursive-like mix: mostly probe lookups with a sprinkling of
+    /// infrastructure queries.
+    fn default() -> Self {
+        QueryMix { probe_txt: 84, apex_ns: 6, glue_a: 5, apex_txt: 3, chaos: 2 }
+    }
+}
+
+impl QueryMix {
+    /// Probe TXT queries only — every answer is a positive, branded TXT.
+    pub fn probe_only() -> Self {
+        QueryMix { probe_txt: 1, apex_ns: 0, glue_a: 0, apex_txt: 0, chaos: 0 }
+    }
+
+    fn total(&self) -> u32 {
+        self.probe_txt + self.apex_ns + self.glue_a + self.apex_txt + self.chaos
+    }
+}
+
+/// Configuration for [`blast`].
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// The server under test.
+    pub target: SocketAddr,
+    /// Client threads, each running an independent closed loop.
+    pub concurrency: usize,
+    /// Total queries across all threads.
+    pub queries: u64,
+    /// Per-query response timeout.
+    pub timeout: Duration,
+    /// Base seed for the deterministic query mix.
+    pub seed: u64,
+    /// Zone origin the mix queries against.
+    pub origin: Name,
+    /// Relative query-kind weights.
+    pub mix: QueryMix,
+}
+
+impl LoadConfig {
+    /// Defaults: 4 threads, 10,000 queries, 1 s timeout, seed 2017,
+    /// the default mixed workload.
+    pub fn new(target: SocketAddr, origin: Name) -> Self {
+        LoadConfig {
+            target,
+            concurrency: 4,
+            queries: 10_000,
+            timeout: Duration::from_secs(1),
+            seed: 2017,
+            origin,
+            mix: QueryMix::default(),
+        }
+    }
+
+    /// Overrides the thread count.
+    pub fn concurrency(mut self, concurrency: usize) -> Self {
+        self.concurrency = concurrency.max(1);
+        self
+    }
+
+    /// Overrides the total query count.
+    pub fn queries(mut self, queries: u64) -> Self {
+        self.queries = queries;
+        self
+    }
+
+    /// Overrides the query mix.
+    pub fn mix(mut self, mix: QueryMix) -> Self {
+        self.mix = mix;
+        self
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Queries sent.
+    pub sent: u64,
+    /// Responses received with the expected transaction ID.
+    pub received: u64,
+    /// Queries that saw no response within the timeout.
+    pub timeouts: u64,
+    /// Responses discarded for carrying a stale/unexpected ID.
+    pub mismatched: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Per-query round-trip latencies, sorted ascending (nanoseconds).
+    latencies_ns: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Achieved queries-per-second (received over wall-clock).
+    pub fn qps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.received as f64 / secs
+    }
+
+    /// Latency at quantile `q` in `[0, 1]`, in nanoseconds.
+    pub fn latency_percentile(&self, q: f64) -> Option<u64> {
+        if self.latencies_ns.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.latencies_ns.len() - 1) as f64 * q).round() as usize;
+        Some(self.latencies_ns[idx])
+    }
+
+    /// The sorted raw latency samples (for external summarisers such as
+    /// `dnswild_bench::Stats`).
+    pub fn latencies_ns(&self) -> &[u64] {
+        &self.latencies_ns
+    }
+
+    /// Whether every query was answered: nothing timed out, nothing
+    /// arrived with a stale ID.
+    pub fn all_answered(&self) -> bool {
+        self.received == self.sent && self.timeouts == 0 && self.mismatched == 0
+    }
+
+    /// Checks the generator's view against the server's aggregated
+    /// counters: every sent packet was counted as a query, and every
+    /// query was classified into exactly one question outcome. Returns a
+    /// human-readable complaint when the books don't balance.
+    pub fn check_server_stats(&self, stats: ServerStats) -> Result<(), String> {
+        if stats.queries != self.sent {
+            return Err(format!(
+                "server counted {} queries, generator sent {}",
+                stats.queries, self.sent
+            ));
+        }
+        if stats.question_outcomes() != self.sent {
+            return Err(format!(
+                "question outcomes sum to {}, expected {} ({stats:?})",
+                stats.question_outcomes(),
+                self.sent
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One thread's tally, folded into the [`LoadReport`].
+#[derive(Debug, Default)]
+struct WorkerTally {
+    sent: u64,
+    received: u64,
+    timeouts: u64,
+    mismatched: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// Runs the closed-loop load test; blocks until every thread finishes.
+pub fn blast(config: LoadConfig) -> io::Result<LoadReport> {
+    let threads = config.concurrency.max(1);
+    let start = Instant::now();
+    let mut tallies: Vec<io::Result<WorkerTally>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            // Spread the total as evenly as possible; early threads take
+            // the remainder.
+            let share = config.queries / threads as u64
+                + u64::from((t as u64) < config.queries % threads as u64);
+            let cfg = &config;
+            handles.push(scope.spawn(move || client_loop(cfg, t, share)));
+        }
+        for h in handles {
+            tallies.push(h.join().expect("load worker panicked"));
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let mut report = LoadReport {
+        sent: 0,
+        received: 0,
+        timeouts: 0,
+        mismatched: 0,
+        elapsed,
+        latencies_ns: Vec::new(),
+    };
+    for tally in tallies {
+        let tally = tally?;
+        report.sent += tally.sent;
+        report.received += tally.received;
+        report.timeouts += tally.timeouts;
+        report.mismatched += tally.mismatched;
+        report.latencies_ns.extend_from_slice(&tally.latencies_ns);
+    }
+    report.latencies_ns.sort_unstable();
+    Ok(report)
+}
+
+/// Draws the next query from the mix.
+fn next_query(rng: &mut DetRng, config: &LoadConfig, thread: usize, n: u64, id: u16) -> Message {
+    let total = config.mix.total().max(1);
+    let mut draw = rng.gen_range(0..total);
+    let mix = &config.mix;
+    let origin = &config.origin;
+    let mut pick = |weight: u32| {
+        if draw < weight {
+            true
+        } else {
+            draw -= weight;
+            false
+        }
+    };
+    if pick(mix.probe_txt) {
+        let label = format!("p{thread}-q{n}");
+        let qname = origin.prepend(&label).expect("short probe label");
+        Message::iterative_query(id, qname, RType::Txt)
+    } else if pick(mix.apex_ns) {
+        Message::iterative_query(id, origin.clone(), RType::Ns)
+    } else if pick(mix.glue_a) {
+        let qname = origin.prepend("ns1").expect("short label");
+        Message::iterative_query(id, qname, RType::A)
+    } else if pick(mix.apex_txt) {
+        Message::iterative_query(id, origin.clone(), RType::Txt)
+    } else {
+        let mut q = Message::iterative_query(id, Name::parse("hostname.bind").unwrap(), RType::Txt);
+        q.questions[0].qclass = Class::Ch;
+        q
+    }
+}
+
+/// One closed-loop client thread.
+fn client_loop(config: &LoadConfig, thread: usize, queries: u64) -> io::Result<WorkerTally> {
+    let bind_addr: SocketAddr = if config.target.is_ipv4() {
+        "0.0.0.0:0".parse().unwrap()
+    } else {
+        "[::]:0".parse().unwrap()
+    };
+    let socket = UdpSocket::bind(bind_addr)?;
+    socket.connect(config.target)?;
+    socket.set_read_timeout(Some(config.timeout))?;
+
+    let mut rng = DetRng::seed_from_u64(
+        config.seed ^ (thread as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    let mut send_buf = Vec::with_capacity(512);
+    let mut recv_buf = vec![0u8; 4096];
+    let mut tally = WorkerTally { latencies_ns: Vec::with_capacity(queries as usize), ..Default::default() };
+
+    for n in 0..queries {
+        let id = (n % u64::from(u16::MAX)) as u16;
+        let query = next_query(&mut rng, config, thread, n, id);
+        query
+            .encode_into(&mut send_buf)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e:?}")))?;
+        let sent_at = Instant::now();
+        let deadline = sent_at + config.timeout;
+        socket.send(&send_buf)?;
+        tally.sent += 1;
+        // Wait for the response carrying our ID; stale responses from
+        // queries that already timed out are counted and skipped.
+        loop {
+            match socket.recv(&mut recv_buf) {
+                Ok(got) => {
+                    if got >= 2 && u16::from_be_bytes([recv_buf[0], recv_buf[1]]) == id {
+                        tally.received += 1;
+                        tally.latencies_ns.push(sent_at.elapsed().as_nanos() as u64);
+                        break;
+                    }
+                    tally.mismatched += 1;
+                    if Instant::now() >= deadline {
+                        tally.timeouts += 1;
+                        break;
+                    }
+                }
+                Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                    tally.timeouts += 1;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(tally)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{serve, ServeConfig};
+    use dnswild_zone::presets::test_domain_zone;
+    use std::sync::Arc;
+
+    fn origin() -> Name {
+        Name::parse("ourtestdomain.nl").unwrap()
+    }
+
+    /// The end-to-end loopback acceptance path: a netio server on an
+    /// ephemeral port answers a mixed closed-loop load with zero losses,
+    /// and the generator's books balance against the server's counters.
+    #[test]
+    fn loopback_blast_answers_everything() {
+        let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+        let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(3)).unwrap();
+        let report = blast(
+            LoadConfig::new(handle.local_addr(), origin()).concurrency(3).queries(600),
+        )
+        .unwrap();
+        let stats = handle.shutdown();
+        assert_eq!(report.sent, 600);
+        assert!(report.all_answered(), "{report:?}");
+        report.check_server_stats(stats).unwrap();
+        assert!(stats.answers > 0, "probe TXT answers present");
+        assert!(report.qps() > 0.0);
+        assert!(report.latency_percentile(0.5).unwrap() <= report.latency_percentile(0.99).unwrap());
+    }
+
+    /// Probe-only mix: every single response is a positive answer.
+    #[test]
+    fn probe_only_mix_yields_only_answers() {
+        let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+        let handle = serve(ServeConfig::new("127.0.0.1:0", "SYD", zones).threads(2)).unwrap();
+        let report = blast(
+            LoadConfig::new(handle.local_addr(), origin())
+                .concurrency(2)
+                .queries(200)
+                .mix(QueryMix::probe_only()),
+        )
+        .unwrap();
+        let stats = handle.shutdown();
+        assert!(report.all_answered(), "{report:?}");
+        assert_eq!(stats.answers, 200);
+        assert_eq!(stats.queries, 200);
+    }
+
+    #[test]
+    fn mix_draw_is_deterministic_for_a_seed() {
+        let cfg = LoadConfig::new("127.0.0.1:1".parse().unwrap(), origin());
+        let qnames = |seed: u64| {
+            let mut rng = DetRng::seed_from_u64(seed);
+            (0..32u64)
+                .map(|n| {
+                    let q = next_query(&mut rng, &cfg, 0, n, n as u16);
+                    format!("{} {:?}", q.questions[0].qname, q.questions[0].qtype)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(qnames(7), qnames(7));
+        assert_ne!(qnames(7), qnames(8));
+    }
+
+    #[test]
+    fn report_percentiles_and_qps() {
+        let report = LoadReport {
+            sent: 4,
+            received: 4,
+            timeouts: 0,
+            mismatched: 0,
+            elapsed: Duration::from_secs(2),
+            latencies_ns: vec![10, 20, 30, 40],
+        };
+        assert_eq!(report.qps(), 2.0);
+        assert_eq!(report.latency_percentile(0.0), Some(10));
+        assert_eq!(report.latency_percentile(1.0), Some(40));
+        assert!(report.all_answered());
+        let bad = ServerStats { queries: 3, ..Default::default() };
+        assert!(report.check_server_stats(bad).is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! The multi-threaded UDP front-end.
+//!
+//! One [`UdpSocket`] is bound and cloned into N worker threads. Each
+//! worker owns a forked [`AnswerEngine`] (own counters, shared zones),
+//! a reusable receive buffer and a reusable response-encode buffer, so
+//! the steady-state per-packet path performs no allocations. Workers
+//! flush their counters into a shared [`AtomicStats`] after every
+//! packet, so [`ServeHandle::stats`] is a live view; shutdown raises a
+//! stop flag that workers observe within one socket read timeout.
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dnswild_proto::MAX_MESSAGE_SIZE;
+use dnswild_server::{AnswerEngine, ServerStats, TransportKind};
+use dnswild_zone::Zone;
+
+/// How long a worker blocks in `recv_from` before re-checking the stop
+/// flag — the upper bound on shutdown latency.
+const STOP_POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Lock-free aggregate of [`ServerStats`] across worker threads.
+///
+/// Workers merge whole [`ServerStats`] deltas (taken from their engine
+/// with [`AnswerEngine::take_stats`]) rather than bumping individual
+/// fields, so the serving plane and the simulator share one stats code
+/// path and a new counter added to [`ServerStats`] cannot be forgotten
+/// here — [`AtomicStats::merge`] and [`AtomicStats::snapshot`] are
+/// field-for-field mirrors checked by the unit tests below.
+#[derive(Debug, Default)]
+pub struct AtomicStats {
+    queries: AtomicU64,
+    answers: AtomicU64,
+    nxdomain: AtomicU64,
+    nodata: AtomicU64,
+    referrals: AtomicU64,
+    refused: AtomicU64,
+    formerr: AtomicU64,
+    notimp: AtomicU64,
+    chaos: AtomicU64,
+    truncated: AtomicU64,
+    tcp_queries: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl AtomicStats {
+    /// Adds a stats delta into the aggregate.
+    pub fn merge(&self, s: ServerStats) {
+        // Relaxed is enough: counters are independent monotone sums and
+        // readers only ever need a point-in-time snapshot.
+        for (cell, v) in [
+            (&self.queries, s.queries),
+            (&self.answers, s.answers),
+            (&self.nxdomain, s.nxdomain),
+            (&self.nodata, s.nodata),
+            (&self.referrals, s.referrals),
+            (&self.refused, s.refused),
+            (&self.formerr, s.formerr),
+            (&self.notimp, s.notimp),
+            (&self.chaos, s.chaos),
+            (&self.truncated, s.truncated),
+            (&self.tcp_queries, s.tcp_queries),
+            (&self.dropped, s.dropped),
+        ] {
+            if v != 0 {
+                cell.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A point-in-time copy of the aggregate.
+    pub fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            answers: self.answers.load(Ordering::Relaxed),
+            nxdomain: self.nxdomain.load(Ordering::Relaxed),
+            nodata: self.nodata.load(Ordering::Relaxed),
+            referrals: self.referrals.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            formerr: self.formerr.load(Ordering::Relaxed),
+            notimp: self.notimp.load(Ordering::Relaxed),
+            chaos: self.chaos.load(Ordering::Relaxed),
+            truncated: self.truncated.load(Ordering::Relaxed),
+            tcp_queries: self.tcp_queries.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Configuration for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `"127.0.0.1:5300"`; port 0 picks an
+    /// ephemeral port (see [`ServeHandle::local_addr`]).
+    pub bind_addr: String,
+    /// Worker thread count. Defaults to available parallelism, capped
+    /// at 8 (beyond that a single shared UDP socket is the bottleneck).
+    pub threads: usize,
+    /// Site identity answered in branded TXT and CHAOS responses.
+    pub site_code: String,
+    /// The zone set, shared (not copied) across workers.
+    pub zones: Arc<Vec<Zone>>,
+}
+
+impl ServeConfig {
+    /// A config with default thread count.
+    pub fn new(bind_addr: impl Into<String>, site_code: impl Into<String>, zones: Arc<Vec<Zone>>) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8);
+        ServeConfig {
+            bind_addr: bind_addr.into(),
+            threads,
+            site_code: site_code.into(),
+            zones,
+        }
+    }
+
+    /// Overrides the worker thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// A running UDP serving plane. Dropping the handle without calling
+/// [`ServeHandle::shutdown`] detaches the workers (they keep serving).
+pub struct ServeHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<AtomicStats>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A live snapshot of the aggregated traffic counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Number of worker threads serving.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Raises the stop flag, joins every worker and returns the final
+    /// aggregated counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop.store(true, Ordering::Relaxed);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats.snapshot()
+    }
+}
+
+/// Binds the socket and spawns the worker threads.
+pub fn serve(config: ServeConfig) -> io::Result<ServeHandle> {
+    let addr = config
+        .bind_addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "bind address resolves to nothing"))?;
+    let socket = UdpSocket::bind(addr)?;
+    socket.set_read_timeout(Some(STOP_POLL_INTERVAL))?;
+    let local_addr = socket.local_addr()?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(AtomicStats::default());
+    let template = AnswerEngine::with_shared_zones(config.site_code, Arc::clone(&config.zones));
+
+    let mut workers = Vec::with_capacity(config.threads);
+    for i in 0..config.threads.max(1) {
+        let socket = socket.try_clone()?;
+        let stop = Arc::clone(&stop);
+        let stats = Arc::clone(&stats);
+        let mut engine = template.fork();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("netio-worker-{i}"))
+                .spawn(move || worker_loop(socket, &mut engine, &stop, &stats))?,
+        );
+    }
+    Ok(ServeHandle { local_addr, stop, stats, workers })
+}
+
+/// One worker: receive, answer through the engine, send, flush stats.
+fn worker_loop(socket: UdpSocket, engine: &mut AnswerEngine, stop: &AtomicBool, stats: &AtomicStats) {
+    let mut recv_buf = vec![0u8; MAX_MESSAGE_SIZE];
+    let mut resp_buf = Vec::with_capacity(1024);
+    while !stop.load(Ordering::Relaxed) {
+        let (n, peer) = match socket.recv_from(&mut recv_buf) {
+            Ok(ok) => ok,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                continue
+            }
+            // Interrupted reads and transient ICMP-driven errors
+            // (ECONNREFUSED surfacing on unconnected sockets on some
+            // platforms) must not kill the worker.
+            Err(_) => continue,
+        };
+        let handled = engine.handle_packet(&recv_buf[..n], TransportKind::Udp, &mut resp_buf);
+        if handled.response {
+            let _ = socket.send_to(&resp_buf, peer);
+        }
+        stats.merge(engine.take_stats());
+    }
+    // Anything still unflushed (nothing, given the per-packet flush, but
+    // cheap insurance if that policy ever changes).
+    stats.merge(engine.take_stats());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswild_proto::{Message, Name, RData, RType, Rcode};
+    use dnswild_zone::presets::test_domain_zone;
+
+    fn start(threads: usize) -> ServeHandle {
+        let origin = Name::parse("ourtestdomain.nl").unwrap();
+        let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
+        serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads)).unwrap()
+    }
+
+    fn ask(addr: SocketAddr, msg: &Message) -> Message {
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        sock.send_to(&msg.encode().unwrap(), addr).unwrap();
+        let mut buf = [0u8; 4096];
+        let (n, _) = sock.recv_from(&mut buf).unwrap();
+        Message::decode(&buf[..n]).unwrap()
+    }
+
+    #[test]
+    fn answers_branded_probe_txt_over_real_udp() {
+        let handle = start(2);
+        let q = Message::iterative_query(
+            77,
+            Name::parse("p1-r1.ourtestdomain.nl").unwrap(),
+            RType::Txt,
+        );
+        let resp = ask(handle.local_addr(), &q);
+        assert_eq!(resp.header.id, 77);
+        assert!(resp.header.authoritative);
+        assert_eq!(resp.rcode(), Rcode::NoError);
+        let RData::Txt(t) = &resp.answers[0].rdata else { panic!("not TXT") };
+        assert_eq!(t.first_as_string(), "site=FRA");
+        let stats = handle.shutdown();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.answers, 1);
+    }
+
+    #[test]
+    fn off_zone_refused_and_stats_aggregate_across_workers() {
+        let handle = start(4);
+        for i in 0..8u16 {
+            let q = Message::iterative_query(i, Name::parse("example.com").unwrap(), RType::A);
+            let resp = ask(handle.local_addr(), &q);
+            assert_eq!(resp.rcode(), Rcode::Refused);
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.queries, 8);
+        assert_eq!(stats.refused, 8);
+    }
+
+    #[test]
+    fn shutdown_is_prompt_and_idempotent_counters() {
+        let handle = start(2);
+        let before = std::time::Instant::now();
+        let stats = handle.shutdown();
+        assert!(before.elapsed() < Duration::from_secs(2), "stop flag honoured quickly");
+        assert_eq!(stats, ServerStats::default());
+    }
+
+    #[test]
+    fn atomic_stats_round_trip_every_field() {
+        let ones = ServerStats {
+            queries: 1,
+            answers: 2,
+            nxdomain: 3,
+            nodata: 4,
+            referrals: 5,
+            refused: 6,
+            formerr: 7,
+            notimp: 8,
+            chaos: 9,
+            truncated: 10,
+            tcp_queries: 11,
+            dropped: 12,
+        };
+        let agg = AtomicStats::default();
+        agg.merge(ones);
+        agg.merge(ones);
+        assert_eq!(agg.snapshot(), ones + ones);
+    }
+}

@@ -113,6 +113,27 @@ impl Message {
     /// Encodes the message, recomputing all section counts.
     pub fn encode(&self) -> ProtoResult<Vec<u8>> {
         let mut w = WireWriter::new();
+        self.encode_to_writer(&mut w)?;
+        Ok(w.into_bytes())
+    }
+
+    /// Encodes the message into `buf`, reusing its allocation.
+    ///
+    /// `buf` is cleared first and then holds exactly the wire form on
+    /// success (byte-identical to [`Message::encode`]); on error it is
+    /// left empty. A buffer recycled across responses makes the serving
+    /// hot loop allocation-free once it has grown to the working size.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> ProtoResult<()> {
+        let mut w = WireWriter::from_vec(std::mem::take(buf));
+        let result = self.encode_to_writer(&mut w);
+        *buf = w.into_bytes();
+        if result.is_err() {
+            buf.clear();
+        }
+        result
+    }
+
+    fn encode_to_writer(&self, w: &mut WireWriter) -> ProtoResult<()> {
         let mut c = NameCompressor::new();
         let header = Header {
             qdcount: self.questions.len() as u16,
@@ -121,16 +142,16 @@ impl Message {
             arcount: self.additionals.len() as u16,
             ..self.header
         };
-        header.encode(&mut w)?;
+        header.encode(w)?;
         for q in &self.questions {
-            q.encode(&mut w, &mut c)?;
+            q.encode(w, &mut c)?;
         }
         for section in [&self.answers, &self.authorities, &self.additionals] {
             for rec in section {
-                rec.encode(&mut w, &mut c)?;
+                rec.encode(w, &mut c)?;
             }
         }
-        Ok(w.into_bytes())
+        Ok(())
     }
 
     /// Decodes a message from the wire.
@@ -267,6 +288,28 @@ mod tests {
         let q = Message::stub_query(5, name("a.b"), RType::A);
         let bytes = q.encode().unwrap();
         assert!(Message::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_encode() {
+        let q = Message::iterative_query(11, name("q.ourtestdomain.nl"), RType::Txt);
+        let mut resp = Message::response_to(&q, Rcode::NoError);
+        resp.answers.push(Record::new(
+            name("q.ourtestdomain.nl"),
+            5,
+            RData::Txt(Txt::from_string("site=FRA").unwrap()),
+        ));
+        let fresh = resp.encode().unwrap();
+        let mut buf = b"stale bytes from a previous response".to_vec();
+        let cap_before = buf.capacity();
+        resp.encode_into(&mut buf).unwrap();
+        assert_eq!(buf, fresh);
+        assert!(buf.capacity() >= cap_before, "allocation must be reused, not replaced");
+        // Encoding a second, smaller message into the same buffer leaves
+        // exactly that message.
+        let small = Message::response_to(&q, Rcode::Refused);
+        small.encode_into(&mut buf).unwrap();
+        assert_eq!(buf, small.encode().unwrap());
     }
 
     #[test]

@@ -111,6 +111,15 @@ impl WireWriter {
         Self { buf: Vec::with_capacity(cap) }
     }
 
+    /// Creates a writer that reuses `buf`'s allocation. The vector is
+    /// cleared; its capacity is kept, so a buffer recycled across
+    /// messages settles at the working-set size and the hot encode path
+    /// stops allocating. Recover the buffer with [`WireWriter::into_bytes`].
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self { buf }
+    }
+
     /// Current length of the message being built.
     pub fn position(&self) -> usize {
         self.buf.len()

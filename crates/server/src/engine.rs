@@ -1,0 +1,581 @@
+//! The transport-agnostic authoritative answer engine.
+//!
+//! [`AnswerEngine`] is the part of the server that turns one inbound
+//! packet into (at most) one response: decode, opcode/class screening,
+//! zone lookup, per-site TXT branding, CHAOS identification, EDNS echo
+//! and UDP truncation. It knows nothing about *how* packets arrive —
+//! the deterministic simulator actor ([`crate::AuthoritativeServer`])
+//! and the real-socket serving plane (`dnswild-netio`) both drive the
+//! same engine, so behaviour verified in simulation is the behaviour
+//! that runs on the wire.
+//!
+//! The engine writes responses into a caller-supplied reusable buffer
+//! via [`dnswild_proto::Message::encode_into`], so a serving hot loop
+//! performs zero per-response allocations once its buffers are warm.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+use std::sync::Arc;
+
+use dnswild_proto::rdata::Txt;
+use dnswild_proto::{Class, Message, Name, Opcode, RData, RType, Rcode, Record};
+use dnswild_zone::presets::SITE_PLACEHOLDER;
+use dnswild_zone::{Lookup, Zone};
+
+/// Counters a server keeps about its own traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Queries received (decodable messages with QR=0).
+    pub queries: u64,
+    /// Positive answers served.
+    pub answers: u64,
+    /// NXDOMAIN responses.
+    pub nxdomain: u64,
+    /// NODATA responses.
+    pub nodata: u64,
+    /// Referrals served.
+    pub referrals: u64,
+    /// REFUSED responses (off-zone queries).
+    pub refused: u64,
+    /// FORMERR responses (undecodable but with a readable header).
+    pub formerr: u64,
+    /// NOTIMP responses (non-QUERY opcodes).
+    pub notimp: u64,
+    /// CHAOS identification queries answered.
+    pub chaos: u64,
+    /// UDP responses truncated because they exceeded the client's
+    /// advertised payload size (TC=1 sent instead).
+    pub truncated: u64,
+    /// Queries served over the TCP-like transport.
+    pub tcp_queries: u64,
+    /// Datagrams dropped silently (unparseable, or responses).
+    pub dropped: u64,
+}
+
+impl ServerStats {
+    /// Sum of the per-outcome response counters for proper questions
+    /// (everything [`AnswerEngine::handle_query`] classifies a question
+    /// into). For a run where every sent packet is a well-formed query
+    /// this equals [`ServerStats::queries`] — the consistency invariant
+    /// the loopback smoke test asserts.
+    pub fn question_outcomes(&self) -> u64 {
+        self.answers + self.nxdomain + self.nodata + self.referrals + self.refused + self.chaos
+    }
+
+    /// Folds any collection of per-thread / per-actor stats into one
+    /// aggregate. The single merge code path used by both the
+    /// multi-threaded serving plane and multi-server simulations.
+    pub fn aggregate<I: IntoIterator<Item = ServerStats>>(parts: I) -> ServerStats {
+        parts.into_iter().sum()
+    }
+}
+
+impl Add for ServerStats {
+    type Output = ServerStats;
+    fn add(self, rhs: ServerStats) -> ServerStats {
+        ServerStats {
+            queries: self.queries + rhs.queries,
+            answers: self.answers + rhs.answers,
+            nxdomain: self.nxdomain + rhs.nxdomain,
+            nodata: self.nodata + rhs.nodata,
+            referrals: self.referrals + rhs.referrals,
+            refused: self.refused + rhs.refused,
+            formerr: self.formerr + rhs.formerr,
+            notimp: self.notimp + rhs.notimp,
+            chaos: self.chaos + rhs.chaos,
+            truncated: self.truncated + rhs.truncated,
+            tcp_queries: self.tcp_queries + rhs.tcp_queries,
+            dropped: self.dropped + rhs.dropped,
+        }
+    }
+}
+
+impl AddAssign for ServerStats {
+    fn add_assign(&mut self, rhs: ServerStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for ServerStats {
+    fn sum<I: Iterator<Item = ServerStats>>(iter: I) -> ServerStats {
+        iter.fold(ServerStats::default(), Add::add)
+    }
+}
+
+/// Which kind of transport a packet arrived over. The engine only cares
+/// about the semantic difference (UDP answers are subject to the
+/// client's advertised payload size; TCP answers are not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Datagram transport: truncate oversized answers with TC=1.
+    Udp,
+    /// Stream transport: no size limit below the 64 KiB message cap.
+    Tcp,
+}
+
+/// The question a well-formed query carried — what a passive trace
+/// records about it (qname/qtype; the caller adds time and addresses).
+#[derive(Debug, Clone)]
+pub struct QueryView {
+    /// Query name.
+    pub qname: Name,
+    /// Query type.
+    pub qtype: RType,
+}
+
+/// What [`AnswerEngine::handle_packet`] did with one inbound packet.
+#[derive(Debug)]
+pub struct HandledPacket {
+    /// Whether a response was written into the caller's buffer.
+    pub response: bool,
+    /// The question, when the packet was a well-formed QUERY carrying
+    /// one (the condition under which the simulator's passive log
+    /// records an entry).
+    pub query: Option<QueryView>,
+}
+
+impl HandledPacket {
+    fn drop() -> Self {
+        HandledPacket { response: false, query: None }
+    }
+}
+
+/// The authoritative answer logic, independent of any transport.
+///
+/// Zones are held behind an [`Arc`] so the multi-threaded serving plane
+/// can share one parsed zone set across workers; [`AnswerEngine::fork`]
+/// hands each worker its own engine (own stats, shared zones).
+#[derive(Debug, Clone)]
+pub struct AnswerEngine {
+    site_code: String,
+    zones: Arc<Vec<Zone>>,
+    stats: ServerStats,
+}
+
+impl AnswerEngine {
+    /// An engine identified as `site_code` (e.g. `"FRA"`), serving `zones`.
+    pub fn new(site_code: impl Into<String>, zones: Vec<Zone>) -> Self {
+        Self::with_shared_zones(site_code, Arc::new(zones))
+    }
+
+    /// An engine over an already-shared zone set.
+    pub fn with_shared_zones(site_code: impl Into<String>, zones: Arc<Vec<Zone>>) -> Self {
+        AnswerEngine { site_code: site_code.into(), zones, stats: ServerStats::default() }
+    }
+
+    /// A worker-private copy: same site identity, same shared zones,
+    /// fresh counters.
+    pub fn fork(&self) -> AnswerEngine {
+        AnswerEngine {
+            site_code: self.site_code.clone(),
+            zones: Arc::clone(&self.zones),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// The site identity this engine answers with.
+    pub fn site_code(&self) -> &str {
+        &self.site_code
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Counts a packet dropped before it reached the engine (e.g. a
+    /// simulated outage window swallowing traffic).
+    pub fn record_drop(&mut self) {
+        self.stats.dropped += 1;
+    }
+
+    /// Returns the counters accumulated since the last take, resetting
+    /// them to zero — how serving-plane workers flush into the shared
+    /// atomic aggregate.
+    pub fn take_stats(&mut self) -> ServerStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// The zone whose origin is the longest suffix of `qname`.
+    pub fn zone_for(&self, qname: &Name) -> Option<&Zone> {
+        self.zones
+            .iter()
+            .filter(|z| qname.is_subdomain_of(z.origin()))
+            .max_by_key(|z| z.origin().label_count())
+    }
+
+    /// Substitutes the site placeholder in TXT answers.
+    fn brand_records(&self, records: Vec<Record>) -> Vec<Record> {
+        records
+            .into_iter()
+            .map(|r| {
+                if let RData::Txt(t) = &r.rdata {
+                    if t.first_as_string() == SITE_PLACEHOLDER {
+                        let branded = Txt::from_string(&format!("site={}", self.site_code))
+                            .expect("site code fits in a TXT string");
+                        return Record::with_class(r.name, r.class, r.ttl, RData::Txt(branded));
+                    }
+                }
+                r
+            })
+            .collect()
+    }
+
+    fn answer_chaos(&mut self, query: &Message, qname: &Name) -> Message {
+        self.stats.chaos += 1;
+        let mut resp = Message::response_to(query, Rcode::NoError);
+        resp.header.authoritative = true;
+        resp.answers.push(Record::with_class(
+            qname.clone(),
+            Class::Ch,
+            0,
+            RData::Txt(Txt::from_string(&self.site_code).expect("short site code")),
+        ));
+        resp
+    }
+
+    /// Classifies one proper question into a response message.
+    fn handle_query(&mut self, query: &Message) -> Option<Message> {
+        let question = query.question()?.clone();
+
+        if question.qclass == Class::Ch {
+            let qname_str = question.qname.to_string().to_ascii_lowercase();
+            if question.qtype == RType::Txt
+                && (qname_str == "hostname.bind." || qname_str == "id.server.")
+            {
+                return Some(self.answer_chaos(query, &question.qname));
+            }
+            self.stats.refused += 1;
+            return Some(Message::response_to(query, Rcode::Refused));
+        }
+
+        let Some(zone) = self.zone_for(&question.qname) else {
+            self.stats.refused += 1;
+            return Some(Message::response_to(query, Rcode::Refused));
+        };
+
+        let mut resp = match zone.lookup(&question.qname, question.qtype) {
+            Lookup::Answer(records) => {
+                self.stats.answers += 1;
+                let mut m = Message::response_to(query, Rcode::NoError);
+                m.header.authoritative = true;
+                m.answers = self.brand_records(records);
+                m
+            }
+            Lookup::NoData { soa } => {
+                self.stats.nodata += 1;
+                let mut m = Message::response_to(query, Rcode::NoError);
+                m.header.authoritative = true;
+                m.authorities.push(soa);
+                m
+            }
+            Lookup::NxDomain { soa } => {
+                self.stats.nxdomain += 1;
+                let mut m = Message::response_to(query, Rcode::NxDomain);
+                m.header.authoritative = true;
+                m.authorities.push(soa);
+                m
+            }
+            Lookup::Referral { ns, glue } => {
+                self.stats.referrals += 1;
+                let mut m = Message::response_to(query, Rcode::NoError);
+                m.authorities = ns;
+                m.additionals = glue;
+                m
+            }
+            Lookup::OutOfZone => {
+                self.stats.refused += 1;
+                Message::response_to(query, Rcode::Refused)
+            }
+        };
+
+        // Echo EDNS0 with our own payload-size advertisement.
+        if query.edns().is_some() {
+            resp.add_edns(dnswild_proto::DEFAULT_EDNS_PAYLOAD);
+        }
+        Some(resp)
+    }
+
+    /// Turns one inbound packet into at most one response, written into
+    /// `resp_buf` (cleared first; left empty when nothing is to be sent).
+    ///
+    /// This is the single entry point both planes use: malformed-packet
+    /// salvage (FORMERR when the header is readable), QR screening,
+    /// NOTIMP for non-QUERY opcodes, the zone lookup, and — for
+    /// [`TransportKind::Udp`] — replacement of answers exceeding the
+    /// client's advertised payload size by an empty TC=1 response
+    /// inviting a TCP retry.
+    pub fn handle_packet(
+        &mut self,
+        payload: &[u8],
+        transport: TransportKind,
+        resp_buf: &mut Vec<u8>,
+    ) -> HandledPacket {
+        resp_buf.clear();
+        let query = match Message::decode(payload) {
+            Ok(m) => m,
+            Err(_) => {
+                // Try to salvage the ID for a FORMERR; otherwise drop.
+                if payload.len() >= dnswild_proto::Header::WIRE_LEN {
+                    let id = u16::from_be_bytes([payload[0], payload[1]]);
+                    let resp = Message {
+                        header: dnswild_proto::Header {
+                            id,
+                            response: true,
+                            rcode: Rcode::FormErr,
+                            ..Default::default()
+                        },
+                        questions: vec![],
+                        answers: vec![],
+                        authorities: vec![],
+                        additionals: vec![],
+                    };
+                    self.stats.formerr += 1;
+                    if resp.encode_into(resp_buf).is_ok() {
+                        return HandledPacket { response: true, query: None };
+                    }
+                } else {
+                    self.stats.dropped += 1;
+                }
+                return HandledPacket::drop();
+            }
+        };
+
+        if query.is_response() {
+            self.stats.dropped += 1;
+            return HandledPacket::drop();
+        }
+
+        if query.header.opcode != Opcode::Query {
+            self.stats.notimp += 1;
+            let resp = Message::response_to(&query, Rcode::NotImp);
+            let sent = resp.encode_into(resp_buf).is_ok();
+            return HandledPacket { response: sent, query: None };
+        }
+
+        self.stats.queries += 1;
+        if transport == TransportKind::Tcp {
+            self.stats.tcp_queries += 1;
+        }
+        let view = query
+            .question()
+            .map(|q| QueryView { qname: q.qname.clone(), qtype: q.qtype });
+
+        let Some(resp) = self.handle_query(&query) else {
+            return HandledPacket { response: false, query: view };
+        };
+        if resp.encode_into(resp_buf).is_err() {
+            return HandledPacket { response: false, query: view };
+        }
+        // UDP responses must fit the client's advertised payload size
+        // (512 without EDNS); oversized answers are replaced by an empty
+        // TC=1 response inviting a TCP retry.
+        let limit = query.edns_payload_size().unwrap_or(512) as usize;
+        if transport == TransportKind::Udp && resp_buf.len() > limit {
+            self.stats.truncated += 1;
+            let mut tc = Message::response_to(&query, resp.rcode());
+            tc.header.authoritative = resp.header.authoritative;
+            tc.header.truncated = true;
+            if query.edns().is_some() {
+                tc.add_edns(dnswild_proto::DEFAULT_EDNS_PAYLOAD);
+            }
+            tc.encode_into(resp_buf).expect("truncated response encodes");
+        }
+        HandledPacket { response: true, query: view }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswild_proto::Question;
+    use dnswild_zone::presets::test_domain_zone;
+
+    fn origin() -> Name {
+        Name::parse("ourtestdomain.nl").unwrap()
+    }
+
+    fn engine() -> AnswerEngine {
+        AnswerEngine::new("FRA", vec![test_domain_zone(&origin(), 2)])
+    }
+
+    /// Runs one packet through a fresh engine, decoding the response.
+    fn run(payload: &[u8], transport: TransportKind) -> (Option<Message>, ServerStats) {
+        let mut e = engine();
+        let mut buf = Vec::new();
+        let handled = e.handle_packet(payload, transport, &mut buf);
+        let resp = handled.response.then(|| Message::decode(&buf).expect("decodable response"));
+        (resp, e.stats())
+    }
+
+    #[test]
+    fn probe_txt_branded_without_a_simulator() {
+        let q = Message::iterative_query(1, origin().prepend("p1-r1").unwrap(), RType::Txt);
+        let (resp, stats) = run(&q.encode().unwrap(), TransportKind::Udp);
+        let resp = resp.expect("answered");
+        assert!(resp.header.authoritative);
+        let RData::Txt(t) = &resp.answers[0].rdata else { panic!("not TXT") };
+        assert_eq!(t.first_as_string(), "site=FRA");
+        assert_eq!(stats.answers, 1);
+        assert_eq!(stats.queries, 1);
+    }
+
+    #[test]
+    fn off_zone_is_refused() {
+        let q = Message::iterative_query(2, Name::parse("example.com").unwrap(), RType::A);
+        let (resp, stats) = run(&q.encode().unwrap(), TransportKind::Udp);
+        assert_eq!(resp.unwrap().rcode(), Rcode::Refused);
+        assert_eq!(stats.refused, 1);
+    }
+
+    #[test]
+    fn non_query_opcode_is_notimp() {
+        let mut q = Message::iterative_query(3, origin(), RType::A);
+        q.header.opcode = Opcode::Update;
+        let (resp, stats) = run(&q.encode().unwrap(), TransportKind::Udp);
+        assert_eq!(resp.unwrap().rcode(), Rcode::NotImp);
+        assert_eq!(stats.notimp, 1);
+        assert_eq!(stats.queries, 0, "NOTIMP packets are not counted as queries");
+    }
+
+    #[test]
+    fn garbage_with_readable_header_gets_formerr() {
+        let mut garbage = vec![0u8; 12];
+        garbage[0] = 0xab;
+        garbage[1] = 0xcd;
+        garbage.push(0xff); // trailing byte → decode error
+        let (resp, stats) = run(&garbage, TransportKind::Udp);
+        let resp = resp.expect("FORMERR sent");
+        assert_eq!(resp.rcode(), Rcode::FormErr);
+        assert_eq!(resp.header.id, 0xabcd);
+        assert_eq!(stats.formerr, 1);
+    }
+
+    #[test]
+    fn truncated_header_is_dropped_silently() {
+        let (resp, stats) = run(&[0xab, 0xcd, 0x00], TransportKind::Udp);
+        assert!(resp.is_none());
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.formerr, 0);
+    }
+
+    #[test]
+    fn responses_are_dropped() {
+        let q = Message::iterative_query(4, origin(), RType::Ns);
+        let resp = Message::response_to(&q, Rcode::NoError);
+        let (out, stats) = run(&resp.encode().unwrap(), TransportKind::Udp);
+        assert!(out.is_none());
+        assert_eq!(stats.dropped, 1);
+    }
+
+    #[test]
+    fn undersized_payload_gets_tc_over_udp_but_not_tcp() {
+        use dnswild_proto::rdata::Txt;
+        let mut zone = test_domain_zone(&origin(), 1);
+        let strings: Vec<Vec<u8>> = (0..3).map(|i| vec![b'x' + i as u8; 230]).collect();
+        zone.insert(Record::new(
+            origin().prepend("mid").unwrap(),
+            60,
+            RData::Txt(Txt::new(strings).unwrap()),
+        ));
+        let mut e = AnswerEngine::new("FRA", vec![zone]);
+        // ~700B answer, no EDNS → 512-byte limit → TC=1 over UDP.
+        let mut q = Message::iterative_query(5, origin().prepend("mid").unwrap(), RType::Txt);
+        q.additionals.clear();
+        let payload = q.encode().unwrap();
+        let mut buf = Vec::new();
+        assert!(e.handle_packet(&payload, TransportKind::Udp, &mut buf).response);
+        let udp = Message::decode(&buf).unwrap();
+        assert!(udp.header.truncated);
+        assert!(udp.answers.is_empty());
+        // The same query over TCP returns the full answer.
+        assert!(e.handle_packet(&payload, TransportKind::Tcp, &mut buf).response);
+        let tcp = Message::decode(&buf).unwrap();
+        assert!(!tcp.header.truncated);
+        assert_eq!(tcp.answers.len(), 1);
+        let stats = e.stats();
+        assert_eq!(stats.truncated, 1);
+        assert_eq!(stats.tcp_queries, 1);
+        assert_eq!(stats.queries, 2);
+    }
+
+    #[test]
+    fn chaos_hostname_bind_identifies_site() {
+        let mut q = Message::iterative_query(6, Name::parse("hostname.bind").unwrap(), RType::Txt);
+        q.questions[0].qclass = Class::Ch;
+        let (resp, stats) = run(&q.encode().unwrap(), TransportKind::Udp);
+        let RData::Txt(t) = &resp.unwrap().answers[0].rdata else { panic!("not TXT") };
+        assert_eq!(t.first_as_string(), "FRA");
+        assert_eq!(stats.chaos, 1);
+    }
+
+    #[test]
+    fn chaos_other_name_refused() {
+        let q = Message {
+            header: dnswild_proto::Header { id: 7, ..Default::default() },
+            questions: vec![Question::chaos(Name::parse("version.bind").unwrap(), RType::Txt)],
+            answers: vec![],
+            authorities: vec![],
+            additionals: vec![],
+        };
+        let (resp, stats) = run(&q.encode().unwrap(), TransportKind::Udp);
+        assert_eq!(resp.unwrap().rcode(), Rcode::Refused);
+        assert_eq!(stats.refused, 1);
+    }
+
+    #[test]
+    fn forked_engines_share_zones_but_not_stats() {
+        let mut a = engine();
+        let mut b = a.fork();
+        let q = Message::iterative_query(8, origin().prepend("x").unwrap(), RType::Txt);
+        let payload = q.encode().unwrap();
+        let mut buf = Vec::new();
+        a.handle_packet(&payload, TransportKind::Udp, &mut buf);
+        a.handle_packet(&payload, TransportKind::Udp, &mut buf);
+        b.handle_packet(&payload, TransportKind::Udp, &mut buf);
+        assert_eq!(a.stats().answers, 2);
+        assert_eq!(b.stats().answers, 1);
+        let merged = ServerStats::aggregate([a.take_stats(), b.take_stats()]);
+        assert_eq!(merged.answers, 3);
+        assert_eq!(merged.queries, 3);
+        assert_eq!(a.stats(), ServerStats::default(), "take_stats resets");
+    }
+
+    #[test]
+    fn stats_add_covers_every_field() {
+        let ones = ServerStats {
+            queries: 1,
+            answers: 1,
+            nxdomain: 1,
+            nodata: 1,
+            referrals: 1,
+            refused: 1,
+            formerr: 1,
+            notimp: 1,
+            chaos: 1,
+            truncated: 1,
+            tcp_queries: 1,
+            dropped: 1,
+        };
+        let sum = ServerStats::aggregate([ones, ones, ones]);
+        assert_eq!(sum, ServerStats {
+            queries: 3,
+            answers: 3,
+            nxdomain: 3,
+            nodata: 3,
+            referrals: 3,
+            refused: 3,
+            formerr: 3,
+            notimp: 3,
+            chaos: 3,
+            truncated: 3,
+            tcp_queries: 3,
+            dropped: 3,
+        });
+        assert_eq!(ones.question_outcomes(), 6);
+        let mut acc = ServerStats::default();
+        acc += ones;
+        acc += ones;
+        assert_eq!(acc, ones + ones);
+    }
+}

@@ -21,46 +21,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
+
 use std::any::Any;
 use std::sync::Arc;
 
 use std::sync::Mutex;
 
 use dnswild_netsim::{Actor, Context, Datagram, SimAddr, SimTime, Transport};
-use dnswild_proto::rdata::Txt;
-use dnswild_proto::{Class, Message, Name, Opcode, RData, RType, Rcode, Record};
-use dnswild_zone::presets::SITE_PLACEHOLDER;
-use dnswild_zone::{Lookup, Zone};
+use dnswild_proto::{Name, RType};
+use dnswild_zone::Zone;
 
-/// Counters a server keeps about its own traffic.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServerStats {
-    /// Queries received (decodable messages with QR=0).
-    pub queries: u64,
-    /// Positive answers served.
-    pub answers: u64,
-    /// NXDOMAIN responses.
-    pub nxdomain: u64,
-    /// NODATA responses.
-    pub nodata: u64,
-    /// Referrals served.
-    pub referrals: u64,
-    /// REFUSED responses (off-zone queries).
-    pub refused: u64,
-    /// FORMERR responses (undecodable but with a readable header).
-    pub formerr: u64,
-    /// NOTIMP responses (non-QUERY opcodes).
-    pub notimp: u64,
-    /// CHAOS identification queries answered.
-    pub chaos: u64,
-    /// UDP responses truncated because they exceeded the client's
-    /// advertised payload size (TC=1 sent instead).
-    pub truncated: u64,
-    /// Queries served over the TCP-like transport.
-    pub tcp_queries: u64,
-    /// Datagrams dropped silently (unparseable, or responses).
-    pub dropped: u64,
-}
+pub use engine::{AnswerEngine, HandledPacket, QueryView, ServerStats, TransportKind};
 
 /// One query observed at the authoritative — the passive-trace view the
 /// paper uses to cross-check client-side data (§3.1) and to analyze
@@ -84,14 +56,20 @@ pub struct ServerLogEntry {
 pub type ServerLog = Arc<Mutex<Vec<ServerLogEntry>>>;
 
 /// An authoritative name server bound to a simulator host.
+///
+/// This is a thin transport adapter: the answering semantics live in the
+/// transport-agnostic [`AnswerEngine`], which the real-socket serving
+/// plane (`dnswild-netio`) drives as well. The actor adds only what is
+/// simulation-specific — outage windows, the passive query log, and the
+/// simulated-datagram plumbing.
 pub struct AuthoritativeServer {
-    site_code: String,
-    zones: Vec<Zone>,
-    stats: ServerStats,
+    engine: AnswerEngine,
     log: Option<ServerLog>,
     /// Windows during which the server process is down and silently
     /// drops everything (a crash or a saturating DDoS).
     outages: Vec<(SimTime, SimTime)>,
+    /// Reusable response encode buffer (the engine's zero-alloc path).
+    resp_buf: Vec<u8>,
 }
 
 impl AuthoritativeServer {
@@ -99,11 +77,10 @@ impl AuthoritativeServer {
     /// serving `zones`.
     pub fn new(site_code: impl Into<String>, zones: Vec<Zone>) -> Self {
         AuthoritativeServer {
-            site_code: site_code.into(),
-            zones,
-            stats: ServerStats::default(),
+            engine: AnswerEngine::new(site_code, zones),
             log: None,
             outages: Vec::new(),
+            resp_buf: Vec::new(),
         }
     }
 
@@ -131,204 +108,52 @@ impl AuthoritativeServer {
 
     /// The site identity this server answers with.
     pub fn site_code(&self) -> &str {
-        &self.site_code
+        self.engine.site_code()
     }
 
     /// Traffic counters.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        self.engine.stats()
     }
 
-    /// The zone whose origin is the longest suffix of `qname`.
-    fn zone_for(&self, qname: &Name) -> Option<&Zone> {
-        self.zones
-            .iter()
-            .filter(|z| qname.is_subdomain_of(z.origin()))
-            .max_by_key(|z| z.origin().label_count())
+    /// The underlying transport-agnostic answer engine.
+    pub fn engine(&self) -> &AnswerEngine {
+        &self.engine
     }
 
-    /// Substitutes the site placeholder in TXT answers.
-    fn brand_records(&self, records: Vec<Record>) -> Vec<Record> {
-        records
-            .into_iter()
-            .map(|r| {
-                if let RData::Txt(t) = &r.rdata {
-                    if t.first_as_string() == SITE_PLACEHOLDER {
-                        let branded = Txt::from_string(&format!("site={}", self.site_code))
-                            .expect("site code fits in a TXT string");
-                        return Record::with_class(r.name, r.class, r.ttl, RData::Txt(branded));
-                    }
-                }
-                r
-            })
-            .collect()
-    }
-
-    fn answer_chaos(&mut self, query: &Message, qname: &Name) -> Message {
-        self.stats.chaos += 1;
-        let mut resp = Message::response_to(query, Rcode::NoError);
-        resp.header.authoritative = true;
-        resp.answers.push(Record::with_class(
-            qname.clone(),
-            Class::Ch,
-            0,
-            RData::Txt(Txt::from_string(&self.site_code).expect("short site code")),
-        ));
-        resp
-    }
-
-    fn handle_query(&mut self, query: &Message) -> Option<Message> {
-        let question = query.question()?.clone();
-
-        if question.qclass == Class::Ch {
-            let qname_str = question.qname.to_string().to_ascii_lowercase();
-            if question.qtype == RType::Txt
-                && (qname_str == "hostname.bind." || qname_str == "id.server.")
-            {
-                return Some(self.answer_chaos(query, &question.qname));
-            }
-            self.stats.refused += 1;
-            return Some(Message::response_to(query, Rcode::Refused));
-        }
-
-        let Some(zone) = self.zone_for(&question.qname) else {
-            self.stats.refused += 1;
-            return Some(Message::response_to(query, Rcode::Refused));
-        };
-
-        let mut resp = match zone.lookup(&question.qname, question.qtype) {
-            Lookup::Answer(records) => {
-                self.stats.answers += 1;
-                let mut m = Message::response_to(query, Rcode::NoError);
-                m.header.authoritative = true;
-                m.answers = self.brand_records(records);
-                m
-            }
-            Lookup::NoData { soa } => {
-                self.stats.nodata += 1;
-                let mut m = Message::response_to(query, Rcode::NoError);
-                m.header.authoritative = true;
-                m.authorities.push(soa);
-                m
-            }
-            Lookup::NxDomain { soa } => {
-                self.stats.nxdomain += 1;
-                let mut m = Message::response_to(query, Rcode::NxDomain);
-                m.header.authoritative = true;
-                m.authorities.push(soa);
-                m
-            }
-            Lookup::Referral { ns, glue } => {
-                self.stats.referrals += 1;
-                let mut m = Message::response_to(query, Rcode::NoError);
-                m.authorities = ns;
-                m.additionals = glue;
-                m
-            }
-            Lookup::OutOfZone => {
-                self.stats.refused += 1;
-                Message::response_to(query, Rcode::Refused)
-            }
-        };
-
-        // Echo EDNS0 with our own payload-size advertisement.
-        if query.edns().is_some() {
-            resp.add_edns(dnswild_proto::DEFAULT_EDNS_PAYLOAD);
-        }
-        Some(resp)
-    }
 }
 
 impl Actor for AuthoritativeServer {
     fn on_datagram(&mut self, ctx: &mut Context<'_>, dgram: Datagram) {
         if self.is_down(ctx.now()) {
-            self.stats.dropped += 1;
+            self.engine.record_drop();
             return;
         }
-        let query = match Message::decode(&dgram.payload) {
-            Ok(m) => m,
-            Err(_) => {
-                // Try to salvage the ID for a FORMERR; otherwise drop.
-                if dgram.payload.len() >= dnswild_proto::Header::WIRE_LEN {
-                    let id = u16::from_be_bytes([dgram.payload[0], dgram.payload[1]]);
-                    let resp = Message {
-                        header: dnswild_proto::Header {
-                            id,
-                            response: true,
-                            rcode: Rcode::FormErr,
-                            ..Default::default()
-                        },
-                        questions: vec![],
-                        answers: vec![],
-                        authorities: vec![],
-                        additionals: vec![],
-                    };
-                    self.stats.formerr += 1;
-                    if let Ok(bytes) = resp.encode() {
-                        ctx.send(dgram.dst, dgram.src, bytes);
-                    }
-                } else {
-                    self.stats.dropped += 1;
-                }
-                return;
-            }
+        let transport = match dgram.transport {
+            Transport::Udp => TransportKind::Udp,
+            Transport::Tcp => TransportKind::Tcp,
         };
-
-        if query.is_response() {
-            self.stats.dropped += 1;
-            return;
-        }
-
-        if query.header.opcode != Opcode::Query {
-            self.stats.notimp += 1;
-            let resp = Message::response_to(&query, Rcode::NotImp);
-            if let Ok(bytes) = resp.encode() {
-                ctx.send(dgram.dst, dgram.src, bytes);
-            }
-            return;
-        }
-
-        self.stats.queries += 1;
-        if dgram.transport == Transport::Tcp {
-            self.stats.tcp_queries += 1;
-        }
-        if let (Some(log), Some(q)) = (&self.log, query.question()) {
+        let mut buf = std::mem::take(&mut self.resp_buf);
+        let handled = self.engine.handle_packet(&dgram.payload, transport, &mut buf);
+        if let (Some(log), Some(view)) = (&self.log, &handled.query) {
             log.lock().expect("server log mutex poisoned").push(ServerLogEntry {
                 time: ctx.now(),
                 client: dgram.src,
                 service: dgram.dst,
-                qname: q.qname.clone(),
-                qtype: q.qtype,
+                qname: view.qname.clone(),
+                qtype: view.qtype,
             });
         }
-
-        if let Some(resp) = self.handle_query(&query) {
-            if let Ok(bytes) = resp.encode() {
-                // UDP responses must fit the client's advertised payload
-                // size (512 without EDNS); oversized answers are replaced
-                // by an empty TC=1 response inviting a TCP retry.
-                let limit = query.edns_payload_size().unwrap_or(512) as usize;
-                let bytes = if dgram.transport == Transport::Udp && bytes.len() > limit {
-                    self.stats.truncated += 1;
-                    let mut tc = Message::response_to(&query, resp.rcode());
-                    tc.header.authoritative = resp.header.authoritative;
-                    tc.header.truncated = true;
-                    if query.edns().is_some() {
-                        tc.add_edns(dnswild_proto::DEFAULT_EDNS_PAYLOAD);
-                    }
-                    tc.encode().expect("truncated response encodes")
-                } else {
-                    bytes
-                };
-                // Reply from the address we were queried on — crucial for
-                // anycast, where that address is shared across sites —
-                // and over the transport the query used.
-                match dgram.transport {
-                    Transport::Udp => ctx.send(dgram.dst, dgram.src, bytes),
-                    Transport::Tcp => ctx.send_tcp(dgram.dst, dgram.src, bytes),
-                }
+        if handled.response {
+            // Reply from the address we were queried on — crucial for
+            // anycast, where that address is shared across sites — and
+            // over the transport the query used.
+            match dgram.transport {
+                Transport::Udp => ctx.send(dgram.dst, dgram.src, buf.clone()),
+                Transport::Tcp => ctx.send_tcp(dgram.dst, dgram.src, buf.clone()),
             }
         }
+        self.resp_buf = buf;
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -345,7 +170,8 @@ mod tests {
     use super::*;
     use dnswild_netsim::geo::datacenters;
     use dnswild_netsim::{HostConfig, LatencyConfig, SimDuration, Simulator};
-    use dnswild_proto::Question;
+    use dnswild_proto::rdata::Txt;
+    use dnswild_proto::{Class, Message, Opcode, Question, RData, Rcode, Record};
     use dnswild_zone::presets::test_domain_zone;
 
     /// A stub client that sends canned queries and stores responses.
@@ -764,9 +590,9 @@ mod tests {
         let parent = test_domain_zone(&Name::parse("nl").unwrap(), 1);
         let child = test_domain_zone(&origin(), 2);
         let server = AuthoritativeServer::new("X", vec![parent, child]);
-        let zone = server.zone_for(&Name::parse("a.ourtestdomain.nl").unwrap()).unwrap();
+        let zone = server.engine().zone_for(&Name::parse("a.ourtestdomain.nl").unwrap()).unwrap();
         assert_eq!(zone.origin(), &origin());
-        let zone = server.zone_for(&Name::parse("other.nl").unwrap()).unwrap();
+        let zone = server.engine().zone_for(&Name::parse("other.nl").unwrap()).unwrap();
         assert_eq!(zone.origin(), &Name::parse("nl").unwrap());
     }
 }

@@ -6,3 +6,8 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline
+
+# Loopback smoke test of the real-socket serving plane: a netio server
+# on an ephemeral UDP port must answer 100% of a 1k-query closed-loop
+# blast with internally consistent counters (exits non-zero otherwise).
+cargo run --release --offline -q -p dnswild --bin dnswild -- smoke --queries 1000

@@ -115,6 +115,33 @@ fn workspace_dependency_table_is_path_only() {
     }
 }
 
+/// The serving-plane crate is young and its manifest churns; pin down
+/// that it stays in the scan and stays hermetic (path-only deps, no
+/// registry crates — real sockets come from `std`, not tokio/socket2).
+#[test]
+fn netio_manifest_is_scanned_and_hermetic() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/netio/Cargo.toml");
+    assert!(manifest.is_file(), "crates/netio/Cargo.toml missing");
+    assert!(
+        workspace_manifests().contains(&manifest),
+        "netio manifest not picked up by the workspace scan"
+    );
+    let entries = dependency_sections(&manifest);
+    assert!(
+        entries.len() >= 3,
+        "netio should declare its in-tree deps (proto/zone/server at least), found {}",
+        entries.len()
+    );
+    for entry in entries {
+        assert!(
+            entry.is_hermetic(),
+            "netio gained a non-path dependency: {} (line {})",
+            entry.line,
+            entry.line_no
+        );
+    }
+}
+
 #[test]
 fn known_banned_crates_are_absent() {
     // The five crates this workspace once pulled from the registry. Name

@@ -105,6 +105,23 @@ fn message_round_trips() {
     });
 }
 
+/// The buffer-reuse encode path must be byte-identical to the
+/// allocating one, whatever message it is handed and whatever stale
+/// contents the recycled buffer held.
+#[test]
+fn encode_into_matches_into_bytes() {
+    property("encode_into_matches_into_bytes").cases(CASES).check(|g| {
+        let mut msg = Message::iterative_query(g.u16(), gen_name(g), RType::Txt);
+        msg.header.response = g.bool();
+        msg.answers = g.vec(0..5, gen_record);
+        msg.authorities = g.vec(0..3, gen_record);
+        let fresh = msg.encode().unwrap();
+        let mut buf = g.bytes(0..64); // stale garbage a hot loop would carry
+        msg.encode_into(&mut buf).unwrap();
+        assert_eq!(buf, fresh);
+    });
+}
+
 /// The decoder must never panic, whatever bytes arrive. (Errors are
 /// fine; crashes are not — this is the server's untrusted input.)
 #[test]
