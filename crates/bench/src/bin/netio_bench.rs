@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use dnswild_bench::{black_box, Runner, Stats};
-use dnswild_netio::{blast, serve, LoadConfig, QueryMix, ServeConfig};
+use dnswild_netio::{blast, serve, Direction, FaultPlan, FaultProfile, LoadConfig, QueryMix, ServeConfig};
 use dnswild_proto::{Message, Name, RType};
 use dnswild_zone::presets::test_domain_zone;
 
@@ -89,9 +89,39 @@ fn bench_encode_paths(r: &mut Runner) {
     });
 }
 
+/// Per-datagram cost of the chaos plane's fault decision — the overhead
+/// the proxy adds to every packet it carries (hash, occurrence lookup,
+/// RNG draws, payload copy).
+fn bench_chaos_decide(r: &mut Runner) {
+    let profile = FaultProfile {
+        drop: 0.06,
+        dup: 0.02,
+        corrupt: 0.01,
+        truncate: 0.005,
+        reorder: 0.05,
+        delay_min_us: 0,
+        delay_max_us: 20_000,
+    };
+    let plan = FaultPlan::new(2017, profile, profile);
+    let query = Message::iterative_query(7, origin().prepend("p1-q1").unwrap(), RType::Txt);
+    let payload = query.encode().unwrap();
+
+    r.set_samples(200);
+    let mut i = 0u64;
+    r.bench("chaos_decide_per_datagram", || {
+        // Vary the trailing bytes so the occurrence map grows the way it
+        // does under real traffic (distinct attempts, not one hot key).
+        i = i.wrapping_add(1);
+        let mut bytes = payload.clone();
+        bytes.extend_from_slice(&i.to_le_bytes());
+        black_box(plan.decide(Direction::Forward, &bytes).len())
+    });
+}
+
 fn main() {
     let mut r = Runner::from_env("netio");
     bench_encode_paths(&mut r);
+    bench_chaos_decide(&mut r);
     bench_loopback_round_trips(&mut r);
     r.finish();
 }

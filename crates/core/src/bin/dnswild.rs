@@ -1,18 +1,30 @@
-//! The `dnswild` operator CLI: the real-socket serving plane and its
-//! load generator.
+//! The `dnswild` operator CLI: the real-socket serving plane, its load
+//! generator, and the chaos plane.
 //!
 //! * `dnswild serve` — run the authoritative UDP front-end on a real
 //!   socket, answering the preset measurement zone with a site identity;
 //! * `dnswild blast` — closed-loop load generator against any address,
-//!   reporting qps and latency percentiles;
+//!   reporting qps and latency percentiles; with `--chaos` it instead
+//!   drives the resolver retry/backoff client through a fault-injecting
+//!   proxy spawned in front of the target;
+//! * `dnswild chaos` — standalone fault-injecting UDP proxy to place
+//!   between any client and any server;
 //! * `dnswild smoke` — self-contained loopback check: start a server on
 //!   an ephemeral port, fire queries at it, assert 100% answered and
-//!   consistent counters. Exits non-zero on any discrepancy (CI gate).
+//!   consistent counters. With `--chaos` the traffic crosses two
+//!   seed-driven fault proxies and the pass criteria become
+//!   resolver-level: every transaction answered or SERVFAIL, every
+//!   datagram accounted, and — because the fault schedule is a pure
+//!   function of the seed — every `chaos-` output line identical across
+//!   runs. Exits non-zero on any discrepancy (CI gate).
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use dnswild_netio::{blast, serve, LoadConfig, QueryMix, ServeConfig};
+use dnswild_netio::{
+    blast, resolve, serve, ChaosProxy, Direction, FaultPlan, FaultProfile, LoadConfig, QueryMix,
+    ResolveConfig, ServeConfig,
+};
 use dnswild_proto::Name;
 use dnswild_server::ServerStats;
 use dnswild_zone::presets::test_domain_zone;
@@ -34,12 +46,31 @@ fn usage_exit(code: i32) -> ! {
              --concurrency N  client threads (default 4)\n\
              --queries N      total queries (default 10000)\n\
              --timeout-ms M   per-query timeout (default 1000)\n\
-             --seed S         query-mix seed (default 2017)\n\
+             --seed S         query-mix / fault seed (default 2017)\n\
              --origin NAME    zone origin (default ourtestdomain.nl)\n\
              --probe-only     send only probe TXT queries\n\
+             --chaos          route through a fault proxy and drive the\n\
+                              resolver retry/backoff client instead\n\
+             --loss P         (chaos) total drop probability (default 0.10)\n\
+             --corrupt P      (chaos) per-copy corruption probability (default 0.01)\n\
+           chaos   standalone fault-injecting UDP proxy\n\
+             --listen A:P     address to accept clients on (default 127.0.0.1:5301)\n\
+             --upstream A:P   server to proxy to (default 127.0.0.1:5300)\n\
+             --seed S         fault schedule seed (default 2017)\n\
+             --drop P --dup P --corrupt P --truncate P --reorder P\n\
+                              per-datagram fault probabilities (default 0)\n\
+             --delay-min-ms M --delay-max-ms M\n\
+                              per-copy delay range (default 0)\n\
+             --duration SECS  stop after SECS (default: run until killed)\n\
            smoke   loopback self-test (server + blast in-process)\n\
              --queries N      total queries (default 1000)\n\
-             --threads N      server worker threads (default 2)"
+             --threads N      server worker threads (default 2)\n\
+             --chaos          route through two seeded fault proxies and\n\
+                              apply resolver-level pass criteria\n\
+             --seed S         (chaos) fault schedule seed (default 2017)\n\
+             --loss P         (chaos) total drop probability (default 0.10)\n\
+             --corrupt P      (chaos) per-copy corruption probability (default 0.01)\n\
+             --budget-secs S  (chaos) wall-clock budget (default 120)"
     );
     std::process::exit(code)
 }
@@ -91,6 +122,37 @@ fn report_blast(report: &dnswild_netio::LoadReport) {
     );
 }
 
+fn parse_origin(origin: &str) -> Name {
+    Name::parse(origin).unwrap_or_else(|e| {
+        eprintln!("bad --origin: {e:?}");
+        std::process::exit(2)
+    })
+}
+
+/// The canonical chaos fault mix: `loss` split 60/40 across the forward
+/// and reverse directions (a query lost either way costs the client one
+/// attempt), 2% duplication, `corrupt` per copy, a light truncate and
+/// reorder rate, and 0–20 ms of per-copy delay. The 20 ms ceiling keeps
+/// the worst-case hold (2×20 ms per direction, 80 ms round trip) far
+/// below the client's 250 ms base timeout — a determinism requirement,
+/// see `dnswild_netio::client`.
+fn chaos_profiles(loss: f64, corrupt: f64) -> (FaultProfile, FaultProfile) {
+    let base = FaultProfile {
+        drop: 0.0,
+        dup: 0.02,
+        corrupt,
+        truncate: 0.005,
+        reorder: 0.05,
+        delay_min_us: 0,
+        delay_max_us: 0,
+    }
+    .delay_ms(0, 20);
+    (
+        FaultProfile { drop: loss * 0.6, ..base },
+        FaultProfile { drop: loss * 0.4, ..base },
+    )
+}
+
 fn cmd_serve(args: &[String]) {
     let mut addr = "127.0.0.1:5300".to_string();
     let mut threads: Option<usize> = None;
@@ -114,10 +176,7 @@ fn cmd_serve(args: &[String]) {
             }
         }
     }
-    let origin = Name::parse(&origin).unwrap_or_else(|e| {
-        eprintln!("bad --origin: {e:?}");
-        std::process::exit(2)
-    });
+    let origin = parse_origin(&origin);
     let zones = Arc::new(vec![test_domain_zone(&origin, ns)]);
     let mut config = ServeConfig::new(addr, site.clone(), zones);
     if let Some(t) = threads {
@@ -154,6 +213,9 @@ fn cmd_blast(args: &[String]) {
     let mut seed = 2017u64;
     let mut origin = "ourtestdomain.nl".to_string();
     let mut probe_only = false;
+    let mut chaos = false;
+    let mut loss = 0.10f64;
+    let mut corrupt = 0.01f64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -164,6 +226,9 @@ fn cmd_blast(args: &[String]) {
             "--seed" => seed = parse_flag(&mut it, "--seed"),
             "--origin" => origin = parse_flag(&mut it, "--origin"),
             "--probe-only" => probe_only = true,
+            "--chaos" => chaos = true,
+            "--loss" => loss = parse_flag(&mut it, "--loss"),
+            "--corrupt" => corrupt = parse_flag(&mut it, "--corrupt"),
             "--help" | "-h" => usage_exit(0),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -171,14 +236,45 @@ fn cmd_blast(args: &[String]) {
             }
         }
     }
-    let origin = Name::parse(&origin).unwrap_or_else(|e| {
-        eprintln!("bad --origin: {e:?}");
-        std::process::exit(2)
-    });
+    let origin = parse_origin(&origin);
     let target = addr.parse().unwrap_or_else(|e| {
         eprintln!("bad --addr: {e}");
         std::process::exit(2)
     });
+    if chaos {
+        // Interpose a fault proxy and drive the resolver client, whose
+        // retry/backoff/SRTT loop is what makes lossy paths survivable.
+        let (fwd, rev) = chaos_profiles(loss, corrupt);
+        let plan = Arc::new(FaultPlan::new(seed, fwd, rev));
+        let proxy = ChaosProxy::spawn("127.0.0.1:0", target, Arc::clone(&plan))
+            .unwrap_or_else(|e| {
+                eprintln!("blast: chaos proxy: {e}");
+                std::process::exit(1)
+            });
+        eprintln!("blast: chaos proxy on udp://{} -> {}", proxy.local_addr(), target);
+        let mut cfg = ResolveConfig::new(vec![proxy.local_addr()], origin)
+            .transactions(queries)
+            .concurrency(concurrency);
+        cfg.seed = seed;
+        let report = resolve(cfg).unwrap_or_else(|e| {
+            eprintln!("blast: resolve: {e}");
+            std::process::exit(1)
+        });
+        proxy.shutdown();
+        println!("chaos-client: {}", report.stats.render());
+        println!("chaos-fwd: {}", plan.tally(Direction::Forward).render());
+        println!("chaos-rev: {}", plan.tally(Direction::Reverse).render());
+        println!(
+            "elapsed_ms={} qps={:.0}",
+            report.elapsed.as_millis(),
+            report.stats.attempts as f64 / report.elapsed.as_secs_f64()
+        );
+        if let Err(complaint) = report.stats.check() {
+            eprintln!("blast: FAIL — {complaint}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let mut config = LoadConfig::new(target, origin).concurrency(concurrency).queries(queries);
     config.timeout = Duration::from_millis(timeout_ms);
     config.seed = seed;
@@ -195,20 +291,111 @@ fn cmd_blast(args: &[String]) {
     }
 }
 
-fn cmd_smoke(args: &[String]) {
-    let mut queries = 1_000u64;
-    let mut threads = 2usize;
+fn cmd_chaos(args: &[String]) {
+    let mut listen = "127.0.0.1:5301".to_string();
+    let mut upstream = "127.0.0.1:5300".to_string();
+    let mut seed = 2017u64;
+    let mut profile = FaultProfile::lossless();
+    let mut delay_min_ms = 0u64;
+    let mut delay_max_ms = 0u64;
+    let mut duration: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--queries" => queries = parse_flag(&mut it, "--queries"),
-            "--threads" => threads = parse_flag(&mut it, "--threads"),
+            "--listen" => listen = parse_flag(&mut it, "--listen"),
+            "--upstream" => upstream = parse_flag(&mut it, "--upstream"),
+            "--seed" => seed = parse_flag(&mut it, "--seed"),
+            "--drop" => profile.drop = parse_flag(&mut it, "--drop"),
+            "--dup" => profile.dup = parse_flag(&mut it, "--dup"),
+            "--corrupt" => profile.corrupt = parse_flag(&mut it, "--corrupt"),
+            "--truncate" => profile.truncate = parse_flag(&mut it, "--truncate"),
+            "--reorder" => profile.reorder = parse_flag(&mut it, "--reorder"),
+            "--delay-min-ms" => delay_min_ms = parse_flag(&mut it, "--delay-min-ms"),
+            "--delay-max-ms" => delay_max_ms = parse_flag(&mut it, "--delay-max-ms"),
+            "--duration" => duration = Some(parse_flag(&mut it, "--duration")),
             "--help" | "-h" => usage_exit(0),
             other => {
                 eprintln!("unknown argument: {other}");
                 usage_exit(2)
             }
         }
+    }
+    let profile = profile.delay_ms(delay_min_ms, delay_max_ms);
+    let upstream = upstream.parse().unwrap_or_else(|e| {
+        eprintln!("bad --upstream: {e}");
+        std::process::exit(2)
+    });
+    let plan = Arc::new(FaultPlan::new(seed, profile, profile));
+    let proxy = ChaosProxy::spawn(listen.as_str(), upstream, Arc::clone(&plan))
+        .unwrap_or_else(|e| {
+            eprintln!("chaos: {e}");
+            std::process::exit(1)
+        });
+    eprintln!(
+        "chaos proxy on udp://{} -> {} (seed {}, drop {} dup {} corrupt {} truncate {} \
+         reorder {} delay {}..{} ms each way)",
+        proxy.local_addr(),
+        upstream,
+        seed,
+        profile.drop,
+        profile.dup,
+        profile.corrupt,
+        profile.truncate,
+        profile.reorder,
+        delay_min_ms,
+        delay_max_ms
+    );
+    let report = |plan: &FaultPlan| {
+        println!("chaos-fwd: {}", plan.tally(Direction::Forward).render());
+        println!("chaos-rev: {}", plan.tally(Direction::Reverse).render());
+        println!(
+            "chaos-summary: seed={} digest={:016x} events={}",
+            plan.seed(),
+            plan.schedule_digest(),
+            plan.events()
+        );
+    };
+    match duration {
+        Some(secs) => {
+            std::thread::sleep(Duration::from_secs(secs));
+            report(&plan);
+            proxy.shutdown();
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(10));
+            report(&plan);
+        },
+    }
+}
+
+fn cmd_smoke(args: &[String]) {
+    let mut queries = 1_000u64;
+    let mut threads = 2usize;
+    let mut chaos = false;
+    let mut seed = 2017u64;
+    let mut loss = 0.10f64;
+    let mut corrupt = 0.01f64;
+    let mut budget_secs = 120u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--queries" => queries = parse_flag(&mut it, "--queries"),
+            "--threads" => threads = parse_flag(&mut it, "--threads"),
+            "--chaos" => chaos = true,
+            "--seed" => seed = parse_flag(&mut it, "--seed"),
+            "--loss" => loss = parse_flag(&mut it, "--loss"),
+            "--corrupt" => corrupt = parse_flag(&mut it, "--corrupt"),
+            "--budget-secs" => budget_secs = parse_flag(&mut it, "--budget-secs"),
+            "--help" | "-h" => usage_exit(0),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage_exit(2)
+            }
+        }
+    }
+    if chaos {
+        chaos_smoke(queries, threads, seed, loss, corrupt, budget_secs);
+        return;
     }
     let origin = Name::parse("ourtestdomain.nl").expect("static origin");
     let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
@@ -225,6 +412,7 @@ fn cmd_smoke(args: &[String]) {
         eprintln!("smoke: blast: {e}");
         std::process::exit(1)
     });
+    let io = handle.io_errors();
     let stats = handle.shutdown();
     report_blast(&report);
     print_stats(stats);
@@ -236,7 +424,159 @@ fn cmd_smoke(args: &[String]) {
         eprintln!("smoke: FAIL — {complaint}");
         std::process::exit(1);
     }
+    // On a lossless loopback nothing may have failed to decode, and
+    // every datagram the server saw must be one of ours.
+    if io.decode_errors != 0 || io.recv_errors != 0 {
+        eprintln!(
+            "smoke: FAIL — io errors on a lossless loopback: recv={} decode={}",
+            io.recv_errors, io.decode_errors
+        );
+        std::process::exit(1);
+    }
+    if stats.packets_seen() != report.sent {
+        eprintln!(
+            "smoke: FAIL — server classified {} packets, {} were sent",
+            stats.packets_seen(),
+            report.sent
+        );
+        std::process::exit(1);
+    }
     println!("smoke: PASS — {} queries, 100% answered, counters consistent", report.sent);
+}
+
+/// The chaos smoke gate: one in-process server behind two fault proxies
+/// sharing one seeded plan (so the resolver's server choice cannot
+/// change any datagram's fate), driven by the retry/backoff client.
+///
+/// Pass criteria are resolver-level: every transaction answered or
+/// SERVFAIL, the attempt books balanced, every datagram delivered by
+/// the fault plan classified exactly once on each side, and the whole
+/// run inside the wall-clock budget. All `chaos-` lines are
+/// deterministic for a given seed — `scripts/verify.sh` compares them
+/// verbatim across two runs.
+fn chaos_smoke(queries: u64, threads: usize, seed: u64, loss: f64, corrupt: f64, budget_secs: u64) {
+    let origin = Name::parse("ourtestdomain.nl").expect("static origin");
+    let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
+    let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads))
+        .unwrap_or_else(|e| {
+            eprintln!("smoke: serve: {e}");
+            std::process::exit(1)
+        });
+    let (fwd, rev) = chaos_profiles(loss, corrupt);
+    let plan = Arc::new(FaultPlan::new(seed, fwd, rev));
+    let spawn_proxy = || {
+        ChaosProxy::spawn("127.0.0.1:0", handle.local_addr(), Arc::clone(&plan))
+            .unwrap_or_else(|e| {
+                eprintln!("smoke: chaos proxy: {e}");
+                std::process::exit(1)
+            })
+    };
+    let p1 = spawn_proxy();
+    let p2 = spawn_proxy();
+    eprintln!(
+        "smoke: serving on udp://{} behind chaos proxies {} and {} (seed {seed})",
+        handle.local_addr(),
+        p1.local_addr(),
+        p2.local_addr()
+    );
+
+    let started = Instant::now();
+    let mut cfg =
+        ResolveConfig::new(vec![p1.local_addr(), p2.local_addr()], origin).transactions(queries);
+    // Fixed, not host-dependent: the transaction→worker split is part
+    // of the deterministic fault schedule.
+    cfg = cfg.concurrency(8);
+    cfg.seed = seed;
+    let report = resolve(cfg).unwrap_or_else(|e| {
+        eprintln!("smoke: resolve: {e}");
+        std::process::exit(1)
+    });
+    // Shutting the proxies down flushes any copy still held by their
+    // delay schedulers, so the forward tally is final afterwards.
+    p1.shutdown();
+    p2.shutdown();
+    let fwd_tally = plan.tally(Direction::Forward);
+    let rev_tally = plan.tally(Direction::Reverse);
+
+    // Let the server catch up with the last flushed deliveries before
+    // balancing the books.
+    let settle = Instant::now() + Duration::from_secs(5);
+    while handle.stats().packets_seen() < fwd_tally.delivered && Instant::now() < settle {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let io = handle.io_errors();
+    let stats = handle.shutdown();
+    let elapsed = started.elapsed();
+
+    // Every line prefixed `chaos-` is a pure function of the seed.
+    println!(
+        "chaos-summary: seed={} digest={:016x} events={}",
+        seed,
+        plan.schedule_digest(),
+        plan.events()
+    );
+    println!("chaos-client: {}", report.stats.render());
+    println!("chaos-fwd: {}", fwd_tally.render());
+    println!("chaos-rev: {}", rev_tally.render());
+    println!(
+        "chaos-server: queries={} answers={} refused={} formerr={} notimp={} dropped={} \
+         decode_errors={}",
+        stats.queries,
+        stats.answers,
+        stats.refused,
+        stats.formerr,
+        stats.notimp,
+        stats.dropped,
+        io.decode_errors
+    );
+    println!(
+        "elapsed_ms={} recv_errors={} per_server={:?}",
+        elapsed.as_millis(),
+        io.recv_errors,
+        report.per_server
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    if let Err(complaint) = report.stats.check() {
+        failures.push(complaint);
+    }
+    if report.stats.answered == 0 {
+        failures.push("no transaction was answered".into());
+    }
+    if stats.packets_seen() != fwd_tally.delivered {
+        failures.push(format!(
+            "forward leak: plan delivered {} datagrams, server classified {}",
+            fwd_tally.delivered,
+            stats.packets_seen()
+        ));
+    }
+    if report.stats.received() != rev_tally.delivered {
+        failures.push(format!(
+            "reverse leak: plan delivered {} datagrams, client classified {}",
+            rev_tally.delivered,
+            report.stats.received()
+        ));
+    }
+    if elapsed > Duration::from_secs(budget_secs) {
+        failures.push(format!(
+            "over budget: {:.1}s > {budget_secs}s",
+            elapsed.as_secs_f64()
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("smoke: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "smoke: PASS — {} transactions under {:.0}% loss: {} answered, {} servfail, \
+         every datagram accounted",
+        queries,
+        loss * 100.0,
+        report.stats.answered,
+        report.stats.servfails
+    );
 }
 
 fn main() {
@@ -244,6 +584,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
         Some("blast") => cmd_blast(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("smoke") => cmd_smoke(&args[1..]),
         Some("--help") | Some("-h") | None => usage_exit(if args.is_empty() { 2 } else { 0 }),
         Some(other) => {

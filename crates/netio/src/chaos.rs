@@ -1,0 +1,770 @@
+//! Deterministic fault injection for the real-socket plane.
+//!
+//! The paper's central phenomenon — recursives re-ranking a zone's
+//! authoritatives by observed RTT and failure (§4.2–§4.4) — only
+//! emerges when the network between resolver and authoritative is
+//! imperfect. The simulator injects loss and jitter under a virtual
+//! clock; this module does the same to *real* UDP datagrams, as a
+//! proxy that sits between a client and an upstream server and drops,
+//! duplicates, delays, reorders, truncates and bit-corrupts traffic
+//! per direction.
+//!
+//! ## Why the schedule is reproducible on real sockets
+//!
+//! Thread interleaving, kernel scheduling and SRTT-driven server
+//! selection make *arrival order* nondeterministic, so faults keyed on
+//! order (or on wall time) would never replay. Instead, every decision
+//! is a pure function of
+//!
+//! ```text
+//! (plan seed, direction, datagram content, occurrence index)
+//! ```
+//!
+//! where the occurrence index counts how many times these exact bytes
+//! have been seen in this direction. A datagram's fate is therefore
+//! independent of when it arrives, which proxy instance of the plan it
+//! traverses, and which thread carries it — two runs with the same seed
+//! and the same traffic *content* take identical faults, byte for byte.
+//! The plan folds every decision (including the mutated payload bytes)
+//! into an order-insensitive [`FaultPlan::schedule_digest`], which is
+//! what the smoke gate compares across runs.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use detrand::{splitmix64, DetRng, Rng};
+
+/// How long proxy threads block in a socket read before re-checking the
+/// stop flag.
+const STOP_POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Which way a datagram is travelling through the proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → upstream (queries).
+    Forward,
+    /// Upstream → client (responses).
+    Reverse,
+}
+
+impl Direction {
+    fn tag(self) -> u64 {
+        match self {
+            Direction::Forward => 0x464f_5257,
+            Direction::Reverse => 0x5245_5652,
+        }
+    }
+}
+
+/// The fault mix applied to one direction of one authoritative's
+/// traffic. Probabilities are per datagram; delays are drawn uniformly
+/// from `[delay_min, delay_max]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Probability the datagram is silently dropped.
+    pub drop: f64,
+    /// Probability a second copy is delivered (each copy draws its own
+    /// delay and mutations).
+    pub dup: f64,
+    /// Probability one byte is XORed with a random non-zero mask.
+    pub corrupt: f64,
+    /// Probability the datagram is cut at a random offset `>= 1`.
+    pub truncate: f64,
+    /// Probability the datagram is held an extra `delay_max` beyond its
+    /// drawn delay, letting later traffic overtake it.
+    pub reorder: f64,
+    /// Lower bound of the per-copy delay, microseconds.
+    pub delay_min_us: u64,
+    /// Upper bound of the per-copy delay, microseconds.
+    pub delay_max_us: u64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile::lossless()
+    }
+}
+
+impl FaultProfile {
+    /// No faults at all: the proxy becomes a transparent forwarder.
+    pub const fn lossless() -> Self {
+        FaultProfile {
+            drop: 0.0,
+            dup: 0.0,
+            corrupt: 0.0,
+            truncate: 0.0,
+            reorder: 0.0,
+            delay_min_us: 0,
+            delay_max_us: 0,
+        }
+    }
+
+    /// Sets the delay range in milliseconds.
+    pub fn delay_ms(mut self, min: u64, max: u64) -> Self {
+        self.delay_min_us = min * 1_000;
+        self.delay_max_us = max.max(min) * 1_000;
+        self
+    }
+
+    /// The worst-case hold time one copy can experience (drawn delay
+    /// plus a reorder hold). Clients must keep their retransmit timeout
+    /// comfortably above the sum of both directions' bounds, or injected
+    /// delay would race the timer and break run-to-run determinism.
+    pub fn max_hold(&self) -> Duration {
+        Duration::from_micros(self.delay_max_us.saturating_mul(2))
+    }
+}
+
+/// One scheduled delivery decided for an inbound datagram: the (possibly
+/// mutated) bytes and how long to hold them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The bytes to forward (mutations already applied).
+    pub payload: Vec<u8>,
+    /// How long to hold the copy before sending.
+    pub delay: Duration,
+}
+
+/// Monotone per-direction fault tallies.
+#[derive(Debug, Default)]
+struct DirCounters {
+    inspected: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    corrupted: AtomicU64,
+    truncated: AtomicU64,
+    reordered: AtomicU64,
+    delayed: AtomicU64,
+}
+
+/// A point-in-time copy of one direction's fault tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirTally {
+    /// Datagrams that entered the proxy in this direction.
+    pub inspected: u64,
+    /// Copies scheduled for delivery (after drops, including dups).
+    pub delivered: u64,
+    /// Datagrams dropped outright.
+    pub dropped: u64,
+    /// Extra copies created.
+    pub duplicated: u64,
+    /// Copies with one byte XOR-corrupted.
+    pub corrupted: u64,
+    /// Copies cut short.
+    pub truncated: u64,
+    /// Copies held an extra reorder interval.
+    pub reordered: u64,
+    /// Copies with a non-zero delay.
+    pub delayed: u64,
+}
+
+impl DirTally {
+    /// Canonical `k=v` rendering for reproducibility comparisons.
+    pub fn render(&self) -> String {
+        format!(
+            "in={} out={} drop={} dup={} corrupt={} trunc={} reorder={} delayed={}",
+            self.inspected,
+            self.delivered,
+            self.dropped,
+            self.duplicated,
+            self.corrupted,
+            self.truncated,
+            self.reordered,
+            self.delayed
+        )
+    }
+}
+
+impl DirCounters {
+    fn snapshot(&self) -> DirTally {
+        DirTally {
+            inspected: self.inspected.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            corrupted: self.corrupted.load(Ordering::Relaxed),
+            truncated: self.truncated.load(Ordering::Relaxed),
+            reordered: self.reordered.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The seeded fault schedule. One plan may back any number of
+/// [`ChaosProxy`] instances (its occurrence map and counters are
+/// shared), which is what makes multi-authoritative runs with one
+/// shared profile reproducible regardless of which authoritative a
+/// resolver happens to pick.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    forward: FaultProfile,
+    reverse: FaultProfile,
+    /// content-key → how many times these bytes were seen.
+    occurrences: Mutex<HashMap<u64, u64>>,
+    /// Order-insensitive fold (wrapping sum) of per-event hashes.
+    digest: AtomicU64,
+    events: AtomicU64,
+    fwd: DirCounters,
+    rev: DirCounters,
+}
+
+impl FaultPlan {
+    /// A plan applying `forward` to client→upstream traffic and
+    /// `reverse` to upstream→client traffic, all decisions derived from
+    /// `seed`.
+    pub fn new(seed: u64, forward: FaultProfile, reverse: FaultProfile) -> Self {
+        FaultPlan {
+            seed,
+            forward,
+            reverse,
+            occurrences: Mutex::new(HashMap::new()),
+            digest: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            fwd: DirCounters::default(),
+            rev: DirCounters::default(),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The profile applied in `dir`.
+    pub fn profile(&self, dir: Direction) -> &FaultProfile {
+        match dir {
+            Direction::Forward => &self.forward,
+            Direction::Reverse => &self.reverse,
+        }
+    }
+
+    /// Order-insensitive digest of every decision taken so far,
+    /// including the delivered bytes themselves. Two runs with the same
+    /// seed and traffic content produce the same digest no matter how
+    /// their threads interleaved.
+    pub fn schedule_digest(&self) -> u64 {
+        self.digest.load(Ordering::Relaxed)
+    }
+
+    /// Decisions taken so far (dropped datagrams and delivered copies).
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Fault tallies for one direction.
+    pub fn tally(&self, dir: Direction) -> DirTally {
+        match dir {
+            Direction::Forward => self.fwd.snapshot(),
+            Direction::Reverse => self.rev.snapshot(),
+        }
+    }
+
+    fn counters(&self, dir: Direction) -> &DirCounters {
+        match dir {
+            Direction::Forward => &self.fwd,
+            Direction::Reverse => &self.rev,
+        }
+    }
+
+    /// Decides the fate of one datagram: zero (dropped), one, or two
+    /// (duplicated) deliveries, each with its own delay and mutations.
+    pub fn decide(&self, dir: Direction, payload: &[u8]) -> Vec<Delivery> {
+        let profile = *self.profile(dir);
+        let counters = self.counters(dir);
+        counters.inspected.fetch_add(1, Ordering::Relaxed);
+
+        let key = hash_bytes(splitmix64(self.seed ^ dir.tag()), payload);
+        let occurrence = {
+            let mut map = self.occurrences.lock().expect("occurrence map poisoned");
+            let slot = map.entry(key).or_insert(0);
+            let seen = *slot;
+            *slot += 1;
+            seen
+        };
+        let mut rng =
+            DetRng::seed_from_u64(splitmix64(key ^ splitmix64(occurrence ^ 0x5bf0_3635)));
+
+        if rng.gen_bool(profile.drop) {
+            counters.dropped.fetch_add(1, Ordering::Relaxed);
+            self.record_event(key, occurrence, 0, 0, &[]);
+            return Vec::new();
+        }
+        let copies = if rng.gen_bool(profile.dup) {
+            counters.duplicated.fetch_add(1, Ordering::Relaxed);
+            2
+        } else {
+            1
+        };
+
+        let mut deliveries = Vec::with_capacity(copies);
+        for copy in 0..copies {
+            let mut bytes = payload.to_vec();
+            if rng.gen_bool(profile.truncate) && bytes.len() >= 2 {
+                let keep = rng.gen_range(1..bytes.len());
+                bytes.truncate(keep);
+                counters.truncated.fetch_add(1, Ordering::Relaxed);
+            }
+            if rng.gen_bool(profile.corrupt) && !bytes.is_empty() {
+                // Offset drawn against the original length so the draw
+                // sequence does not depend on whether truncation fired.
+                let idx = rng.gen_range(0..payload.len().max(1)) % bytes.len();
+                let mask = rng.gen_range(1u64..256) as u8;
+                bytes[idx] ^= mask;
+                counters.corrupted.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut delay_us = if profile.delay_max_us > profile.delay_min_us {
+                rng.gen_range(profile.delay_min_us..profile.delay_max_us + 1)
+            } else {
+                profile.delay_min_us
+            };
+            if rng.gen_bool(profile.reorder) {
+                delay_us += profile.delay_max_us;
+                counters.reordered.fetch_add(1, Ordering::Relaxed);
+            }
+            if delay_us > 0 {
+                counters.delayed.fetch_add(1, Ordering::Relaxed);
+            }
+            counters.delivered.fetch_add(1, Ordering::Relaxed);
+            self.record_event(key, occurrence, 1 + copy as u64, delay_us, &bytes);
+            deliveries.push(Delivery { payload: bytes, delay: Duration::from_micros(delay_us) });
+        }
+        deliveries
+    }
+
+    /// Folds one decision into the digest. `action` 0 = dropped, 1/2 =
+    /// delivered copy number. The fold is a wrapping sum, which is
+    /// commutative; (key, occurrence, action) triples are unique per
+    /// run, so no two events can cancel.
+    fn record_event(&self, key: u64, occurrence: u64, action: u64, delay_us: u64, bytes: &[u8]) {
+        let mut ev = splitmix64(key ^ splitmix64(occurrence.wrapping_mul(4).wrapping_add(action)));
+        ev = splitmix64(ev ^ delay_us);
+        ev = hash_bytes(ev, bytes);
+        self.digest.fetch_add(ev, Ordering::Relaxed);
+        self.events.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// SplitMix64-chained hash over `bytes`, starting from `h`.
+fn hash_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    h = splitmix64(h ^ (bytes.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = splitmix64(h ^ u64::from_le_bytes(word));
+    }
+    h
+}
+
+/// A copy waiting in the delay scheduler.
+struct Scheduled {
+    due: Instant,
+    seq: u64,
+    payload: Vec<u8>,
+    socket: Arc<UdpSocket>,
+    /// `Some(addr)` sends via `send_to`; `None` uses the connected peer.
+    to: Option<SocketAddr>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest due pops first.
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl Scheduled {
+    fn send(&self) {
+        let _ = match self.to {
+            Some(addr) => self.socket.send_to(&self.payload, addr),
+            None => self.socket.send(&self.payload),
+        };
+    }
+}
+
+/// A running chaos proxy: one listen socket facing clients, one
+/// connected socket per client session facing the upstream, and a
+/// scheduler thread that holds delayed copies.
+pub struct ChaosProxy {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    plan: Arc<FaultPlan>,
+    listen: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds `listen_addr` (port 0 picks an ephemeral port) and starts
+    /// proxying to `upstream` under `plan`.
+    pub fn spawn(
+        listen_addr: impl ToSocketAddrs,
+        upstream: SocketAddr,
+        plan: Arc<FaultPlan>,
+    ) -> io::Result<ChaosProxy> {
+        let addr = listen_addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable listen address"))?;
+        let listen_sock = Arc::new(UdpSocket::bind(addr)?);
+        listen_sock.set_read_timeout(Some(STOP_POLL_INTERVAL))?;
+        let local_addr = listen_sock.local_addr()?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<Scheduled>();
+
+        let scheduler = std::thread::Builder::new()
+            .name("chaos-sched".into())
+            .spawn(move || scheduler_loop(rx))?;
+        let listen = {
+            let listen_sock = Arc::clone(&listen_sock);
+            let stop = Arc::clone(&stop);
+            let plan = Arc::clone(&plan);
+            std::thread::Builder::new()
+                .name("chaos-listen".into())
+                .spawn(move || listen_loop(listen_sock, upstream, plan, stop, tx))?
+        };
+
+        Ok(ChaosProxy {
+            local_addr,
+            stop,
+            plan,
+            listen: Some(listen),
+            scheduler: Some(scheduler),
+        })
+    }
+
+    /// The address clients should send to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared fault plan.
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+
+    /// Stops all proxy threads. Copies still held by the scheduler are
+    /// flushed immediately.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.listen.take() {
+            let _ = h.join();
+        }
+        // The listen thread owned the last scheduler sender; once it is
+        // gone the scheduler drains and exits.
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+/// One client session: the connected upstream-facing socket plus the
+/// thread pumping its responses back.
+struct Session {
+    socket: Arc<UdpSocket>,
+    pump: JoinHandle<()>,
+}
+
+fn listen_loop(
+    listen: Arc<UdpSocket>,
+    upstream: SocketAddr,
+    plan: Arc<FaultPlan>,
+    stop: Arc<AtomicBool>,
+    tx: mpsc::Sender<Scheduled>,
+) {
+    let mut buf = vec![0u8; 65_535];
+    let mut sessions: HashMap<SocketAddr, Session> = HashMap::new();
+    let mut seq = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let (n, client) = match listen.recv_from(&mut buf) {
+            Ok(ok) => ok,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                continue
+            }
+            Err(_) => continue,
+        };
+        if !sessions.contains_key(&client) {
+            match open_session(&listen, upstream, client, &plan, &stop, &tx) {
+                Ok(s) => {
+                    sessions.insert(client, s);
+                }
+                Err(_) => continue,
+            }
+        }
+        let session = &sessions[&client];
+        for d in plan.decide(Direction::Forward, &buf[..n]) {
+            if d.delay.is_zero() {
+                let _ = session.socket.send(&d.payload);
+            } else {
+                seq += 1;
+                let _ = tx.send(Scheduled {
+                    due: Instant::now() + d.delay,
+                    seq,
+                    payload: d.payload,
+                    socket: Arc::clone(&session.socket),
+                    to: None,
+                });
+            }
+        }
+    }
+    drop(tx);
+    for (_, s) in sessions {
+        let _ = s.pump.join();
+    }
+}
+
+fn open_session(
+    listen: &Arc<UdpSocket>,
+    upstream: SocketAddr,
+    client: SocketAddr,
+    plan: &Arc<FaultPlan>,
+    stop: &Arc<AtomicBool>,
+    tx: &mpsc::Sender<Scheduled>,
+) -> io::Result<Session> {
+    let bind: SocketAddr = if upstream.is_ipv4() {
+        "0.0.0.0:0".parse().unwrap()
+    } else {
+        "[::]:0".parse().unwrap()
+    };
+    let socket = Arc::new(UdpSocket::bind(bind)?);
+    socket.connect(upstream)?;
+    socket.set_read_timeout(Some(STOP_POLL_INTERVAL))?;
+    let pump = {
+        let socket = Arc::clone(&socket);
+        let listen = Arc::clone(listen);
+        let plan = Arc::clone(plan);
+        let stop = Arc::clone(stop);
+        let tx = tx.clone();
+        std::thread::Builder::new().name("chaos-pump".into()).spawn(move || {
+            reverse_loop(socket, listen, client, plan, stop, tx)
+        })?
+    };
+    Ok(Session { socket, pump })
+}
+
+fn reverse_loop(
+    upstream: Arc<UdpSocket>,
+    listen: Arc<UdpSocket>,
+    client: SocketAddr,
+    plan: Arc<FaultPlan>,
+    stop: Arc<AtomicBool>,
+    tx: mpsc::Sender<Scheduled>,
+) {
+    let mut buf = vec![0u8; 65_535];
+    let mut seq = u64::MAX / 2;
+    while !stop.load(Ordering::Relaxed) {
+        let n = match upstream.recv(&mut buf) {
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                continue
+            }
+            Err(_) => continue,
+        };
+        for d in plan.decide(Direction::Reverse, &buf[..n]) {
+            if d.delay.is_zero() {
+                let _ = listen.send_to(&d.payload, client);
+            } else {
+                seq += 1;
+                let _ = tx.send(Scheduled {
+                    due: Instant::now() + d.delay,
+                    seq,
+                    payload: d.payload,
+                    socket: Arc::clone(&listen),
+                    to: Some(client),
+                });
+            }
+        }
+    }
+}
+
+fn scheduler_loop(rx: mpsc::Receiver<Scheduled>) {
+    let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
+    loop {
+        let now = Instant::now();
+        while heap.peek().is_some_and(|s| s.due <= now) {
+            heap.pop().expect("peeked").send();
+        }
+        let wait = heap
+            .peek()
+            .map(|s| s.due.saturating_duration_since(now))
+            .unwrap_or(STOP_POLL_INTERVAL)
+            .min(STOP_POLL_INTERVAL)
+            .max(Duration::from_micros(100));
+        match rx.recv_timeout(wait) {
+            Ok(s) => heap.push(s),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Shutdown: flush whatever is still held.
+                for s in heap.drain() {
+                    s.send();
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heavy_profile() -> FaultProfile {
+        FaultProfile {
+            drop: 0.2,
+            dup: 0.1,
+            corrupt: 0.3,
+            truncate: 0.2,
+            reorder: 0.1,
+            delay_min_us: 0,
+            delay_max_us: 5_000,
+        }
+    }
+
+    /// Feeding the same datagram sequence to two plans with the same
+    /// seed yields byte-identical deliveries, identical tallies and an
+    /// identical digest; a different seed diverges.
+    #[test]
+    fn decisions_are_a_pure_function_of_seed_and_content() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::new(seed, heavy_profile(), heavy_profile());
+            let mut out = Vec::new();
+            for i in 0..200u32 {
+                let payload = format!("datagram-{}", i % 50).into_bytes();
+                let dir = if i % 3 == 0 { Direction::Reverse } else { Direction::Forward };
+                out.push(plan.decide(dir, &payload));
+            }
+            (out, plan.tally(Direction::Forward), plan.tally(Direction::Reverse), plan.schedule_digest())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).3, run(43).3, "different seeds must diverge");
+    }
+
+    /// Identical bytes seen repeatedly advance an occurrence counter, so
+    /// retransmissions of the same datagram draw fresh, but still
+    /// deterministic, fates.
+    #[test]
+    fn occurrence_index_decorrelates_repeats() {
+        let plan = FaultPlan::new(7, FaultProfile { drop: 0.5, ..FaultProfile::lossless() }, FaultProfile::lossless());
+        let fates: Vec<bool> =
+            (0..64).map(|_| !plan.decide(Direction::Forward, b"same bytes").is_empty()).collect();
+        let dropped = fates.iter().filter(|f| !**f).count();
+        assert!(dropped > 10 && dropped < 54, "half-ish dropped, got {dropped}/64");
+        let plan2 = FaultPlan::new(7, FaultProfile { drop: 0.5, ..FaultProfile::lossless() }, FaultProfile::lossless());
+        let fates2: Vec<bool> =
+            (0..64).map(|_| !plan2.decide(Direction::Forward, b"same bytes").is_empty()).collect();
+        assert_eq!(fates, fates2);
+    }
+
+    /// The digest commits to event *content*, not arrival order: two
+    /// plans fed the same multiset of datagrams in different orders
+    /// agree.
+    #[test]
+    fn digest_is_order_insensitive() {
+        let a = FaultPlan::new(9, heavy_profile(), heavy_profile());
+        let b = FaultPlan::new(9, heavy_profile(), heavy_profile());
+        let payloads: Vec<Vec<u8>> = (0..40u32).map(|i| format!("p{i}").into_bytes()).collect();
+        for p in &payloads {
+            a.decide(Direction::Forward, p);
+        }
+        for p in payloads.iter().rev() {
+            b.decide(Direction::Forward, p);
+        }
+        assert_eq!(a.schedule_digest(), b.schedule_digest());
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn drop_one_drops_everything_and_counts_it() {
+        let plan = FaultPlan::new(
+            1,
+            FaultProfile { drop: 1.0, ..FaultProfile::lossless() },
+            FaultProfile::lossless(),
+        );
+        for i in 0..32u32 {
+            assert!(plan.decide(Direction::Forward, &i.to_be_bytes()).is_empty());
+        }
+        let t = plan.tally(Direction::Forward);
+        assert_eq!((t.inspected, t.dropped, t.delivered), (32, 32, 0));
+    }
+
+    /// A lossless proxy is transparent: queries and replies cross it
+    /// unmodified, and both directions balance.
+    #[test]
+    fn lossless_proxy_is_transparent_end_to_end() {
+        let upstream = UdpSocket::bind("127.0.0.1:0").unwrap();
+        upstream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let plan = Arc::new(FaultPlan::new(0, FaultProfile::lossless(), FaultProfile::lossless()));
+        let proxy =
+            ChaosProxy::spawn("127.0.0.1:0", upstream.local_addr().unwrap(), Arc::clone(&plan))
+                .unwrap();
+
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        client.connect(proxy.local_addr()).unwrap();
+        let mut buf = [0u8; 1500];
+        for i in 0..8u32 {
+            let msg = format!("ping-{i}").into_bytes();
+            client.send(&msg).unwrap();
+            let (n, peer) = upstream.recv_from(&mut buf).unwrap();
+            assert_eq!(&buf[..n], &msg[..], "query crossed unmodified");
+            upstream.send_to(format!("pong-{i}").as_bytes(), peer).unwrap();
+            let n = client.recv(&mut buf).unwrap();
+            assert_eq!(&buf[..n], format!("pong-{i}").as_bytes(), "reply crossed unmodified");
+        }
+        let fwd = plan.tally(Direction::Forward);
+        let rev = plan.tally(Direction::Reverse);
+        assert_eq!((fwd.inspected, fwd.delivered, fwd.dropped), (8, 8, 0));
+        assert_eq!((rev.inspected, rev.delivered, rev.dropped), (8, 8, 0));
+        proxy.shutdown();
+    }
+
+    /// Delayed copies arrive late but arrive; the scheduler delivers
+    /// everything it holds.
+    #[test]
+    fn delayed_deliveries_arrive() {
+        let upstream = UdpSocket::bind("127.0.0.1:0").unwrap();
+        upstream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let profile = FaultProfile::lossless().delay_ms(5, 15);
+        let plan = Arc::new(FaultPlan::new(3, profile, FaultProfile::lossless()));
+        let proxy =
+            ChaosProxy::spawn("127.0.0.1:0", upstream.local_addr().unwrap(), Arc::clone(&plan))
+                .unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client.connect(proxy.local_addr()).unwrap();
+        let started = Instant::now();
+        for i in 0..4u32 {
+            client.send(&i.to_be_bytes()).unwrap();
+        }
+        let mut buf = [0u8; 64];
+        for _ in 0..4 {
+            upstream.recv_from(&mut buf).unwrap();
+        }
+        assert!(started.elapsed() >= Duration::from_millis(5), "copies were held");
+        assert_eq!(plan.tally(Direction::Forward).delayed, 4);
+        proxy.shutdown();
+    }
+}

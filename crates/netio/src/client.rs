@@ -1,0 +1,645 @@
+//! A recursive-resolver client for real sockets: the retry/backoff/
+//! re-ranking loop of `dnswild-resolver`, driven over the kernel's UDP
+//! stack instead of the simulator.
+//!
+//! Each worker thread owns a socket, a [`SelectionPolicy`] built from
+//! the configured [`PolicyKind`], and an [`InfraCache`] fed with real
+//! round-trip samples — so BIND-style SRTT re-ranking (§4.2 of the
+//! paper) happens against real authoritatives behind real (possibly
+//! chaos-proxied) sockets. A transaction is retried with exponential
+//! backoff until it is answered or `max_tries` attempts are exhausted,
+//! at which point it is accounted as a SERVFAIL; nothing is ever lost.
+//!
+//! ## Determinism contract
+//!
+//! `dnswild smoke --chaos` requires the final counters to be identical
+//! across runs with the same seed. Three rules make that hold on real
+//! sockets:
+//!
+//! * Every attempt's query bytes are unique and deterministic (qname
+//!   carries the transaction number, the DNS ID is derived from
+//!   transaction × attempt), so a content-keyed
+//!   [`crate::chaos::FaultPlan`] gives every attempt an independent,
+//!   reproducible fate.
+//! * Attempt windows start at the base timeout and double per retry,
+//!   and must stay far above the chaos plane's worst-case hold time
+//!   ([`crate::chaos::FaultProfile::max_hold`], both directions
+//!   summed): a reply is then *either* always inside its window or
+//!   never delivered, so timeout counts cannot flip between runs.
+//! * A failure reply (REFUSED/SERVFAIL/FORMERR/NOTIMP/TC) dooms its
+//!   attempt but the retransmit timer still paces the retry, so the
+//!   classification of a duplicated failure reply does not depend on
+//!   which copy arrives first — both copies land inside the same
+//!   window. When an answer arrives on an already-doomed attempt (the
+//!   failure was a mutated duplicate copy), the failure is reclassified
+//!   as `stale`, which is exactly where the opposite arrival order
+//!   would have put it.
+//!
+//! Which *server* an attempt goes to (and therefore the per-server
+//! split) legitimately varies with real RTTs; the aggregate counters do
+//! not.
+
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::ops::{Add, AddAssign};
+use std::time::{Duration, Instant};
+
+use detrand::DetRng;
+use dnswild_netsim::{SimAddr, SimDuration, SimTime};
+use dnswild_proto::{Message, Name, RType, Rcode};
+use dnswild_resolver::{InfraCache, PolicyKind};
+
+/// How long a worker keeps reading after its last transaction, so every
+/// straggling duplicate or delayed reply is drained and accounted. Must
+/// exceed the chaos plane's worst-case hold time with margin.
+const DRAIN_WINDOW: Duration = Duration::from_millis(200);
+
+/// Configuration for [`resolve`].
+#[derive(Debug, Clone)]
+pub struct ResolveConfig {
+    /// The authoritative servers (or chaos proxies fronting them) to
+    /// spread queries over. At most 254 entries.
+    pub servers: Vec<SocketAddr>,
+    /// Which implementation family's selection algorithm to run.
+    pub policy: PolicyKind,
+    /// Total transactions (logical queries) across all workers.
+    pub transactions: u64,
+    /// Worker threads. Part of the determinism contract: the same
+    /// transaction→worker split must be used across runs.
+    pub concurrency: usize,
+    /// Base per-attempt timeout; doubles on each retry (capped at 8×).
+    pub timeout: Duration,
+    /// Attempts per transaction before giving up with SERVFAIL.
+    pub max_tries: u32,
+    /// Seed for the per-worker policy RNG streams.
+    pub seed: u64,
+    /// Zone origin the probe queries are built under.
+    pub origin: Name,
+}
+
+impl ResolveConfig {
+    /// Defaults: BIND-style SRTT policy, 1,000 transactions, 4 workers,
+    /// 250 ms base timeout, 4 tries, seed 2017.
+    pub fn new(servers: Vec<SocketAddr>, origin: Name) -> Self {
+        ResolveConfig {
+            servers,
+            policy: PolicyKind::BindSrtt,
+            transactions: 1_000,
+            concurrency: 4,
+            timeout: Duration::from_millis(250),
+            max_tries: 4,
+            seed: 2017,
+            origin,
+        }
+    }
+
+    /// Overrides the transaction count.
+    pub fn transactions(mut self, transactions: u64) -> Self {
+        self.transactions = transactions;
+        self
+    }
+
+    /// Overrides the worker count.
+    pub fn concurrency(mut self, concurrency: usize) -> Self {
+        self.concurrency = concurrency.max(1);
+        self
+    }
+
+    /// Overrides the selection policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Resolver-level counters. Transactions are never lost: every one ends
+/// in `answered` or `servfails`, and every datagram read is classified
+/// into exactly one reply counter — [`ClientStats::check`] verifies
+/// both books.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Transactions run.
+    pub transactions: u64,
+    /// Transactions that got a matching positive answer.
+    pub answered: u64,
+    /// Transactions abandoned after `max_tries` failed attempts.
+    pub servfails: u64,
+    /// Queries sent (first tries + retries).
+    pub attempts: u64,
+    /// Attempts beyond each transaction's first.
+    pub retries: u64,
+    /// Attempts whose window expired with no reply at all.
+    pub timeouts: u64,
+    /// Attempts doomed by a REFUSED/SERVFAIL reply (the server is
+    /// excluded and penalised in the infra cache, like a lame
+    /// delegation).
+    pub lame: u64,
+    /// Attempts doomed by a FORMERR/NOTIMP reply (the query was mangled
+    /// in transit; the server is not blamed).
+    pub formerr: u64,
+    /// Attempts doomed by a TC=1 reply.
+    pub tc_seen: u64,
+    /// Datagrams that failed to decode as DNS messages.
+    pub corrupt_replies: u64,
+    /// Decoded replies not attributable to an in-flight attempt:
+    /// duplicates, late arrivals from finished transactions, and
+    /// mutated copies whose question or rcode no longer matches. (These
+    /// are one bucket on purpose: whether a mutated duplicate is read
+    /// before or after the clean answer must not change the counts.)
+    pub stale: u64,
+}
+
+impl Add for ClientStats {
+    type Output = ClientStats;
+    fn add(self, o: ClientStats) -> ClientStats {
+        ClientStats {
+            transactions: self.transactions + o.transactions,
+            answered: self.answered + o.answered,
+            servfails: self.servfails + o.servfails,
+            attempts: self.attempts + o.attempts,
+            retries: self.retries + o.retries,
+            timeouts: self.timeouts + o.timeouts,
+            lame: self.lame + o.lame,
+            formerr: self.formerr + o.formerr,
+            tc_seen: self.tc_seen + o.tc_seen,
+            corrupt_replies: self.corrupt_replies + o.corrupt_replies,
+            stale: self.stale + o.stale,
+        }
+    }
+}
+
+impl AddAssign for ClientStats {
+    fn add_assign(&mut self, o: ClientStats) {
+        *self = *self + o;
+    }
+}
+
+impl ClientStats {
+    /// Total datagrams read and classified (every reverse-direction
+    /// delivery ends up in exactly one of these counters).
+    pub fn received(&self) -> u64 {
+        self.answered
+            + self.lame
+            + self.formerr
+            + self.tc_seen
+            + self.corrupt_replies
+            + self.stale
+    }
+
+    /// The accounting invariants: no transaction may be lost and no
+    /// attempt may end in more than one way.
+    pub fn check(&self) -> Result<(), String> {
+        if self.answered + self.servfails != self.transactions {
+            return Err(format!(
+                "lost transactions: answered {} + servfail {} != {}",
+                self.answered, self.servfails, self.transactions
+            ));
+        }
+        if self.attempts != self.transactions + self.retries {
+            return Err(format!(
+                "attempt books: {} attempts != {} transactions + {} retries",
+                self.attempts, self.transactions, self.retries
+            ));
+        }
+        let ended = self.answered + self.timeouts + self.lame + self.formerr + self.tc_seen;
+        if self.attempts != ended {
+            return Err(format!(
+                "attempt outcomes sum to {ended}, expected {} ({self:?})",
+                self.attempts
+            ));
+        }
+        Ok(())
+    }
+
+    /// Canonical `k=v` rendering; every field here is deterministic for
+    /// a given seed, so the smoke gate compares these lines verbatim.
+    pub fn render(&self) -> String {
+        format!(
+            "txns={} answered={} servfail={} attempts={} retries={} timeouts={} lame={} \
+             formerr={} tc={} corrupt={} stale={}",
+            self.transactions,
+            self.answered,
+            self.servfails,
+            self.attempts,
+            self.retries,
+            self.timeouts,
+            self.lame,
+            self.formerr,
+            self.tc_seen,
+            self.corrupt_replies,
+            self.stale
+        )
+    }
+}
+
+/// What one [`resolve`] run did.
+#[derive(Debug, Clone)]
+pub struct ResolveReport {
+    /// Aggregated counters across workers.
+    pub stats: ClientStats,
+    /// Query attempts per server, aligned with
+    /// [`ResolveConfig::servers`]. *Not* deterministic across runs —
+    /// the split follows real RTTs.
+    pub per_server: Vec<u64>,
+    /// Wall-clock duration of the run, including the drain window.
+    pub elapsed: Duration,
+}
+
+/// One in-flight (or completed) attempt of the current transaction.
+struct Attempt {
+    id: u16,
+    server: usize,
+    sent_at: Instant,
+}
+
+/// How one received datagram relates to the current transaction.
+enum Reply {
+    Answer { attempt: usize },
+    Lame { attempt: usize },
+    FormErr,
+    Tc,
+    Corrupt,
+    Mismatch,
+    Stale,
+}
+
+/// Which kind of failure reply doomed the current attempt — remembered
+/// so a subsequent clean answer (the failure having been a mutated
+/// duplicate copy) can reclassify it as stale.
+enum Doom {
+    Lame,
+    FormErr,
+    Tc,
+}
+
+/// Runs the closed-loop resolver client; blocks until every worker has
+/// finished its transactions and drained its socket.
+pub fn resolve(config: ResolveConfig) -> io::Result<ResolveReport> {
+    if config.servers.is_empty() || config.servers.len() > 254 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "resolve needs between 1 and 254 servers",
+        ));
+    }
+    let workers = config.concurrency.max(1);
+    let start = Instant::now();
+    let mut outcomes: Vec<io::Result<(ClientStats, Vec<u64>)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut next_txn = 0u64;
+        for w in 0..workers {
+            let share = config.transactions / workers as u64
+                + u64::from((w as u64) < config.transactions % workers as u64);
+            let cfg = &config;
+            let first = next_txn;
+            next_txn += share;
+            handles.push(scope.spawn(move || worker_loop(cfg, w, first, share)));
+        }
+        for h in handles {
+            outcomes.push(h.join().expect("resolve worker panicked"));
+        }
+    });
+    let mut stats = ClientStats::default();
+    let mut per_server = vec![0u64; config.servers.len()];
+    for outcome in outcomes {
+        let (s, per) = outcome?;
+        stats += s;
+        for (slot, v) in per_server.iter_mut().zip(per) {
+            *slot += v;
+        }
+    }
+    Ok(ResolveReport { stats, per_server, elapsed: start.elapsed() })
+}
+
+/// Maps server index `i` to the [`SimAddr`] token the policy layer
+/// keys its infra cache on.
+fn server_token(i: usize) -> SimAddr {
+    SimAddr::from_ipv4(Ipv4Addr::new(10, 0, 0, (i + 1) as u8)).expect("10.x encodes")
+}
+
+fn sim_now(epoch: Instant) -> SimTime {
+    SimTime::from_micros(epoch.elapsed().as_micros() as u64)
+}
+
+fn worker_loop(
+    cfg: &ResolveConfig,
+    worker: usize,
+    first_txn: u64,
+    share: u64,
+) -> io::Result<(ClientStats, Vec<u64>)> {
+    let bind: SocketAddr = if cfg.servers[0].is_ipv4() {
+        "0.0.0.0:0".parse().unwrap()
+    } else {
+        "[::]:0".parse().unwrap()
+    };
+    let socket = UdpSocket::bind(bind)?;
+
+    let tokens: Vec<SimAddr> = (0..cfg.servers.len()).map(server_token).collect();
+    let mut policy = cfg.policy.build();
+    let mut infra = InfraCache::new(cfg.policy.default_infra_expiry(), cfg.policy.smoothing());
+    let mut rng = DetRng::seed_from_u64(
+        cfg.seed ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    let epoch = Instant::now();
+
+    let mut stats = ClientStats::default();
+    let mut per_server = vec![0u64; cfg.servers.len()];
+    let mut send_buf = Vec::with_capacity(128);
+    let mut recv_buf = vec![0u8; 4096];
+    let max_tries = cfg.max_tries.max(1);
+
+    for txn in first_txn..first_txn + share {
+        stats.transactions += 1;
+        let qname = cfg
+            .origin
+            .prepend(&format!("c{worker}-t{txn}"))
+            .expect("short probe label");
+        let mut excluded: Vec<SimAddr> = Vec::new();
+        let mut sent: Vec<Attempt> = Vec::with_capacity(max_tries as usize);
+        let mut answered = false;
+
+        for attempt in 0..max_tries {
+            let token = policy.select(&tokens, &excluded, &mut infra, sim_now(epoch), &mut rng);
+            let server = tokens.iter().position(|&t| t == token).expect("token is a candidate");
+            per_server[server] += 1;
+            // Deterministic per-(transaction, attempt) ID: retransmits
+            // are new datagrams with fresh content, so a content-keyed
+            // fault plan gives each attempt an independent fate.
+            let id = (txn.wrapping_mul(max_tries as u64) + attempt as u64) as u16;
+            let query = Message::iterative_query(id, qname.clone(), RType::Txt);
+            query
+                .encode_into(&mut send_buf)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e:?}")))?;
+            let sent_at = Instant::now();
+            socket.send_to(&send_buf, cfg.servers[server])?;
+            stats.attempts += 1;
+            if attempt > 0 {
+                stats.retries += 1;
+            }
+            sent.push(Attempt { id, server, sent_at });
+
+            // Exponential backoff: the base timeout doubles per retry.
+            let window = cfg.timeout.saturating_mul(1 << attempt.min(3));
+            let deadline = sent_at + window;
+            // A failure reply dooms the attempt but the window still
+            // runs out before the retry — see the determinism contract.
+            let mut doomed: Option<Doom> = None;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let remaining = deadline.saturating_duration_since(now).max(Duration::from_millis(1));
+                socket.set_read_timeout(Some(remaining))?;
+                let got = match socket.recv_from(&mut recv_buf) {
+                    Ok((n, _peer)) => n,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        break
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                };
+                match classify(&recv_buf[..got], &sent, &qname) {
+                    Reply::Answer { attempt: a } => {
+                        // An answer after a failure reply means the
+                        // failure was a mutated duplicate copy — move it
+                        // to `stale`, where the opposite arrival order
+                        // would have put it, so the counts converge.
+                        if let Some(kind) = doomed.take() {
+                            match kind {
+                                Doom::Lame => stats.lame -= 1,
+                                Doom::FormErr => stats.formerr -= 1,
+                                Doom::Tc => stats.tc_seen -= 1,
+                            }
+                            stats.stale += 1;
+                        }
+                        stats.answered += 1;
+                        let rtt = sent[a].sent_at.elapsed();
+                        infra.observe_rtt(
+                            tokens[sent[a].server],
+                            SimDuration::from_micros(rtt.as_micros() as u64),
+                            sim_now(epoch),
+                        );
+                        answered = true;
+                        break;
+                    }
+                    Reply::Lame { attempt: a } if doomed.is_none() => {
+                        stats.lame += 1;
+                        infra.observe_timeout(tokens[sent[a].server], sim_now(epoch));
+                        excluded.push(tokens[sent[a].server]);
+                        doomed = Some(Doom::Lame);
+                    }
+                    Reply::FormErr if doomed.is_none() => {
+                        stats.formerr += 1;
+                        doomed = Some(Doom::FormErr);
+                    }
+                    Reply::Tc if doomed.is_none() => {
+                        stats.tc_seen += 1;
+                        doomed = Some(Doom::Tc);
+                    }
+                    // A second failure reply in the same window can only
+                    // be a duplicated copy of the first; fold it into
+                    // `stale` so the count is order-independent.
+                    Reply::Lame { .. } | Reply::FormErr | Reply::Tc => stats.stale += 1,
+                    Reply::Corrupt => stats.corrupt_replies += 1,
+                    // A matching-ID reply that is no longer an answer or
+                    // a recognisable failure is a mutated copy; had it
+                    // been read after the clean answer it would have
+                    // been `Stale`, so it must land in the same bucket.
+                    Reply::Mismatch => stats.stale += 1,
+                    Reply::Stale => stats.stale += 1,
+                }
+            }
+            if answered {
+                break;
+            }
+            if doomed.is_none() {
+                stats.timeouts += 1;
+                let last = sent.last().expect("attempt just pushed");
+                infra.observe_timeout(tokens[last.server], sim_now(epoch));
+                excluded.push(tokens[last.server]);
+            }
+        }
+        if !answered {
+            stats.servfails += 1;
+        }
+    }
+
+    // Drain: duplicates and delayed replies of finished transactions are
+    // still in flight or queued in the socket buffer; read them all so
+    // the reverse-direction books balance (chaos smoke asserts that
+    // every delivered datagram was classified).
+    socket.set_read_timeout(Some(DRAIN_WINDOW))?;
+    loop {
+        match socket.recv_from(&mut recv_buf) {
+            Ok((n, _)) => {
+                if Message::decode(&recv_buf[..n]).is_ok() {
+                    stats.stale += 1;
+                } else {
+                    stats.corrupt_replies += 1;
+                }
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                break
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    Ok((stats, per_server))
+}
+
+/// Classifies one received datagram against the current transaction's
+/// attempts. Every outcome is a pure function of the datagram's bytes
+/// and the (deterministic) attempt table, never of arrival timing.
+fn classify(payload: &[u8], sent: &[Attempt], qname: &Name) -> Reply {
+    let Ok(msg) = Message::decode(payload) else {
+        return Reply::Corrupt;
+    };
+    let Some(attempt) = sent.iter().position(|a| a.id == msg.header.id) else {
+        return Reply::Stale;
+    };
+    if !msg.is_response() {
+        return Reply::Mismatch;
+    }
+    if msg.header.truncated {
+        return Reply::Tc;
+    }
+    match msg.rcode() {
+        Rcode::FormErr | Rcode::NotImp => Reply::FormErr,
+        Rcode::Refused | Rcode::ServFail => Reply::Lame { attempt },
+        Rcode::NoError | Rcode::NxDomain => {
+            let question_matches = msg
+                .question()
+                .is_some_and(|q| q.qname == *qname && q.qtype == RType::Txt);
+            if question_matches {
+                Reply::Answer { attempt }
+            } else {
+                Reply::Mismatch
+            }
+        }
+        _ => Reply::Mismatch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{serve, ServeConfig};
+    use dnswild_zone::presets::test_domain_zone;
+    use std::sync::Arc;
+
+    fn origin() -> Name {
+        Name::parse("ourtestdomain.nl").unwrap()
+    }
+
+    /// Against a healthy server every transaction is answered on its
+    /// first attempt and the books balance.
+    #[test]
+    fn lossless_resolve_answers_every_transaction() {
+        let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+        let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(2)).unwrap();
+        let report = resolve(
+            ResolveConfig::new(vec![handle.local_addr()], origin())
+                .transactions(300)
+                .concurrency(3),
+        )
+        .unwrap();
+        let stats = handle.shutdown();
+        report.stats.check().unwrap();
+        assert_eq!(report.stats.transactions, 300);
+        assert_eq!(report.stats.answered, 300);
+        assert_eq!(report.stats.servfails, 0);
+        assert_eq!(report.stats.attempts, 300);
+        assert_eq!(report.stats.retries, 0);
+        assert_eq!(stats.queries, 300);
+        assert_eq!(report.per_server, vec![300]);
+    }
+
+    /// A server that never answers: every transaction exhausts its
+    /// tries and is accounted as SERVFAIL — nothing is lost, nothing
+    /// hangs.
+    #[test]
+    fn silent_server_yields_accounted_servfails() {
+        // Bound but never read: queries vanish without ICMP errors.
+        let black_hole = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let mut cfg = ResolveConfig::new(vec![black_hole.local_addr().unwrap()], origin())
+            .transactions(6)
+            .concurrency(2);
+        cfg.timeout = Duration::from_millis(30);
+        cfg.max_tries = 2;
+        let report = resolve(cfg).unwrap();
+        report.stats.check().unwrap();
+        assert_eq!(report.stats.transactions, 6);
+        assert_eq!(report.stats.servfails, 6);
+        assert_eq!(report.stats.answered, 0);
+        assert_eq!(report.stats.attempts, 12);
+        assert_eq!(report.stats.timeouts, 12);
+    }
+
+    /// Two servers, one silent: the policy learns to prefer the live
+    /// one, and every transaction still completes.
+    #[test]
+    fn failover_prefers_the_live_server() {
+        let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+        let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(2)).unwrap();
+        let black_hole = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let mut cfg = ResolveConfig::new(
+            vec![handle.local_addr(), black_hole.local_addr().unwrap()],
+            origin(),
+        )
+        .transactions(60)
+        .concurrency(2)
+        .policy(PolicyKind::BindSrtt);
+        cfg.timeout = Duration::from_millis(40);
+        let report = resolve(cfg).unwrap();
+        handle.shutdown();
+        report.stats.check().unwrap();
+        assert_eq!(report.stats.answered + report.stats.servfails, 60);
+        assert_eq!(report.stats.answered, 60, "failover always reaches the live server");
+        assert!(
+            report.per_server[0] > report.per_server[1],
+            "SRTT re-ranking shifts load to the live server: {:?}",
+            report.per_server
+        );
+    }
+
+    /// The classifier is a pure function of bytes and attempt table.
+    #[test]
+    fn classification_matrix() {
+        let qname = origin().prepend("c0-t0").unwrap();
+        let sent = vec![Attempt { id: 7, server: 0, sent_at: Instant::now() }];
+        // Undecodable garbage.
+        assert!(matches!(classify(&[0xff, 0x00], &sent, &qname), Reply::Corrupt));
+        // Unknown ID.
+        let other = Message::iterative_query(9, qname.clone(), RType::Txt);
+        assert!(matches!(classify(&other.encode().unwrap(), &sent, &qname), Reply::Stale));
+        // Matching answer.
+        let q = Message::iterative_query(7, qname.clone(), RType::Txt);
+        let mut resp = Message::response_to(&q, Rcode::NoError);
+        resp.header.authoritative = true;
+        assert!(matches!(
+            classify(&resp.encode().unwrap(), &sent, &qname),
+            Reply::Answer { attempt: 0 }
+        ));
+        // Lame (REFUSED).
+        let lame = Message::response_to(&q, Rcode::Refused);
+        assert!(matches!(classify(&lame.encode().unwrap(), &sent, &qname), Reply::Lame { .. }));
+        // TC wins over rcode.
+        let mut tc = Message::response_to(&q, Rcode::NoError);
+        tc.header.truncated = true;
+        assert!(matches!(classify(&tc.encode().unwrap(), &sent, &qname), Reply::Tc));
+        // Wrong question.
+        let wrong = Message::iterative_query(7, origin().prepend("elsewhere").unwrap(), RType::Txt);
+        let wrong_resp = Message::response_to(&wrong, Rcode::NoError);
+        assert!(matches!(
+            classify(&wrong_resp.encode().unwrap(), &sent, &qname),
+            Reply::Mismatch
+        ));
+    }
+}

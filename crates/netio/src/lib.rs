@@ -20,6 +20,18 @@
 //!   concurrency, a deterministic query mix over the preset measurement
 //!   zone, and per-query latency capture for qps / percentile
 //!   reporting.
+//! * [`chaos`] — a deterministic, seed-driven fault-injecting UDP proxy
+//!   ([`ChaosProxy`]) that drops, duplicates, delays, reorders,
+//!   truncates and bit-corrupts datagrams per direction. Every fault
+//!   decision is a pure function of `(seed, direction, datagram bytes,
+//!   occurrence index)`, so the same seed produces the same fault
+//!   schedule regardless of thread scheduling — verifiable through the
+//!   order-insensitive [`FaultPlan::schedule_digest`].
+//! * [`client`] — a real-socket recursive client that drives the
+//!   `dnswild_resolver` selection policies (timeout, exponential
+//!   backoff, SRTT re-ranking, give-up/SERVFAIL) over lossy sockets,
+//!   with full answered-or-accounted transaction accounting
+//!   ([`ClientStats::check`]).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -39,8 +51,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod client;
 pub mod load;
 pub mod server;
 
+pub use chaos::{ChaosProxy, Delivery, DirTally, Direction, FaultPlan, FaultProfile};
+pub use client::{resolve, ClientStats, ResolveConfig, ResolveReport};
 pub use load::{blast, LoadConfig, LoadReport, QueryMix};
-pub use server::{serve, AtomicStats, ServeConfig, ServeHandle};
+pub use server::{serve, AtomicStats, IoErrorStats, ServeConfig, ServeHandle};

@@ -45,9 +45,47 @@ pub struct AtomicStats {
     truncated: AtomicU64,
     tcp_queries: AtomicU64,
     dropped: AtomicU64,
+    // Serving-plane-only counters, outside ServerStats: the simulator
+    // has no socket errors, and widening ServerStats would perturb the
+    // byte-exact exp_* outputs. A `recv_from` error or an undecodable
+    // datagram must never be a *silent* drop — under a chaos storm the
+    // smoke gate balances delivered datagrams against these.
+    recv_errors: AtomicU64,
+    decode_errors: AtomicU64,
+}
+
+/// The serving plane's socket-level error counters (not part of
+/// [`ServerStats`]; see [`AtomicStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoErrorStats {
+    /// `recv_from` calls that failed for a reason other than the read
+    /// timeout (e.g. ICMP-driven transient errors).
+    pub recv_errors: u64,
+    /// Datagrams that failed `Message::decode` (the engine still
+    /// classifies them as FORMERR-or-drop; this counts them at the
+    /// socket layer).
+    pub decode_errors: u64,
 }
 
 impl AtomicStats {
+    /// Counts one failed `recv_from`.
+    pub fn record_recv_error(&self) {
+        self.recv_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one undecodable datagram.
+    pub fn record_decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the socket-level error counters.
+    pub fn io_errors(&self) -> IoErrorStats {
+        IoErrorStats {
+            recv_errors: self.recv_errors.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+
     /// Adds a stats delta into the aggregate.
     pub fn merge(&self, s: ServerStats) {
         // Relaxed is enough: counters are independent monotone sums and
@@ -145,6 +183,12 @@ impl ServeHandle {
         self.stats.snapshot()
     }
 
+    /// A live snapshot of the socket-level error counters
+    /// (`recv_from` failures and undecodable datagrams).
+    pub fn io_errors(&self) -> IoErrorStats {
+        self.stats.io_errors()
+    }
+
     /// Number of worker threads serving.
     pub fn threads(&self) -> usize {
         self.workers.len()
@@ -203,10 +247,17 @@ fn worker_loop(socket: UdpSocket, engine: &mut AnswerEngine, stop: &AtomicBool, 
             }
             // Interrupted reads and transient ICMP-driven errors
             // (ECONNREFUSED surfacing on unconnected sockets on some
-            // platforms) must not kill the worker.
-            Err(_) => continue,
+            // platforms) must not kill the worker — but they must be
+            // visible: the chaos smoke gate balances datagram counts.
+            Err(_) => {
+                stats.record_recv_error();
+                continue;
+            }
         };
         let handled = engine.handle_packet(&recv_buf[..n], TransportKind::Udp, &mut resp_buf);
+        if handled.decode_error {
+            stats.record_decode_error();
+        }
         if handled.response {
             let _ = socket.send_to(&resp_buf, peer);
         }
@@ -299,5 +350,39 @@ mod tests {
         agg.merge(ones);
         agg.merge(ones);
         assert_eq!(agg.snapshot(), ones + ones);
+    }
+
+    #[test]
+    fn undecodable_datagrams_bump_decode_errors_and_balance() {
+        let handle = start(2);
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // 12+ bytes of garbage: salvageable header, FORMERR comes back.
+        sock.send_to(&[0x12, 0x34, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xff, 0xff], handle.local_addr())
+            .unwrap();
+        let mut buf = [0u8; 512];
+        let (n, _) = sock.recv_from(&mut buf).unwrap();
+        assert_eq!(Message::decode(&buf[..n]).unwrap().rcode(), Rcode::FormErr);
+        // Short garbage: silently dropped but still counted.
+        sock.send_to(&[0xde, 0xad], handle.local_addr()).unwrap();
+        // One good query so we can synchronise on all packets having
+        // been processed (UDP ordering per-flow is preserved by the
+        // shared socket queue, but worker scheduling is not — poll).
+        let q = Message::iterative_query(9, Name::parse("p1-r1.ourtestdomain.nl").unwrap(), RType::Txt);
+        sock.send_to(&q.encode().unwrap(), handle.local_addr()).unwrap();
+        let (_, _) = sock.recv_from(&mut buf).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while handle.io_errors().decode_errors < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let io = handle.io_errors();
+        let stats = handle.shutdown();
+        assert_eq!(io.decode_errors, 2, "both garbage datagrams counted");
+        assert_eq!(io.recv_errors, 0);
+        // Totals balance: 3 datagrams in = queries + notimp + formerr + dropped.
+        assert_eq!(stats.packets_seen(), 3);
+        assert_eq!(stats.formerr, 1);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.queries, 1);
     }
 }

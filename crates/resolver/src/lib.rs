@@ -14,6 +14,11 @@
 //!   algorithms of the major implementations (see [`PolicyKind`]);
 //! * [`RecursiveResolver`] — the full actor: stub interface, caches,
 //!   retransmission with per-server RTOs, and failover.
+//!
+//! The policies and [`InfraCache`] are transport-agnostic: besides the
+//! deterministic simulator they also drive `dnswild-netio`'s real-socket
+//! client, which feeds them wall-clock RTT samples measured through the
+//! chaos plane's lossy proxies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

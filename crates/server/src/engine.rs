@@ -62,6 +62,18 @@ impl ServerStats {
         self.answers + self.nxdomain + self.nodata + self.referrals + self.refused + self.chaos
     }
 
+    /// Total packets the engine classified: every inbound packet bumps
+    /// exactly one of `queries`, `notimp`, `formerr` or `dropped`, so
+    /// this equals the number of [`AnswerEngine::handle_packet`] calls.
+    /// The chaos smoke gate balances it against the fault layer's
+    /// delivered-datagram count. (Unlike
+    /// [`ServerStats::question_outcomes`] this also covers packets that
+    /// never reached the question stage — corrupted queries, responses,
+    /// non-QUERY opcodes.)
+    pub fn packets_seen(&self) -> u64 {
+        self.queries + self.notimp + self.formerr + self.dropped
+    }
+
     /// Folds any collection of per-thread / per-actor stats into one
     /// aggregate. The single merge code path used by both the
     /// multi-threaded serving plane and multi-server simulations.
@@ -132,11 +144,15 @@ pub struct HandledPacket {
     /// one (the condition under which the simulator's passive log
     /// records an entry).
     pub query: Option<QueryView>,
+    /// Whether the packet failed [`Message::decode`] (the FORMERR-salvage
+    /// and short-garbage paths). The serving plane counts these at the
+    /// socket layer so fault storms stay accountable.
+    pub decode_error: bool,
 }
 
 impl HandledPacket {
     fn drop() -> Self {
-        HandledPacket { response: false, query: None }
+        HandledPacket { response: false, query: None, decode_error: false }
     }
 }
 
@@ -332,12 +348,12 @@ impl AnswerEngine {
                     };
                     self.stats.formerr += 1;
                     if resp.encode_into(resp_buf).is_ok() {
-                        return HandledPacket { response: true, query: None };
+                        return HandledPacket { response: true, query: None, decode_error: true };
                     }
                 } else {
                     self.stats.dropped += 1;
                 }
-                return HandledPacket::drop();
+                return HandledPacket { response: false, query: None, decode_error: true };
             }
         };
 
@@ -350,7 +366,7 @@ impl AnswerEngine {
             self.stats.notimp += 1;
             let resp = Message::response_to(&query, Rcode::NotImp);
             let sent = resp.encode_into(resp_buf).is_ok();
-            return HandledPacket { response: sent, query: None };
+            return HandledPacket { response: sent, query: None, decode_error: false };
         }
 
         self.stats.queries += 1;
@@ -362,10 +378,10 @@ impl AnswerEngine {
             .map(|q| QueryView { qname: q.qname.clone(), qtype: q.qtype });
 
         let Some(resp) = self.handle_query(&query) else {
-            return HandledPacket { response: false, query: view };
+            return HandledPacket { response: false, query: view, decode_error: false };
         };
         if resp.encode_into(resp_buf).is_err() {
-            return HandledPacket { response: false, query: view };
+            return HandledPacket { response: false, query: view, decode_error: false };
         }
         // UDP responses must fit the client's advertised payload size
         // (512 without EDNS); oversized answers are replaced by an empty
@@ -381,7 +397,7 @@ impl AnswerEngine {
             }
             tc.encode_into(resp_buf).expect("truncated response encodes");
         }
-        HandledPacket { response: true, query: view }
+        HandledPacket { response: true, query: view, decode_error: false }
     }
 }
 

@@ -11,3 +11,22 @@ cargo test -q --offline
 # on an ephemeral UDP port must answer 100% of a 1k-query closed-loop
 # blast with internally consistent counters (exits non-zero otherwise).
 cargo run --release --offline -q -p dnswild --bin dnswild -- smoke --queries 1000
+
+# Chaos smoke gate: 2k transactions through two seeded fault proxies at
+# 10% loss + 1% corruption. The smoke command itself enforces the hard
+# criteria (100% answered-or-SERVFAIL, zero unaccounted datagrams, no
+# stuck transactions, wall-clock budget); on top of that, the fault
+# schedule and final counters must be byte-identical across two runs
+# with the same seed.
+chaos_a=$(mktemp)
+chaos_b=$(mktemp)
+trap 'rm -f "$chaos_a" "$chaos_b"' EXIT
+cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --chaos --queries 2000 --seed 2017 --budget-secs 120 | tee "$chaos_a"
+cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --chaos --queries 2000 --seed 2017 --budget-secs 120 > "$chaos_b"
+if ! diff <(grep '^chaos' "$chaos_a") <(grep '^chaos' "$chaos_b"); then
+    echo "chaos smoke not reproducible: fault schedule or counters differ between runs" >&2
+    exit 1
+fi
+echo "chaos smoke reproducible: seed 2017 produced identical schedules and counters twice"

@@ -1,0 +1,124 @@
+//! Decode-robustness property suite: mutated, truncated and bit-flipped
+//! encodings of valid DNS messages must never panic the decoder or the
+//! answer engine, and the engine's reaction must be FORMERR-or-ignore
+//! with its books intact (every packet classified exactly once).
+//!
+//! This is the wire-fuzz counterpart of the chaos plane: the fault
+//! proxy mutates datagrams in flight, so everything it can produce must
+//! be survivable. Failures replay deterministically via the seed
+//! printed by the harness (`DETRAND_REPLAY`).
+
+use dnswild::proto::{Message, Name, RType, Rcode};
+use dnswild::server::{AnswerEngine, TransportKind};
+use dnswild::zone::presets::test_domain_zone;
+
+use detrand::qc;
+
+fn origin() -> Name {
+    Name::parse("ourtestdomain.nl").unwrap()
+}
+
+/// A spread of valid wire images: plain queries of several types, an
+/// EDNS query, and a real engine response — mutations start from all
+/// the shapes the chaos proxy will actually see on either direction.
+fn corpus() -> Vec<Vec<u8>> {
+    let probe = Message::iterative_query(7, origin().prepend("p1-r1").unwrap(), RType::Txt);
+    let apex_ns = Message::iterative_query(8, origin(), RType::Ns);
+    let glue_a = Message::iterative_query(9, origin().prepend("ns1").unwrap(), RType::A);
+    let mut edns = Message::iterative_query(10, origin().prepend("p2-r3").unwrap(), RType::Txt);
+    edns.add_edns(1232);
+
+    let mut engine = AnswerEngine::new("FRA", vec![test_domain_zone(&origin(), 2)]);
+    let mut resp_buf = Vec::new();
+    let handled =
+        engine.handle_packet(&probe.encode().unwrap(), TransportKind::Udp, &mut resp_buf);
+    assert!(handled.response, "corpus response comes from a real answer");
+
+    vec![
+        probe.encode().unwrap(),
+        apex_ns.encode().unwrap(),
+        glue_a.encode().unwrap(),
+        edns.encode().unwrap(),
+        resp_buf,
+    ]
+}
+
+#[test]
+fn mutated_wire_images_never_panic_and_stay_accounted() {
+    let corpus = corpus();
+    let template = AnswerEngine::new("FRA", vec![test_domain_zone(&origin(), 2)]);
+    qc::property("chaos/mutated-wire-images").cases(1024).check(|g| {
+        let mut bytes = g.choose(&corpus).clone();
+        match g.index(5) {
+            // Bit flips, 1–8 of them.
+            0 => {
+                for _ in 0..1 + g.index(8) {
+                    let bit = g.index(bytes.len() * 8);
+                    bytes[bit / 8] ^= 1 << (bit % 8);
+                }
+            }
+            // Truncation at any offset, down to the empty datagram.
+            1 => {
+                let keep = g.index(bytes.len());
+                bytes.truncate(keep);
+            }
+            // Byte overwrites, 1–4 of them.
+            2 => {
+                for _ in 0..1 + g.index(4) {
+                    let idx = g.index(bytes.len());
+                    bytes[idx] = g.u8();
+                }
+            }
+            // Trailing garbage.
+            3 => bytes.extend(g.bytes(1..16)),
+            // Identity: the valid image itself must sail through.
+            _ => {}
+        }
+
+        // The decoder must never panic, whatever the bytes.
+        let decoded = Message::decode(&bytes);
+
+        // Neither may the engine — and it must classify the packet
+        // exactly once.
+        let mut engine = template.fork();
+        let mut resp_buf = Vec::new();
+        let handled = engine.handle_packet(&bytes, TransportKind::Udp, &mut resp_buf);
+        let delta = engine.take_stats();
+        assert_eq!(delta.packets_seen(), 1, "every packet lands in exactly one counter");
+
+        if decoded.is_err() {
+            // FORMERR-or-ignore only.
+            assert!(handled.decode_error, "decode failures must be flagged");
+            assert_eq!(delta.queries, 0, "an undecodable packet is not a query");
+            assert_eq!(delta.formerr + delta.dropped, 1);
+            if handled.response {
+                let resp = Message::decode(&resp_buf)
+                    .expect("a reply to garbage must itself be well-formed");
+                assert!(resp.is_response());
+                assert_eq!(resp.rcode(), Rcode::FormErr);
+            }
+        } else {
+            assert!(!handled.decode_error, "decodable packets are not decode errors");
+        }
+    });
+}
+
+/// Valid corpus images are never misclassified as decode errors, and
+/// queries among them always produce a decodable response.
+#[test]
+fn pristine_corpus_round_trips() {
+    let mut engine = AnswerEngine::new("FRA", vec![test_domain_zone(&origin(), 2)]);
+    let mut resp_buf = Vec::new();
+    for bytes in corpus() {
+        let handled = engine.handle_packet(&bytes, TransportKind::Udp, &mut resp_buf);
+        assert!(!handled.decode_error);
+        if handled.response {
+            Message::decode(&resp_buf).expect("responses to valid packets decode");
+        }
+    }
+    let stats = engine.take_stats();
+    // Four queries and one response (the response is counted dropped).
+    assert_eq!(stats.packets_seen(), 5);
+    assert_eq!(stats.queries, 4);
+    assert_eq!(stats.dropped, 1);
+}

@@ -174,3 +174,116 @@ fn experiment_is_deterministic_across_full_stack() {
     };
     assert_eq!(run(), run());
 }
+
+/// The chaos plane on real sockets: the same retry/backoff/SRTT stack,
+/// but with the simulator's loss/jitter replaced by the seed-driven
+/// fault proxy of `dnswild_netio::chaos`.
+mod chaos_plane {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use dnswild::netio::{
+        resolve, serve, ChaosProxy, ClientStats, DirTally, Direction, FaultPlan, FaultProfile,
+        ResolveConfig, ServeConfig,
+    };
+    use dnswild::proto::Name;
+    use dnswild::server::ServerStats;
+    use dnswild::zone::presets::test_domain_zone;
+
+    fn origin() -> Name {
+        Name::parse("ourtestdomain.nl").unwrap()
+    }
+
+    /// One complete chaos run: a real server behind two fault proxies
+    /// sharing one plan, driven by the resolver client. Returns every
+    /// deterministic observable (the per-server split is deliberately
+    /// excluded — it follows real RTTs).
+    fn chaos_run(seed: u64) -> (u64, u64, ClientStats, ServerStats, DirTally, DirTally) {
+        let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+        let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(2)).unwrap();
+        // The ISSUE's reference profile: 10% loss split across the two
+        // directions, 2% duplication, delays up to 20 ms.
+        let profile = FaultProfile {
+            drop: 0.05,
+            dup: 0.02,
+            corrupt: 0.0,
+            truncate: 0.0,
+            reorder: 0.0,
+            delay_min_us: 0,
+            delay_max_us: 0,
+        }
+        .delay_ms(0, 20);
+        let plan = Arc::new(FaultPlan::new(seed, profile, profile));
+        let p1 = ChaosProxy::spawn("127.0.0.1:0", handle.local_addr(), Arc::clone(&plan)).unwrap();
+        let p2 = ChaosProxy::spawn("127.0.0.1:0", handle.local_addr(), Arc::clone(&plan)).unwrap();
+
+        let mut cfg = ResolveConfig::new(vec![p1.local_addr(), p2.local_addr()], origin())
+            .transactions(120)
+            .concurrency(3);
+        cfg.seed = seed;
+        let report = resolve(cfg).unwrap();
+        p1.shutdown();
+        p2.shutdown();
+        let fwd = plan.tally(Direction::Forward);
+        let rev = plan.tally(Direction::Reverse);
+        // Give the server a moment to classify the last flushed copies.
+        let settle = Instant::now() + Duration::from_secs(5);
+        while handle.stats().packets_seen() < fwd.delivered && Instant::now() < settle {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = handle.shutdown();
+        report.stats.check().unwrap();
+        (plan.schedule_digest(), plan.events(), report.stats, stats, fwd, rev)
+    }
+
+    /// Two fixed seeds, each run twice: byte-identical fault schedules
+    /// (digest + event count) and identical resolver/server counter
+    /// summaries across runs; the seeds diverge from each other.
+    #[test]
+    fn chaos_runs_reproduce_for_fixed_seeds() {
+        let a1 = chaos_run(11);
+        let a2 = chaos_run(11);
+        assert_eq!(a1, a2, "seed 11 must reproduce exactly");
+        let b1 = chaos_run(12);
+        let b2 = chaos_run(12);
+        assert_eq!(b1, b2, "seed 12 must reproduce exactly");
+        assert_ne!(a1.0, b1.0, "different seeds must produce different schedules");
+        // Under this profile nothing should be lost outright.
+        assert_eq!(a1.2.answered + a1.2.servfails, 120);
+        assert!(a1.2.answered > 100, "10% loss cannot starve the run: {:?}", a1.2);
+    }
+
+    /// §4.2 on real sockets: with one fast lossless path and one slow
+    /// path to the same authoritative, the BIND-style SRTT policy
+    /// shifts the bulk of the attempts onto the fast path.
+    #[test]
+    fn srtt_reranking_prefers_the_fast_path() {
+        let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+        let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(2)).unwrap();
+        let fast_plan =
+            Arc::new(FaultPlan::new(1, FaultProfile::lossless(), FaultProfile::lossless()));
+        let slow_profile = FaultProfile::lossless().delay_ms(15, 25);
+        let slow_plan = Arc::new(FaultPlan::new(2, slow_profile, slow_profile));
+        let fast = ChaosProxy::spawn("127.0.0.1:0", handle.local_addr(), fast_plan).unwrap();
+        let slow = ChaosProxy::spawn("127.0.0.1:0", handle.local_addr(), slow_plan).unwrap();
+
+        let report = resolve(
+            ResolveConfig::new(vec![fast.local_addr(), slow.local_addr()], origin())
+                .transactions(300)
+                .concurrency(2),
+        )
+        .unwrap();
+        fast.shutdown();
+        slow.shutdown();
+        handle.shutdown();
+
+        report.stats.check().unwrap();
+        assert_eq!(report.stats.answered, 300, "both paths are lossless: {:?}", report.stats);
+        let total: u64 = report.per_server.iter().sum();
+        assert!(
+            report.per_server[0] * 10 >= total * 6,
+            "SRTT re-ranking should put >=60% of attempts on the fast path: {:?}",
+            report.per_server
+        );
+    }
+}

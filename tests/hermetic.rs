@@ -128,8 +128,9 @@ fn netio_manifest_is_scanned_and_hermetic() {
     );
     let entries = dependency_sections(&manifest);
     assert!(
-        entries.len() >= 3,
-        "netio should declare its in-tree deps (proto/zone/server at least), found {}",
+        entries.len() >= 6,
+        "netio should declare its in-tree deps (proto/zone/server plus resolver/netsim/detrand \
+         for the chaos plane), found {}",
         entries.len()
     );
     for entry in entries {
