@@ -20,6 +20,7 @@ mod share;
 pub mod stats;
 mod table;
 mod timeline;
+mod trace_ingest;
 
 pub use coverage::{coverage, queries_to_cover, CoverageSummary};
 pub use interval::{interval_sweep, IntervalPoint};
@@ -33,3 +34,4 @@ pub use share::{query_share, AuthShare};
 pub use stats::{mean, median, percentile, BoxStats};
 pub use table::TextTable;
 pub use timeline::{timeline, TimeBucket};
+pub use trace_ingest::{trace_auth_counts, trace_client_counts, trace_to_measurement};

@@ -1,4 +1,11 @@
 //! Small statistics toolkit: percentiles, quartile summaries, means.
+//!
+//! The percentile estimator itself lives in `dnswild_telemetry::stats`
+//! so the sim-plane analyses, the real-socket load reports and the
+//! trace histograms all rank with one implementation; this module
+//! re-exports it and keeps the figure-oriented summaries.
+
+pub use dnswild_telemetry::stats::percentile_sorted;
 
 /// Linear-interpolation percentile (the common "type 7" estimator).
 /// `p` is in `[0, 100]`. Returns `None` on empty input.
@@ -9,20 +16,6 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in data"));
     Some(percentile_sorted(&sorted, p))
-}
-
-/// Percentile over already-sorted data (ascending).
-pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
-    assert!(!sorted.is_empty());
-    let p = p.clamp(0.0, 100.0);
-    if sorted.len() == 1 {
-        return sorted[0];
-    }
-    let rank = p / 100.0 * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    let frac = rank - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
 /// Median, or `None` when empty.

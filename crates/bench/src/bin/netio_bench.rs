@@ -10,7 +10,11 @@
 use std::sync::Arc;
 
 use dnswild_bench::{black_box, Runner, Stats};
-use dnswild_netio::{blast, serve, Direction, FaultPlan, FaultProfile, LoadConfig, QueryMix, ServeConfig};
+use dnswild_netio::{
+    blast, serve, Collector, CollectorConfig, Direction, FaultPlan, FaultProfile, LoadConfig,
+    QueryMix, ServeConfig,
+};
+use dnswild_telemetry::{Event, EventKind};
 use dnswild_proto::{Message, Name, RType};
 use dnswild_zone::presets::test_domain_zone;
 
@@ -57,6 +61,74 @@ fn bench_loopback_round_trips(r: &mut Runner) {
     ));
 
     handle.shutdown();
+}
+
+/// The same closed-loop blast with both ends traced — the acceptance
+/// bar is that this stays within ~10% of the untraced runs above, and
+/// `telemetry_record_per_event` below bounds the per-datagram cost.
+fn bench_traced_blast(r: &mut Runner) {
+    let trace_path = std::env::temp_dir().join("dnswild_netio_bench.dwtrace");
+    let collector = Arc::new(
+        Collector::start(CollectorConfig::new(&trace_path).auths(["FRA"]).ring_capacity(1 << 16))
+            .expect("start collector"),
+    );
+
+    let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+    let handle = serve(
+        ServeConfig::new("127.0.0.1:0", "FRA", zones)
+            .threads(2)
+            .collector(Arc::clone(&collector), 0),
+    )
+    .expect("bind loopback");
+    let addr = handle.local_addr();
+
+    r.set_samples(30);
+    r.bench("netio_blast_1k_mixed_traced", || {
+        let report = blast(
+            LoadConfig::new(addr, origin())
+                .concurrency(4)
+                .queries(1_000)
+                .collector(Arc::clone(&collector), 0),
+        )
+        .expect("blast");
+        assert!(report.all_answered(), "traced loopback run lost queries: {report:?}");
+        black_box(report.received)
+    });
+
+    handle.shutdown();
+    let summary = collector.finish().expect("finish trace");
+    assert_eq!(summary.overflow, 0, "ring overflow under bench load");
+    eprintln!("netio/traced_blast captured {} events, 0 overflow", summary.events);
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+/// Per-event cost of the capture hot path alone: stamp a clock, fill
+/// the fixed 40-byte record, push it through the SPSC ring.
+fn bench_telemetry_record(r: &mut Runner) {
+    let trace_path = std::env::temp_dir().join("dnswild_netio_bench_record.dwtrace");
+    let collector = Collector::start(
+        CollectorConfig::new(&trace_path).auths(["FRA"]).ring_capacity(1 << 16),
+    )
+    .expect("start collector");
+    let producer = collector.producer();
+
+    r.set_samples(200);
+    let mut i = 0u64;
+    r.bench("telemetry_record_per_event", || {
+        i = i.wrapping_add(1);
+        let mut ev = Event::new(EventKind::ServerQuery);
+        ev.ts_ns = producer.now_ns();
+        ev.client_hash = i;
+        ev.qname_hash = i as u32;
+        ev.latency_ns = 42_000;
+        ev.bytes_in = 64;
+        ev.bytes_out = 128;
+        black_box(producer.record(&ev))
+    });
+
+    let summary = collector.finish().expect("finish trace");
+    black_box(summary.events);
+    let _ = std::fs::remove_file(&trace_path);
 }
 
 /// The encode paths feeding the hot loop: allocating vs. buffer-reuse.
@@ -122,6 +194,8 @@ fn main() {
     let mut r = Runner::from_env("netio");
     bench_encode_paths(&mut r);
     bench_chaos_decide(&mut r);
+    bench_telemetry_record(&mut r);
     bench_loopback_round_trips(&mut r);
+    bench_traced_blast(&mut r);
     r.finish();
 }

@@ -51,7 +51,12 @@ impl Stats {
 
     fn from_samples(name: &str, mut ns: Vec<u128>) -> Stats {
         ns.sort_unstable();
-        let pick = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
+        // Shared estimator: same interpolation as the analysis figures
+        // and the netio load reports.
+        let pick = |q: f64| {
+            dnswild_telemetry::stats::percentile_sorted_u128(&ns, q * 100.0)
+                .expect("samples are non-empty")
+        };
         Stats {
             name: name.to_string(),
             samples: ns.len(),

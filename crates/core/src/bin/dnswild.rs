@@ -21,9 +21,14 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use dnswild::report::{render_coverage, render_rank_profile, render_share};
+use dnswild_analysis::{
+    coverage, query_share, rank_profile, trace_auth_counts, trace_client_counts,
+    trace_to_measurement,
+};
 use dnswild_netio::{
-    blast, resolve, serve, ChaosProxy, Direction, FaultPlan, FaultProfile, LoadConfig, QueryMix,
-    ResolveConfig, ServeConfig,
+    blast, resolve, serve, ChaosProxy, Collector, CollectorConfig, Direction, FaultPlan,
+    FaultProfile, LoadConfig, QueryMix, ResolveConfig, ServeConfig, Trace,
 };
 use dnswild_proto::Name;
 use dnswild_server::ServerStats;
@@ -41,6 +46,7 @@ fn usage_exit(code: i32) -> ! {
              --origin NAME    zone origin (default ourtestdomain.nl)\n\
              --ns N           NS count in the preset zone (default 2)\n\
              --duration SECS  stop after SECS (default: run until killed)\n\
+             --trace PATH     record one telemetry event per datagram to PATH\n\
            blast   closed-loop load generator\n\
              --addr A:P       target address (default 127.0.0.1:5300)\n\
              --concurrency N  client threads (default 4)\n\
@@ -53,6 +59,8 @@ fn usage_exit(code: i32) -> ! {
                               resolver retry/backoff client instead\n\
              --loss P         (chaos) total drop probability (default 0.10)\n\
              --corrupt P      (chaos) per-copy corruption probability (default 0.01)\n\
+             --trace PATH     record one telemetry event per query to PATH\n\
+             --json           emit one JSON object instead of the text report\n\
            chaos   standalone fault-injecting UDP proxy\n\
              --listen A:P     address to accept clients on (default 127.0.0.1:5301)\n\
              --upstream A:P   server to proxy to (default 127.0.0.1:5300)\n\
@@ -70,7 +78,12 @@ fn usage_exit(code: i32) -> ! {
              --seed S         (chaos) fault schedule seed (default 2017)\n\
              --loss P         (chaos) total drop probability (default 0.10)\n\
              --corrupt P      (chaos) per-copy corruption probability (default 0.01)\n\
-             --budget-secs S  (chaos) wall-clock budget (default 120)"
+             --budget-secs S  (chaos) wall-clock budget (default 120)\n\
+             --trace PATH     record server+client+proxy telemetry to PATH\n\
+             --json           emit one JSON object instead of the text report\n\
+           report  analyses over a recorded telemetry trace\n\
+             --from-trace PATH  trace file written by --trace\n\
+             --min-queries N    rank-profile client threshold (default 1)"
     );
     std::process::exit(code)
 }
@@ -129,6 +142,78 @@ fn parse_origin(origin: &str) -> Name {
     })
 }
 
+/// Starts a telemetry collector writing to `path` with the given auth
+/// table (auth id = index).
+fn start_collector(path: &str, auths: &[&str]) -> Arc<Collector> {
+    match Collector::start(CollectorConfig::new(path).auths(auths.iter().copied())) {
+        Ok(c) => Arc::new(c),
+        Err(e) => {
+            eprintln!("trace: {e}");
+            std::process::exit(1)
+        }
+    }
+}
+
+/// Finishes the collector and prints the trace summary. The event and
+/// overflow counts are deterministic for a fixed seed; the content
+/// digest additionally commits to which server each client attempt
+/// picked, so it is only run-to-run stable for non-chaos runs.
+fn finish_trace(collector: &Collector, path: &str) {
+    let summary = collector.finish().unwrap_or_else(|e| {
+        eprintln!("trace: finish: {e}");
+        std::process::exit(1)
+    });
+    println!("trace-summary: events={} overflow={}", summary.events, summary.overflow);
+    match Trace::read_from(std::path::Path::new(path)) {
+        Ok(t) => println!("trace-digest: {:016x}", t.digest()),
+        Err(e) => {
+            eprintln!("trace: read back: {e}");
+            std::process::exit(1)
+        }
+    }
+}
+
+/// One JSON object summarising a load run — counters, latency
+/// percentiles and, when the server ran in-process, its stats. Values
+/// are numbers only, so the object is hand-rolled.
+fn json_blast(report: &dnswild_netio::LoadReport, stats: Option<&ServerStats>) -> String {
+    let pct = |q: f64| report.latency_percentile(q).unwrap_or(0) as f64 / 1e3;
+    let mut out = format!(
+        "{{\"sent\":{},\"received\":{},\"timeouts\":{},\"mismatched\":{},\"elapsed_ms\":{},\
+         \"qps\":{:.1},\"latency_us\":{{\"p50\":{:.1},\"p90\":{:.1},\"p99\":{:.1},\"max\":{:.1}}}",
+        report.sent,
+        report.received,
+        report.timeouts,
+        report.mismatched,
+        report.elapsed.as_millis(),
+        report.qps(),
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        pct(1.0)
+    );
+    if let Some(s) = stats {
+        out.push_str(&format!(
+            ",\"server\":{{\"queries\":{},\"answers\":{},\"nxdomain\":{},\"nodata\":{},\
+             \"referrals\":{},\"refused\":{},\"formerr\":{},\"notimp\":{},\"chaos\":{},\
+             \"truncated\":{},\"dropped\":{}}}",
+            s.queries,
+            s.answers,
+            s.nxdomain,
+            s.nodata,
+            s.referrals,
+            s.refused,
+            s.formerr,
+            s.notimp,
+            s.chaos,
+            s.truncated,
+            s.dropped
+        ));
+    }
+    out.push('}');
+    out
+}
+
 /// The canonical chaos fault mix: `loss` split 60/40 across the forward
 /// and reverse directions (a query lost either way costs the client one
 /// attempt), 2% duplication, `corrupt` per copy, a light truncate and
@@ -160,6 +245,7 @@ fn cmd_serve(args: &[String]) {
     let mut origin = "ourtestdomain.nl".to_string();
     let mut ns = 2usize;
     let mut duration: Option<u64> = None;
+    let mut trace: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -169,6 +255,7 @@ fn cmd_serve(args: &[String]) {
             "--origin" => origin = parse_flag(&mut it, "--origin"),
             "--ns" => ns = parse_flag(&mut it, "--ns"),
             "--duration" => duration = Some(parse_flag(&mut it, "--duration")),
+            "--trace" => trace = Some(parse_flag(&mut it, "--trace")),
             "--help" | "-h" => usage_exit(0),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -176,11 +263,21 @@ fn cmd_serve(args: &[String]) {
             }
         }
     }
+    if trace.is_some() && duration.is_none() {
+        // The trace footer is written when the collector is finished;
+        // an open-ended run would leave an unreadable file behind.
+        eprintln!("serve: --trace requires --duration");
+        std::process::exit(2);
+    }
     let origin = parse_origin(&origin);
     let zones = Arc::new(vec![test_domain_zone(&origin, ns)]);
     let mut config = ServeConfig::new(addr, site.clone(), zones);
     if let Some(t) = threads {
         config = config.threads(t);
+    }
+    let collector = trace.as_ref().map(|path| start_collector(path, &[site.as_str()]));
+    if let Some(c) = &collector {
+        config = config.collector(Arc::clone(c), 0);
     }
     let handle = serve(config).unwrap_or_else(|e| {
         eprintln!("serve: {e}");
@@ -197,6 +294,9 @@ fn cmd_serve(args: &[String]) {
         Some(secs) => {
             std::thread::sleep(Duration::from_secs(secs));
             print_stats(handle.shutdown());
+            if let (Some(c), Some(path)) = (&collector, &trace) {
+                finish_trace(c, path);
+            }
         }
         None => loop {
             std::thread::sleep(Duration::from_secs(10));
@@ -216,6 +316,8 @@ fn cmd_blast(args: &[String]) {
     let mut chaos = false;
     let mut loss = 0.10f64;
     let mut corrupt = 0.01f64;
+    let mut trace: Option<String> = None;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -229,6 +331,8 @@ fn cmd_blast(args: &[String]) {
             "--chaos" => chaos = true,
             "--loss" => loss = parse_flag(&mut it, "--loss"),
             "--corrupt" => corrupt = parse_flag(&mut it, "--corrupt"),
+            "--trace" => trace = Some(parse_flag(&mut it, "--trace")),
+            "--json" => json = true,
             "--help" | "-h" => usage_exit(0),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -237,38 +341,68 @@ fn cmd_blast(args: &[String]) {
         }
     }
     let origin = parse_origin(&origin);
-    let target = addr.parse().unwrap_or_else(|e| {
+    let target: std::net::SocketAddr = addr.parse().unwrap_or_else(|e| {
         eprintln!("bad --addr: {e}");
         std::process::exit(2)
     });
+    // The client side only knows the target address, so that is the
+    // auth table entry (auth id 0).
+    let collector = trace.as_ref().map(|path| start_collector(path, &[addr.as_str()]));
     if chaos {
         // Interpose a fault proxy and drive the resolver client, whose
         // retry/backoff/SRTT loop is what makes lossy paths survivable.
         let (fwd, rev) = chaos_profiles(loss, corrupt);
         let plan = Arc::new(FaultPlan::new(seed, fwd, rev));
-        let proxy = ChaosProxy::spawn("127.0.0.1:0", target, Arc::clone(&plan))
-            .unwrap_or_else(|e| {
-                eprintln!("blast: chaos proxy: {e}");
-                std::process::exit(1)
-            });
+        let proxy = ChaosProxy::spawn_with(
+            "127.0.0.1:0",
+            target,
+            Arc::clone(&plan),
+            collector.as_ref().map(Arc::clone),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("blast: chaos proxy: {e}");
+            std::process::exit(1)
+        });
         eprintln!("blast: chaos proxy on udp://{} -> {}", proxy.local_addr(), target);
         let mut cfg = ResolveConfig::new(vec![proxy.local_addr()], origin)
             .transactions(queries)
             .concurrency(concurrency);
         cfg.seed = seed;
+        if let Some(c) = &collector {
+            cfg = cfg.collector(Arc::clone(c));
+        }
         let report = resolve(cfg).unwrap_or_else(|e| {
             eprintln!("blast: resolve: {e}");
             std::process::exit(1)
         });
         proxy.shutdown();
-        println!("chaos-client: {}", report.stats.render());
-        println!("chaos-fwd: {}", plan.tally(Direction::Forward).render());
-        println!("chaos-rev: {}", plan.tally(Direction::Reverse).render());
-        println!(
-            "elapsed_ms={} qps={:.0}",
-            report.elapsed.as_millis(),
-            report.stats.attempts as f64 / report.elapsed.as_secs_f64()
-        );
+        if json {
+            let s = &report.stats;
+            println!(
+                "{{\"transactions\":{},\"attempts\":{},\"answered\":{},\"servfails\":{},\
+                 \"timeouts\":{},\"retries\":{},\"elapsed_ms\":{},\"qps\":{:.1}}}",
+                s.transactions,
+                s.attempts,
+                s.answered,
+                s.servfails,
+                s.timeouts,
+                s.retries,
+                report.elapsed.as_millis(),
+                s.attempts as f64 / report.elapsed.as_secs_f64()
+            );
+        } else {
+            println!("chaos-client: {}", report.stats.render());
+            println!("chaos-fwd: {}", plan.tally(Direction::Forward).render());
+            println!("chaos-rev: {}", plan.tally(Direction::Reverse).render());
+            println!(
+                "elapsed_ms={} qps={:.0}",
+                report.elapsed.as_millis(),
+                report.stats.attempts as f64 / report.elapsed.as_secs_f64()
+            );
+        }
+        if let (Some(c), Some(path)) = (&collector, &trace) {
+            finish_trace(c, path);
+        }
         if let Err(complaint) = report.stats.check() {
             eprintln!("blast: FAIL — {complaint}");
             std::process::exit(1);
@@ -281,11 +415,21 @@ fn cmd_blast(args: &[String]) {
     if probe_only {
         config = config.mix(QueryMix::probe_only());
     }
+    if let Some(c) = &collector {
+        config = config.collector(Arc::clone(c), 0);
+    }
     let report = blast(config).unwrap_or_else(|e| {
         eprintln!("blast: {e}");
         std::process::exit(1)
     });
-    report_blast(&report);
+    if json {
+        println!("{}", json_blast(&report, None));
+    } else {
+        report_blast(&report);
+    }
+    if let (Some(c), Some(path)) = (&collector, &trace) {
+        finish_trace(c, path);
+    }
     if !report.all_answered() {
         std::process::exit(1);
     }
@@ -376,6 +520,8 @@ fn cmd_smoke(args: &[String]) {
     let mut loss = 0.10f64;
     let mut corrupt = 0.01f64;
     let mut budget_secs = 120u64;
+    let mut trace: Option<String> = None;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -386,6 +532,8 @@ fn cmd_smoke(args: &[String]) {
             "--loss" => loss = parse_flag(&mut it, "--loss"),
             "--corrupt" => corrupt = parse_flag(&mut it, "--corrupt"),
             "--budget-secs" => budget_secs = parse_flag(&mut it, "--budget-secs"),
+            "--trace" => trace = Some(parse_flag(&mut it, "--trace")),
+            "--json" => json = true,
             "--help" | "-h" => usage_exit(0),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -394,28 +542,44 @@ fn cmd_smoke(args: &[String]) {
         }
     }
     if chaos {
-        chaos_smoke(queries, threads, seed, loss, corrupt, budget_secs);
+        if json {
+            eprintln!("smoke: --chaos and --json are mutually exclusive");
+            std::process::exit(2);
+        }
+        chaos_smoke(queries, threads, seed, loss, corrupt, budget_secs, trace.as_deref());
         return;
     }
     let origin = Name::parse("ourtestdomain.nl").expect("static origin");
     let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
-    let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads))
-        .unwrap_or_else(|e| {
-            eprintln!("smoke: serve: {e}");
-            std::process::exit(1)
-        });
+    let collector = trace.as_ref().map(|path| start_collector(path, &["FRA"]));
+    let mut serve_cfg = ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads);
+    if let Some(c) = &collector {
+        serve_cfg = serve_cfg.collector(Arc::clone(c), 0);
+    }
+    let handle = serve(serve_cfg).unwrap_or_else(|e| {
+        eprintln!("smoke: serve: {e}");
+        std::process::exit(1)
+    });
     eprintln!("smoke: serving on udp://{} with {} workers", handle.local_addr(), handle.threads());
-    let report = blast(
-        LoadConfig::new(handle.local_addr(), origin).concurrency(4).queries(queries),
-    )
-    .unwrap_or_else(|e| {
+    let mut load_cfg = LoadConfig::new(handle.local_addr(), origin).concurrency(4).queries(queries);
+    if let Some(c) = &collector {
+        load_cfg = load_cfg.collector(Arc::clone(c), 0);
+    }
+    let report = blast(load_cfg).unwrap_or_else(|e| {
         eprintln!("smoke: blast: {e}");
         std::process::exit(1)
     });
     let io = handle.io_errors();
     let stats = handle.shutdown();
-    report_blast(&report);
-    print_stats(stats);
+    if json {
+        println!("{}", json_blast(&report, Some(&stats)));
+    } else {
+        report_blast(&report);
+        print_stats(stats);
+    }
+    if let (Some(c), Some(path)) = (&collector, &trace) {
+        finish_trace(c, path);
+    }
     if !report.all_answered() {
         eprintln!("smoke: FAIL — lost or stale responses");
         std::process::exit(1);
@@ -441,7 +605,13 @@ fn cmd_smoke(args: &[String]) {
         );
         std::process::exit(1);
     }
-    println!("smoke: PASS — {} queries, 100% answered, counters consistent", report.sent);
+    let pass = format!("smoke: PASS — {} queries, 100% answered, counters consistent", report.sent);
+    if json {
+        // Keep stdout machine-readable: the verdict goes to stderr.
+        eprintln!("{pass}");
+    } else {
+        println!("{pass}");
+    }
 }
 
 /// The chaos smoke gate: one in-process server behind two fault proxies
@@ -454,22 +624,39 @@ fn cmd_smoke(args: &[String]) {
 /// run inside the wall-clock budget. All `chaos-` lines are
 /// deterministic for a given seed — `scripts/verify.sh` compares them
 /// verbatim across two runs.
-fn chaos_smoke(queries: u64, threads: usize, seed: u64, loss: f64, corrupt: f64, budget_secs: u64) {
+fn chaos_smoke(
+    queries: u64,
+    threads: usize,
+    seed: u64,
+    loss: f64,
+    corrupt: f64,
+    budget_secs: u64,
+    trace: Option<&str>,
+) {
     let origin = Name::parse("ourtestdomain.nl").expect("static origin");
     let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
-    let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads))
-        .unwrap_or_else(|e| {
-            eprintln!("smoke: serve: {e}");
-            std::process::exit(1)
-        });
+    let collector = trace.map(|path| start_collector(path, &["FRA"]));
+    let mut serve_cfg = ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads);
+    if let Some(c) = &collector {
+        serve_cfg = serve_cfg.collector(Arc::clone(c), 0);
+    }
+    let handle = serve(serve_cfg).unwrap_or_else(|e| {
+        eprintln!("smoke: serve: {e}");
+        std::process::exit(1)
+    });
     let (fwd, rev) = chaos_profiles(loss, corrupt);
     let plan = Arc::new(FaultPlan::new(seed, fwd, rev));
     let spawn_proxy = || {
-        ChaosProxy::spawn("127.0.0.1:0", handle.local_addr(), Arc::clone(&plan))
-            .unwrap_or_else(|e| {
-                eprintln!("smoke: chaos proxy: {e}");
-                std::process::exit(1)
-            })
+        ChaosProxy::spawn_with(
+            "127.0.0.1:0",
+            handle.local_addr(),
+            Arc::clone(&plan),
+            collector.as_ref().map(Arc::clone),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("smoke: chaos proxy: {e}");
+            std::process::exit(1)
+        })
     };
     let p1 = spawn_proxy();
     let p2 = spawn_proxy();
@@ -487,6 +674,9 @@ fn chaos_smoke(queries: u64, threads: usize, seed: u64, loss: f64, corrupt: f64,
     // of the deterministic fault schedule.
     cfg = cfg.concurrency(8);
     cfg.seed = seed;
+    if let Some(c) = &collector {
+        cfg = cfg.collector(Arc::clone(c));
+    }
     let report = resolve(cfg).unwrap_or_else(|e| {
         eprintln!("smoke: resolve: {e}");
         std::process::exit(1)
@@ -529,6 +719,12 @@ fn chaos_smoke(queries: u64, threads: usize, seed: u64, loss: f64, corrupt: f64,
         stats.dropped,
         io.decode_errors
     );
+    // Trace lines print after the deterministic `chaos-` block: the
+    // event/overflow counts are seed-deterministic too, but the digest
+    // commits to which proxy each attempt picked, which is not.
+    if let (Some(c), Some(path)) = (&collector, trace) {
+        finish_trace(c, path);
+    }
     println!(
         "elapsed_ms={} recv_errors={} per_server={:?}",
         elapsed.as_millis(),
@@ -579,6 +775,52 @@ fn chaos_smoke(queries: u64, threads: usize, seed: u64, loss: f64, corrupt: f64,
     );
 }
 
+/// `dnswild report --from-trace`: run the paper's analyses over a
+/// recorded telemetry trace. Query share (Figure 3) and coverage
+/// (Figure 2) come from the server-side view; the rank profile
+/// (Figure 7) prefers the client-side view when the trace has one.
+fn cmd_report(args: &[String]) {
+    let mut from_trace: Option<String> = None;
+    let mut min_queries = 1u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--from-trace" => from_trace = Some(parse_flag(&mut it, "--from-trace")),
+            "--min-queries" => min_queries = parse_flag(&mut it, "--min-queries"),
+            "--help" | "-h" => usage_exit(0),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage_exit(2)
+            }
+        }
+    }
+    let Some(path) = from_trace else {
+        eprintln!("report needs --from-trace PATH");
+        usage_exit(2)
+    };
+    let trace = Trace::read_from(std::path::Path::new(&path)).unwrap_or_else(|e| {
+        eprintln!("report: {path}: {e}");
+        std::process::exit(1)
+    });
+    println!(
+        "trace-summary: version={} events={} overflow={}",
+        trace.version,
+        trace.events.len(),
+        trace.overflow
+    );
+    println!("trace-digest: {:016x}", trace.digest());
+    let counts = trace_auth_counts(&trace);
+    let rendered: Vec<String> = counts.iter().map(|(code, n)| format!("{code}={n}")).collect();
+    println!("trace-auth-queries: {}", rendered.join(" "));
+
+    let result = trace_to_measurement(&trace);
+    println!("{}", render_coverage(&[coverage(&result)]));
+    println!("{}", render_share("trace", &query_share(&result)));
+    let clients = trace_client_counts(&trace);
+    let profile = rank_profile(&clients, result.deployment.ns_count(), min_queries);
+    println!("{}", render_rank_profile("trace", &profile));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -586,6 +828,7 @@ fn main() {
         Some("blast") => cmd_blast(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("smoke") => cmd_smoke(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("--help") | Some("-h") | None => usage_exit(if args.is_empty() { 2 } else { 0 }),
         Some(other) => {
             eprintln!("unknown command: {other}");

@@ -39,6 +39,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use detrand::{splitmix64, DetRng, Rng};
+use dnswild_telemetry::{
+    hash_bytes as event_hash_bytes, hash_socket_addr, Collector, Event, EventKind, Producer,
+    FLAG_CHAOS_CORRUPT, FLAG_CHAOS_DELAY, FLAG_CHAOS_DROP, FLAG_CHAOS_DUP, FLAG_CHAOS_REORDER,
+    FLAG_CHAOS_TRUNCATE, RCODE_NONE,
+};
 
 /// How long proxy threads block in a socket read before re-checking the
 /// stop flag.
@@ -419,6 +424,19 @@ impl ChaosProxy {
         upstream: SocketAddr,
         plan: Arc<FaultPlan>,
     ) -> io::Result<ChaosProxy> {
+        ChaosProxy::spawn_with(listen_addr, upstream, plan, None)
+    }
+
+    /// Like [`ChaosProxy::spawn`], but additionally records one
+    /// telemetry event per datagram crossing the proxy (`ChaosForward` /
+    /// `ChaosReverse`), with `FLAG_CHAOS_*` flags describing the fate
+    /// the fault plan chose for it.
+    pub fn spawn_with(
+        listen_addr: impl ToSocketAddrs,
+        upstream: SocketAddr,
+        plan: Arc<FaultPlan>,
+        collector: Option<Arc<Collector>>,
+    ) -> io::Result<ChaosProxy> {
         let addr = listen_addr
             .to_socket_addrs()?
             .next()
@@ -439,7 +457,7 @@ impl ChaosProxy {
             let plan = Arc::clone(&plan);
             std::thread::Builder::new()
                 .name("chaos-listen".into())
-                .spawn(move || listen_loop(listen_sock, upstream, plan, stop, tx))?
+                .spawn(move || listen_loop(listen_sock, upstream, plan, stop, tx, collector))?
         };
 
         Ok(ChaosProxy {
@@ -489,16 +507,66 @@ struct Session {
     pump: JoinHandle<()>,
 }
 
+/// Records one telemetry event describing the fate `decide` chose for
+/// one datagram: flags are reconstructed by comparing the scheduled
+/// deliveries against the original payload, so the event commits to
+/// what actually happened, not to which RNG draws fired.
+fn trace_decision(
+    producer: &Producer,
+    kind: EventKind,
+    profile: &FaultProfile,
+    client: SocketAddr,
+    payload: &[u8],
+    deliveries: &[Delivery],
+) {
+    let mut ev = Event::new(kind);
+    ev.ts_ns = producer.now_ns();
+    ev.client_hash = hash_socket_addr(&client);
+    ev.qname_hash = event_hash_bytes(0x6368_616f, payload) as u32;
+    ev.bytes_in = payload.len().min(u16::MAX as usize) as u16;
+    let out: usize = deliveries.iter().map(|d| d.payload.len()).sum();
+    ev.bytes_out = out.min(u16::MAX as usize) as u16;
+    ev.rcode = RCODE_NONE;
+    let reorder_floor = Duration::from_micros(profile.delay_max_us);
+    let mut flags = 0u16;
+    if deliveries.is_empty() {
+        flags |= FLAG_CHAOS_DROP;
+    }
+    if deliveries.len() >= 2 {
+        flags |= FLAG_CHAOS_DUP;
+    }
+    let mut max_delay = Duration::ZERO;
+    for d in deliveries {
+        if d.payload.len() < payload.len() {
+            flags |= FLAG_CHAOS_TRUNCATE;
+        } else if d.payload != payload {
+            flags |= FLAG_CHAOS_CORRUPT;
+        }
+        if !d.delay.is_zero() {
+            flags |= FLAG_CHAOS_DELAY;
+        }
+        if d.delay > reorder_floor {
+            flags |= FLAG_CHAOS_REORDER;
+        }
+        max_delay = max_delay.max(d.delay);
+    }
+    ev.flags = flags;
+    ev.latency_ns = max_delay.as_nanos().min(u64::from(u32::MAX) as u128) as u32;
+    producer.record(&ev);
+}
+
 fn listen_loop(
     listen: Arc<UdpSocket>,
     upstream: SocketAddr,
     plan: Arc<FaultPlan>,
     stop: Arc<AtomicBool>,
     tx: mpsc::Sender<Scheduled>,
+    collector: Option<Arc<Collector>>,
 ) {
     let mut buf = vec![0u8; 65_535];
     let mut sessions: HashMap<SocketAddr, Session> = HashMap::new();
     let mut seq = 0u64;
+    let producer = collector.as_ref().map(|c| c.producer());
     while !stop.load(Ordering::Relaxed) {
         let (n, client) = match listen.recv_from(&mut buf) {
             Ok(ok) => ok,
@@ -508,7 +576,7 @@ fn listen_loop(
             Err(_) => continue,
         };
         if !sessions.contains_key(&client) {
-            match open_session(&listen, upstream, client, &plan, &stop, &tx) {
+            match open_session(&listen, upstream, client, &plan, &stop, &tx, collector.as_ref()) {
                 Ok(s) => {
                     sessions.insert(client, s);
                 }
@@ -516,7 +584,18 @@ fn listen_loop(
             }
         }
         let session = &sessions[&client];
-        for d in plan.decide(Direction::Forward, &buf[..n]) {
+        let deliveries = plan.decide(Direction::Forward, &buf[..n]);
+        if let Some(p) = &producer {
+            trace_decision(
+                p,
+                EventKind::ChaosForward,
+                plan.profile(Direction::Forward),
+                client,
+                &buf[..n],
+                &deliveries,
+            );
+        }
+        for d in deliveries {
             if d.delay.is_zero() {
                 let _ = session.socket.send(&d.payload);
             } else {
@@ -544,6 +623,7 @@ fn open_session(
     plan: &Arc<FaultPlan>,
     stop: &Arc<AtomicBool>,
     tx: &mpsc::Sender<Scheduled>,
+    collector: Option<&Arc<Collector>>,
 ) -> io::Result<Session> {
     let bind: SocketAddr = if upstream.is_ipv4() {
         "0.0.0.0:0".parse().unwrap()
@@ -559,8 +639,9 @@ fn open_session(
         let plan = Arc::clone(plan);
         let stop = Arc::clone(stop);
         let tx = tx.clone();
+        let collector = collector.map(Arc::clone);
         std::thread::Builder::new().name("chaos-pump".into()).spawn(move || {
-            reverse_loop(socket, listen, client, plan, stop, tx)
+            reverse_loop(socket, listen, client, plan, stop, tx, collector)
         })?
     };
     Ok(Session { socket, pump })
@@ -573,9 +654,11 @@ fn reverse_loop(
     plan: Arc<FaultPlan>,
     stop: Arc<AtomicBool>,
     tx: mpsc::Sender<Scheduled>,
+    collector: Option<Arc<Collector>>,
 ) {
     let mut buf = vec![0u8; 65_535];
     let mut seq = u64::MAX / 2;
+    let producer = collector.as_ref().map(|c| c.producer());
     while !stop.load(Ordering::Relaxed) {
         let n = match upstream.recv(&mut buf) {
             Ok(n) => n,
@@ -584,7 +667,18 @@ fn reverse_loop(
             }
             Err(_) => continue,
         };
-        for d in plan.decide(Direction::Reverse, &buf[..n]) {
+        let deliveries = plan.decide(Direction::Reverse, &buf[..n]);
+        if let Some(p) = &producer {
+            trace_decision(
+                p,
+                EventKind::ChaosReverse,
+                plan.profile(Direction::Reverse),
+                client,
+                &buf[..n],
+                &deliveries,
+            );
+        }
+        for d in deliveries {
             if d.delay.is_zero() {
                 let _ = listen.send_to(&d.payload, client);
             } else {

@@ -42,12 +42,16 @@
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::ops::{Add, AddAssign};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use detrand::DetRng;
+use detrand::{splitmix64, DetRng};
 use dnswild_netsim::{SimAddr, SimDuration, SimTime};
 use dnswild_proto::{Message, Name, RType, Rcode};
 use dnswild_resolver::{InfraCache, PolicyKind};
+use dnswild_telemetry::{
+    qname_hash32, Collector, Event, EventKind, FLAG_RESPONSE, FLAG_TIMEOUT, RCODE_NONE,
+};
 
 /// How long a worker keeps reading after its last transaction, so every
 /// straggling duplicate or delayed reply is drained and accounted. Must
@@ -75,6 +79,12 @@ pub struct ResolveConfig {
     pub seed: u64,
     /// Zone origin the probe queries are built under.
     pub origin: Name,
+    /// Telemetry collector: when set, each worker records one
+    /// `ClientQuery` event per attempt outcome (answer, doomed reply,
+    /// or timeout). The event `auth_id` is the server *index*, which —
+    /// like [`ResolveReport::per_server`] — follows real RTTs and is
+    /// not deterministic across runs.
+    pub collector: Option<Arc<Collector>>,
 }
 
 impl ResolveConfig {
@@ -90,7 +100,14 @@ impl ResolveConfig {
             max_tries: 4,
             seed: 2017,
             origin,
+            collector: None,
         }
+    }
+
+    /// Attaches a telemetry collector (see [`ResolveConfig::collector`]).
+    pub fn collector(mut self, collector: Arc<Collector>) -> Self {
+        self.collector = Some(collector);
+        self
     }
 
     /// Overrides the transaction count.
@@ -348,15 +365,29 @@ fn worker_loop(
     let mut recv_buf = vec![0u8; 4096];
     let max_tries = cfg.max_tries.max(1);
 
+    // One producer ring per worker; the client token is derived from the
+    // seed and worker index so trace-side client groupings are stable
+    // across same-seed runs.
+    let producer = cfg.collector.as_ref().map(|c| c.producer());
+    let client_token =
+        splitmix64(0x636c_6e74 ^ cfg.seed ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+
     for txn in first_txn..first_txn + share {
         stats.transactions += 1;
         let qname = cfg
             .origin
             .prepend(&format!("c{worker}-t{txn}"))
             .expect("short probe label");
+        let qname_hash = if producer.is_some() {
+            qname_hash32(&qname.canonical_wire())
+        } else {
+            0
+        };
         let mut excluded: Vec<SimAddr> = Vec::new();
         let mut sent: Vec<Attempt> = Vec::with_capacity(max_tries as usize);
         let mut answered = false;
+        // (server index, rtt ns, reply bytes) of the answering attempt.
+        let mut answered_info: Option<(usize, u32, u16)> = None;
 
         for attempt in 0..max_tries {
             let token = policy.select(&tokens, &excluded, &mut infra, sim_now(epoch), &mut rng);
@@ -426,6 +457,11 @@ fn worker_loop(
                             sim_now(epoch),
                         );
                         answered = true;
+                        answered_info = Some((
+                            sent[a].server,
+                            rtt.as_nanos().min(u64::from(u32::MAX) as u128) as u32,
+                            got.min(u16::MAX as usize) as u16,
+                        ));
                         break;
                     }
                     Reply::Lame { attempt: a } if doomed.is_none() => {
@@ -454,6 +490,31 @@ fn worker_loop(
                     Reply::Mismatch => stats.stale += 1,
                     Reply::Stale => stats.stale += 1,
                 }
+            }
+            // Exactly one ClientQuery event per attempt, emitted once the
+            // attempt's fate is settled. The doom-then-answer reclassify
+            // above already collapsed duplicate replies, so the outcome
+            // (and hence the event count) is arrival-order independent.
+            if let Some(p) = &producer {
+                let mut ev = Event::new(EventKind::ClientQuery);
+                ev.ts_ns = p.now_ns();
+                ev.client_hash = client_token;
+                ev.qname_hash = qname_hash;
+                ev.bytes_in = send_buf.len().min(u16::MAX as usize) as u16;
+                if answered {
+                    let (srv, rtt_ns, reply_len) = answered_info.expect("answer recorded");
+                    ev.auth_id = srv as u16;
+                    ev.latency_ns = rtt_ns;
+                    ev.bytes_out = reply_len;
+                    ev.flags = FLAG_RESPONSE;
+                    ev.rcode = 0;
+                } else {
+                    ev.auth_id = server as u16;
+                    ev.latency_ns = window.as_nanos().min(u64::from(u32::MAX) as u128) as u32;
+                    ev.rcode = RCODE_NONE;
+                    ev.flags = if doomed.is_some() { FLAG_RESPONSE } else { FLAG_TIMEOUT };
+                }
+                p.record(&ev);
             }
             if answered {
                 break;

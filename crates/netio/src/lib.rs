@@ -60,3 +60,8 @@ pub use chaos::{ChaosProxy, Delivery, DirTally, Direction, FaultPlan, FaultProfi
 pub use client::{resolve, ClientStats, ResolveConfig, ResolveReport};
 pub use load::{blast, LoadConfig, LoadReport, QueryMix};
 pub use server::{serve, AtomicStats, IoErrorStats, ServeConfig, ServeHandle};
+
+// Telemetry plane: re-exported so callers wiring a collector into
+// `ServeConfig` / `LoadConfig` / `ResolveConfig` / `ChaosProxy` don't
+// need a direct `dnswild-telemetry` dependency.
+pub use dnswild_telemetry::{Collector, CollectorConfig, Trace, TraceSummary};

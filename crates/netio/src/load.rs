@@ -15,11 +15,15 @@
 
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use detrand::{DetRng, Rng};
+use detrand::{splitmix64, DetRng, Rng};
 use dnswild_proto::{Class, Message, Name, RType};
 use dnswild_server::ServerStats;
+use dnswild_telemetry::{
+    qname_hash32, Collector, Event, EventKind, FLAG_RESPONSE, FLAG_TIMEOUT, RCODE_NONE,
+};
 
 /// Relative weights of the query kinds the generator draws from.
 #[derive(Debug, Clone, Copy)]
@@ -72,6 +76,12 @@ pub struct LoadConfig {
     pub origin: Name,
     /// Relative query-kind weights.
     pub mix: QueryMix,
+    /// Telemetry collector: when set, each client thread records one
+    /// `ClientQuery` event per transaction (answer or timeout).
+    pub collector: Option<Arc<Collector>>,
+    /// `auth_id` stamped on recorded events (index of the target server
+    /// in the collector's auth table).
+    pub trace_auth_id: u16,
 }
 
 impl LoadConfig {
@@ -86,6 +96,8 @@ impl LoadConfig {
             seed: 2017,
             origin,
             mix: QueryMix::default(),
+            collector: None,
+            trace_auth_id: 0,
         }
     }
 
@@ -104,6 +116,13 @@ impl LoadConfig {
     /// Overrides the query mix.
     pub fn mix(mut self, mix: QueryMix) -> Self {
         self.mix = mix;
+        self
+    }
+
+    /// Attaches a telemetry collector (see [`LoadConfig::collector`]).
+    pub fn collector(mut self, collector: Arc<Collector>, auth_id: u16) -> Self {
+        self.collector = Some(collector);
+        self.trace_auth_id = auth_id;
         self
     }
 }
@@ -135,14 +154,10 @@ impl LoadReport {
         self.received as f64 / secs
     }
 
-    /// Latency at quantile `q` in `[0, 1]`, in nanoseconds.
+    /// Latency at quantile `q` in `[0, 1]`, in nanoseconds — computed by
+    /// the workspace's shared estimator (`dnswild_telemetry::stats`).
     pub fn latency_percentile(&self, q: f64) -> Option<u64> {
-        if self.latencies_ns.is_empty() {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let idx = ((self.latencies_ns.len() - 1) as f64 * q).round() as usize;
-        Some(self.latencies_ns[idx])
+        dnswild_telemetry::stats::percentile_sorted_u64(&self.latencies_ns, q * 100.0)
     }
 
     /// The sorted raw latency samples (for external summarisers such as
@@ -279,6 +294,10 @@ fn client_loop(config: &LoadConfig, thread: usize, queries: u64) -> io::Result<W
     let mut send_buf = Vec::with_capacity(512);
     let mut recv_buf = vec![0u8; 4096];
     let mut tally = WorkerTally { latencies_ns: Vec::with_capacity(queries as usize), ..Default::default() };
+    let producer = config.collector.as_ref().map(|c| c.producer());
+    // A stable per-thread client token: deterministic across runs (the
+    // rank analysis groups trace events by it), unlike a socket address.
+    let client_token = splitmix64(0x636c_6e74 ^ (thread as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
 
     for n in 0..queries {
         let id = (n % u64::from(u16::MAX)) as u16;
@@ -288,30 +307,56 @@ fn client_loop(config: &LoadConfig, thread: usize, queries: u64) -> io::Result<W
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e:?}")))?;
         let sent_at = Instant::now();
         let deadline = sent_at + config.timeout;
+        let sent_ns = producer.as_ref().map(|p| p.now_ns());
         socket.send(&send_buf)?;
         tally.sent += 1;
         // Wait for the response carrying our ID; stale responses from
         // queries that already timed out are counted and skipped.
-        loop {
+        let mut resp_len = 0usize;
+        let answered = loop {
             match socket.recv(&mut recv_buf) {
                 Ok(got) => {
                     if got >= 2 && u16::from_be_bytes([recv_buf[0], recv_buf[1]]) == id {
                         tally.received += 1;
                         tally.latencies_ns.push(sent_at.elapsed().as_nanos() as u64);
-                        break;
+                        resp_len = got;
+                        break true;
                     }
                     tally.mismatched += 1;
                     if Instant::now() >= deadline {
                         tally.timeouts += 1;
-                        break;
+                        break false;
                     }
                 }
                 Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
                     tally.timeouts += 1;
-                    break;
+                    break false;
                 }
                 Err(e) => return Err(e),
             }
+        };
+        if let (Some(producer), Some(sent_ns)) = (&producer, sent_ns) {
+            let mut ev = Event::new(EventKind::ClientQuery);
+            ev.ts_ns = sent_ns;
+            ev.client_hash = client_token;
+            // Question bytes past the header — allocation-free and
+            // byte-identical to what the server hashes for this
+            // datagram on its side.
+            ev.qname_hash = qname_hash32(send_buf.get(12..).unwrap_or(&[]));
+            ev.latency_ns =
+                u32::try_from(producer.now_ns().saturating_sub(sent_ns)).unwrap_or(u32::MAX);
+            ev.auth_id = config.trace_auth_id;
+            ev.bytes_in = u16::try_from(send_buf.len()).unwrap_or(u16::MAX);
+            ev.bytes_out = u16::try_from(resp_len).unwrap_or(u16::MAX);
+            if answered {
+                ev.flags = FLAG_RESPONSE;
+                // Wire rcode lives in the low nibble of byte 3.
+                ev.rcode = if resp_len >= 4 { recv_buf[3] & 0x0f } else { RCODE_NONE };
+            } else {
+                ev.flags = FLAG_TIMEOUT;
+                ev.rcode = RCODE_NONE;
+            }
+            producer.record(&ev);
         }
     }
     Ok(tally)

@@ -16,7 +16,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use dnswild_proto::MAX_MESSAGE_SIZE;
-use dnswild_server::{AnswerEngine, ServerStats, TransportKind};
+use dnswild_server::{AnswerEngine, PacketClass, ServerStats, TransportKind};
+use dnswild_telemetry::{
+    hash_socket_addr, qname_hash32, Collector, Event, EventKind, Producer, FLAG_DECODE_ERROR,
+    FLAG_RESPONSE, RCODE_NONE,
+};
 use dnswild_zone::Zone;
 
 /// How long a worker blocks in `recv_from` before re-checking the stop
@@ -142,6 +146,13 @@ pub struct ServeConfig {
     pub site_code: String,
     /// The zone set, shared (not copied) across workers.
     pub zones: Arc<Vec<Zone>>,
+    /// Telemetry collector: when set, every worker gets an SPSC ring
+    /// and records one event per handled datagram, and the engine
+    /// answers `CH TXT stats.dnswild.` from the live snapshot.
+    pub collector: Option<Arc<Collector>>,
+    /// Index of this server in the collector's auth table (event
+    /// `auth_id`); ignored without a collector.
+    pub trace_auth_id: u16,
 }
 
 impl ServeConfig {
@@ -153,12 +164,21 @@ impl ServeConfig {
             threads,
             site_code: site_code.into(),
             zones,
+            collector: None,
+            trace_auth_id: 0,
         }
     }
 
     /// Overrides the worker thread count.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a telemetry collector (see [`ServeConfig::collector`]).
+    pub fn collector(mut self, collector: Arc<Collector>, auth_id: u16) -> Self {
+        self.collector = Some(collector);
+        self.trace_auth_id = auth_id;
         self
     }
 }
@@ -218,7 +238,10 @@ pub fn serve(config: ServeConfig) -> io::Result<ServeHandle> {
 
     let stop = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(AtomicStats::default());
-    let template = AnswerEngine::with_shared_zones(config.site_code, Arc::clone(&config.zones));
+    let mut template = AnswerEngine::with_shared_zones(config.site_code, Arc::clone(&config.zones));
+    if let Some(collector) = &config.collector {
+        template = template.with_telemetry(collector.snapshot_cell());
+    }
 
     let mut workers = Vec::with_capacity(config.threads);
     for i in 0..config.threads.max(1) {
@@ -226,17 +249,28 @@ pub fn serve(config: ServeConfig) -> io::Result<ServeHandle> {
         let stop = Arc::clone(&stop);
         let stats = Arc::clone(&stats);
         let mut engine = template.fork();
+        let trace = config
+            .collector
+            .as_ref()
+            .map(|c| (c.producer(), config.trace_auth_id));
         workers.push(
             std::thread::Builder::new()
                 .name(format!("netio-worker-{i}"))
-                .spawn(move || worker_loop(socket, &mut engine, &stop, &stats))?,
+                .spawn(move || worker_loop(socket, &mut engine, &stop, &stats, trace))?,
         );
     }
     Ok(ServeHandle { local_addr, stop, stats, workers })
 }
 
-/// One worker: receive, answer through the engine, send, flush stats.
-fn worker_loop(socket: UdpSocket, engine: &mut AnswerEngine, stop: &AtomicBool, stats: &AtomicStats) {
+/// One worker: receive, answer through the engine, send, flush stats,
+/// and — when tracing — record one telemetry event per datagram.
+fn worker_loop(
+    socket: UdpSocket,
+    engine: &mut AnswerEngine,
+    stop: &AtomicBool,
+    stats: &AtomicStats,
+    trace: Option<(Producer, u16)>,
+) {
     let mut recv_buf = vec![0u8; MAX_MESSAGE_SIZE];
     let mut resp_buf = Vec::with_capacity(1024);
     while !stop.load(Ordering::Relaxed) {
@@ -254,12 +288,43 @@ fn worker_loop(socket: UdpSocket, engine: &mut AnswerEngine, stop: &AtomicBool, 
                 continue;
             }
         };
+        let start_ns = trace.as_ref().map(|(p, _)| p.now_ns());
         let handled = engine.handle_packet(&recv_buf[..n], TransportKind::Udp, &mut resp_buf);
         if handled.decode_error {
             stats.record_decode_error();
         }
         if handled.response {
             let _ = socket.send_to(&resp_buf, peer);
+        }
+        if let (Some((producer, auth_id)), Some(start_ns)) = (&trace, start_ns) {
+            let mut ev = Event::new(match handled.class {
+                PacketClass::Query => EventKind::ServerQuery,
+                _ => EventKind::ServerBad,
+            });
+            ev.ts_ns = start_ns;
+            ev.client_hash = hash_socket_addr(&peer);
+            // Hash the raw question bytes (everything past the header)
+            // rather than re-encoding the canonical qname: allocation-
+            // free, and it matches what the load generator hashes on
+            // its side of the same datagram.
+            ev.qname_hash = if handled.query.is_some() {
+                qname_hash32(recv_buf.get(12..n).unwrap_or(&[]))
+            } else {
+                0
+            };
+            ev.latency_ns = u32::try_from(producer.now_ns().saturating_sub(start_ns))
+                .unwrap_or(u32::MAX);
+            ev.auth_id = *auth_id;
+            ev.bytes_in = u16::try_from(n).unwrap_or(u16::MAX);
+            ev.bytes_out = if handled.response {
+                u16::try_from(resp_buf.len()).unwrap_or(u16::MAX)
+            } else {
+                0
+            };
+            ev.flags = u16::from(handled.response) * FLAG_RESPONSE
+                | u16::from(handled.decode_error) * FLAG_DECODE_ERROR;
+            ev.rcode = handled.rcode.map(|r| r.to_u8()).unwrap_or(RCODE_NONE);
+            producer.record(&ev);
         }
         stats.merge(engine.take_stats());
     }

@@ -197,6 +197,7 @@ impl InfraCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PolicyKind;
 
     fn addr(i: u32) -> SimAddr {
         // Addresses are only comparable tokens here; mint them through a
@@ -260,6 +261,41 @@ mod tests {
         assert!(c.touch(a, t(18 * 60)).is_some());
         // But 11 minutes of silence kills it.
         assert!(c.touch(a, t(18 * 60 + 11 * 60)).is_none());
+    }
+
+    #[test]
+    fn expiry_boundaries_match_bind_and_unbound_timeouts() {
+        // §4.4: expiry is strict-greater on disuse, so the documented
+        // BIND (10 min) and Unbound (15 min) windows are inclusive at
+        // exactly the boundary and dead one second past it.
+        let a = addr(0);
+        let mut bind = InfraCache::new(PolicyKind::BindSrtt.default_infra_expiry(), Smoothing::BIND);
+        bind.observe_rtt(a, SimDuration::from_millis(50), t(0));
+        assert!(bind.peek(a, t(599)).is_some());
+        assert!(bind.peek(a, t(600)).is_some(), "exactly 10 min of silence is still alive");
+        assert!(bind.peek(a, t(601)).is_none(), "601 s of silence ages the entry out");
+
+        let mut unbound =
+            InfraCache::new(PolicyKind::UnboundBand.default_infra_expiry(), Smoothing::TCP);
+        unbound.observe_rtt(a, SimDuration::from_millis(50), t(0));
+        assert!(unbound.peek(a, t(900)).is_some(), "exactly 15 min of silence is still alive");
+        assert!(unbound.peek(a, t(901)).is_none(), "901 s of silence ages the entry out");
+
+        // PowerDNS never expires.
+        assert!(PolicyKind::PowerDnsSpeed.default_infra_expiry().is_none());
+    }
+
+    #[test]
+    fn post_expiry_sample_restarts_the_entry() {
+        // A fresh sample after the disuse window starts the estimate
+        // over instead of smoothing into the stale one — this is what
+        // lets a preference re-form from scratch after a quiet gap.
+        let a = addr(0);
+        let mut c = InfraCache::new(Some(SimDuration::from_mins(10)), Smoothing::BIND);
+        c.observe_rtt(a, SimDuration::from_millis(400), t(0));
+        c.observe_rtt(a, SimDuration::from_millis(20), t(2_000));
+        let e = c.peek(a, t(2_000)).unwrap();
+        assert_eq!(e.srtt_ms, 20.0, "stale estimate discarded, not smoothed against");
     }
 
     #[test]

@@ -628,6 +628,55 @@ mod tests {
     }
 
     #[test]
+    fn bind_preference_ages_out_and_reforms_after_gap() {
+        // §4.4: a learned BIND preference lives in the infra cache, so
+        // ten minutes of disuse erases it. After the gap the resolver
+        // re-explores, and under reversed RTT conditions the preference
+        // re-forms toward the *other* server.
+        let kind = PolicyKind::BindSrtt;
+        let servers = addrs(2);
+        let mut policy = kind.build();
+        let mut infra = InfraCache::new(kind.default_infra_expiry(), kind.smoothing());
+        let mut rng = DetRng::seed_from_u64(17);
+
+        // Phase 1: servers[0] is fast; a strong preference forms.
+        let rtts = HashMap::from([(servers[0], 10u64), (servers[1], 300u64)]);
+        let mut phase1: HashMap<SimAddr, usize> = HashMap::new();
+        for i in 0..100u64 {
+            let now = t(i * 2);
+            let chosen = policy.select(&servers, &[], &mut infra, now, &mut rng);
+            *phase1.entry(chosen).or_default() += 1;
+            infra.observe_rtt(chosen, SimDuration::from_millis(rtts[&chosen]), now);
+        }
+        let fast = phase1.get(&servers[0]).copied().unwrap_or(0);
+        assert!(fast >= 90, "preference forms for the fast server, got {fast}/100");
+
+        // Pin both entries' last_used to a common point, then let the
+        // cache sit idle past the 10-minute ADB expiry.
+        let last = t(200);
+        for &s in &servers {
+            infra.observe_rtt(s, SimDuration::from_millis(rtts[&s]), last);
+        }
+        assert!(infra.peek(servers[0], last + SimDuration::from_mins(10)).is_some());
+        let after_gap = last + SimDuration::from_mins(11);
+        assert!(infra.peek(servers[0], after_gap).is_none(), "entries age out on disuse");
+        assert!(infra.peek(servers[1], after_gap).is_none());
+
+        // Phase 2: RTTs reversed. The old preference is gone, so the
+        // policy converges on the newly fast servers[1].
+        let rtts = HashMap::from([(servers[0], 300u64), (servers[1], 10u64)]);
+        let mut phase2: HashMap<SimAddr, usize> = HashMap::new();
+        for i in 0..100u64 {
+            let now = after_gap + SimDuration::from_secs(i * 2);
+            let chosen = policy.select(&servers, &[], &mut infra, now, &mut rng);
+            *phase2.entry(chosen).or_default() += 1;
+            infra.observe_rtt(chosen, SimDuration::from_millis(rtts[&chosen]), now);
+        }
+        let refast = phase2.get(&servers[1]).copied().unwrap_or(0);
+        assert!(refast >= 90, "preference re-forms toward the new fast server, got {refast}/100");
+    }
+
+    #[test]
     fn labels_are_distinct() {
         let labels: std::collections::HashSet<_> =
             PolicyKind::ALL.iter().map(|k| k.label()).collect();

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use dnswild_proto::rdata::Txt;
 use dnswild_proto::{Class, Message, Name, Opcode, RData, RType, Rcode, Record};
+use dnswild_telemetry::SnapshotCell;
 use dnswild_zone::presets::SITE_PLACEHOLDER;
 use dnswild_zone::{Lookup, Zone};
 
@@ -135,6 +136,21 @@ pub struct QueryView {
     pub qtype: RType,
 }
 
+/// Which [`ServerStats`] counter a packet landed in — the telemetry
+/// plane's event classification, mirroring [`ServerStats::packets_seen`]
+/// so trace event counts close against the server's own books.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketClass {
+    /// A well-formed QUERY (bumped `queries`).
+    Query,
+    /// A non-QUERY opcode (bumped `notimp`).
+    NotImp,
+    /// Undecodable with a readable header (bumped `formerr`).
+    FormErr,
+    /// Silently dropped (short garbage or a QR=1 packet).
+    Dropped,
+}
+
 /// What [`AnswerEngine::handle_packet`] did with one inbound packet.
 #[derive(Debug)]
 pub struct HandledPacket {
@@ -148,11 +164,21 @@ pub struct HandledPacket {
     /// and short-garbage paths). The serving plane counts these at the
     /// socket layer so fault storms stay accountable.
     pub decode_error: bool,
+    /// Which counter the packet bumped (one per packet, always).
+    pub class: PacketClass,
+    /// Rcode of the response written, when there was one.
+    pub rcode: Option<Rcode>,
 }
 
 impl HandledPacket {
     fn drop() -> Self {
-        HandledPacket { response: false, query: None, decode_error: false }
+        HandledPacket {
+            response: false,
+            query: None,
+            decode_error: false,
+            class: PacketClass::Dropped,
+            rcode: None,
+        }
     }
 }
 
@@ -166,6 +192,12 @@ pub struct AnswerEngine {
     site_code: String,
     zones: Arc<Vec<Zone>>,
     stats: ServerStats,
+    /// Live telemetry counters, when the serving plane runs with a
+    /// collector attached. `None` everywhere else — in particular the
+    /// simulation plane never sets it, which keeps the `exp_*` outputs
+    /// byte-identical (a `stats.dnswild.` query is REFUSED there, as
+    /// before).
+    telemetry: Option<Arc<SnapshotCell>>,
 }
 
 impl AnswerEngine {
@@ -176,16 +208,29 @@ impl AnswerEngine {
 
     /// An engine over an already-shared zone set.
     pub fn with_shared_zones(site_code: impl Into<String>, zones: Arc<Vec<Zone>>) -> Self {
-        AnswerEngine { site_code: site_code.into(), zones, stats: ServerStats::default() }
+        AnswerEngine {
+            site_code: site_code.into(),
+            zones,
+            stats: ServerStats::default(),
+            telemetry: None,
+        }
     }
 
-    /// A worker-private copy: same site identity, same shared zones,
-    /// fresh counters.
+    /// Enables the `CH TXT stats.dnswild.` introspection answer, served
+    /// from the given live telemetry counters.
+    pub fn with_telemetry(mut self, cell: Arc<SnapshotCell>) -> Self {
+        self.telemetry = Some(cell);
+        self
+    }
+
+    /// A worker-private copy: same site identity, same shared zones and
+    /// telemetry cell, fresh counters.
     pub fn fork(&self) -> AnswerEngine {
         AnswerEngine {
             site_code: self.site_code.clone(),
             zones: Arc::clone(&self.zones),
             stats: ServerStats::default(),
+            telemetry: self.telemetry.clone(),
         }
     }
 
@@ -250,6 +295,26 @@ impl AnswerEngine {
         resp
     }
 
+    /// Answers `CH TXT stats.dnswild.` from the live telemetry snapshot
+    /// (queries seen, answered, decode errors, ring-overflow drops).
+    fn answer_stats(&mut self, query: &Message, qname: &Name, cell: &SnapshotCell) -> Message {
+        self.stats.chaos += 1;
+        let snap = cell.snapshot();
+        let text = format!(
+            "seen={} answered={} decode_errors={} overflow={}",
+            snap.queries, snap.answered, snap.decode_errors, snap.overflow
+        );
+        let mut resp = Message::response_to(query, Rcode::NoError);
+        resp.header.authoritative = true;
+        resp.answers.push(Record::with_class(
+            qname.clone(),
+            Class::Ch,
+            0,
+            RData::Txt(Txt::from_string(&text).expect("snapshot line fits a TXT string")),
+        ));
+        resp
+    }
+
     /// Classifies one proper question into a response message.
     fn handle_query(&mut self, query: &Message) -> Option<Message> {
         let question = query.question()?.clone();
@@ -260,6 +325,14 @@ impl AnswerEngine {
                 && (qname_str == "hostname.bind." || qname_str == "id.server.")
             {
                 return Some(self.answer_chaos(query, &question.qname));
+            }
+            // `stats.bind`-style runtime introspection, answered only
+            // when a telemetry collector is attached (never in the
+            // simulation plane, whose outputs must stay byte-identical).
+            if question.qtype == RType::Txt && qname_str == "stats.dnswild." {
+                if let Some(cell) = self.telemetry.clone() {
+                    return Some(self.answer_stats(query, &question.qname, &cell));
+                }
             }
             self.stats.refused += 1;
             return Some(Message::response_to(query, Rcode::Refused));
@@ -348,12 +421,27 @@ impl AnswerEngine {
                     };
                     self.stats.formerr += 1;
                     if resp.encode_into(resp_buf).is_ok() {
-                        return HandledPacket { response: true, query: None, decode_error: true };
+                        return HandledPacket {
+                            response: true,
+                            query: None,
+                            decode_error: true,
+                            class: PacketClass::FormErr,
+                            rcode: Some(Rcode::FormErr),
+                        };
                     }
-                } else {
-                    self.stats.dropped += 1;
+                    return HandledPacket {
+                        response: false,
+                        query: None,
+                        decode_error: true,
+                        class: PacketClass::FormErr,
+                        rcode: None,
+                    };
                 }
-                return HandledPacket { response: false, query: None, decode_error: true };
+                self.stats.dropped += 1;
+                return HandledPacket {
+                    decode_error: true,
+                    ..HandledPacket::drop()
+                };
             }
         };
 
@@ -366,7 +454,13 @@ impl AnswerEngine {
             self.stats.notimp += 1;
             let resp = Message::response_to(&query, Rcode::NotImp);
             let sent = resp.encode_into(resp_buf).is_ok();
-            return HandledPacket { response: sent, query: None, decode_error: false };
+            return HandledPacket {
+                response: sent,
+                query: None,
+                decode_error: false,
+                class: PacketClass::NotImp,
+                rcode: sent.then_some(Rcode::NotImp),
+            };
         }
 
         self.stats.queries += 1;
@@ -378,10 +472,22 @@ impl AnswerEngine {
             .map(|q| QueryView { qname: q.qname.clone(), qtype: q.qtype });
 
         let Some(resp) = self.handle_query(&query) else {
-            return HandledPacket { response: false, query: view, decode_error: false };
+            return HandledPacket {
+                response: false,
+                query: view,
+                decode_error: false,
+                class: PacketClass::Query,
+                rcode: None,
+            };
         };
         if resp.encode_into(resp_buf).is_err() {
-            return HandledPacket { response: false, query: view, decode_error: false };
+            return HandledPacket {
+                response: false,
+                query: view,
+                decode_error: false,
+                class: PacketClass::Query,
+                rcode: None,
+            };
         }
         // UDP responses must fit the client's advertised payload size
         // (512 without EDNS); oversized answers are replaced by an empty
@@ -397,7 +503,13 @@ impl AnswerEngine {
             }
             tc.encode_into(resp_buf).expect("truncated response encodes");
         }
-        HandledPacket { response: true, query: view, decode_error: false }
+        HandledPacket {
+            response: true,
+            query: view,
+            decode_error: false,
+            class: PacketClass::Query,
+            rcode: Some(resp.rcode()),
+        }
     }
 }
 
@@ -523,6 +635,70 @@ mod tests {
         let RData::Txt(t) = &resp.unwrap().answers[0].rdata else { panic!("not TXT") };
         assert_eq!(t.first_as_string(), "FRA");
         assert_eq!(stats.chaos, 1);
+    }
+
+    #[test]
+    fn stats_dnswild_refused_without_telemetry() {
+        // The sim plane never attaches a collector, so this stays
+        // REFUSED there — the exp_* outputs depend on it.
+        let mut q =
+            Message::iterative_query(11, Name::parse("stats.dnswild").unwrap(), RType::Txt);
+        q.questions[0].qclass = Class::Ch;
+        let (resp, stats) = run(&q.encode().unwrap(), TransportKind::Udp);
+        assert_eq!(resp.unwrap().rcode(), Rcode::Refused);
+        assert_eq!(stats.refused, 1);
+        assert_eq!(stats.chaos, 0);
+    }
+
+    #[test]
+    fn stats_dnswild_answers_from_snapshot_when_traced() {
+        let cell = Arc::new(dnswild_telemetry::SnapshotCell::default());
+        let mut e = engine().with_telemetry(Arc::clone(&cell));
+        let mut q =
+            Message::iterative_query(12, Name::parse("stats.dnswild").unwrap(), RType::Txt);
+        q.questions[0].qclass = Class::Ch;
+        let payload = q.encode().unwrap();
+        let mut buf = Vec::new();
+        let handled = e.handle_packet(&payload, TransportKind::Udp, &mut buf);
+        assert!(handled.response);
+        assert_eq!(handled.rcode, Some(Rcode::NoError));
+        let resp = Message::decode(&buf).unwrap();
+        let RData::Txt(t) = &resp.answers[0].rdata else { panic!("not TXT") };
+        assert_eq!(t.first_as_string(), "seen=0 answered=0 decode_errors=0 overflow=0");
+        assert_eq!(e.stats().chaos, 1);
+        // The fork keeps the telemetry hookup.
+        let mut f = e.fork();
+        assert!(f.handle_packet(&payload, TransportKind::Udp, &mut buf).response);
+        assert_eq!(f.stats().chaos, 1);
+        assert_eq!(f.stats().refused, 0);
+    }
+
+    #[test]
+    fn handled_packet_classifies_every_path() {
+        let mut e = engine();
+        let mut buf = Vec::new();
+        let q = Message::iterative_query(13, origin().prepend("p1-q1").unwrap(), RType::Txt);
+        let h = e.handle_packet(&q.encode().unwrap(), TransportKind::Udp, &mut buf);
+        assert_eq!(h.class, PacketClass::Query);
+        assert_eq!(h.rcode, Some(Rcode::NoError));
+        let mut upd = Message::iterative_query(14, origin().prepend("x").unwrap(), RType::A);
+        upd.header.opcode = Opcode::Update;
+        let h = e.handle_packet(&upd.encode().unwrap(), TransportKind::Udp, &mut buf);
+        assert_eq!(h.class, PacketClass::NotImp);
+        assert_eq!(h.rcode, Some(Rcode::NotImp));
+        let mut garbage = vec![0u8; 12];
+        garbage.push(0xff);
+        let h = e.handle_packet(&garbage, TransportKind::Udp, &mut buf);
+        assert_eq!(h.class, PacketClass::FormErr);
+        assert_eq!(h.rcode, Some(Rcode::FormErr));
+        let h = e.handle_packet(&[0x01, 0x02], TransportKind::Udp, &mut buf);
+        assert_eq!(h.class, PacketClass::Dropped);
+        assert_eq!(h.rcode, None);
+        // One packet, one class: the four calls above land in four
+        // distinct packets_seen counters.
+        let s = e.stats();
+        assert_eq!(s.packets_seen(), 4);
+        assert_eq!((s.queries, s.notimp, s.formerr, s.dropped), (1, 1, 1, 1));
     }
 
     #[test]

@@ -32,7 +32,7 @@ use dnswild_netsim::{Actor, Context, Datagram, SimAddr, SimTime, Transport};
 use dnswild_proto::{Name, RType};
 use dnswild_zone::Zone;
 
-pub use engine::{AnswerEngine, HandledPacket, QueryView, ServerStats, TransportKind};
+pub use engine::{AnswerEngine, HandledPacket, PacketClass, QueryView, ServerStats, TransportKind};
 
 /// One query observed at the authoritative — the passive-trace view the
 /// paper uses to cross-check client-side data (§3.1) and to analyze

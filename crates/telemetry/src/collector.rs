@@ -1,0 +1,485 @@
+//! The collector: owns the trace file, hands out per-worker producers,
+//! and runs the drain thread that moves events from the SPSC rings into
+//! the trace, the counter snapshot, and the latency histogram.
+//!
+//! Producers register dynamically (chaos-proxy sessions spawn threads
+//! on demand), so the ring list sits behind a mutex — but that mutex is
+//! only touched at registration and by the drain sweep, never on the
+//! per-event path.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::event::{EventKind, TraceEvent, FLAG_DECODE_ERROR, FLAG_RESPONSE};
+use crate::hist::LatencyHistogram;
+use crate::ring::SpscRing;
+use crate::trace::TraceWriter;
+
+/// How the collector is wired up; start one with [`Collector::start`].
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Trace file path (created/truncated).
+    pub path: PathBuf,
+    /// Auth/site codes written into the trace's auth table; events
+    /// reference them by index (`auth_id`).
+    pub auths: Vec<String>,
+    /// Per-producer ring capacity (rounded up to a power of two). The
+    /// default of 8192 gives a worker ~160k events/s of headroom per
+    /// 50 ms drain interval — well above what the serving plane
+    /// reaches on one host.
+    pub ring_capacity: usize,
+    /// How often the drain thread sweeps the rings.
+    pub drain_interval: Duration,
+}
+
+impl CollectorConfig {
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CollectorConfig {
+            path: path.into(),
+            auths: Vec::new(),
+            ring_capacity: 8192,
+            // Sparse on purpose: every drain wakeup preempts a worker
+            // on small hosts, so the sweep cadence trades snapshot
+            // freshness for hot-path quiet. 50 ms keeps the traced
+            // throughput within a few percent of untraced.
+            drain_interval: Duration::from_millis(50),
+        }
+    }
+
+    pub fn auths<I, S>(mut self, auths: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.auths = auths.into_iter().map(Into::into).collect();
+        self
+    }
+
+    pub fn ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
+    pub fn drain_interval(mut self, interval: Duration) -> Self {
+        self.drain_interval = interval;
+        self
+    }
+}
+
+/// Aggregated counters maintained by the drain thread; cheap enough to
+/// read from anywhere (the engine's `CH TXT stats.dnswild.` answer
+/// reads one of these).
+#[derive(Debug, Default)]
+pub struct SnapshotCell {
+    events: AtomicU64,
+    queries: AtomicU64,
+    answered: AtomicU64,
+    decode_errors: AtomicU64,
+    overflow: AtomicU64,
+}
+
+impl SnapshotCell {
+    fn apply(&self, ev: &TraceEvent) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        if ev.kind == EventKind::ServerQuery {
+            self.queries.fetch_add(1, Ordering::Relaxed);
+            if ev.flags & FLAG_RESPONSE != 0 {
+                self.answered.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if ev.flags & FLAG_DECODE_ERROR != 0 {
+            self.decode_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn set_overflow(&self, overflow: u64) {
+        self.overflow.store(overflow, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            events: self.events.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            overflow: self.overflow.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the collector's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Events drained so far (all kinds).
+    pub events: u64,
+    /// Server-side well-formed queries seen.
+    pub queries: u64,
+    /// Of those, how many got a response datagram.
+    pub answered: u64,
+    /// Events carrying the decode-error flag.
+    pub decode_errors: u64,
+    /// Ring-overflow drops observed so far.
+    pub overflow: u64,
+}
+
+/// What the trace ended up holding, returned by [`Collector::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    pub events: u64,
+    pub overflow: u64,
+}
+
+struct Shared {
+    rings: Mutex<Vec<Arc<SpscRing>>>,
+    stop: AtomicBool,
+    snapshot: Arc<SnapshotCell>,
+    histogram: LatencyHistogram,
+    /// Overflow carried over from retired rings (producer dropped,
+    /// backlog fully drained), so the footer never loses drops.
+    retired_overflow: AtomicU64,
+    /// Wakes the drain thread out of its inter-sweep wait so `finish`
+    /// returns promptly regardless of the configured interval.
+    wake_lock: Mutex<()>,
+    wake_cv: Condvar,
+}
+
+impl Shared {
+    /// Sum of overflow counters across every live ring plus what
+    /// retired rings left behind.
+    fn total_overflow(&self) -> u64 {
+        self.retired_overflow.load(Ordering::Relaxed)
+            + self.rings.lock().unwrap().iter().map(|r| r.overflow()).sum::<u64>()
+    }
+}
+
+/// Hot-path handle: one per worker thread. Recording is two atomic
+/// loads, five stores, and one store — or a counter bump on overflow.
+pub struct Producer {
+    ring: Arc<SpscRing>,
+    epoch: Instant,
+}
+
+impl Producer {
+    /// Nanoseconds since the collector started (event timestamp base).
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Record one event; returns `false` if the ring was full (the
+    /// drop has been counted — nothing else to do).
+    pub fn record(&self, ev: &TraceEvent) -> bool {
+        self.ring.push(ev)
+    }
+}
+
+impl Drop for Producer {
+    fn drop(&mut self) {
+        // Let the drain thread retire this ring once it has swept the
+        // remaining backlog — long-lived collectors (benches, chaos
+        // proxies spawning sessions) must not accumulate dead rings.
+        self.ring.abandon();
+    }
+}
+
+pub struct Collector {
+    shared: Arc<Shared>,
+    epoch: Instant,
+    ring_capacity: usize,
+    drain: Mutex<Option<thread::JoinHandle<io::Result<(u64, u64)>>>>,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("ring_capacity", &self.ring_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Collector {
+    /// Open the trace file, write its header, and start the drain
+    /// thread.
+    pub fn start(config: CollectorConfig) -> io::Result<Collector> {
+        let writer = TraceWriter::create(&config.path, &config.auths)?;
+        let shared = Arc::new(Shared {
+            rings: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            snapshot: Arc::new(SnapshotCell::default()),
+            histogram: LatencyHistogram::new(),
+            retired_overflow: AtomicU64::new(0),
+            wake_lock: Mutex::new(()),
+            wake_cv: Condvar::new(),
+        });
+        let drain_shared = Arc::clone(&shared);
+        let interval = config.drain_interval;
+        let handle = thread::Builder::new()
+            .name("dnswild-telemetry-drain".into())
+            .spawn(move || drain_loop(drain_shared, writer, interval))
+            .expect("spawn telemetry drain thread");
+        Ok(Collector {
+            shared,
+            epoch: Instant::now(),
+            ring_capacity: config.ring_capacity,
+            drain: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// Register a new producer ring (configured capacity). Producers
+    /// registered at any time share the collector's epoch, so their
+    /// timestamps are comparable. Stop all producers *before* calling
+    /// [`Collector::finish`]; events pushed after the final sweep are
+    /// not written.
+    pub fn producer(&self) -> Producer {
+        let ring = Arc::new(SpscRing::new(self.ring_capacity));
+        self.shared.rings.lock().unwrap().push(Arc::clone(&ring));
+        Producer { ring, epoch: self.epoch }
+    }
+
+    /// Number of live producer rings (dropped producers are retired by
+    /// the drain thread once their backlog is swept). Tests and stats.
+    pub fn ring_count(&self) -> usize {
+        self.shared.rings.lock().unwrap().len()
+    }
+
+    /// Live counters (drained events only — the gap to the rings is at
+    /// most one drain interval's worth).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let snap = &self.shared.snapshot;
+        snap.set_overflow(self.shared.total_overflow());
+        snap.snapshot()
+    }
+
+    /// Handle for the engine's `stats.dnswild.` answer path: the cell
+    /// keeps updating as long as the drain thread runs.
+    pub fn snapshot_cell(&self) -> Arc<SnapshotCell> {
+        Arc::clone(&self.shared.snapshot)
+    }
+
+    /// Drained-so-far latency percentile from the streaming histogram
+    /// (uses the workspace's shared estimator for rank selection).
+    pub fn latency_ns_at(&self, p: f64) -> Option<u64> {
+        self.shared.histogram.value_at(p)
+    }
+
+    /// Stop the drain thread, drain whatever is left in the rings,
+    /// write the trace footer, and return the totals.
+    pub fn finish(&self) -> io::Result<TraceSummary> {
+        let handle = self
+            .drain
+            .lock()
+            .unwrap()
+            .take()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::Other, "collector already finished"))?;
+        self.shared.stop.store(true, Ordering::Release);
+        // Notify under the wake lock so the drain thread cannot check
+        // `stop` and then miss the wakeup while entering its wait.
+        {
+            let _guard = self.shared.wake_lock.lock().unwrap();
+            self.shared.wake_cv.notify_all();
+        }
+        let (events, overflow) = handle
+            .join()
+            .map_err(|_| io::Error::new(io::ErrorKind::Other, "telemetry drain thread panicked"))??;
+        Ok(TraceSummary { events, overflow })
+    }
+}
+
+fn drain_loop(
+    shared: Arc<Shared>,
+    mut writer: TraceWriter<std::io::BufWriter<std::fs::File>>,
+    interval: Duration,
+) -> io::Result<(u64, u64)> {
+    loop {
+        let stopping = shared.stop.load(Ordering::Acquire);
+        // Snapshot the ring list, then sweep without holding the lock
+        // so registration never contends with producers.
+        let rings: Vec<Arc<SpscRing>> = shared.rings.lock().unwrap().clone();
+        for ring in &rings {
+            while let Some(ev) = ring.pop() {
+                writer.write_event(&ev)?;
+                shared.snapshot.apply(&ev);
+                if ev.latency_ns > 0 {
+                    shared.histogram.record(u64::from(ev.latency_ns));
+                }
+            }
+        }
+        // Retire rings whose producer is gone and whose backlog the
+        // sweep above fully drained: abandoned + empty can never grow
+        // again. Their overflow moves into the retired counter so the
+        // footer keeps accounting for every drop.
+        if rings.iter().any(|r| r.is_abandoned() && r.is_empty()) {
+            shared.rings.lock().unwrap().retain(|r| {
+                if r.is_abandoned() && r.is_empty() {
+                    shared.retired_overflow.fetch_add(r.overflow(), Ordering::Relaxed);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        if stopping {
+            // One final sweep happened above (stop was read before the
+            // sweep), so every event pushed before `finish` is in.
+            let overflow = shared.total_overflow();
+            shared.snapshot.set_overflow(overflow);
+            let events = writer.events_written();
+            writer.finish(overflow)?;
+            return Ok((events, overflow));
+        }
+        // Always wait out the interval between sweeps — each sweep
+        // empties the rings entirely, so pacing costs nothing, and a
+        // free-running loop would eat a whole core under sustained
+        // traffic (on a single-core host that starves the very workers
+        // being traced). `finish` interrupts the wait via the condvar.
+        let guard = shared.wake_lock.lock().unwrap();
+        if !shared.stop.load(Ordering::Acquire) {
+            drop(shared.wake_cv.wait_timeout(guard, interval));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, RCODE_NONE};
+    use crate::trace::Trace;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dnswild-telemetry-{name}-{}.dwt", std::process::id()));
+        p
+    }
+
+    fn server_event(p: &Producer, i: u32, answered: bool) -> TraceEvent {
+        let mut ev = TraceEvent::new(EventKind::ServerQuery);
+        ev.ts_ns = p.now_ns();
+        ev.qname_hash = i;
+        ev.latency_ns = 1_000 + i;
+        ev.flags = if answered { FLAG_RESPONSE } else { 0 };
+        ev.rcode = if answered { 0 } else { RCODE_NONE };
+        ev
+    }
+
+    #[test]
+    fn collects_from_multiple_producers_into_one_trace() {
+        let path = temp_path("multi");
+        let collector =
+            Collector::start(CollectorConfig::new(&path).auths(["FRA", "GRU"])).unwrap();
+        let threads: Vec<_> = (0..3)
+            .map(|t| {
+                let p = collector.producer();
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        assert!(p.record(&server_event(&p, t * 1000 + i, i % 4 != 0)));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let summary = collector.finish().unwrap();
+        assert_eq!(summary.events, 1500);
+        assert_eq!(summary.overflow, 0);
+        let trace = Trace::read_from(&path).unwrap();
+        assert_eq!(trace.events.len(), 1500);
+        assert_eq!(trace.overflow, 0);
+        assert_eq!(trace.auths, vec!["FRA", "GRU"]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_counters_and_histogram_track_events() {
+        let path = temp_path("snap");
+        let collector = Collector::start(CollectorConfig::new(&path).auths(["FRA"])).unwrap();
+        let cell = collector.snapshot_cell();
+        let p = collector.producer();
+        for i in 0..100u32 {
+            p.record(&server_event(&p, i, i < 90));
+        }
+        let mut bad = TraceEvent::new(EventKind::ServerBad);
+        bad.flags = FLAG_DECODE_ERROR;
+        p.record(&bad);
+        // Wait for the drain thread to catch up, then check the cell.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while cell.snapshot().events < 101 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(1));
+        }
+        let snap = cell.snapshot();
+        assert_eq!(snap.events, 101);
+        assert_eq!(snap.queries, 100);
+        assert_eq!(snap.answered, 90);
+        assert_eq!(snap.decode_errors, 1);
+        assert!(collector.latency_ns_at(50.0).is_some());
+        let summary = collector.finish().unwrap();
+        assert_eq!(summary.events, 101);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overflow_is_counted_and_lands_in_the_footer() {
+        let path = temp_path("overflow");
+        // Long drain interval + tiny ring: pushes outrun the drain.
+        let config = CollectorConfig::new(&path)
+            .auths(["FRA"])
+            .ring_capacity(8)
+            .drain_interval(Duration::from_secs(3600));
+        let collector = Collector::start(config).unwrap();
+        let p = collector.producer();
+        let mut dropped = 0;
+        for i in 0..64u32 {
+            if !p.record(&server_event(&p, i, true)) {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "tiny ring never overflowed");
+        let summary = collector.finish().unwrap();
+        assert_eq!(summary.events + summary.overflow, 64);
+        let trace = Trace::read_from(&path).unwrap();
+        assert_eq!(trace.overflow, summary.overflow);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dropped_producers_retire_their_rings_but_keep_their_overflow() {
+        let path = temp_path("retire");
+        let config = CollectorConfig::new(&path)
+            .auths(["FRA"])
+            .ring_capacity(8)
+            .drain_interval(Duration::from_millis(100));
+        let collector = Collector::start(config).unwrap();
+        {
+            let p = collector.producer();
+            assert_eq!(collector.ring_count(), 1);
+            for i in 0..64u32 {
+                // Some of these overflow the 8-slot ring; the retired
+                // ring's drop count must still reach the footer.
+                p.record(&server_event(&p, i, true));
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while collector.ring_count() > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(collector.ring_count(), 0, "abandoned ring never retired");
+        let summary = collector.finish().unwrap();
+        assert_eq!(summary.events + summary.overflow, 64, "retired overflow lost");
+        let trace = Trace::read_from(&path).unwrap();
+        assert_eq!(trace.overflow, summary.overflow);
+        assert_eq!(trace.events.len() as u64, summary.events);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn finish_twice_errors() {
+        let path = temp_path("twice");
+        let collector = Collector::start(CollectorConfig::new(&path)).unwrap();
+        collector.finish().unwrap();
+        assert!(collector.finish().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,265 @@
+//! The fixed-size trace event: 40 bytes, encoded as five `u64` words so
+//! the SPSC ring can move it with plain atomic stores.
+//!
+//! Word layout (all little-endian in the trace file):
+//!
+//! | word | bits 0..31        | bits 32..63            |
+//! |------|-------------------|------------------------|
+//! | 0    | `ts_ns` (low)     | `ts_ns` (high)         |
+//! | 1    | `client_hash` lo  | `client_hash` hi       |
+//! | 2    | `qname_hash`      | `latency_ns`           |
+//! | 3    | `auth_id`+`bytes_in` | `bytes_out`+`flags` |
+//! | 4    | `kind`+`rcode`+zeros | reserved (zero)     |
+//!
+//! The reserved bytes must be zero in format version 1; readers reject
+//! anything else so a future version can reuse them.
+
+use std::net::SocketAddr;
+
+use detrand::splitmix64;
+
+/// Response datagram was sent (server) / an answer arrived (client).
+pub const FLAG_RESPONSE: u16 = 1 << 0;
+/// The inbound datagram failed to decode (FORMERR salvage or drop).
+pub const FLAG_DECODE_ERROR: u16 = 1 << 1;
+/// Client-side: the transaction window expired with no usable answer.
+pub const FLAG_TIMEOUT: u16 = 1 << 2;
+/// The datagram travelled over TCP rather than UDP.
+pub const FLAG_TCP: u16 = 1 << 3;
+/// Chaos proxy: the datagram was dropped (no deliveries).
+pub const FLAG_CHAOS_DROP: u16 = 1 << 4;
+/// Chaos proxy: the datagram was duplicated.
+pub const FLAG_CHAOS_DUP: u16 = 1 << 5;
+/// Chaos proxy: payload bytes were flipped.
+pub const FLAG_CHAOS_CORRUPT: u16 = 1 << 6;
+/// Chaos proxy: the payload was truncated.
+pub const FLAG_CHAOS_TRUNCATE: u16 = 1 << 7;
+/// Chaos proxy: held past the profile's delay ceiling (reorder draw).
+pub const FLAG_CHAOS_REORDER: u16 = 1 << 8;
+/// Chaos proxy: delivery was delayed.
+pub const FLAG_CHAOS_DELAY: u16 = 1 << 9;
+
+/// Sentinel for "no rcode recorded" (wire rcodes are 4 bits).
+pub const RCODE_NONE: u8 = 0xff;
+
+/// What produced the event. Stored as one byte; unknown values are
+/// preserved so older readers can skip events from newer writers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Server worker handled a well-formed query (counted in
+    /// `ServerStats::queries`). The per-auth closure gate counts these.
+    ServerQuery,
+    /// Server worker handled a datagram that did not become a query
+    /// (NOTIMP, FORMERR salvage, or a dropped datagram).
+    ServerBad,
+    /// Load-generator or resolver-client attempt completed (answer,
+    /// timeout, or doomed classification).
+    ClientQuery,
+    /// Chaos proxy carried a client→server datagram.
+    ChaosForward,
+    /// Chaos proxy carried a server→client datagram.
+    ChaosReverse,
+    /// Unrecognised kind byte from a newer writer.
+    Unknown(u8),
+}
+
+impl EventKind {
+    pub fn to_u8(self) -> u8 {
+        match self {
+            EventKind::ServerQuery => 0,
+            EventKind::ServerBad => 1,
+            EventKind::ClientQuery => 2,
+            EventKind::ChaosForward => 3,
+            EventKind::ChaosReverse => 4,
+            EventKind::Unknown(v) => v,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => EventKind::ServerQuery,
+            1 => EventKind::ServerBad,
+            2 => EventKind::ClientQuery,
+            3 => EventKind::ChaosForward,
+            4 => EventKind::ChaosReverse,
+            other => EventKind::Unknown(other),
+        }
+    }
+}
+
+/// One captured datagram. 40 bytes on the wire (five `u64` words).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the collector's epoch (its start instant).
+    pub ts_ns: u64,
+    /// Hash of the peer address (server events) or a stable per-client
+    /// token (client events). Groups events into per-client streams for
+    /// the rank-profile analysis without storing addresses.
+    pub client_hash: u64,
+    /// 32-bit hash of the canonical qname wire form (or of the raw
+    /// payload for chaos events). Identifies the query name without
+    /// storing labels.
+    pub qname_hash: u32,
+    /// Service time (server), RTT (client), or 0 (chaos). Saturates.
+    pub latency_ns: u32,
+    /// Index into the trace's authoritative table (0 when unmapped).
+    pub auth_id: u16,
+    /// Inbound datagram size, saturated to u16.
+    pub bytes_in: u16,
+    /// Outbound datagram size (sum over deliveries for chaos), saturated.
+    pub bytes_out: u16,
+    /// `FLAG_*` bits.
+    pub flags: u16,
+    pub kind: EventKind,
+    /// Wire rcode of the response, or [`RCODE_NONE`].
+    pub rcode: u8,
+}
+
+impl TraceEvent {
+    /// A zeroed event with the given kind — fill in what applies.
+    pub fn new(kind: EventKind) -> Self {
+        TraceEvent {
+            ts_ns: 0,
+            client_hash: 0,
+            qname_hash: 0,
+            latency_ns: 0,
+            auth_id: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            flags: 0,
+            kind,
+            rcode: RCODE_NONE,
+        }
+    }
+
+    pub fn encode_words(&self) -> [u64; 5] {
+        [
+            self.ts_ns,
+            self.client_hash,
+            u64::from(self.qname_hash) | u64::from(self.latency_ns) << 32,
+            u64::from(self.auth_id)
+                | u64::from(self.bytes_in) << 16
+                | u64::from(self.bytes_out) << 32
+                | u64::from(self.flags) << 48,
+            u64::from(self.kind.to_u8()) | u64::from(self.rcode) << 8,
+        ]
+    }
+
+    pub fn decode_words(w: [u64; 5]) -> Self {
+        TraceEvent {
+            ts_ns: w[0],
+            client_hash: w[1],
+            qname_hash: w[2] as u32,
+            latency_ns: (w[2] >> 32) as u32,
+            auth_id: w[3] as u16,
+            bytes_in: (w[3] >> 16) as u16,
+            bytes_out: (w[3] >> 32) as u16,
+            flags: (w[3] >> 48) as u16,
+            kind: EventKind::from_u8(w[4] as u8),
+            rcode: (w[4] >> 8) as u8,
+        }
+    }
+
+    /// Hash of the fields that are deterministic under a fixed seed.
+    /// Timestamps, latencies, and client hashes (which embed ephemeral
+    /// ports) are excluded so same-seed runs agree; see
+    /// [`crate::Trace::digest`] for how order-insensitivity is layered
+    /// on top.
+    pub fn content_key(&self) -> u64 {
+        let mut h = 0xd1f1_0017_u64; // DITL-2017, the paper's trace vintage
+        h = splitmix64(h ^ u64::from(self.qname_hash));
+        h = splitmix64(h ^ u64::from(self.auth_id));
+        h = splitmix64(h ^ u64::from(self.kind.to_u8()));
+        h = splitmix64(h ^ u64::from(self.rcode));
+        h = splitmix64(h ^ u64::from(self.bytes_in));
+        h = splitmix64(h ^ u64::from(self.bytes_out));
+        h = splitmix64(h ^ u64::from(self.flags));
+        h
+    }
+}
+
+/// Fold a byte string into a `splitmix64` chain — the same idiom the
+/// chaos plane uses to key fault decisions off datagram bytes.
+pub fn hash_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    h = splitmix64(h ^ (bytes.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = splitmix64(h ^ u64::from_le_bytes(word));
+    }
+    h
+}
+
+/// Hash a canonical qname wire form (`Name::canonical_wire()`) into the
+/// event's 32-bit qname id. One seed, used by every plane, so server
+/// and client events for the same name agree on the id.
+pub fn qname_hash32(canonical_wire: &[u8]) -> u32 {
+    hash_bytes(0x716e_616d_65, canonical_wire) as u32
+}
+
+/// Hash a socket address (IP bytes + port) into a client token. The
+/// port makes loopback clients distinguishable; it also makes the value
+/// non-deterministic across runs, which is why `content_key` skips it.
+pub fn hash_socket_addr(addr: &SocketAddr) -> u64 {
+    let h = match addr.ip() {
+        std::net::IpAddr::V4(ip) => hash_bytes(0x4164_6472, &ip.octets()),
+        std::net::IpAddr::V6(ip) => hash_bytes(0x4164_6472, &ip.octets()),
+    };
+    splitmix64(h ^ u64::from(addr.port()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceEvent {
+        TraceEvent {
+            ts_ns: 123_456_789_012,
+            client_hash: 0xdead_beef_cafe_f00d,
+            qname_hash: 0x1234_5678,
+            latency_ns: 42_000,
+            auth_id: 7,
+            bytes_in: 33,
+            bytes_out: 512,
+            flags: FLAG_RESPONSE | FLAG_CHAOS_DELAY,
+            kind: EventKind::ServerQuery,
+            rcode: 3,
+        }
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let ev = sample();
+        assert_eq!(TraceEvent::decode_words(ev.encode_words()), ev);
+        // All kinds and the sentinel rcode survive.
+        for k in 0..=6u8 {
+            let mut e = TraceEvent::new(EventKind::from_u8(k));
+            e.rcode = RCODE_NONE;
+            assert_eq!(TraceEvent::decode_words(e.encode_words()), e);
+        }
+    }
+
+    #[test]
+    fn content_key_ignores_timing_and_client() {
+        let a = sample();
+        let mut b = a;
+        b.ts_ns = 1;
+        b.latency_ns = 9;
+        b.client_hash = 2;
+        assert_eq!(a.content_key(), b.content_key());
+        let mut c = a;
+        c.rcode = 0;
+        assert_ne!(a.content_key(), c.content_key());
+        let mut d = a;
+        d.flags ^= FLAG_TIMEOUT;
+        assert_ne!(a.content_key(), d.content_key());
+    }
+
+    #[test]
+    fn socket_addr_hash_distinguishes_ports() {
+        let a: SocketAddr = "127.0.0.1:5300".parse().unwrap();
+        let b: SocketAddr = "127.0.0.1:5301".parse().unwrap();
+        assert_ne!(hash_socket_addr(&a), hash_socket_addr(&b));
+        assert_eq!(hash_socket_addr(&a), hash_socket_addr(&a));
+    }
+}

@@ -1,0 +1,209 @@
+//! A lock-free single-producer/single-consumer ring of trace events,
+//! written entirely in safe code: each slot is five `AtomicU64` words
+//! and the head/tail are Lamport-style monotonically increasing
+//! counters. The producer is a serving-plane worker (one ring each);
+//! the sole consumer is the collector's drain thread.
+//!
+//! The safety argument is the classic SPSC one, expressed through
+//! acquire/release pairs instead of `unsafe` pointer juggling:
+//!
+//! * the producer publishes a slot by storing `tail` with `Release`
+//!   *after* the slot words are written; the consumer's `Acquire` load
+//!   of `tail` therefore observes completed slots only;
+//! * the consumer frees a slot by storing `head` with `Release` *after*
+//!   it has read the words; the producer's `Acquire` load of `head`
+//!   therefore never overwrites a slot still being read.
+//!
+//! When the ring is full the producer drops the event and bumps
+//! `overflow` — capture must never apply back-pressure to the hot path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::event::TraceEvent;
+
+const WORDS: usize = 5;
+
+struct Slot([AtomicU64; WORDS]);
+
+impl Slot {
+    fn new() -> Self {
+        Slot(std::array::from_fn(|_| AtomicU64::new(0)))
+    }
+}
+
+pub struct SpscRing {
+    slots: Vec<Slot>,
+    mask: u64,
+    /// Next slot the producer will write (monotonic, not wrapped).
+    tail: AtomicU64,
+    /// Next slot the consumer will read (monotonic, not wrapped).
+    head: AtomicU64,
+    /// Events dropped because the ring was full.
+    overflow: AtomicU64,
+    /// Set when the producer goes away; once also empty, the consumer
+    /// may retire the ring from its sweep list.
+    abandoned: AtomicBool,
+}
+
+impl SpscRing {
+    /// `capacity` is rounded up to a power of two (minimum 8).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        SpscRing {
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            mask: (cap - 1) as u64,
+            tail: AtomicU64::new(0),
+            head: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            abandoned: AtomicBool::new(false),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Producer side: record one event. Returns `false` (and counts the
+    /// overflow) when the ring is full. Never blocks.
+    pub fn push(&self, event: &TraceEvent) -> bool {
+        let t = self.tail.load(Ordering::Relaxed);
+        let h = self.head.load(Ordering::Acquire);
+        if t.wrapping_sub(h) >= self.slots.len() as u64 {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let slot = &self.slots[(t & self.mask) as usize];
+        for (w, v) in slot.0.iter().zip(event.encode_words()) {
+            w.store(v, Ordering::Relaxed);
+        }
+        self.tail.store(t.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side: pop one event, or `None` when the ring is empty.
+    /// Must only be called from a single consumer thread.
+    pub fn pop(&self) -> Option<TraceEvent> {
+        let h = self.head.load(Ordering::Relaxed);
+        let t = self.tail.load(Ordering::Acquire);
+        if h == t {
+            return None;
+        }
+        let slot = &self.slots[(h & self.mask) as usize];
+        let mut words = [0u64; WORDS];
+        for (out, w) in words.iter_mut().zip(slot.0.iter()) {
+            *out = w.load(Ordering::Relaxed);
+        }
+        self.head.store(h.wrapping_add(1), Ordering::Release);
+        Some(TraceEvent::decode_words(words))
+    }
+
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Producer side, on drop: no more pushes will ever arrive.
+    pub fn abandon(&self) {
+        self.abandoned.store(true, Ordering::Release);
+    }
+
+    /// Whether the producer has gone away. Once this returns `true` and
+    /// the ring is empty it can never become non-empty again.
+    pub fn is_abandoned(&self) -> bool {
+        self.abandoned.load(Ordering::Acquire)
+    }
+
+    pub fn len(&self) -> usize {
+        let t = self.tail.load(Ordering::Acquire);
+        let h = self.head.load(Ordering::Acquire);
+        t.wrapping_sub(h) as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(i: u64) -> TraceEvent {
+        let mut e = TraceEvent::new(EventKind::ServerQuery);
+        e.ts_ns = i;
+        e.qname_hash = i as u32;
+        e
+    }
+
+    #[test]
+    fn fifo_order_and_empty() {
+        let ring = SpscRing::new(8);
+        assert!(ring.pop().is_none());
+        for i in 0..5 {
+            assert!(ring.push(&ev(i)));
+        }
+        for i in 0..5 {
+            assert_eq!(ring.pop().unwrap().ts_ns, i);
+        }
+        assert!(ring.pop().is_none());
+    }
+
+    #[test]
+    fn full_ring_counts_overflow_instead_of_blocking() {
+        let ring = SpscRing::new(8);
+        for i in 0..8 {
+            assert!(ring.push(&ev(i)));
+        }
+        assert!(!ring.push(&ev(99)));
+        assert!(!ring.push(&ev(100)));
+        assert_eq!(ring.overflow(), 2);
+        // Draining frees slots again.
+        assert_eq!(ring.pop().unwrap().ts_ns, 0);
+        assert!(ring.push(&ev(8)));
+        assert_eq!(ring.len(), 8);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(SpscRing::new(0).capacity(), 8);
+        assert_eq!(SpscRing::new(9).capacity(), 16);
+        assert_eq!(SpscRing::new(8192).capacity(), 8192);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_loses_nothing_that_fit() {
+        let ring = Arc::new(SpscRing::new(1024));
+        let n = 100_000u64;
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut pushed = 0u64;
+                for i in 0..n {
+                    if ring.push(&ev(i)) {
+                        pushed += 1;
+                    }
+                }
+                pushed
+            })
+        };
+        let mut got = Vec::new();
+        loop {
+            match ring.pop() {
+                Some(e) => got.push(e.ts_ns),
+                None => {
+                    if producer.is_finished() && ring.is_empty() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+        let pushed = producer.join().unwrap();
+        assert_eq!(got.len() as u64, pushed);
+        assert_eq!(pushed + ring.overflow(), n);
+        // Events arrive in order even under concurrency (SPSC FIFO).
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "events reordered");
+    }
+}

@@ -20,7 +20,10 @@ cargo run --release --offline -q -p dnswild --bin dnswild -- smoke --queries 100
 # with the same seed.
 chaos_a=$(mktemp)
 chaos_b=$(mktemp)
-trap 'rm -f "$chaos_a" "$chaos_b"' EXIT
+trace_chaos=$(mktemp)
+trace_a=$(mktemp)
+trace_b=$(mktemp)
+trap 'rm -f "$chaos_a" "$chaos_b" "$trace_chaos" "$trace_a" "$trace_b"' EXIT
 cargo run --release --offline -q -p dnswild --bin dnswild -- \
     smoke --chaos --queries 2000 --seed 2017 --budget-secs 120 | tee "$chaos_a"
 cargo run --release --offline -q -p dnswild --bin dnswild -- \
@@ -30,3 +33,59 @@ if ! diff <(grep '^chaos' "$chaos_a") <(grep '^chaos' "$chaos_b"); then
     exit 1
 fi
 echo "chaos smoke reproducible: seed 2017 produced identical schedules and counters twice"
+
+# Telemetry closure gate: a traced chaos smoke must account for every
+# decoded query. The per-auth counts `report --from-trace` recovers
+# from the binary trace have to equal the server's own atomic counters
+# exactly, and the capture must not have dropped a single event to
+# ring overflow.
+cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --chaos --queries 2000 --seed 2017 --budget-secs 120 --trace "$trace_chaos" | tee "$chaos_a"
+server_queries=$(sed -n 's/^chaos-server: queries=\([0-9]*\) .*/\1/p' "$chaos_a")
+overflow=$(sed -n 's/^trace-summary: events=[0-9]* overflow=\([0-9]*\)$/\1/p' "$chaos_a")
+if [ -z "$server_queries" ] || [ "$overflow" != "0" ]; then
+    echo "telemetry gate: missing counters or ring overflow (queries='$server_queries' overflow='$overflow')" >&2
+    exit 1
+fi
+# Capture the report before grepping: grep -q would close the pipe on
+# the first match and kill the writer mid-print under pipefail.
+report_out=$(cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    report --from-trace "$trace_chaos")
+if ! grep -qx "trace-auth-queries: FRA=$server_queries" <<<"$report_out"; then
+    echo "telemetry gate: trace-derived per-auth counts do not match the server's counters (expected FRA=$server_queries)" >&2
+    exit 1
+fi
+echo "telemetry closure: trace reproduces chaos-server queries=$server_queries with zero overflow drops"
+
+# Telemetry determinism gate: the trace digest keys on event content
+# (not timestamps or ports), so two same-seed loss-free smokes must
+# produce the same digest.
+dig_a=$(cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --queries 1000 --trace "$trace_a" | grep '^trace-digest')
+dig_b=$(cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --queries 1000 --trace "$trace_b" | grep '^trace-digest')
+if [ -z "$dig_a" ] || [ "$dig_a" != "$dig_b" ]; then
+    echo "telemetry gate: same-seed trace digests differ ('$dig_a' vs '$dig_b')" >&2
+    exit 1
+fi
+echo "telemetry determinism: same-seed traces share ${dig_a}"
+
+# Telemetry overhead gate: capture must stay off the hot path — the
+# traced smoke keeps at least 90% of the untraced throughput. Short
+# runs are dominated by scheduler noise on small hosts, so measure
+# 6k-query runs and compare the median of five on each side (a max
+# would amplify one lucky run; the median rides out the tails).
+median_qps() {
+    local i
+    for i in 1 2 3 4 5; do
+        cargo run --release --offline -q -p dnswild --bin dnswild -- \
+            smoke --queries 6000 --json "$@" | sed -n 's/.*"qps":\([0-9.]*\).*/\1/p'
+    done | sort -g | sed -n '3p'
+}
+plain_qps=$(median_qps)
+traced_qps=$(median_qps --trace "$trace_a")
+if ! awk -v t="$traced_qps" -v p="$plain_qps" 'BEGIN { exit !(t >= 0.90 * p) }'; then
+    echo "telemetry overhead gate: traced smoke $traced_qps qps < 90% of untraced $plain_qps qps" >&2
+    exit 1
+fi
+echo "telemetry overhead: traced $traced_qps qps vs untraced $plain_qps qps (within 10%)"

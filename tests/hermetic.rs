@@ -143,6 +143,27 @@ fn netio_manifest_is_scanned_and_hermetic() {
     }
 }
 
+/// Same pin for the telemetry capture plane: it sits on the hot path of
+/// every worker, so the temptation to reach for hdrhistogram / crossbeam
+/// ring buffers is real — everything must stay std-only.
+#[test]
+fn telemetry_manifest_is_scanned_and_hermetic() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/telemetry/Cargo.toml");
+    assert!(manifest.is_file(), "crates/telemetry/Cargo.toml missing");
+    assert!(
+        workspace_manifests().contains(&manifest),
+        "telemetry manifest not picked up by the workspace scan"
+    );
+    for entry in dependency_sections(&manifest) {
+        assert!(
+            entry.is_hermetic(),
+            "telemetry gained a non-path dependency: {} (line {})",
+            entry.line,
+            entry.line_no
+        );
+    }
+}
+
 #[test]
 fn known_banned_crates_are_absent() {
     // The five crates this workspace once pulled from the registry. Name

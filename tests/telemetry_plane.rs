@@ -1,0 +1,162 @@
+//! End-to-end tests of the telemetry plane over real loopback sockets:
+//! a traced serve + blast must close the books exactly against the
+//! server's own atomic counters, reproduce the same trace digest for
+//! the same seed, feed the paper's analyses, and gate the
+//! `stats.dnswild.` introspection answer on tracing being enabled.
+
+use std::net::UdpSocket;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dnswild_analysis::{trace_auth_counts, trace_client_counts, trace_to_measurement};
+use dnswild_netio::{
+    blast, serve, Collector, CollectorConfig, LoadConfig, LoadReport, ServeConfig, Trace,
+    TraceSummary,
+};
+use dnswild_proto::{Class, Message, Name, RData, RType, Rcode};
+use dnswild_server::ServerStats;
+use dnswild_telemetry::EventKind;
+use dnswild_zone::presets::test_domain_zone;
+
+fn origin() -> Name {
+    Name::parse("ourtestdomain.nl").unwrap()
+}
+
+fn temp_trace(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dnswild-tplane-{name}-{}.dwt", std::process::id()));
+    p
+}
+
+/// One traced serve + blast on loopback; both ends feed the same
+/// collector, the server as auth 0 ("FRA").
+fn traced_run(path: &Path, queries: u64) -> (ServerStats, LoadReport, TraceSummary) {
+    let collector =
+        Arc::new(Collector::start(CollectorConfig::new(path).auths(["FRA"])).unwrap());
+    let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+    let handle = serve(
+        ServeConfig::new("127.0.0.1:0", "FRA", zones)
+            .threads(2)
+            .collector(Arc::clone(&collector), 0),
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+    let report = blast(
+        LoadConfig::new(addr, origin())
+            .concurrency(2)
+            .queries(queries)
+            .collector(Arc::clone(&collector), 0),
+    )
+    .unwrap();
+    let stats = handle.shutdown();
+    let summary = collector.finish().unwrap();
+    (stats, report, summary)
+}
+
+#[test]
+fn traced_round_trip_closes_against_server_counters() {
+    let path = temp_trace("closure");
+    let (stats, report, summary) = traced_run(&path, 400);
+    assert!(report.all_answered(), "loopback run lost queries: {report:?}");
+    assert_eq!(summary.overflow, 0, "ring overflow during a smoke-rate run");
+
+    let trace = Trace::read_from(&path).unwrap();
+    assert_eq!(trace.overflow, 0);
+    assert_eq!(trace.events.len() as u64, summary.events);
+
+    // Exact closure: one ServerQuery event per decoded query, one
+    // ClientQuery event per attempt — all three views agree.
+    let server_events =
+        trace.events.iter().filter(|e| e.kind == EventKind::ServerQuery).count() as u64;
+    let client_events =
+        trace.events.iter().filter(|e| e.kind == EventKind::ClientQuery).count() as u64;
+    assert_eq!(server_events, stats.queries);
+    assert_eq!(server_events, report.sent);
+    assert_eq!(client_events, report.sent);
+
+    let counts = trace_auth_counts(&trace);
+    assert_eq!(counts.get("FRA").copied(), Some(stats.queries));
+    assert_eq!(counts.len(), 1);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn same_seed_runs_produce_identical_trace_digests() {
+    let p1 = temp_trace("digest-a");
+    let p2 = temp_trace("digest-b");
+    let (_, r1, s1) = traced_run(&p1, 300);
+    let (_, r2, s2) = traced_run(&p2, 300);
+    assert!(r1.all_answered() && r2.all_answered(), "digest needs loss-free runs");
+    assert_eq!(s1.events, s2.events);
+
+    let t1 = Trace::read_from(&p1).unwrap();
+    let t2 = Trace::read_from(&p2).unwrap();
+    // The digest keys on event *content* (qname hash, auth, kind,
+    // rcode, sizes, flags) and ignores wall-clock fields, so two runs
+    // of the same seeded workload match even though their timestamps,
+    // latencies and ephemeral ports differ.
+    assert_eq!(t1.digest(), t2.digest());
+    std::fs::remove_file(&p1).ok();
+    std::fs::remove_file(&p2).ok();
+}
+
+#[test]
+fn trace_feeds_the_paper_analyses() {
+    let path = temp_trace("analyses");
+    let (_, report, _) = traced_run(&path, 200);
+    assert!(report.all_answered());
+    let trace = Trace::read_from(&path).unwrap();
+
+    let result = trace_to_measurement(&trace);
+    let cov = dnswild_analysis::coverage(&result);
+    // Two blast sockets → two server-side client groups with probes.
+    assert_eq!(cov.vp_count, 2, "one covered VP per client socket");
+    let shares = dnswild_analysis::query_share(&result);
+    let total: f64 = shares.iter().map(|s| s.share).sum();
+    assert!((total - 1.0).abs() < 1e-6, "shares sum to 1, got {total}");
+
+    let clients = trace_client_counts(&trace);
+    let profile = dnswild_analysis::rank_profile(&clients, 1, 1);
+    assert_eq!(profile.client_count, clients.len());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn stats_dnswild_answer_is_gated_on_tracing() {
+    let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+    let mut q = Message::iterative_query(7, Name::parse("stats.dnswild").unwrap(), RType::Txt);
+    q.questions[0].qclass = Class::Ch;
+    let payload = q.encode().unwrap();
+    let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = [0u8; 2048];
+
+    // Untraced server: REFUSED, exactly like the simulation plane.
+    let handle =
+        serve(ServeConfig::new("127.0.0.1:0", "FRA", Arc::clone(&zones)).threads(1)).unwrap();
+    sock.send_to(&payload, handle.local_addr()).unwrap();
+    let (n, _) = sock.recv_from(&mut buf).unwrap();
+    assert_eq!(Message::decode(&buf[..n]).unwrap().rcode(), Rcode::Refused);
+    handle.shutdown();
+
+    // Traced server: a TXT answer rendered from the live snapshot.
+    let path = temp_trace("stats");
+    let collector =
+        Arc::new(Collector::start(CollectorConfig::new(&path).auths(["FRA"])).unwrap());
+    let handle = serve(
+        ServeConfig::new("127.0.0.1:0", "FRA", zones)
+            .threads(1)
+            .collector(Arc::clone(&collector), 0),
+    )
+    .unwrap();
+    sock.send_to(&payload, handle.local_addr()).unwrap();
+    let (n, _) = sock.recv_from(&mut buf).unwrap();
+    let resp = Message::decode(&buf[..n]).unwrap();
+    assert_eq!(resp.rcode(), Rcode::NoError);
+    let RData::Txt(t) = &resp.answers[0].rdata else { panic!("expected a TXT answer") };
+    assert!(t.first_as_string().starts_with("seen="), "got {:?}", t.first_as_string());
+    handle.shutdown();
+    collector.finish().unwrap();
+    std::fs::remove_file(&path).ok();
+}
