@@ -16,14 +16,14 @@ pub fn boxplot(rows: &[(String, BoxStats)], max: f64, width: usize) -> String {
     let mut out = String::new();
     for (label, b) in rows {
         let mut row = vec![b' '; width];
-        for i in pos(b.p10)..=pos(b.p90) {
-            row[i] = b'-';
+        for c in &mut row[pos(b.p10)..=pos(b.p90)] {
+            *c = b'-';
         }
         row[pos(b.p10)] = b'|';
         row[pos(b.p90)] = b'|';
-        for i in pos(b.q1)..=pos(b.q3) {
-            if row[i] == b'-' {
-                row[i] = b'=';
+        for c in &mut row[pos(b.q1)..=pos(b.q3)] {
+            if *c == b'-' {
+                *c = b'=';
             }
         }
         row[pos(b.q1)] = b'[';

@@ -49,9 +49,9 @@ pub fn rank_profile(
         let mut sorted: Vec<u64> = counts.values().copied().filter(|&c| c > 0).collect();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
         distinct_counts.push(sorted.len());
-        for k in 0..n_auths {
+        for (k, shares) in rank_shares.iter_mut().enumerate() {
             let share = sorted.get(k).copied().unwrap_or(0) as f64 / total as f64;
-            rank_shares[k].push(share);
+            shares.push(share);
         }
     }
 

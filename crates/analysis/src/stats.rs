@@ -115,6 +115,20 @@ mod tests {
     }
 
     #[test]
+    fn all_equal_input_collapses_every_summary() {
+        // Degenerate distributions happen in practice (e.g. a quantised
+        // latency column): every percentile and the whole box plot must
+        // collapse to the single value without interpolation artefacts.
+        let v = vec![7.25; 64];
+        for p in [0.0, 10.0, 50.0, 90.0, 99.9, 100.0] {
+            assert_eq!(percentile(&v, p).unwrap(), 7.25, "p={p}");
+        }
+        assert_eq!(mean(&v).unwrap(), 7.25);
+        let b = BoxStats::of(&v).unwrap();
+        assert_eq!((b.p10, b.q1, b.median, b.q3, b.p90), (7.25, 7.25, 7.25, 7.25, 7.25));
+    }
+
+    #[test]
     fn percentile_clamps_out_of_range() {
         let v = vec![1.0, 2.0, 3.0];
         assert_eq!(percentile(&v, -5.0).unwrap(), 1.0);

@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use dnswild_bench::{black_box, Runner, Stats};
+use dnswild_metrics::{Registry, Stage, StageClock, StageSpans};
 use dnswild_netio::{
     blast, serve, Collector, CollectorConfig, Direction, FaultPlan, FaultProfile, LoadConfig,
     QueryMix, ServeConfig,
@@ -23,8 +24,10 @@ fn origin() -> Name {
 }
 
 /// Per-iteration cost of answering one query end to end over loopback
-/// (closed loop, so one outstanding query: the latency floor).
-fn bench_loopback_round_trips(r: &mut Runner) {
+/// (closed loop, so one outstanding query: the latency floor). Returns
+/// the bare mixed-blast median so the observability runs below can
+/// report their overhead against it.
+fn bench_loopback_round_trips(r: &mut Runner) -> Option<u128> {
     let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
     let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(2))
         .expect("bind loopback");
@@ -42,12 +45,14 @@ fn bench_loopback_round_trips(r: &mut Runner) {
         assert!(report.all_answered(), "loopback run lost queries: {report:?}");
         black_box(report.received)
     });
-    r.bench("netio_blast_1k_mixed", || {
-        let report = blast(LoadConfig::new(addr, origin()).concurrency(4).queries(1_000))
-            .expect("blast");
-        assert!(report.all_answered(), "loopback run lost queries: {report:?}");
-        black_box(report.received)
-    });
+    let bare_median = r
+        .bench("netio_blast_1k_mixed", || {
+            let report = blast(LoadConfig::new(addr, origin()).concurrency(4).queries(1_000))
+                .expect("blast");
+            assert!(report.all_answered(), "loopback run lost queries: {report:?}");
+            black_box(report.received)
+        })
+        .map(|s| s.median_ns);
 
     // One larger run, reported through the same JSON pipeline: the
     // per-query latency distribution and achieved qps of a 10k blast.
@@ -61,12 +66,47 @@ fn bench_loopback_round_trips(r: &mut Runner) {
     ));
 
     handle.shutdown();
+    bare_median
 }
 
-/// The same closed-loop blast with both ends traced — the acceptance
-/// bar is that this stays within ~10% of the untraced runs above, and
-/// `telemetry_record_per_event` below bounds the per-datagram cost.
-fn bench_traced_blast(r: &mut Runner) {
+/// Per-operation cost of the metrics hot path in isolation: one sharded
+/// counter bump plus one log-histogram record (what a worker pays per
+/// event), and the two span off-switches (runtime-disabled clock and
+/// detached spans), which must stay at branch cost.
+fn bench_metrics_record(r: &mut Runner) {
+    let registry = Arc::new(Registry::new());
+    let counter = registry.counter_with("bench_events_total", "bench counter", &[("k", "a")]);
+    let hist = registry.histogram("bench_ns", "bench histogram");
+    let spans = StageSpans::register(&registry);
+
+    r.set_samples(200);
+    let mut v = 0u64;
+    r.bench("metrics_record_per_op", || {
+        v = v.wrapping_add(4_097);
+        counter.inc();
+        hist.record(v & 0xfff_ffff);
+        black_box(())
+    });
+    let mut off = StageClock::start(false);
+    r.bench("metrics_disabled_span_lap_per_op", || {
+        off.lap(Some(&spans), Stage::Engine);
+        black_box(())
+    });
+    let mut on = StageClock::start(true);
+    r.bench("metrics_detached_span_lap_per_op", || {
+        on.lap(None, Stage::Engine);
+        black_box(())
+    });
+    // Scrape-side aggregation cost (shard sum + bucket walk + render).
+    r.bench("metrics_render_small_registry", || black_box(registry.render().len()));
+}
+
+/// The same closed-loop blast with both ends traced, then with tracing
+/// *and* metrics (sharded counters + stage spans on every packet) — the
+/// acceptance bar is that the fully observed run stays within ~10% of
+/// the bare runs above; `telemetry_record_per_event` and
+/// `metrics_record_per_op` bound the per-datagram costs.
+fn bench_traced_blast(r: &mut Runner, bare_median: Option<u128>) {
     let trace_path = std::env::temp_dir().join("dnswild_netio_bench.dwtrace");
     let collector = Arc::new(
         Collector::start(CollectorConfig::new(&trace_path).auths(["FRA"]).ring_capacity(1 << 16))
@@ -75,7 +115,7 @@ fn bench_traced_blast(r: &mut Runner) {
 
     let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
     let handle = serve(
-        ServeConfig::new("127.0.0.1:0", "FRA", zones)
+        ServeConfig::new("127.0.0.1:0", "FRA", Arc::clone(&zones))
             .threads(2)
             .collector(Arc::clone(&collector), 0),
     )
@@ -94,6 +134,40 @@ fn bench_traced_blast(r: &mut Runner) {
         assert!(report.all_answered(), "traced loopback run lost queries: {report:?}");
         black_box(report.received)
     });
+    handle.shutdown();
+
+    // Full observability: trace + registry counters + stage spans on the
+    // server, trace + registry counters on the load generator.
+    let registry = Arc::new(Registry::new());
+    let handle = serve(
+        ServeConfig::new("127.0.0.1:0", "FRA", zones)
+            .threads(2)
+            .collector(Arc::clone(&collector), 0)
+            .metrics(Arc::clone(&registry)),
+    )
+    .expect("bind loopback");
+    let addr = handle.local_addr();
+    let metered = r
+        .bench("netio_blast_1k_mixed_traced_metered", || {
+            let report = blast(
+                LoadConfig::new(addr, origin())
+                    .concurrency(4)
+                    .queries(1_000)
+                    .collector(Arc::clone(&collector), 0)
+                    .metrics(Arc::clone(&registry)),
+            )
+            .expect("blast");
+            assert!(report.all_answered(), "metered loopback run lost queries: {report:?}");
+            black_box(report.received)
+        })
+        .map(|s| s.median_ns);
+    if let (Some(bare), Some(metered)) = (bare_median, metered) {
+        let overhead = (metered as f64 / bare as f64 - 1.0) * 100.0;
+        eprintln!(
+            "netio/observability overhead: bare {bare} ns → traced+metered {metered} ns \
+             per 1k blast ({overhead:+.1}%, bar is +10%)"
+        );
+    }
 
     handle.shutdown();
     let summary = collector.finish().expect("finish trace");
@@ -195,7 +269,8 @@ fn main() {
     bench_encode_paths(&mut r);
     bench_chaos_decide(&mut r);
     bench_telemetry_record(&mut r);
-    bench_loopback_round_trips(&mut r);
-    bench_traced_blast(&mut r);
+    bench_metrics_record(&mut r);
+    let bare_median = bench_loopback_round_trips(&mut r);
+    bench_traced_blast(&mut r, bare_median);
     r.finish();
 }

@@ -26,9 +26,11 @@ use dnswild_analysis::{
     coverage, query_share, rank_profile, trace_auth_counts, trace_client_counts,
     trace_to_measurement,
 };
+use dnswild_metrics::{parse_exposition, scrape, Watchdog, WatchdogConfig};
 use dnswild_netio::{
-    blast, resolve, serve, ChaosProxy, Collector, CollectorConfig, Direction, FaultPlan,
-    FaultProfile, LoadConfig, QueryMix, ResolveConfig, ServeConfig, Trace,
+    blast, mirror_collector, resolve, serve, server_stats_kinds, ChaosProxy, Collector,
+    CollectorConfig, Direction, FaultPlan, FaultProfile, LoadConfig, MetricsServer, QueryMix,
+    Registry, ResolveConfig, ServeConfig, Trace,
 };
 use dnswild_proto::Name;
 use dnswild_server::ServerStats;
@@ -47,6 +49,8 @@ fn usage_exit(code: i32) -> ! {
              --ns N           NS count in the preset zone (default 2)\n\
              --duration SECS  stop after SECS (default: run until killed)\n\
              --trace PATH     record one telemetry event per datagram to PATH\n\
+             --metrics-addr A:P  expose Prometheus-text metrics over HTTP and\n\
+                              run the share-vs-RTT watchdog\n\
            blast   closed-loop load generator\n\
              --addr A:P       target address (default 127.0.0.1:5300)\n\
              --concurrency N  client threads (default 4)\n\
@@ -61,6 +65,7 @@ fn usage_exit(code: i32) -> ! {
              --corrupt P      (chaos) per-copy corruption probability (default 0.01)\n\
              --trace PATH     record one telemetry event per query to PATH\n\
              --json           emit one JSON object instead of the text report\n\
+             --metrics-addr A:P  expose load/client metrics over HTTP\n\
            chaos   standalone fault-injecting UDP proxy\n\
              --listen A:P     address to accept clients on (default 127.0.0.1:5301)\n\
              --upstream A:P   server to proxy to (default 127.0.0.1:5300)\n\
@@ -81,6 +86,13 @@ fn usage_exit(code: i32) -> ! {
              --budget-secs S  (chaos) wall-clock budget (default 120)\n\
              --trace PATH     record server+client+proxy telemetry to PATH\n\
              --json           emit one JSON object instead of the text report\n\
+             --metrics-addr A:P  expose metrics over HTTP; with --chaos this\n\
+                              also runs the scrape-equality and watchdog gates\n\
+           top     live view over a running metrics endpoint\n\
+             --addr A:P       metrics endpoint to poll (default 127.0.0.1:9153)\n\
+             --interval-ms M  poll interval (default 1000)\n\
+             --iterations N   exit after N polls (default: run until killed)\n\
+             --plain          no screen clearing between polls\n\
            report  analyses over a recorded telemetry trace\n\
              --from-trace PATH  trace file written by --trace\n\
              --min-queries N    rank-profile client threshold (default 1)"
@@ -238,6 +250,29 @@ fn chaos_profiles(loss: f64, corrupt: f64) -> (FaultProfile, FaultProfile) {
     )
 }
 
+/// Binds the Prometheus exposition endpoint and returns the registry
+/// backing it plus the server handle.
+fn start_metrics(addr: &str) -> (Arc<Registry>, MetricsServer) {
+    let registry = Arc::new(Registry::new());
+    let server = MetricsServer::spawn(addr, Arc::clone(&registry)).unwrap_or_else(|e| {
+        eprintln!("metrics: {e}");
+        std::process::exit(1)
+    });
+    eprintln!("metrics: exposing on http://{}/metrics", server.local_addr());
+    (registry, server)
+}
+
+/// Spawns the law watchdog over a metrics registry, exiting on spawn
+/// failure.
+fn start_watchdog(registry: &Arc<Registry>) -> dnswild_metrics::WatchdogHandle {
+    Watchdog::new(Arc::clone(registry), WatchdogConfig::default())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("watchdog: {e}");
+            std::process::exit(1)
+        })
+}
+
 fn cmd_serve(args: &[String]) {
     let mut addr = "127.0.0.1:5300".to_string();
     let mut threads: Option<usize> = None;
@@ -246,6 +281,7 @@ fn cmd_serve(args: &[String]) {
     let mut ns = 2usize;
     let mut duration: Option<u64> = None;
     let mut trace: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -256,6 +292,7 @@ fn cmd_serve(args: &[String]) {
             "--ns" => ns = parse_flag(&mut it, "--ns"),
             "--duration" => duration = Some(parse_flag(&mut it, "--duration")),
             "--trace" => trace = Some(parse_flag(&mut it, "--trace")),
+            "--metrics-addr" => metrics_addr = Some(parse_flag(&mut it, "--metrics-addr")),
             "--help" | "-h" => usage_exit(0),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -279,6 +316,14 @@ fn cmd_serve(args: &[String]) {
     if let Some(c) = &collector {
         config = config.collector(Arc::clone(c), 0);
     }
+    let metrics = metrics_addr.as_deref().map(start_metrics);
+    if let Some((registry, _)) = &metrics {
+        config = config.metrics(Arc::clone(registry));
+        if let Some(c) = &collector {
+            mirror_collector(registry, c);
+        }
+    }
+    let watchdog = metrics.as_ref().map(|(registry, _)| start_watchdog(registry));
     let handle = serve(config).unwrap_or_else(|e| {
         eprintln!("serve: {e}");
         std::process::exit(1)
@@ -296,6 +341,13 @@ fn cmd_serve(args: &[String]) {
             print_stats(handle.shutdown());
             if let (Some(c), Some(path)) = (&collector, &trace) {
                 finish_trace(c, path);
+            }
+            if let Some(w) = watchdog {
+                let report = w.shutdown();
+                eprintln!("watchdog: healthy={}", report.healthy());
+            }
+            if let Some((_, server)) = metrics {
+                server.shutdown();
             }
         }
         None => loop {
@@ -318,6 +370,7 @@ fn cmd_blast(args: &[String]) {
     let mut corrupt = 0.01f64;
     let mut trace: Option<String> = None;
     let mut json = false;
+    let mut metrics_addr: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -333,6 +386,7 @@ fn cmd_blast(args: &[String]) {
             "--corrupt" => corrupt = parse_flag(&mut it, "--corrupt"),
             "--trace" => trace = Some(parse_flag(&mut it, "--trace")),
             "--json" => json = true,
+            "--metrics-addr" => metrics_addr = Some(parse_flag(&mut it, "--metrics-addr")),
             "--help" | "-h" => usage_exit(0),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -348,22 +402,28 @@ fn cmd_blast(args: &[String]) {
     // The client side only knows the target address, so that is the
     // auth table entry (auth id 0).
     let collector = trace.as_ref().map(|path| start_collector(path, &[addr.as_str()]));
+    let metrics = metrics_addr.as_deref().map(start_metrics);
+    if let (Some((registry, _)), Some(c)) = (&metrics, &collector) {
+        mirror_collector(registry, c);
+    }
     if chaos {
         // Interpose a fault proxy and drive the resolver client, whose
         // retry/backoff/SRTT loop is what makes lossy paths survivable.
         let (fwd, rev) = chaos_profiles(loss, corrupt);
         let plan = Arc::new(FaultPlan::new(seed, fwd, rev));
-        let proxy = ChaosProxy::spawn_with(
+        let proxy = ChaosProxy::spawn_metered(
             "127.0.0.1:0",
             target,
             Arc::clone(&plan),
             collector.as_ref().map(Arc::clone),
+            metrics.as_ref().map(|(r, _)| (Arc::clone(r), "p0")),
         )
         .unwrap_or_else(|e| {
             eprintln!("blast: chaos proxy: {e}");
             std::process::exit(1)
         });
         eprintln!("blast: chaos proxy on udp://{} -> {}", proxy.local_addr(), target);
+        let watchdog = metrics.as_ref().map(|(registry, _)| start_watchdog(registry));
         let mut cfg = ResolveConfig::new(vec![proxy.local_addr()], origin)
             .transactions(queries)
             .concurrency(concurrency);
@@ -371,11 +431,18 @@ fn cmd_blast(args: &[String]) {
         if let Some(c) = &collector {
             cfg = cfg.collector(Arc::clone(c));
         }
+        if let Some((registry, _)) = &metrics {
+            cfg = cfg.metrics(Arc::clone(registry));
+        }
         let report = resolve(cfg).unwrap_or_else(|e| {
             eprintln!("blast: resolve: {e}");
             std::process::exit(1)
         });
         proxy.shutdown();
+        if let Some(w) = watchdog {
+            let wd = w.shutdown();
+            eprintln!("watchdog: healthy={}", wd.healthy());
+        }
         if json {
             let s = &report.stats;
             println!(
@@ -403,6 +470,9 @@ fn cmd_blast(args: &[String]) {
         if let (Some(c), Some(path)) = (&collector, &trace) {
             finish_trace(c, path);
         }
+        if let Some((_, server)) = metrics {
+            server.shutdown();
+        }
         if let Err(complaint) = report.stats.check() {
             eprintln!("blast: FAIL — {complaint}");
             std::process::exit(1);
@@ -418,6 +488,9 @@ fn cmd_blast(args: &[String]) {
     if let Some(c) = &collector {
         config = config.collector(Arc::clone(c), 0);
     }
+    if let Some((registry, _)) = &metrics {
+        config = config.metrics(Arc::clone(registry));
+    }
     let report = blast(config).unwrap_or_else(|e| {
         eprintln!("blast: {e}");
         std::process::exit(1)
@@ -429,6 +502,9 @@ fn cmd_blast(args: &[String]) {
     }
     if let (Some(c), Some(path)) = (&collector, &trace) {
         finish_trace(c, path);
+    }
+    if let Some((_, server)) = metrics {
+        server.shutdown();
     }
     if !report.all_answered() {
         std::process::exit(1);
@@ -522,6 +598,7 @@ fn cmd_smoke(args: &[String]) {
     let mut budget_secs = 120u64;
     let mut trace: Option<String> = None;
     let mut json = false;
+    let mut metrics_addr: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -534,6 +611,7 @@ fn cmd_smoke(args: &[String]) {
             "--budget-secs" => budget_secs = parse_flag(&mut it, "--budget-secs"),
             "--trace" => trace = Some(parse_flag(&mut it, "--trace")),
             "--json" => json = true,
+            "--metrics-addr" => metrics_addr = Some(parse_flag(&mut it, "--metrics-addr")),
             "--help" | "-h" => usage_exit(0),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -546,15 +624,31 @@ fn cmd_smoke(args: &[String]) {
             eprintln!("smoke: --chaos and --json are mutually exclusive");
             std::process::exit(2);
         }
-        chaos_smoke(queries, threads, seed, loss, corrupt, budget_secs, trace.as_deref());
+        chaos_smoke(
+            queries,
+            threads,
+            seed,
+            loss,
+            corrupt,
+            budget_secs,
+            trace.as_deref(),
+            metrics_addr.as_deref(),
+        );
         return;
     }
     let origin = Name::parse("ourtestdomain.nl").expect("static origin");
     let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
     let collector = trace.as_ref().map(|path| start_collector(path, &["FRA"]));
+    let metrics = metrics_addr.as_deref().map(start_metrics);
     let mut serve_cfg = ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads);
     if let Some(c) = &collector {
         serve_cfg = serve_cfg.collector(Arc::clone(c), 0);
+    }
+    if let Some((registry, _)) = &metrics {
+        serve_cfg = serve_cfg.metrics(Arc::clone(registry));
+        if let Some(c) = &collector {
+            mirror_collector(registry, c);
+        }
     }
     let handle = serve(serve_cfg).unwrap_or_else(|e| {
         eprintln!("smoke: serve: {e}");
@@ -564,6 +658,9 @@ fn cmd_smoke(args: &[String]) {
     let mut load_cfg = LoadConfig::new(handle.local_addr(), origin).concurrency(4).queries(queries);
     if let Some(c) = &collector {
         load_cfg = load_cfg.collector(Arc::clone(c), 0);
+    }
+    if let Some((registry, _)) = &metrics {
+        load_cfg = load_cfg.metrics(Arc::clone(registry));
     }
     let report = blast(load_cfg).unwrap_or_else(|e| {
         eprintln!("smoke: blast: {e}");
@@ -579,6 +676,9 @@ fn cmd_smoke(args: &[String]) {
     }
     if let (Some(c), Some(path)) = (&collector, &trace) {
         finish_trace(c, path);
+    }
+    if let Some((_, server)) = metrics {
+        server.shutdown();
     }
     if !report.all_answered() {
         eprintln!("smoke: FAIL — lost or stale responses");
@@ -624,6 +724,7 @@ fn cmd_smoke(args: &[String]) {
 /// run inside the wall-clock budget. All `chaos-` lines are
 /// deterministic for a given seed — `scripts/verify.sh` compares them
 /// verbatim across two runs.
+#[allow(clippy::too_many_arguments)]
 fn chaos_smoke(
     queries: u64,
     threads: usize,
@@ -632,13 +733,21 @@ fn chaos_smoke(
     corrupt: f64,
     budget_secs: u64,
     trace: Option<&str>,
+    metrics_addr: Option<&str>,
 ) {
     let origin = Name::parse("ourtestdomain.nl").expect("static origin");
     let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
     let collector = trace.map(|path| start_collector(path, &["FRA"]));
+    let metrics = metrics_addr.map(start_metrics);
     let mut serve_cfg = ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads);
     if let Some(c) = &collector {
         serve_cfg = serve_cfg.collector(Arc::clone(c), 0);
+    }
+    if let Some((registry, _)) = &metrics {
+        serve_cfg = serve_cfg.metrics(Arc::clone(registry));
+        if let Some(c) = &collector {
+            mirror_collector(registry, c);
+        }
     }
     let handle = serve(serve_cfg).unwrap_or_else(|e| {
         eprintln!("smoke: serve: {e}");
@@ -646,20 +755,21 @@ fn chaos_smoke(
     });
     let (fwd, rev) = chaos_profiles(loss, corrupt);
     let plan = Arc::new(FaultPlan::new(seed, fwd, rev));
-    let spawn_proxy = || {
-        ChaosProxy::spawn_with(
+    let spawn_proxy = |label: &'static str| {
+        ChaosProxy::spawn_metered(
             "127.0.0.1:0",
             handle.local_addr(),
             Arc::clone(&plan),
             collector.as_ref().map(Arc::clone),
+            metrics.as_ref().map(|(r, _)| (Arc::clone(r), label)),
         )
         .unwrap_or_else(|e| {
             eprintln!("smoke: chaos proxy: {e}");
             std::process::exit(1)
         })
     };
-    let p1 = spawn_proxy();
-    let p2 = spawn_proxy();
+    let p1 = spawn_proxy("p1");
+    let p2 = spawn_proxy("p2");
     eprintln!(
         "smoke: serving on udp://{} behind chaos proxies {} and {} (seed {seed})",
         handle.local_addr(),
@@ -677,10 +787,34 @@ fn chaos_smoke(
     if let Some(c) = &collector {
         cfg = cfg.collector(Arc::clone(c));
     }
+    if let Some((registry, _)) = &metrics {
+        cfg = cfg.metrics(Arc::clone(registry));
+    }
+    let watchdog = metrics.as_ref().map(|(registry, _)| start_watchdog(registry));
+    // A scraper polls the live endpoint for the whole blast — the gate
+    // requires at least one successful mid-run scrape, proving the
+    // exposition works under load, not just at rest.
+    let scrape_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = metrics.as_ref().map(|(_, server)| {
+        let addr = server.local_addr();
+        let stop = Arc::clone(&scrape_stop);
+        std::thread::spawn(move || {
+            let mut ok = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                if scrape(addr).map(|t| t.contains("dnswild_")).unwrap_or(false) {
+                    ok += 1;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            ok
+        })
+    });
     let report = resolve(cfg).unwrap_or_else(|e| {
         eprintln!("smoke: resolve: {e}");
         std::process::exit(1)
     });
+    scrape_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let live_scrapes = scraper.map(|h| h.join().expect("scraper panicked")).unwrap_or(0);
     // Shutting the proxies down flushes any copy still held by their
     // delay schedulers, so the forward tally is final afterwards.
     p1.shutdown();
@@ -726,9 +860,10 @@ fn chaos_smoke(
         finish_trace(c, path);
     }
     println!(
-        "elapsed_ms={} recv_errors={} per_server={:?}",
+        "elapsed_ms={} recv_errors={} send_errors={} per_server={:?}",
         elapsed.as_millis(),
         io.recv_errors,
+        io.send_errors,
         report.per_server
     );
 
@@ -759,6 +894,82 @@ fn chaos_smoke(
             elapsed.as_secs_f64()
         ));
     }
+
+    // The metrics gate: after the workers have flushed their final
+    // deltas (shutdown above), the scraped per-auth counters must match
+    // the server's own books *exactly*, every hot-path stage must have
+    // been timed, and the endpoint must have answered while the blast
+    // was running.
+    if let Some((_, server)) = metrics {
+        let before = failures.len();
+        let text = scrape(server.local_addr()).unwrap_or_else(|e| {
+            failures.push(format!("final scrape failed: {e}"));
+            String::new()
+        });
+        let samples = parse_exposition(&text);
+        for (kind, want) in server_stats_kinds(&stats) {
+            let got = samples
+                .iter()
+                .find(|s| {
+                    s.name == "dnswild_server_events_total"
+                        && s.label("auth") == Some("FRA")
+                        && s.label("kind") == Some(kind)
+                })
+                .map(|s| s.value);
+            if got != Some(want as f64) {
+                failures.push(format!(
+                    "scrape mismatch: dnswild_server_events_total{{auth=FRA,kind={kind}}} \
+                     = {got:?}, server counted {want}"
+                ));
+            }
+        }
+        for stage in ["recv", "decode", "engine", "encode", "send"] {
+            let timed = samples
+                .iter()
+                .find(|s| s.name == "dnswild_stage_ns_count" && s.label("stage") == Some(stage))
+                .map(|s| s.value)
+                .unwrap_or(0.0);
+            if timed <= 0.0 {
+                failures.push(format!("stage '{stage}' has an empty span histogram"));
+            }
+        }
+        if live_scrapes == 0 {
+            failures.push("no successful scrape while the blast was running".into());
+        }
+        if failures.len() == before {
+            println!(
+                "metrics-gate: PASS — scrape matches ServerStats exactly, all 5 stages timed, \
+                 {live_scrapes} live scrapes"
+            );
+        }
+        if let Some(w) = watchdog {
+            let wd = w.shutdown();
+            if loss == 0.0 && corrupt == 0.0 {
+                // A clean loopback run must not trip any law: the share
+                // deviation gauge stays in-bounds (or the law is
+                // vacuous), coverage is full, nothing SERVFAILs.
+                if wd.healthy() {
+                    println!(
+                        "watchdog-gate: PASS — no law breached on a clean run \
+                         (share_dev={:.3} coverage={:.3} servfail_rate={:.3})",
+                        wd.share_dev, wd.coverage, wd.servfail_rate
+                    );
+                } else {
+                    failures.push(format!("watchdog breach on a clean run: {wd:?}"));
+                }
+            } else {
+                println!(
+                    "watchdog: share_dev={:.3} coverage={:.3} servfail_rate={:.3} healthy={}",
+                    wd.share_dev,
+                    wd.coverage,
+                    wd.servfail_rate,
+                    wd.healthy()
+                );
+            }
+        }
+        server.shutdown();
+    }
+
     if !failures.is_empty() {
         for f in &failures {
             eprintln!("smoke: FAIL — {f}");
@@ -773,6 +984,122 @@ fn chaos_smoke(
         report.stats.answered,
         report.stats.servfails
     );
+}
+
+/// `dnswild top`: a live text view over any running metrics endpoint.
+/// Polls the Prometheus exposition, derives qps from counter deltas
+/// between polls, and shows the per-stage latency gauges, the per-auth
+/// attempt share, and the watchdog's law gauges.
+fn cmd_top(args: &[String]) {
+    let mut addr = "127.0.0.1:9153".to_string();
+    let mut interval_ms = 1_000u64;
+    let mut iterations: Option<u64> = None;
+    let mut plain = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse_flag(&mut it, "--addr"),
+            "--interval-ms" => interval_ms = parse_flag(&mut it, "--interval-ms"),
+            "--iterations" => iterations = Some(parse_flag(&mut it, "--iterations")),
+            "--plain" => plain = true,
+            "--help" | "-h" => usage_exit(0),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage_exit(2)
+            }
+        }
+    }
+    // Counters whose per-poll delta is worth a qps column, in display
+    // order; whichever are present are shown.
+    const RATES: [(&str, &str); 4] = [
+        ("dnswild_server_events_total", "server"),
+        ("dnswild_load_sent_total", "load"),
+        ("dnswild_client_attempts_total", "client"),
+        ("dnswild_chaos_datagrams_total", "chaos"),
+    ];
+    let sum_of = |samples: &[dnswild_metrics::Sample], name: &str| -> f64 {
+        samples.iter().filter(|s| s.name == name).map(|s| s.value).sum()
+    };
+    let gauge_of = |samples: &[dnswild_metrics::Sample], name: &str| -> Option<f64> {
+        samples.iter().find(|s| s.name == name).map(|s| s.value)
+    };
+    let mut prev: Option<(Instant, Vec<f64>)> = None;
+    let mut round = 0u64;
+    loop {
+        let text = match scrape(addr.as_str()) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("top: {addr}: {e}");
+                std::process::exit(1)
+            }
+        };
+        let samples = parse_exposition(&text);
+        let now = Instant::now();
+        let totals: Vec<f64> = RATES.iter().map(|(name, _)| sum_of(&samples, name)).collect();
+        if !plain {
+            // ANSI clear + home; `--plain` keeps every poll on the log.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("dnswild top — {addr} (poll {round})");
+        let mut rates = String::new();
+        if let Some((t0, old)) = &prev {
+            let dt = now.duration_since(*t0).as_secs_f64().max(1e-9);
+            for (i, (_, short)) in RATES.iter().enumerate() {
+                if totals[i] > 0.0 || old[i] > 0.0 {
+                    rates.push_str(&format!("  {short}={:.0}/s", (totals[i] - old[i]).max(0.0) / dt));
+                }
+            }
+        }
+        println!("rates:{}", if rates.is_empty() { "  (first poll)".into() } else { rates });
+        if let (Some(p50), Some(p99)) =
+            (gauge_of(&samples, "dnswild_stage_p50_ns"), gauge_of(&samples, "dnswild_stage_p99_ns"))
+        {
+            println!("hot path: p50={:.1}us p99={:.1}us", p50 / 1e3, p99 / 1e3);
+        }
+        let attempts: Vec<&dnswild_metrics::Sample> = samples
+            .iter()
+            .filter(|s| s.name == "dnswild_client_attempts_total")
+            .collect();
+        let total_attempts: f64 = attempts.iter().map(|s| s.value).sum();
+        if total_attempts > 0.0 {
+            for s in &attempts {
+                let auth = s.label("auth").unwrap_or("?");
+                let srtt = samples
+                    .iter()
+                    .find(|g| g.name == "dnswild_client_srtt_ms" && g.label("auth") == Some(auth))
+                    .map(|g| g.value);
+                match srtt {
+                    Some(ms) => println!(
+                        "auth {auth}: share={:.1}% srtt={ms:.2}ms",
+                        100.0 * s.value / total_attempts
+                    ),
+                    None => {
+                        println!("auth {auth}: share={:.1}%", 100.0 * s.value / total_attempts)
+                    }
+                }
+            }
+        }
+        if let Some(evals) = gauge_of(&samples, "dnswild_watchdog_evals_total") {
+            let g = |n| gauge_of(&samples, n).unwrap_or(0.0);
+            let breaches = g("dnswild_watchdog_share_breach")
+                + g("dnswild_watchdog_coverage_breach")
+                + g("dnswild_watchdog_servfail_breach")
+                + g("dnswild_watchdog_overflow_breach");
+            println!(
+                "watchdog: {} — share_dev={:.3} coverage={:.3} servfail_rate={:.3} (evals={evals:.0})",
+                if breaches > 0.0 { "BREACH" } else { "healthy" },
+                g("dnswild_watchdog_share_dev"),
+                g("dnswild_watchdog_coverage"),
+                g("dnswild_watchdog_servfail_rate"),
+            );
+        }
+        prev = Some((now, totals));
+        round += 1;
+        if iterations.is_some_and(|n| round >= n) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
 }
 
 /// `dnswild report --from-trace`: run the paper's analyses over a
@@ -828,6 +1155,7 @@ fn main() {
         Some("blast") => cmd_blast(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("smoke") => cmd_smoke(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("--help") | Some("-h") | None => usage_exit(if args.is_empty() { 2 } else { 0 }),
         Some(other) => {

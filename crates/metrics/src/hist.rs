@@ -1,0 +1,211 @@
+//! Log-bucketed value histogram for the metrics registry.
+//!
+//! Shares the telemetry crate's log-linear bucket table
+//! ([`LatencyHistogram::bucket_index`] — log₂ major buckets × 32 linear
+//! sub-buckets, ≤ ~3% relative error) and the workspace's single
+//! percentile estimator, so a percentile scraped here, one computed by
+//! `report --from-trace`, and one printed by the bench runner are all
+//! quantised the same way. Adds what exposition needs on top of the
+//! telemetry histogram: a running value *sum* and cumulative
+//! counts at power-of-two `le` bounds (powers of two are exact bucket
+//! boundaries in the shared table, so the cumulative counts don't
+//! straddle buckets).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dnswild_telemetry::stats::interp_rank;
+use dnswild_telemetry::LatencyHistogram;
+
+/// Power-of-two `le` exponents rendered for each histogram: 256 ns up
+/// to ~17 s, factor-of-two steps. Wide enough for per-stage span times
+/// (tens of ns .. µs) and full round-trip latencies (µs .. s).
+const LE_EXPONENTS: std::ops::RangeInclusive<u32> = 8..=34;
+
+/// A multi-producer log-bucketed histogram: wait-free `record` (three
+/// `fetch_add`s and a `fetch_max`), lock-free aggregation on scrape.
+#[derive(Debug)]
+pub struct LogHistogram {
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram over the shared bucket table.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: (0..LatencyHistogram::BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[LatencyHistogram::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn merge_from(&self, other: &LogHistogram) {
+        for (i, c) in other.counts.iter().enumerate() {
+            let v = c.load(Ordering::Relaxed);
+            if v != 0 {
+                self.counts[i].fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.total.fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Approximate percentile `p` (0–100) via the workspace's shared
+    /// rank estimator; `None` when empty.
+    pub fn value_at(&self, p: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let (target, _, _) = interp_rank(total as usize, p);
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c.load(Ordering::Relaxed);
+            if cum > target as u64 {
+                return Some(LatencyHistogram::bucket_midpoint(i).min(self.max()));
+            }
+        }
+        Some(self.max())
+    }
+
+    /// `(le_bound, cumulative_count)` pairs at power-of-two bounds, in
+    /// ascending order. Each bound is an exact bucket boundary of the
+    /// shared table, so the cumulative count is the exact number of
+    /// recorded values strictly below the bound.
+    pub fn cumulative_le(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(LE_EXPONENTS.size_hint().0);
+        let mut cum = 0u64;
+        let mut next_bucket = 0usize;
+        for exp in LE_EXPONENTS {
+            let bound = 1u64 << exp;
+            let end = LatencyHistogram::bucket_index(bound);
+            for c in &self.counts[next_bucket..end] {
+                cum += c.load(Ordering::Relaxed);
+            }
+            next_bucket = end;
+            out.push((bound, cum));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.value_at(0.0).is_none());
+        assert!(h.value_at(50.0).is_none());
+        assert!(h.value_at(100.0).is_none());
+        assert!(h.cumulative_le().iter().all(|&(_, c)| c == 0));
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let h = LogHistogram::new();
+        h.record(1_000);
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            let v = h.value_at(p).unwrap();
+            let err = v.abs_diff(1_000) as f64 / 1_000.0;
+            assert!(err <= 0.04, "p{p}: {v}");
+        }
+        assert_eq!(h.sum(), 1_000);
+        assert_eq!(h.max(), 1_000);
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_to_one_bucket() {
+        let h = LogHistogram::new();
+        for _ in 0..500 {
+            h.record(4_096); // an exact bucket boundary
+        }
+        assert_eq!(h.count(), 500);
+        assert_eq!(h.sum(), 500 * 4_096);
+        for p in [1.0, 50.0, 99.9] {
+            let v = h.value_at(p).unwrap();
+            assert!(v.abs_diff(4_096) as f64 / 4_096.0 <= 0.04, "p{p}: {v}");
+        }
+        // Cumulative `le` is exact at boundaries: everything below 2^13,
+        // nothing below 2^12.
+        let le: std::collections::BTreeMap<u64, u64> = h.cumulative_le().into_iter().collect();
+        assert_eq!(le[&(1 << 12)], 0);
+        assert_eq!(le[&(1 << 13)], 500);
+    }
+
+    #[test]
+    fn cumulative_le_is_monotone_and_ends_at_count() {
+        let h = LogHistogram::new();
+        for v in [1u64, 300, 5_000, 70_000, 1 << 20, (1 << 34) + 1] {
+            h.record(v);
+        }
+        let le = h.cumulative_le();
+        for w in le.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 <= w[1].1, "monotone: {w:?}");
+        }
+        // Everything except the sample beyond the last bound.
+        assert_eq!(le.last().unwrap().1, 5);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn merge_matches_union_of_streams() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let union = LogHistogram::new();
+        for v in 1..=1_000u64 {
+            a.record(v * 10);
+            union.record(v * 10);
+        }
+        for v in 1..=1_000u64 {
+            b.record(v * 1_000);
+            union.record(v * 1_000);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), union.count());
+        assert_eq!(a.sum(), union.sum());
+        assert_eq!(a.max(), union.max());
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            assert_eq!(a.value_at(p), union.value_at(p), "p{p} differs after merge");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Minimal HTTP/1.0 exposition endpoint over [`std::net::TcpListener`],
+//! plus the matching [`scrape`] client and a tiny parser for the
+//! exposition text.
+//!
+//! Scrapes are rare and tiny, so one accept-loop thread handling each
+//! connection inline is plenty; there is deliberately no keep-alive, no
+//! chunking, no TLS. Shutdown raises a stop flag and pokes the listener
+//! with a loopback connection so the blocking `accept` wakes promptly.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// Longest request head we bother reading before answering.
+const MAX_REQUEST_BYTES: usize = 4096;
+
+/// A running metrics endpoint.
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (port 0 picks an ephemeral port) and serves
+    /// `GET /metrics` from `registry` until [`MetricsServer::shutdown`].
+    pub fn spawn(addr: impl ToSocketAddrs, registry: Arc<Registry>) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("metrics-http".into())
+                .spawn(move || accept_loop(listener, &registry, &stop))?
+        };
+        Ok(MetricsServer { local_addr, stop, thread: Some(thread) })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the accept loop and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: &Registry, stop: &AtomicBool) {
+    loop {
+        let conn = listener.accept();
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Ok((stream, _)) = conn {
+            // A stuck client must not wedge the endpoint.
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+            let _ = handle_conn(stream, registry);
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, registry: &Registry) -> io::Result<()> {
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 512];
+    // Read until the blank line ending the request head (we ignore the
+    // headers themselves; GETs carry no body).
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < MAX_REQUEST_BYTES {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = head.split(|&b| b == b'\r').next().unwrap_or(&[]);
+    let mut parts = request_line.split(|&b| b == b' ');
+    let method = parts.next().unwrap_or(&[]);
+    let path = parts.next().unwrap_or(&[]);
+    let (status, body) = if method == b"GET" && (path == b"/metrics" || path == b"/") {
+        ("200 OK", registry.render())
+    } else {
+        ("404 Not Found", "only GET /metrics lives here\n".to_string())
+    };
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+/// `curl`-equivalent scrape: one `GET /metrics` against `addr`, body
+/// returned as text. Errors on connect failure or a non-200 status.
+pub fn scrape(addr: impl ToSocketAddrs) -> io::Result<String> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: metrics\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(io::Error::other(format!("scrape failed: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+/// One sample line of exposition text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (for histogram series this includes the `_bucket` /
+    /// `_sum` / `_count` suffix, as on the wire).
+    pub name: String,
+    /// Label pairs in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses Prometheus text exposition into samples, skipping comments.
+/// Tolerant by design (it parses our own renderer's output plus hand-
+/// written fixtures); lines it cannot parse are skipped, not errors.
+pub fn parse_exposition(text: &str) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => continue,
+        };
+        let value: f64 = match value.parse() {
+            Ok(v) => v,
+            Err(_) => match value {
+                "+Inf" => f64::INFINITY,
+                "-Inf" => f64::NEG_INFINITY,
+                _ => continue,
+            },
+        };
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let rest = rest.trim_end_matches('}');
+                let mut labels = Vec::new();
+                for pair in split_label_pairs(rest) {
+                    if let Some((k, v)) = pair.split_once('=') {
+                        let v = v.trim_matches('"').replace("\\\"", "\"").replace("\\\\", "\\");
+                        labels.push((k.to_string(), v));
+                    }
+                }
+                (name.to_string(), labels)
+            }
+        };
+        out.push(Sample { name, labels, value });
+    }
+    out
+}
+
+/// Splits `k1="v1",k2="v2"` at commas that sit outside quotes.
+fn split_label_pairs(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let (mut start, mut in_quotes, mut escaped) = (0usize, false, false);
+    for (i, c) in s.char_indices() {
+        match c {
+            '\\' if in_quotes => escaped = !escaped,
+            '"' if !escaped => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                if i > start {
+                    out.push(&s[start..i]);
+                }
+                start = i + 1;
+            }
+            _ => escaped = false,
+        }
+    }
+    if start < s.len() {
+        out.push(&s[start..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_serves_and_shuts_down() {
+        let reg = Arc::new(Registry::new());
+        reg.counter_with("hits_total", "hits", &[("auth", "FRA")]).add(9);
+        let server = MetricsServer::spawn("127.0.0.1:0", Arc::clone(&reg)).unwrap();
+        let body = scrape(server.local_addr()).unwrap();
+        assert!(body.contains("hits_total{auth=\"FRA\"} 9"), "{body}");
+
+        // Unknown paths 404 without killing the endpoint.
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.write_all(b"GET /nope HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 404"), "{resp}");
+        assert!(scrape(server.local_addr()).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn parse_round_trips_the_renderer() {
+        let reg = Registry::new();
+        reg.counter_with("c_total", "c", &[("auth", "A,B\"x")]).add(3);
+        reg.gauge("g", "g").set(1.5);
+        reg.histogram("h_ns", "h").record(1_000);
+        let samples = parse_exposition(&reg.render());
+        let c = samples.iter().find(|s| s.name == "c_total").unwrap();
+        assert_eq!(c.value, 3.0);
+        assert_eq!(c.label("auth"), Some("A,B\"x"));
+        assert_eq!(samples.iter().find(|s| s.name == "g").unwrap().value, 1.5);
+        assert_eq!(samples.iter().find(|s| s.name == "h_ns_count").unwrap().value, 1.0);
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "h_ns_bucket" && s.label("le") == Some("+Inf"))
+            .unwrap();
+        assert_eq!(inf.value, 1.0);
+    }
+}

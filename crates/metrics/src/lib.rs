@@ -1,0 +1,46 @@
+//! # dnswild-metrics
+//!
+//! The live observability plane: a hermetic (safe-code, zero-dependency
+//! beyond the in-tree telemetry crate) metrics subsystem for the
+//! real-socket serving path.
+//!
+//! The paper's engineering guidance (§6) is addressed to operators who
+//! need to know *live* whether the laws it measures still hold: is the
+//! per-authoritative query share tracking 1/SRTT (Fig 3), are
+//! recursives still exploring every authoritative (Fig 2), is the hot
+//! path degrading and in which stage? This crate provides:
+//!
+//! * [`registry`] — a process-wide [`Registry`] of named metrics:
+//!   per-worker *sharded* atomic [`Counter`]s (cache-line-padded shards,
+//!   thread-local shard assignment, lock-free sum on scrape), f64
+//!   [`Gauge`]s, and log-bucketed [`LogHistogram`]s that share the
+//!   telemetry crate's bucket table so every percentile in the
+//!   workspace is quantised identically.
+//! * [`http`] — a minimal HTTP/1.0 responder over
+//!   [`std::net::TcpListener`] exposing the registry in Prometheus text
+//!   format at `GET /metrics`, plus the matching [`scrape`] client and
+//!   a tiny exposition-text parser used by `dnswild top` and the CI
+//!   gates.
+//! * [`spans`] — per-stage hot-path timing (recv → decode → engine →
+//!   encode → send): one monotonic-clock lap per stage into a stage
+//!   histogram, compile-out-able via the `stage-spans` feature and
+//!   runtime-disabled by passing `None`.
+//! * [`watchdog`] — a background thread that re-evaluates the paper's
+//!   laws as live SLO invariants over the registry (share vs. 1/SRTT,
+//!   all-auth coverage, SERVFAIL rate, ring overflow) and exposes
+//!   breach state as gauges plus rate-limited structured JSONL lines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod http;
+pub mod registry;
+pub mod spans;
+pub mod watchdog;
+
+pub use hist::LogHistogram;
+pub use http::{scrape, parse_exposition, MetricsServer, Sample};
+pub use registry::{Counter, Gauge, MetricValue, Registry};
+pub use spans::{Stage, StageClock, StageSpans, STAGES};
+pub use watchdog::{Watchdog, WatchdogConfig, WatchdogHandle, WatchdogReport};

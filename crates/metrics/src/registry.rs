@@ -1,0 +1,417 @@
+//! The metric registry: named counters, gauges and histograms with
+//! Prometheus-text rendering.
+//!
+//! Hot-path handles ([`Counter`], [`Gauge`], [`LogHistogram`]) are
+//! `Arc`s handed out at registration time; recording through them never
+//! touches the registry lock. The lock only guards the name→handle
+//! table, taken on registration and on scrape — both rare.
+//!
+//! Counters are *sharded*: each holds a small array of cache-line-padded
+//! atomics and every thread picks a home shard once (a thread-local slot
+//! assigned round-robin), so concurrent workers bump disjoint cache
+//! lines and a scrape sums the shards lock-free. This is the
+//! write-heavy/read-rare trade the serving hot path wants.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::LogHistogram;
+
+/// Shard count per counter. Power of two, sized to cover typical worker
+/// thread counts (the netio front-end caps at 8 workers) without
+/// bloating every counter.
+const SHARDS: usize = 16;
+
+/// One cache line worth of counter so two shards never false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Shard(AtomicU64);
+
+/// Round-robin source of per-thread shard slots.
+static NEXT_SHARD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's home shard slot, assigned once on first use.
+    static SHARD_SLOT: usize = NEXT_SHARD_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+fn my_shard() -> usize {
+    SHARD_SLOT.with(|s| *s) % SHARDS
+}
+
+/// A monotone event counter, sharded across cache-line-padded atomics.
+#[derive(Debug, Default)]
+pub struct Counter {
+    shards: [Shard; SHARDS],
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` into this thread's home shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[my_shard()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lock-free sum over all shards.
+    pub fn value(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// An instantaneous value, stored as `f64` bits in one atomic word.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Reads the gauge.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// The handle held by one registered metric.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// A sharded monotone counter.
+    Counter(Arc<Counter>),
+    /// An instantaneous f64 gauge.
+    Gauge(Arc<Gauge>),
+    /// A log-bucketed value histogram.
+    Histogram(Arc<LogHistogram>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    value: MetricValue,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: Vec<Entry>,
+    /// `(name, rendered labels)` → index into `entries`, so registering
+    /// the same series twice hands back the same hot-path handle.
+    index: BTreeMap<(String, String), usize>,
+}
+
+type ScrapeHook = Arc<dyn Fn() + Send + Sync>;
+
+/// Every series of one metric name, as `(label pairs, value)` rows —
+/// the readback shape of [`Registry::counters`] / [`Registry::gauges`]
+/// / [`Registry::histograms`].
+pub type LabeledSeries<T> = Vec<(Vec<(String, String)>, T)>;
+
+/// A process-wide table of named metrics.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+    /// Callbacks run at the start of every scrape, *before* rendering —
+    /// used to refresh gauges that mirror external counters (e.g. the
+    /// telemetry collector's snapshot cell).
+    scrape_hooks: Mutex<Vec<ScrapeHook>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+fn label_key(labels: &[(String, String)]) -> String {
+    let mut out = String::new();
+    for (k, v) in labels {
+        let _ = write!(out, "{k}=\"{}\",", escape_label(v));
+    }
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> MetricValue,
+    ) -> MetricValue {
+        let labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        let key = (name.to_string(), label_key(&labels));
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(&i) = inner.index.get(&key) {
+            return inner.entries[i].value.clone();
+        }
+        let value = make();
+        let i = inner.entries.len();
+        inner.entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            value: value.clone(),
+        });
+        inner.index.insert(key, i);
+        value
+    }
+
+    /// Registers (or fetches) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or fetches) a counter with labels. Same `(name,
+    /// labels)` always returns the same handle.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(name, help, labels, || MetricValue::Counter(Arc::default())) {
+            MetricValue::Counter(c) => c,
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Registers (or fetches) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or fetches) a gauge with labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.register(name, help, labels, || MetricValue::Gauge(Arc::default())) {
+            MetricValue::Gauge(g) => g,
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Registers (or fetches) an unlabelled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<LogHistogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Registers (or fetches) a histogram with labels.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<LogHistogram> {
+        match self.register(name, help, labels, || {
+            MetricValue::Histogram(Arc::new(LogHistogram::new()))
+        }) {
+            MetricValue::Histogram(h) => h,
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Runs `f` at the start of every scrape, before rendering.
+    pub fn on_scrape(&self, f: impl Fn() + Send + Sync + 'static) {
+        self.scrape_hooks.lock().unwrap().push(Arc::new(f));
+    }
+
+    /// All counter series under `name` as `(labels, value)` pairs.
+    pub fn counters(&self, name: &str) -> LabeledSeries<u64> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .entries
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(|e| match &e.value {
+                MetricValue::Counter(c) => Some((e.labels.clone(), c.value())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All gauge series under `name` as `(labels, value)` pairs.
+    pub fn gauges(&self, name: &str) -> LabeledSeries<f64> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .entries
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(|e| match &e.value {
+                MetricValue::Gauge(g) => Some((e.labels.clone(), g.value())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All histogram series under `name` as `(labels, handle)` pairs.
+    pub fn histograms(&self, name: &str) -> LabeledSeries<Arc<LogHistogram>> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .entries
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(|e| match &e.value {
+                MetricValue::Histogram(h) => Some((e.labels.clone(), Arc::clone(h))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Renders every metric in Prometheus text exposition format (after
+    /// running the scrape hooks).
+    pub fn render(&self) -> String {
+        let hooks: Vec<ScrapeHook> = self.scrape_hooks.lock().unwrap().clone();
+        for h in &hooks {
+            h();
+        }
+        let inner = self.inner.lock().unwrap();
+        // Group series by metric name (first-appearance order) so all
+        // samples of one metric are contiguous under one HELP/TYPE pair,
+        // as the exposition format requires.
+        let mut names: Vec<&str> = Vec::new();
+        for e in &inner.entries {
+            if !names.contains(&e.name.as_str()) {
+                names.push(&e.name);
+            }
+        }
+        let mut out = String::new();
+        for name in names {
+            let group: Vec<&Entry> = inner.entries.iter().filter(|e| e.name == name).collect();
+            let kind = match group[0].value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {name} {}", group[0].help);
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for e in group {
+                let labels = render_labels(&e.labels);
+                match &e.value {
+                    MetricValue::Counter(c) => {
+                        let _ = writeln!(out, "{name}{labels} {}", c.value());
+                    }
+                    MetricValue::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{labels} {}", g.value());
+                    }
+                    MetricValue::Histogram(h) => render_histogram(&mut out, name, &e.labels, h),
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &[(String, String)], h: &LogHistogram) {
+    for (le, cum) in h.cumulative_le() {
+        let mut l: Vec<(String, String)> = labels.to_vec();
+        l.push(("le".to_string(), le.to_string()));
+        let _ = writeln!(out, "{name}_bucket{} {cum}", render_labels(&l));
+    }
+    let mut l: Vec<(String, String)> = labels.to_vec();
+    l.push(("le".to_string(), "+Inf".to_string()));
+    let _ = writeln!(out, "{name}_bucket{} {}", render_labels(&l), h.count());
+    let _ = writeln!(out, "{name}_sum{} {}", render_labels(labels), h.sum());
+    let _ = writeln!(out, "{name}_count{} {}", render_labels(labels), h.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shards_sum_across_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("test_total", "a test counter");
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        c.add(5);
+        assert_eq!(c.value(), 40_005);
+        // Re-registration returns the same handle.
+        assert_eq!(reg.counter("test_total", "a test counter").value(), 40_005);
+    }
+
+    #[test]
+    fn gauge_round_trips_f64() {
+        let g = Gauge::default();
+        g.set(0.25);
+        assert_eq!(g.value(), 0.25);
+        g.set(-3.5);
+        assert_eq!(g.value(), -3.5);
+    }
+
+    #[test]
+    fn render_groups_series_and_runs_hooks() {
+        let reg = Arc::new(Registry::new());
+        let a = reg.counter_with("req_total", "requests", &[("auth", "FRA")]);
+        let b = reg.counter_with("req_total", "requests", &[("auth", "AMS")]);
+        let g = reg.gauge("up", "liveness");
+        a.add(3);
+        b.add(4);
+        {
+            let g = Arc::clone(&g);
+            reg.on_scrape(move || g.set(1.0));
+        }
+        let text = reg.render();
+        assert!(text.contains("# TYPE req_total counter"));
+        assert!(text.contains("req_total{auth=\"FRA\"} 3"));
+        assert!(text.contains("req_total{auth=\"AMS\"} 4"));
+        assert!(text.contains("up 1"), "scrape hook must run before render: {text}");
+        // HELP/TYPE emitted once per name even with two series.
+        assert_eq!(text.matches("# TYPE req_total").count(), 1);
+    }
+
+    #[test]
+    fn series_readback_by_name() {
+        let reg = Registry::new();
+        reg.counter_with("x_total", "x", &[("k", "a")]).add(7);
+        reg.gauge_with("y", "y", &[("k", "b")]).set(2.5);
+        let cs = reg.counters("x_total");
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].1, 7);
+        assert_eq!(cs[0].0[0], ("k".to_string(), "a".to_string()));
+        let gs = reg.gauges("y");
+        assert_eq!(gs[0].1, 2.5);
+        assert!(reg.counters("y").is_empty(), "kind filter holds");
+    }
+}

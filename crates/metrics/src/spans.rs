@@ -1,0 +1,192 @@
+//! Per-stage hot-path span timing: recv → decode → engine → encode →
+//! send.
+//!
+//! A worker carries a [`StageClock`] and calls [`StageClock::lap`] at
+//! each stage boundary; the lap is one monotonic-clock read and one
+//! histogram record. Two off-switches, per the "measurement must not
+//! perturb what it measures" requirement:
+//!
+//! * **runtime** — pass `None` for the spans: the clock holds no
+//!   timestamp and `lap` is a branch on a `None`, no `Instant::now()`.
+//! * **compile-time** — build without the `stage-spans` feature: the
+//!   clock is a ZST and `lap` compiles to nothing.
+
+use std::sync::Arc;
+#[cfg(feature = "stage-spans")]
+use std::time::Instant;
+
+use crate::hist::LogHistogram;
+use crate::registry::Registry;
+
+/// One stage of the serving hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The `recv_from` call that produced the datagram (includes any
+    /// time spent blocked waiting for one; under load this is queue
+    /// wait, near zero).
+    Recv,
+    /// Wire-format decode of the request.
+    Decode,
+    /// Classification and answer synthesis.
+    Engine,
+    /// Response encode (including any TC re-encode).
+    Encode,
+    /// The `send_to` call for the response.
+    Send,
+}
+
+/// All five stages in hot-path order.
+pub const STAGES: [Stage; 5] =
+    [Stage::Recv, Stage::Decode, Stage::Engine, Stage::Encode, Stage::Send];
+
+impl Stage {
+    /// The `stage` label value used in the registry.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Recv => "recv",
+            Stage::Decode => "decode",
+            Stage::Engine => "engine",
+            Stage::Encode => "encode",
+            Stage::Send => "send",
+        }
+    }
+}
+
+/// The five per-stage histograms (nanoseconds), shared across workers.
+#[derive(Debug)]
+pub struct StageSpans {
+    hists: [Arc<LogHistogram>; 5],
+}
+
+impl StageSpans {
+    /// Registers `dnswild_stage_ns{stage=...}` histograms plus scrape-
+    /// time p50/p99 gauges, and returns the recording handle.
+    pub fn register(registry: &Arc<Registry>) -> Arc<StageSpans> {
+        let hists = STAGES.map(|s| {
+            registry.histogram_with(
+                "dnswild_stage_ns",
+                "per-stage serving hot path time, nanoseconds",
+                &[("stage", s.name())],
+            )
+        });
+        let spans = Arc::new(StageSpans { hists });
+        for (p, name) in [(50.0, "dnswild_stage_p50_ns"), (99.0, "dnswild_stage_p99_ns")] {
+            let gauges = STAGES.map(|s| {
+                registry.gauge_with(
+                    name,
+                    "per-stage latency percentile, nanoseconds (refreshed on scrape)",
+                    &[("stage", s.name())],
+                )
+            });
+            let spans = Arc::clone(&spans);
+            registry.on_scrape(move || {
+                for (i, g) in gauges.iter().enumerate() {
+                    g.set(spans.hists[i].value_at(p).unwrap_or(0) as f64);
+                }
+            });
+        }
+        spans
+    }
+
+    /// Records one stage duration in nanoseconds.
+    #[inline]
+    pub fn record(&self, stage: Stage, ns: u64) {
+        self.hists[stage as usize].record(ns);
+    }
+
+    /// The histogram backing one stage.
+    pub fn histogram(&self, stage: Stage) -> &LogHistogram {
+        &self.hists[stage as usize]
+    }
+}
+
+/// A per-worker lap timer over the stage boundaries.
+///
+/// With the `stage-spans` feature off this is a ZST and every method is
+/// a no-op, so the hot path compiles back to the unmetered code.
+#[derive(Debug, Clone, Copy)]
+pub struct StageClock {
+    #[cfg(feature = "stage-spans")]
+    last: Option<Instant>,
+}
+
+impl StageClock {
+    /// A clock that will time laps iff `enabled` (pass the spans'
+    /// presence); when disabled no clock is ever read.
+    #[inline]
+    pub fn start(enabled: bool) -> StageClock {
+        #[cfg(feature = "stage-spans")]
+        {
+            StageClock { last: enabled.then(Instant::now) }
+        }
+        #[cfg(not(feature = "stage-spans"))]
+        {
+            let _ = enabled;
+            StageClock {}
+        }
+    }
+
+    /// Records the time since the previous lap (or since `start`) into
+    /// `stage`, and restarts the lap timer. No-op when the clock is
+    /// disabled or `spans` is `None`.
+    #[inline]
+    pub fn lap(&mut self, spans: Option<&StageSpans>, stage: Stage) {
+        #[cfg(feature = "stage-spans")]
+        if let (Some(last), Some(spans)) = (self.last, spans) {
+            let now = Instant::now();
+            spans.record(stage, now.duration_since(last).as_nanos() as u64);
+            self.last = Some(now);
+        }
+        #[cfg(not(feature = "stage-spans"))]
+        {
+            let _ = (spans, stage);
+        }
+    }
+
+    /// Restarts the lap timer without recording. The worker loop resets
+    /// on entering each `recv_from` so a stretch of empty read timeouts
+    /// never accumulates into the next packet's `recv` span.
+    #[inline]
+    pub fn reset(&mut self) {
+        #[cfg(feature = "stage-spans")]
+        if self.last.is_some() {
+            self.last = Some(Instant::now());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_land_in_the_right_stage_histograms() {
+        let reg = Arc::new(Registry::new());
+        let spans = StageSpans::register(&reg);
+        let mut clock = StageClock::start(true);
+        for stage in STAGES {
+            clock.lap(Some(&spans), stage);
+        }
+        #[cfg(feature = "stage-spans")]
+        for stage in STAGES {
+            assert_eq!(spans.histogram(stage).count(), 1, "{}", stage.name());
+        }
+        // Percentile gauges refresh on scrape.
+        let text = reg.render();
+        assert!(text.contains("dnswild_stage_ns_bucket{stage=\"recv\""));
+        assert!(text.contains("dnswild_stage_p50_ns{stage=\"engine\"}"));
+    }
+
+    #[test]
+    fn disabled_clock_records_nothing() {
+        let reg = Arc::new(Registry::new());
+        let spans = StageSpans::register(&reg);
+        let mut clock = StageClock::start(false);
+        clock.lap(Some(&spans), Stage::Engine);
+        assert_eq!(spans.histogram(Stage::Engine).count(), 0);
+        let mut clock = StageClock::start(true);
+        clock.lap(None, Stage::Engine);
+        clock.reset();
+        assert_eq!(spans.histogram(Stage::Engine).count(), 0);
+    }
+}

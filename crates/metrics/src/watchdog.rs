@@ -1,0 +1,390 @@
+//! The SLO watchdog: re-evaluates the paper's laws as live invariants
+//! over the registry.
+//!
+//! * **Share vs. 1/SRTT** (Fig 3, §4.2): each authoritative's share of
+//!   client attempts should track the 1/SRTT-proportional expectation.
+//!   The law only *predicts* a sharp split when the SRTTs actually
+//!   differ, so the breach condition is gated on the observed SRTT
+//!   spread (`srtt_spread_min`) and a minimum sample count; the raw
+//!   deviation gauge is always exposed.
+//! * **All-auth coverage** (Fig 2, §4.1): recursives keep probing every
+//!   authoritative; the fraction of known auths with at least one
+//!   attempt should stay at 1.
+//! * **SERVFAIL/give-up rate** and **ring overflow**: operational
+//!   health of the client plane and the telemetry capture.
+//!
+//! Breach state is exposed as gauges (so it scrapes like everything
+//! else) and emitted as rate-limited structured JSONL lines on stderr.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use crate::registry::{Gauge, Registry};
+
+/// Input metric names the watchdog reads. Kept here so the wiring code
+/// and the watchdog cannot drift apart.
+pub mod inputs {
+    /// Per-auth client attempt counter (label `auth`).
+    pub const ATTEMPTS: &str = "dnswild_client_attempts_total";
+    /// Per-auth smoothed RTT gauge in milliseconds (label `auth`).
+    pub const SRTT_MS: &str = "dnswild_client_srtt_ms";
+    /// Finished client transactions.
+    pub const TXN: &str = "dnswild_client_txn_total";
+    /// Transactions that gave up with SERVFAIL.
+    pub const SERVFAIL: &str = "dnswild_client_servfail_total";
+    /// Telemetry ring-overflow mirror gauge.
+    pub const OVERFLOW: &str = "dnswild_trace_overflow";
+}
+
+/// Tunables for the watchdog laws.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Evaluation period.
+    pub interval: Duration,
+    /// Max allowed |actual − expected| per-auth share deviation.
+    pub share_tolerance: f64,
+    /// Attempts across all auths before the share law is judged.
+    pub min_share_samples: u64,
+    /// Minimum `srtt_max / srtt_min` before the share law is judged —
+    /// with near-equal SRTTs the 1/SRTT law predicts nothing sharp.
+    pub srtt_spread_min: f64,
+    /// Minimum covered-auth fraction.
+    pub coverage_min: f64,
+    /// Max SERVFAIL/give-up fraction of finished transactions.
+    pub servfail_rate_max: f64,
+    /// Transactions before coverage and SERVFAIL laws are judged.
+    pub min_txn_samples: u64,
+    /// Per-law floor between two JSONL breach lines.
+    pub log_every: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            interval: Duration::from_millis(500),
+            share_tolerance: 0.25,
+            min_share_samples: 200,
+            srtt_spread_min: 2.0,
+            coverage_min: 0.99,
+            servfail_rate_max: 0.05,
+            min_txn_samples: 100,
+            log_every: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One evaluation's verdicts (also mirrored into gauges).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WatchdogReport {
+    /// Max per-auth |actual − expected| share deviation (0 when the law
+    /// has nothing to judge yet).
+    pub share_dev: f64,
+    /// Whether the share law was actually judged (enough samples and
+    /// SRTT spread).
+    pub share_judged: bool,
+    /// Share law breached.
+    pub share_breach: bool,
+    /// Covered-auth fraction (1 when no auths are known yet).
+    pub coverage: f64,
+    /// Coverage law breached.
+    pub coverage_breach: bool,
+    /// SERVFAIL fraction of finished transactions.
+    pub servfail_rate: f64,
+    /// SERVFAIL law breached.
+    pub servfail_breach: bool,
+    /// Telemetry ring-overflow count.
+    pub overflow: f64,
+    /// Overflow law breached.
+    pub overflow_breach: bool,
+}
+
+impl WatchdogReport {
+    /// True when no law is in breach.
+    pub fn healthy(&self) -> bool {
+        !(self.share_breach || self.coverage_breach || self.servfail_breach || self.overflow_breach)
+    }
+}
+
+struct OutputGauges {
+    share_dev: Arc<Gauge>,
+    share_breach: Arc<Gauge>,
+    coverage: Arc<Gauge>,
+    coverage_breach: Arc<Gauge>,
+    servfail_rate: Arc<Gauge>,
+    servfail_breach: Arc<Gauge>,
+    overflow_breach: Arc<Gauge>,
+}
+
+/// The evaluator. Create with [`Watchdog::new`], then either drive it
+/// manually with [`Watchdog::eval_now`] or let [`Watchdog::spawn`] run
+/// it on its own thread.
+pub struct Watchdog {
+    registry: Arc<Registry>,
+    config: WatchdogConfig,
+    out: OutputGauges,
+    evals: Arc<crate::registry::Counter>,
+    /// Per-law instant of the last JSONL line, for rate limiting.
+    last_log: Mutex<[Option<Instant>; 4]>,
+}
+
+impl Watchdog {
+    /// Registers the breach gauges on `registry` and returns the
+    /// evaluator.
+    pub fn new(registry: Arc<Registry>, config: WatchdogConfig) -> Watchdog {
+        let g = |name: &str, help: &str| registry.gauge(name, help);
+        let out = OutputGauges {
+            share_dev: g(
+                "dnswild_watchdog_share_dev",
+                "max per-auth |actual - 1/SRTT-expected| share deviation",
+            ),
+            share_breach: g(
+                "dnswild_watchdog_share_breach",
+                "1 when the share-vs-1/SRTT law is breached",
+            ),
+            coverage: g("dnswild_watchdog_coverage", "fraction of known auths with attempts"),
+            coverage_breach: g(
+                "dnswild_watchdog_coverage_breach",
+                "1 when the all-auth coverage law is breached",
+            ),
+            servfail_rate: g(
+                "dnswild_watchdog_servfail_rate",
+                "SERVFAIL/give-up fraction of finished transactions",
+            ),
+            servfail_breach: g(
+                "dnswild_watchdog_servfail_breach",
+                "1 when the SERVFAIL-rate law is breached",
+            ),
+            overflow_breach: g(
+                "dnswild_watchdog_overflow_breach",
+                "1 when telemetry rings have dropped events",
+            ),
+        };
+        let evals = registry.counter("dnswild_watchdog_evals_total", "watchdog evaluations run");
+        Watchdog { registry, config, out, evals, last_log: Mutex::new([None; 4]) }
+    }
+
+    /// Runs one evaluation: reads the input metrics, updates the breach
+    /// gauges, emits rate-limited JSONL for fresh breaches, and returns
+    /// the verdicts.
+    pub fn eval_now(&self) -> WatchdogReport {
+        let mut r = WatchdogReport { coverage: 1.0, ..Default::default() };
+
+        // Share vs 1/SRTT over auths that have both an attempt counter
+        // and an SRTT estimate.
+        let attempts = self.registry.counters(inputs::ATTEMPTS);
+        let srtts = self.registry.gauges(inputs::SRTT_MS);
+        let mut pairs: Vec<(u64, f64)> = Vec::new();
+        for (labels, n) in &attempts {
+            let auth = labels.iter().find(|(k, _)| k == "auth").map(|(_, v)| v.as_str());
+            if let Some(srtt) = srtts
+                .iter()
+                .find(|(l, _)| l.iter().any(|(k, v)| k == "auth" && Some(v.as_str()) == auth))
+                .map(|(_, v)| *v)
+            {
+                if srtt.is_finite() && srtt > 0.0 {
+                    pairs.push((*n, srtt));
+                }
+            }
+        }
+        if pairs.len() >= 2 {
+            let total: u64 = pairs.iter().map(|(n, _)| n).sum();
+            let inv_sum: f64 = pairs.iter().map(|(_, s)| 1.0 / s).sum();
+            if total > 0 && inv_sum > 0.0 {
+                r.share_dev = pairs
+                    .iter()
+                    .map(|&(n, s)| {
+                        let actual = n as f64 / total as f64;
+                        let expected = (1.0 / s) / inv_sum;
+                        (actual - expected).abs()
+                    })
+                    .fold(0.0, f64::max);
+                let spread = pairs.iter().map(|&(_, s)| s).fold(f64::MIN, f64::max)
+                    / pairs.iter().map(|&(_, s)| s).fold(f64::MAX, f64::min);
+                r.share_judged =
+                    total >= self.config.min_share_samples && spread >= self.config.srtt_spread_min;
+                r.share_breach = r.share_judged && r.share_dev > self.config.share_tolerance;
+            }
+        }
+
+        // Coverage: every known auth (one with an SRTT entry) keeps
+        // receiving attempts.
+        let txns: u64 = self.registry.counters(inputs::TXN).iter().map(|(_, n)| n).sum();
+        if !attempts.is_empty() {
+            let covered = attempts.iter().filter(|(_, n)| *n > 0).count();
+            r.coverage = covered as f64 / attempts.len() as f64;
+            r.coverage_breach =
+                txns >= self.config.min_txn_samples && r.coverage < self.config.coverage_min;
+        }
+
+        // SERVFAIL/give-up rate over finished transactions.
+        let servfails: u64 =
+            self.registry.counters(inputs::SERVFAIL).iter().map(|(_, n)| n).sum();
+        if txns > 0 {
+            r.servfail_rate = servfails as f64 / txns as f64;
+            r.servfail_breach = txns >= self.config.min_txn_samples
+                && r.servfail_rate > self.config.servfail_rate_max;
+        }
+
+        // Telemetry ring overflow: any drop is a capture-integrity loss.
+        r.overflow = self.registry.gauges(inputs::OVERFLOW).iter().map(|(_, v)| v).sum();
+        r.overflow_breach = r.overflow > 0.0;
+
+        self.out.share_dev.set(r.share_dev);
+        self.out.share_breach.set(f64::from(r.share_breach));
+        self.out.coverage.set(r.coverage);
+        self.out.coverage_breach.set(f64::from(r.coverage_breach));
+        self.out.servfail_rate.set(r.servfail_rate);
+        self.out.servfail_breach.set(f64::from(r.servfail_breach));
+        self.out.overflow_breach.set(f64::from(r.overflow_breach));
+        self.evals.inc();
+
+        for (law, breached, detail) in [
+            (0usize, r.share_breach, format!("\"dev\":{:.4},\"tolerance\":{}", r.share_dev, self.config.share_tolerance)),
+            (1, r.coverage_breach, format!("\"coverage\":{:.4},\"min\":{}", r.coverage, self.config.coverage_min)),
+            (2, r.servfail_breach, format!("\"rate\":{:.4},\"max\":{}", r.servfail_rate, self.config.servfail_rate_max)),
+            (3, r.overflow_breach, format!("\"overflow\":{}", r.overflow)),
+        ] {
+            if breached {
+                self.log_breach(law, &detail);
+            }
+        }
+        r
+    }
+
+    /// One JSONL line per law per `log_every`, on stderr.
+    fn log_breach(&self, law: usize, detail: &str) {
+        let mut last = self.last_log.lock().unwrap();
+        let now = Instant::now();
+        if last[law].is_some_and(|t| now.duration_since(t) < self.config.log_every) {
+            return;
+        }
+        last[law] = Some(now);
+        let name = ["share_vs_srtt", "coverage", "servfail_rate", "ring_overflow"][law];
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        eprintln!("{{\"ts_ms\":{ts_ms},\"watchdog\":\"{name}\",\"breach\":true,{detail}}}");
+    }
+
+    /// Runs the evaluator on a background thread until the handle is
+    /// shut down.
+    pub fn spawn(self) -> std::io::Result<WatchdogHandle> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let watchdog = Arc::new(self);
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let wd = Arc::clone(&watchdog);
+            std::thread::Builder::new().name("metrics-watchdog".into()).spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    wd.eval_now();
+                    std::thread::sleep(wd.config.interval);
+                }
+            })?
+        };
+        Ok(WatchdogHandle { watchdog, stop, thread: Some(thread) })
+    }
+}
+
+/// A running watchdog thread.
+pub struct WatchdogHandle {
+    watchdog: Arc<Watchdog>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WatchdogHandle {
+    /// Stops the thread, runs one final synchronous evaluation (so a
+    /// caller that just finished a workload judges its end state, not a
+    /// half-second-old one) and returns its verdicts.
+    pub fn shutdown(mut self) -> WatchdogReport {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.watchdog.eval_now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(attempts: &[(&str, u64)], srtt: &[(&str, f64)]) -> (Arc<Registry>, Watchdog) {
+        let reg = Arc::new(Registry::new());
+        for (auth, n) in attempts {
+            reg.counter_with(inputs::ATTEMPTS, "t", &[("auth", auth)]).add(*n);
+        }
+        for (auth, s) in srtt {
+            reg.gauge_with(inputs::SRTT_MS, "t", &[("auth", auth)]).set(*s);
+        }
+        let wd = Watchdog::new(Arc::clone(&reg), WatchdogConfig::default());
+        (reg, wd)
+    }
+
+    #[test]
+    fn share_tracking_srtt_is_healthy() {
+        // 10ms vs 30ms SRTT → expected shares 0.75/0.25; actual 0.72/0.28.
+        let (reg, wd) = fixture(&[("a", 720), ("b", 280)], &[("a", 10.0), ("b", 30.0)]);
+        reg.counter_with(inputs::TXN, "t", &[]).add(1000);
+        let r = wd.eval_now();
+        assert!(r.share_judged);
+        assert!(!r.share_breach, "dev {} should be in tolerance", r.share_dev);
+        assert!(r.healthy());
+        assert_eq!(reg.gauges("dnswild_watchdog_share_breach")[0].1, 0.0);
+    }
+
+    #[test]
+    fn inverted_share_breaches_and_logs_breach_gauge() {
+        // Slow server hogging the traffic: actual 0.9 where 1/SRTT says 0.25.
+        let (reg, wd) = fixture(&[("slow", 900), ("fast", 100)], &[("slow", 30.0), ("fast", 10.0)]);
+        let r = wd.eval_now();
+        assert!(r.share_judged && r.share_breach, "dev={}", r.share_dev);
+        assert!(!r.healthy());
+        assert_eq!(reg.gauges("dnswild_watchdog_share_breach")[0].1, 1.0);
+    }
+
+    #[test]
+    fn near_equal_srtts_make_the_share_law_vacuous() {
+        // A skewed split over ~equal SRTTs must not breach: the law
+        // predicts nothing sharp without RTT spread.
+        let (_, wd) = fixture(&[("a", 900), ("b", 100)], &[("a", 10.0), ("b", 11.0)]);
+        let r = wd.eval_now();
+        assert!(!r.share_judged);
+        assert!(!r.share_breach);
+        assert!(r.share_dev > 0.3, "deviation still exposed: {}", r.share_dev);
+    }
+
+    #[test]
+    fn few_samples_defer_judgement() {
+        let (_, wd) = fixture(&[("a", 9), ("b", 1)], &[("a", 10.0), ("b", 100.0)]);
+        let r = wd.eval_now();
+        assert!(!r.share_judged && !r.share_breach);
+    }
+
+    #[test]
+    fn coverage_servfail_and_overflow_laws() {
+        let (reg, wd) = fixture(&[("a", 500), ("b", 0)], &[("a", 10.0), ("b", 10.0)]);
+        reg.counter_with(inputs::TXN, "t", &[]).add(500);
+        reg.counter_with(inputs::SERVFAIL, "t", &[]).add(100);
+        reg.gauge(inputs::OVERFLOW, "t").set(3.0);
+        let r = wd.eval_now();
+        assert!(r.coverage_breach, "auth b starved: coverage {}", r.coverage);
+        assert!(r.servfail_breach, "rate {}", r.servfail_rate);
+        assert!(r.overflow_breach);
+        assert_eq!(reg.gauges("dnswild_watchdog_coverage")[0].1, 0.5);
+        assert!(reg.counters("dnswild_watchdog_evals_total")[0].1 >= 1);
+    }
+
+    #[test]
+    fn spawned_watchdog_evaluates_until_shutdown() {
+        let (reg, wd) = fixture(&[("a", 600), ("b", 400)], &[("a", 10.0), ("b", 15.0)]);
+        let handle = wd.spawn().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let r = handle.shutdown();
+        assert!(r.healthy());
+        assert!(reg.counters("dnswild_watchdog_evals_total")[0].1 >= 1);
+    }
+}

@@ -39,6 +39,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use detrand::{splitmix64, DetRng, Rng};
+use dnswild_metrics::{Counter, Registry};
 use dnswild_telemetry::{
     hash_bytes as event_hash_bytes, hash_socket_addr, Collector, Event, EventKind, Producer,
     FLAG_CHAOS_CORRUPT, FLAG_CHAOS_DELAY, FLAG_CHAOS_DROP, FLAG_CHAOS_DUP, FLAG_CHAOS_REORDER,
@@ -437,6 +438,20 @@ impl ChaosProxy {
         plan: Arc<FaultPlan>,
         collector: Option<Arc<Collector>>,
     ) -> io::Result<ChaosProxy> {
+        ChaosProxy::spawn_metered(listen_addr, upstream, plan, collector, None)
+    }
+
+    /// Like [`ChaosProxy::spawn_with`], but additionally mirrors
+    /// datagram and fault counts into a metrics registry, labelled
+    /// `{proxy=<label>, dir=forward|reverse}`.
+    pub fn spawn_metered(
+        listen_addr: impl ToSocketAddrs,
+        upstream: SocketAddr,
+        plan: Arc<FaultPlan>,
+        collector: Option<Arc<Collector>>,
+        metrics: Option<(Arc<Registry>, &str)>,
+    ) -> io::Result<ChaosProxy> {
+        let metrics = metrics.map(|(r, label)| Arc::new(ChaosMetrics::register(&r, label)));
         let addr = listen_addr
             .to_socket_addrs()?
             .next()
@@ -457,7 +472,7 @@ impl ChaosProxy {
             let plan = Arc::clone(&plan);
             std::thread::Builder::new()
                 .name("chaos-listen".into())
-                .spawn(move || listen_loop(listen_sock, upstream, plan, stop, tx, collector))?
+                .spawn(move || listen_loop(listen_sock, upstream, plan, stop, tx, collector, metrics))?
         };
 
         Ok(ChaosProxy {
@@ -507,26 +522,12 @@ struct Session {
     pump: JoinHandle<()>,
 }
 
-/// Records one telemetry event describing the fate `decide` chose for
-/// one datagram: flags are reconstructed by comparing the scheduled
-/// deliveries against the original payload, so the event commits to
-/// what actually happened, not to which RNG draws fired.
-fn trace_decision(
-    producer: &Producer,
-    kind: EventKind,
-    profile: &FaultProfile,
-    client: SocketAddr,
-    payload: &[u8],
-    deliveries: &[Delivery],
-) {
-    let mut ev = Event::new(kind);
-    ev.ts_ns = producer.now_ns();
-    ev.client_hash = hash_socket_addr(&client);
-    ev.qname_hash = event_hash_bytes(0x6368_616f, payload) as u32;
-    ev.bytes_in = payload.len().min(u16::MAX as usize) as u16;
-    let out: usize = deliveries.iter().map(|d| d.payload.len()).sum();
-    ev.bytes_out = out.min(u16::MAX as usize) as u16;
-    ev.rcode = RCODE_NONE;
+/// Reconstructs what the fault plan did to one datagram by comparing
+/// the scheduled deliveries against the original payload — committing
+/// to what actually happened, not to which RNG draws fired. Returns
+/// `FLAG_CHAOS_*` bits plus the longest hold time. Shared between the
+/// telemetry and metrics mirrors so both planes agree by construction.
+fn delivery_flags(profile: &FaultProfile, payload: &[u8], deliveries: &[Delivery]) -> (u16, Duration) {
     let reorder_floor = Duration::from_micros(profile.delay_max_us);
     let mut flags = 0u16;
     if deliveries.is_empty() {
@@ -550,9 +551,90 @@ fn trace_decision(
         }
         max_delay = max_delay.max(d.delay);
     }
+    (flags, max_delay)
+}
+
+/// Records one telemetry event describing the fate `decide` chose for
+/// one datagram (see [`delivery_flags`]).
+fn trace_decision(
+    producer: &Producer,
+    kind: EventKind,
+    profile: &FaultProfile,
+    client: SocketAddr,
+    payload: &[u8],
+    deliveries: &[Delivery],
+) {
+    let mut ev = Event::new(kind);
+    ev.ts_ns = producer.now_ns();
+    ev.client_hash = hash_socket_addr(&client);
+    ev.qname_hash = event_hash_bytes(0x6368_616f, payload) as u32;
+    ev.bytes_in = payload.len().min(u16::MAX as usize) as u16;
+    let out: usize = deliveries.iter().map(|d| d.payload.len()).sum();
+    ev.bytes_out = out.min(u16::MAX as usize) as u16;
+    ev.rcode = RCODE_NONE;
+    let (flags, max_delay) = delivery_flags(profile, payload, deliveries);
     ev.flags = flags;
     ev.latency_ns = max_delay.as_nanos().min(u64::from(u32::MAX) as u128) as u32;
     producer.record(&ev);
+}
+
+/// Per-direction registry mirrors of the proxy's activity: every
+/// datagram crossing the proxy bumps `dnswild_chaos_datagrams_total`
+/// and each injected fault kind bumps `dnswild_chaos_faults_total`.
+/// Labelled `{proxy, dir}` so a fleet of proxies (one per
+/// authoritative, as `smoke --chaos` runs them) stays distinguishable
+/// on one scrape.
+struct ChaosMetrics {
+    datagrams: [Arc<Counter>; 2],
+    faults: [[Arc<Counter>; 6]; 2],
+}
+
+/// The fault kinds mirrored into `dnswild_chaos_faults_total{kind=..}`,
+/// aligned with the `FLAG_CHAOS_*` bits `delivery_flags` reconstructs.
+const FAULT_KINDS: [(&str, u16); 6] = [
+    ("drop", FLAG_CHAOS_DROP),
+    ("dup", FLAG_CHAOS_DUP),
+    ("delay", FLAG_CHAOS_DELAY),
+    ("reorder", FLAG_CHAOS_REORDER),
+    ("truncate", FLAG_CHAOS_TRUNCATE),
+    ("corrupt", FLAG_CHAOS_CORRUPT),
+];
+
+impl ChaosMetrics {
+    fn register(registry: &Registry, proxy: &str) -> ChaosMetrics {
+        let dir_counters = |dir: &str| {
+            let datagrams = registry.counter_with(
+                "dnswild_chaos_datagrams_total",
+                "datagrams entering the chaos proxy",
+                &[("proxy", proxy), ("dir", dir)],
+            );
+            let faults = FAULT_KINDS.map(|(kind, _)| {
+                registry.counter_with(
+                    "dnswild_chaos_faults_total",
+                    "fault injections by the chaos proxy",
+                    &[("proxy", proxy), ("dir", dir), ("kind", kind)],
+                )
+            });
+            (datagrams, faults)
+        };
+        let (fwd_d, fwd_f) = dir_counters("forward");
+        let (rev_d, rev_f) = dir_counters("reverse");
+        ChaosMetrics { datagrams: [fwd_d, rev_d], faults: [fwd_f, rev_f] }
+    }
+
+    fn record(&self, dir: Direction, profile: &FaultProfile, payload: &[u8], deliveries: &[Delivery]) {
+        let i = match dir {
+            Direction::Forward => 0,
+            Direction::Reverse => 1,
+        };
+        self.datagrams[i].inc();
+        let (flags, _) = delivery_flags(profile, payload, deliveries);
+        for (slot, (_, bit)) in self.faults[i].iter().zip(FAULT_KINDS) {
+            if flags & bit != 0 {
+                slot.inc();
+            }
+        }
+    }
 }
 
 fn listen_loop(
@@ -562,6 +644,7 @@ fn listen_loop(
     stop: Arc<AtomicBool>,
     tx: mpsc::Sender<Scheduled>,
     collector: Option<Arc<Collector>>,
+    metrics: Option<Arc<ChaosMetrics>>,
 ) {
     let mut buf = vec![0u8; 65_535];
     let mut sessions: HashMap<SocketAddr, Session> = HashMap::new();
@@ -575,10 +658,19 @@ fn listen_loop(
             }
             Err(_) => continue,
         };
-        if !sessions.contains_key(&client) {
-            match open_session(&listen, upstream, client, &plan, &stop, &tx, collector.as_ref()) {
+        if let std::collections::hash_map::Entry::Vacant(slot) = sessions.entry(client) {
+            match open_session(
+                &listen,
+                upstream,
+                client,
+                &plan,
+                &stop,
+                &tx,
+                collector.as_ref(),
+                metrics.as_ref(),
+            ) {
                 Ok(s) => {
-                    sessions.insert(client, s);
+                    slot.insert(s);
                 }
                 Err(_) => continue,
             }
@@ -594,6 +686,9 @@ fn listen_loop(
                 &buf[..n],
                 &deliveries,
             );
+        }
+        if let Some(m) = &metrics {
+            m.record(Direction::Forward, plan.profile(Direction::Forward), &buf[..n], &deliveries);
         }
         for d in deliveries {
             if d.delay.is_zero() {
@@ -616,6 +711,7 @@ fn listen_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn open_session(
     listen: &Arc<UdpSocket>,
     upstream: SocketAddr,
@@ -624,6 +720,7 @@ fn open_session(
     stop: &Arc<AtomicBool>,
     tx: &mpsc::Sender<Scheduled>,
     collector: Option<&Arc<Collector>>,
+    metrics: Option<&Arc<ChaosMetrics>>,
 ) -> io::Result<Session> {
     let bind: SocketAddr = if upstream.is_ipv4() {
         "0.0.0.0:0".parse().unwrap()
@@ -640,13 +737,15 @@ fn open_session(
         let stop = Arc::clone(stop);
         let tx = tx.clone();
         let collector = collector.map(Arc::clone);
+        let metrics = metrics.map(Arc::clone);
         std::thread::Builder::new().name("chaos-pump".into()).spawn(move || {
-            reverse_loop(socket, listen, client, plan, stop, tx, collector)
+            reverse_loop(socket, listen, client, plan, stop, tx, collector, metrics)
         })?
     };
     Ok(Session { socket, pump })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn reverse_loop(
     upstream: Arc<UdpSocket>,
     listen: Arc<UdpSocket>,
@@ -655,6 +754,7 @@ fn reverse_loop(
     stop: Arc<AtomicBool>,
     tx: mpsc::Sender<Scheduled>,
     collector: Option<Arc<Collector>>,
+    metrics: Option<Arc<ChaosMetrics>>,
 ) {
     let mut buf = vec![0u8; 65_535];
     let mut seq = u64::MAX / 2;
@@ -677,6 +777,9 @@ fn reverse_loop(
                 &buf[..n],
                 &deliveries,
             );
+        }
+        if let Some(m) = &metrics {
+            m.record(Direction::Reverse, plan.profile(Direction::Reverse), &buf[..n], &deliveries);
         }
         for d in deliveries {
             if d.delay.is_zero() {
@@ -834,6 +937,69 @@ mod tests {
         assert_eq!((fwd.inspected, fwd.delivered, fwd.dropped), (8, 8, 0));
         assert_eq!((rev.inspected, rev.delivered, rev.dropped), (8, 8, 0));
         proxy.shutdown();
+    }
+
+    /// A metered proxy mirrors its datagram and drop counts into the
+    /// registry, in exact agreement with the plan's own tallies.
+    #[test]
+    fn metered_proxy_mirrors_plan_tallies_into_the_registry() {
+        let upstream = UdpSocket::bind("127.0.0.1:0").unwrap();
+        upstream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let plan = Arc::new(FaultPlan::new(
+            5,
+            FaultProfile { drop: 0.5, ..FaultProfile::lossless() },
+            FaultProfile::lossless(),
+        ));
+        let registry = Arc::new(Registry::new());
+        let proxy = ChaosProxy::spawn_metered(
+            "127.0.0.1:0",
+            upstream.local_addr().unwrap(),
+            Arc::clone(&plan),
+            None,
+            Some((Arc::clone(&registry), "p0")),
+        )
+        .unwrap();
+
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client.connect(proxy.local_addr()).unwrap();
+        let mut buf = [0u8; 1500];
+        for i in 0..32u32 {
+            client.send(format!("probe-{i}").as_bytes()).unwrap();
+            // Surviving copies are read so the upstream buffer can't fill.
+            upstream.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+            let _ = upstream.recv_from(&mut buf);
+        }
+        // The proxy thread has recorded every datagram once it has
+        // decided its fate; wait for the tally to settle.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while plan.tally(Direction::Forward).inspected < 32 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let tally = plan.tally(Direction::Forward);
+        assert_eq!(tally.inspected, 32);
+        proxy.shutdown();
+
+        let lookup = |name: &str, want: &[(&str, &str)]| -> u64 {
+            registry
+                .counters(name)
+                .into_iter()
+                .find(|(labels, _)| {
+                    want.iter().all(|(k, v)| {
+                        labels.iter().any(|(lk, lv)| lk == k && lv == v)
+                    })
+                })
+                .map(|(_, v)| v)
+                .unwrap_or(0)
+        };
+        assert_eq!(
+            lookup("dnswild_chaos_datagrams_total", &[("proxy", "p0"), ("dir", "forward")]),
+            tally.inspected
+        );
+        assert_eq!(
+            lookup("dnswild_chaos_faults_total", &[("dir", "forward"), ("kind", "drop")]),
+            tally.dropped
+        );
+        assert!(tally.dropped > 0, "a 50% drop plan over 32 datagrams drops some");
     }
 
     /// Delayed copies arrive late but arrive; the scheduler delivers

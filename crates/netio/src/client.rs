@@ -42,10 +42,12 @@
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::ops::{Add, AddAssign};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use detrand::{splitmix64, DetRng};
+use dnswild_metrics::{watchdog::inputs, Counter, Gauge, Registry};
 use dnswild_netsim::{SimAddr, SimDuration, SimTime};
 use dnswild_proto::{Message, Name, RType, Rcode};
 use dnswild_resolver::{InfraCache, PolicyKind};
@@ -85,6 +87,13 @@ pub struct ResolveConfig {
     /// like [`ResolveReport::per_server`] — follows real RTTs and is
     /// not deterministic across runs.
     pub collector: Option<Arc<Collector>>,
+    /// Metrics registry: when set, each worker mirrors per-auth attempt
+    /// counts and smoothed-RTT gauges plus transaction/SERVFAIL totals
+    /// into it, under the names the share-vs-RTT watchdog consumes
+    /// (see `dnswild_metrics::watchdog::inputs`). Like
+    /// [`ResolveReport::per_server`], these follow real RTTs and are
+    /// not part of the determinism contract.
+    pub metrics: Option<Arc<Registry>>,
 }
 
 impl ResolveConfig {
@@ -101,12 +110,19 @@ impl ResolveConfig {
             seed: 2017,
             origin,
             collector: None,
+            metrics: None,
         }
     }
 
     /// Attaches a telemetry collector (see [`ResolveConfig::collector`]).
     pub fn collector(mut self, collector: Arc<Collector>) -> Self {
         self.collector = Some(collector);
+        self
+    }
+
+    /// Attaches a metrics registry (see [`ResolveConfig::metrics`]).
+    pub fn metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = Some(registry);
         self
     }
 
@@ -289,6 +305,64 @@ enum Doom {
     Tc,
 }
 
+/// Live mirrors of the client counters the watchdog consumes: per-auth
+/// attempts and smoothed RTT (the two sides of the paper's Fig. 3
+/// share-vs-1/SRTT law), plus transaction and give-up totals for the
+/// SERVFAIL-rate law. Shared across workers.
+///
+/// The RTT gauge holds the *run-mean* RTT of answered attempts, not the
+/// per-worker infra cache's instantaneous SRTT: the watchdog compares a
+/// *cumulative* attempt share against the RTT expectation, so the RTT
+/// side must be equally cumulative — a snapshot taken right after one
+/// chaos-delayed reply would skew the expectation by an order of
+/// magnitude. (Fig. 3 likewise plots shares against RTT medians over
+/// the whole measurement window.)
+struct ClientMetrics {
+    attempts: Vec<Arc<Counter>>,
+    srtt_ms: Vec<Arc<Gauge>>,
+    rtt_sum_us: Vec<AtomicU64>,
+    rtt_count: Vec<AtomicU64>,
+    txn: Arc<Counter>,
+    servfail: Arc<Counter>,
+}
+
+impl ClientMetrics {
+    fn register(registry: &Registry, servers: &[SocketAddr]) -> ClientMetrics {
+        let mut attempts = Vec::with_capacity(servers.len());
+        let mut srtt_ms = Vec::with_capacity(servers.len());
+        for server in servers {
+            let addr = server.to_string();
+            attempts.push(registry.counter_with(
+                inputs::ATTEMPTS,
+                "client query attempts per authoritative",
+                &[("auth", &addr)],
+            ));
+            srtt_ms.push(registry.gauge_with(
+                inputs::SRTT_MS,
+                "client run-mean answer RTT per authoritative (ms)",
+                &[("auth", &addr)],
+            ));
+        }
+        ClientMetrics {
+            attempts,
+            srtt_ms,
+            rtt_sum_us: servers.iter().map(|_| AtomicU64::new(0)).collect(),
+            rtt_count: servers.iter().map(|_| AtomicU64::new(0)).collect(),
+            txn: registry.counter(inputs::TXN, "client transactions finished"),
+            servfail: registry.counter(inputs::SERVFAIL, "client transactions given up as SERVFAIL"),
+        }
+    }
+
+    /// Folds one answered attempt's RTT into `server`'s run mean and
+    /// refreshes its gauge.
+    fn observe_rtt(&self, server: usize, rtt: Duration) {
+        let us = rtt.as_micros().min(u64::MAX as u128) as u64;
+        let sum = self.rtt_sum_us[server].fetch_add(us, Ordering::Relaxed) + us;
+        let count = self.rtt_count[server].fetch_add(1, Ordering::Relaxed) + 1;
+        self.srtt_ms[server].set(sum as f64 / count as f64 / 1_000.0);
+    }
+}
+
 /// Runs the closed-loop resolver client; blocks until every worker has
 /// finished its transactions and drained its socket.
 pub fn resolve(config: ResolveConfig) -> io::Result<ResolveReport> {
@@ -299,6 +373,10 @@ pub fn resolve(config: ResolveConfig) -> io::Result<ResolveReport> {
         ));
     }
     let workers = config.concurrency.max(1);
+    let metrics = config
+        .metrics
+        .as_ref()
+        .map(|r| ClientMetrics::register(r, &config.servers));
     let start = Instant::now();
     let mut outcomes: Vec<io::Result<(ClientStats, Vec<u64>)>> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
@@ -310,7 +388,8 @@ pub fn resolve(config: ResolveConfig) -> io::Result<ResolveReport> {
             let cfg = &config;
             let first = next_txn;
             next_txn += share;
-            handles.push(scope.spawn(move || worker_loop(cfg, w, first, share)));
+            let m = metrics.as_ref();
+            handles.push(scope.spawn(move || worker_loop(cfg, w, first, share, m)));
         }
         for h in handles {
             outcomes.push(h.join().expect("resolve worker panicked"));
@@ -343,6 +422,7 @@ fn worker_loop(
     worker: usize,
     first_txn: u64,
     share: u64,
+    metrics: Option<&ClientMetrics>,
 ) -> io::Result<(ClientStats, Vec<u64>)> {
     let bind: SocketAddr = if cfg.servers[0].is_ipv4() {
         "0.0.0.0:0".parse().unwrap()
@@ -393,6 +473,9 @@ fn worker_loop(
             let token = policy.select(&tokens, &excluded, &mut infra, sim_now(epoch), &mut rng);
             let server = tokens.iter().position(|&t| t == token).expect("token is a candidate");
             per_server[server] += 1;
+            if let Some(m) = metrics {
+                m.attempts[server].inc();
+            }
             // Deterministic per-(transaction, attempt) ID: retransmits
             // are new datagrams with fresh content, so a content-keyed
             // fault plan gives each attempt an independent fate.
@@ -456,6 +539,9 @@ fn worker_loop(
                             SimDuration::from_micros(rtt.as_micros() as u64),
                             sim_now(epoch),
                         );
+                        if let Some(m) = metrics {
+                            m.observe_rtt(sent[a].server, rtt);
+                        }
                         answered = true;
                         answered_info = Some((
                             sent[a].server,
@@ -528,6 +614,12 @@ fn worker_loop(
         }
         if !answered {
             stats.servfails += 1;
+            if let Some(m) = metrics {
+                m.servfail.inc();
+            }
+        }
+        if let Some(m) = metrics {
+            m.txn.inc();
         }
     }
 
@@ -668,6 +760,53 @@ mod tests {
             "SRTT re-ranking shifts load to the live server: {:?}",
             report.per_server
         );
+    }
+
+    /// With a registry attached, the per-auth attempt counters mirror
+    /// the per-server split exactly, the transaction/SERVFAIL totals
+    /// mirror the stats, and every answered-to server carries a live
+    /// SRTT gauge — the exact inputs the watchdog's share law reads.
+    #[test]
+    fn metered_resolve_feeds_the_watchdog_inputs() {
+        let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+        let a = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones.clone()).threads(1)).unwrap();
+        let b = serve(ServeConfig::new("127.0.0.1:0", "LHR", zones).threads(1)).unwrap();
+        let servers = vec![a.local_addr(), b.local_addr()];
+        let registry = Arc::new(Registry::new());
+        let report = resolve(
+            ResolveConfig::new(servers.clone(), origin())
+                .transactions(120)
+                .concurrency(2)
+                .metrics(registry.clone()),
+        )
+        .unwrap();
+        a.shutdown();
+        b.shutdown();
+        report.stats.check().unwrap();
+
+        let attempts = registry.counters(inputs::ATTEMPTS);
+        assert_eq!(attempts.len(), 2);
+        for (i, server) in servers.iter().enumerate() {
+            let addr = server.to_string();
+            let (_, v) = attempts
+                .iter()
+                .find(|(labels, _)| labels.iter().any(|(_, l)| *l == addr))
+                .expect("per-auth attempts series");
+            assert_eq!(*v, report.per_server[i], "attempts{{auth={addr}}}");
+        }
+        assert_eq!(
+            attempts.iter().map(|(_, v)| v).sum::<u64>(),
+            report.stats.attempts
+        );
+        let txn = registry.counters(inputs::TXN);
+        assert_eq!(txn[0].1, report.stats.transactions);
+        let servfail = registry.counters(inputs::SERVFAIL);
+        assert_eq!(servfail[0].1, report.stats.servfails);
+        // Both servers answered at least once (120 txns, min-SRTT
+        // exploration), so both SRTT gauges hold a real measurement.
+        for (labels, srtt) in registry.gauges(inputs::SRTT_MS) {
+            assert!(srtt > 0.0, "srtt gauge {labels:?} = {srtt}");
+        }
     }
 
     /// The classifier is a pure function of bytes and attempt table.

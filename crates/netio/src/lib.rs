@@ -59,9 +59,40 @@ pub mod server;
 pub use chaos::{ChaosProxy, Delivery, DirTally, Direction, FaultPlan, FaultProfile};
 pub use client::{resolve, ClientStats, ResolveConfig, ResolveReport};
 pub use load::{blast, LoadConfig, LoadReport, QueryMix};
-pub use server::{serve, AtomicStats, IoErrorStats, ServeConfig, ServeHandle};
+pub use server::{serve, server_stats_kinds, AtomicStats, IoErrorStats, ServeConfig, ServeHandle};
 
 // Telemetry plane: re-exported so callers wiring a collector into
 // `ServeConfig` / `LoadConfig` / `ResolveConfig` / `ChaosProxy` don't
 // need a direct `dnswild-telemetry` dependency.
 pub use dnswild_telemetry::{Collector, CollectorConfig, Trace, TraceSummary};
+
+// Metrics plane: likewise re-exported for callers wiring a registry.
+pub use dnswild_metrics::{MetricsServer, Registry};
+
+/// Bridges the telemetry collector into a metrics registry: on every
+/// scrape the collector's live counters are copied into
+/// `dnswild_trace_*` gauges, so the CH TXT `stats.dnswild.` answer, the
+/// trace summary and the Prometheus endpoint all report the same
+/// numbers. The `dnswild_trace_overflow` gauge doubles as the
+/// watchdog's ring-overflow input
+/// (`dnswild_metrics::watchdog::inputs::OVERFLOW`).
+pub fn mirror_collector(registry: &Registry, collector: &std::sync::Arc<Collector>) {
+    let events = registry.gauge("dnswild_trace_events", "telemetry events drained");
+    let queries = registry.gauge("dnswild_trace_queries", "telemetry server queries seen");
+    let answered = registry.gauge("dnswild_trace_answered", "telemetry server queries answered");
+    let decode_errors =
+        registry.gauge("dnswild_trace_decode_errors", "telemetry decode-error events");
+    let overflow = registry.gauge(
+        dnswild_metrics::watchdog::inputs::OVERFLOW,
+        "telemetry ring-overflow drops",
+    );
+    let collector = std::sync::Arc::clone(collector);
+    registry.on_scrape(move || {
+        let snap = collector.snapshot();
+        events.set(snap.events as f64);
+        queries.set(snap.queries as f64);
+        answered.set(snap.answered as f64);
+        decode_errors.set(snap.decode_errors as f64);
+        overflow.set(snap.overflow as f64);
+    });
+}

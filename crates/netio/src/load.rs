@@ -19,6 +19,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use detrand::{splitmix64, DetRng, Rng};
+use dnswild_metrics::{Counter, LogHistogram, Registry};
 use dnswild_proto::{Class, Message, Name, RType};
 use dnswild_server::ServerStats;
 use dnswild_telemetry::{
@@ -82,6 +83,10 @@ pub struct LoadConfig {
     /// `auth_id` stamped on recorded events (index of the target server
     /// in the collector's auth table).
     pub trace_auth_id: u16,
+    /// Metrics registry: when set, the generator counts sent / answered
+    /// / timed-out transactions and records round-trip latency into
+    /// `dnswild_load_latency_ns`.
+    pub metrics: Option<Arc<Registry>>,
 }
 
 impl LoadConfig {
@@ -98,6 +103,7 @@ impl LoadConfig {
             mix: QueryMix::default(),
             collector: None,
             trace_auth_id: 0,
+            metrics: None,
         }
     }
 
@@ -124,6 +130,36 @@ impl LoadConfig {
         self.collector = Some(collector);
         self.trace_auth_id = auth_id;
         self
+    }
+
+    /// Attaches a metrics registry (see [`LoadConfig::metrics`]).
+    pub fn metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+}
+
+/// Registry handles the generator records through.
+struct LoadMetrics {
+    sent: Arc<Counter>,
+    answered: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    latency_ns: Arc<LogHistogram>,
+}
+
+impl LoadMetrics {
+    fn register(registry: &Registry) -> LoadMetrics {
+        LoadMetrics {
+            sent: registry.counter("dnswild_load_sent_total", "load generator queries sent"),
+            answered: registry
+                .counter("dnswild_load_answered_total", "load generator responses received"),
+            timeouts: registry
+                .counter("dnswild_load_timeouts_total", "load generator per-query timeouts"),
+            latency_ns: registry.histogram(
+                "dnswild_load_latency_ns",
+                "closed-loop round-trip latency, nanoseconds",
+            ),
+        }
     }
 }
 
@@ -207,6 +243,7 @@ struct WorkerTally {
 /// Runs the closed-loop load test; blocks until every thread finishes.
 pub fn blast(config: LoadConfig) -> io::Result<LoadReport> {
     let threads = config.concurrency.max(1);
+    let metrics = config.metrics.as_ref().map(|r| LoadMetrics::register(r));
     let start = Instant::now();
     let mut tallies: Vec<io::Result<WorkerTally>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
@@ -217,7 +254,8 @@ pub fn blast(config: LoadConfig) -> io::Result<LoadReport> {
             let share = config.queries / threads as u64
                 + u64::from((t as u64) < config.queries % threads as u64);
             let cfg = &config;
-            handles.push(scope.spawn(move || client_loop(cfg, t, share)));
+            let metrics = metrics.as_ref();
+            handles.push(scope.spawn(move || client_loop(cfg, t, share, metrics)));
         }
         for h in handles {
             tallies.push(h.join().expect("load worker panicked"));
@@ -278,7 +316,12 @@ fn next_query(rng: &mut DetRng, config: &LoadConfig, thread: usize, n: u64, id: 
 }
 
 /// One closed-loop client thread.
-fn client_loop(config: &LoadConfig, thread: usize, queries: u64) -> io::Result<WorkerTally> {
+fn client_loop(
+    config: &LoadConfig,
+    thread: usize,
+    queries: u64,
+    metrics: Option<&LoadMetrics>,
+) -> io::Result<WorkerTally> {
     let bind_addr: SocketAddr = if config.target.is_ipv4() {
         "0.0.0.0:0".parse().unwrap()
     } else {
@@ -310,6 +353,9 @@ fn client_loop(config: &LoadConfig, thread: usize, queries: u64) -> io::Result<W
         let sent_ns = producer.as_ref().map(|p| p.now_ns());
         socket.send(&send_buf)?;
         tally.sent += 1;
+        if let Some(m) = metrics {
+            m.sent.inc();
+        }
         // Wait for the response carrying our ID; stale responses from
         // queries that already timed out are counted and skipped.
         let mut resp_len = 0usize;
@@ -318,18 +364,29 @@ fn client_loop(config: &LoadConfig, thread: usize, queries: u64) -> io::Result<W
                 Ok(got) => {
                     if got >= 2 && u16::from_be_bytes([recv_buf[0], recv_buf[1]]) == id {
                         tally.received += 1;
-                        tally.latencies_ns.push(sent_at.elapsed().as_nanos() as u64);
+                        let rtt_ns = sent_at.elapsed().as_nanos() as u64;
+                        tally.latencies_ns.push(rtt_ns);
+                        if let Some(m) = metrics {
+                            m.answered.inc();
+                            m.latency_ns.record(rtt_ns);
+                        }
                         resp_len = got;
                         break true;
                     }
                     tally.mismatched += 1;
                     if Instant::now() >= deadline {
                         tally.timeouts += 1;
+                        if let Some(m) = metrics {
+                            m.timeouts.inc();
+                        }
                         break false;
                     }
                 }
                 Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
                     tally.timeouts += 1;
+                    if let Some(m) = metrics {
+                        m.timeouts.inc();
+                    }
                     break false;
                 }
                 Err(e) => return Err(e),
@@ -409,6 +466,28 @@ mod tests {
         assert!(report.all_answered(), "{report:?}");
         assert_eq!(stats.answers, 200);
         assert_eq!(stats.queries, 200);
+    }
+
+    #[test]
+    fn metered_blast_counts_into_the_registry() {
+        let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+        let registry = Arc::new(Registry::new());
+        let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(2)).unwrap();
+        let report = blast(
+            LoadConfig::new(handle.local_addr(), origin())
+                .concurrency(2)
+                .queries(200)
+                .metrics(Arc::clone(&registry)),
+        )
+        .unwrap();
+        handle.shutdown();
+        assert!(report.all_answered(), "{report:?}");
+        assert_eq!(registry.counters("dnswild_load_sent_total")[0].1, 200);
+        assert_eq!(registry.counters("dnswild_load_answered_total")[0].1, 200);
+        assert_eq!(registry.counters("dnswild_load_timeouts_total")[0].1, 0);
+        let (_, hist) = &registry.histograms("dnswild_load_latency_ns")[0];
+        assert_eq!(hist.count(), 200);
+        assert!(hist.value_at(50.0).unwrap() > 0);
     }
 
     #[test]

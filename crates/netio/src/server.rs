@@ -15,8 +15,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use dnswild_metrics::{Counter, Registry, Stage, StageClock, StageSpans};
 use dnswild_proto::MAX_MESSAGE_SIZE;
-use dnswild_server::{AnswerEngine, PacketClass, ServerStats, TransportKind};
+use dnswild_server::{AnswerEngine, Introspection, PacketClass, ServerStats, TransportKind};
 use dnswild_telemetry::{
     hash_socket_addr, qname_hash32, Collector, Event, EventKind, Producer, FLAG_DECODE_ERROR,
     FLAG_RESPONSE, RCODE_NONE,
@@ -51,11 +52,13 @@ pub struct AtomicStats {
     dropped: AtomicU64,
     // Serving-plane-only counters, outside ServerStats: the simulator
     // has no socket errors, and widening ServerStats would perturb the
-    // byte-exact exp_* outputs. A `recv_from` error or an undecodable
-    // datagram must never be a *silent* drop — under a chaos storm the
-    // smoke gate balances delivered datagrams against these.
+    // byte-exact exp_* outputs. A `recv_from` error, an undecodable
+    // datagram or a failed `send_to` must never be a *silent* drop —
+    // under a chaos storm the smoke gate balances delivered datagrams
+    // against these.
     recv_errors: AtomicU64,
     decode_errors: AtomicU64,
+    send_errors: AtomicU64,
 }
 
 /// The serving plane's socket-level error counters (not part of
@@ -69,6 +72,9 @@ pub struct IoErrorStats {
     /// classifies them as FORMERR-or-drop; this counts them at the
     /// socket layer).
     pub decode_errors: u64,
+    /// Responses the engine produced that `send_to` failed to put on
+    /// the wire (e.g. ENOBUFS under load, ICMP-driven errors).
+    pub send_errors: u64,
 }
 
 impl AtomicStats {
@@ -82,11 +88,17 @@ impl AtomicStats {
         self.decode_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one failed `send_to`.
+    pub fn record_send_error(&self) {
+        self.send_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the socket-level error counters.
     pub fn io_errors(&self) -> IoErrorStats {
         IoErrorStats {
             recv_errors: self.recv_errors.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            send_errors: self.send_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -153,6 +165,11 @@ pub struct ServeConfig {
     /// Index of this server in the collector's auth table (event
     /// `auth_id`); ignored without a collector.
     pub trace_auth_id: u16,
+    /// Metrics registry: when set, workers bump per-auth counters
+    /// (labelled with `site_code`) for every [`ServerStats`] field and
+    /// socket-level error, and time the five hot-path stages into the
+    /// registry's stage histograms.
+    pub metrics: Option<Arc<Registry>>,
 }
 
 impl ServeConfig {
@@ -166,6 +183,7 @@ impl ServeConfig {
             zones,
             collector: None,
             trace_auth_id: 0,
+            metrics: None,
         }
     }
 
@@ -180,6 +198,80 @@ impl ServeConfig {
         self.collector = Some(collector);
         self.trace_auth_id = auth_id;
         self
+    }
+
+    /// Attaches a metrics registry (see [`ServeConfig::metrics`]).
+    pub fn metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+}
+
+/// The 12 [`ServerStats`] fields as `(kind, value)` pairs, in field
+/// order — the single source of truth for the per-auth
+/// `dnswild_server_events_total{kind=...}` series, reused by the CI
+/// gate so the scraped counters and the atomic aggregate cannot drift.
+pub fn server_stats_kinds(s: &ServerStats) -> [(&'static str, u64); 12] {
+    [
+        ("queries", s.queries),
+        ("answers", s.answers),
+        ("nxdomain", s.nxdomain),
+        ("nodata", s.nodata),
+        ("referrals", s.referrals),
+        ("refused", s.refused),
+        ("formerr", s.formerr),
+        ("notimp", s.notimp),
+        ("chaos", s.chaos),
+        ("truncated", s.truncated),
+        ("tcp_queries", s.tcp_queries),
+        ("dropped", s.dropped),
+    ]
+}
+
+/// Registry handles one serving plane records through: one counter per
+/// [`ServerStats`] field, the socket-level error counters, and the
+/// shared stage-span histograms.
+struct ServeMetrics {
+    fields: [Arc<Counter>; 12],
+    recv_errors: Arc<Counter>,
+    decode_errors: Arc<Counter>,
+    send_errors: Arc<Counter>,
+    spans: Arc<StageSpans>,
+}
+
+impl ServeMetrics {
+    fn register(registry: &Arc<Registry>, auth: &str) -> ServeMetrics {
+        let zero = ServerStats::default();
+        let fields = server_stats_kinds(&zero).map(|(kind, _)| {
+            registry.counter_with(
+                "dnswild_server_events_total",
+                "per-auth server outcome counters, one series per ServerStats field",
+                &[("auth", auth), ("kind", kind)],
+            )
+        });
+        let io = |kind: &str| {
+            registry.counter_with(
+                "dnswild_server_io_errors_total",
+                "socket-level errors on the serving path",
+                &[("auth", auth), ("kind", kind)],
+            )
+        };
+        ServeMetrics {
+            fields,
+            recv_errors: io("recv"),
+            decode_errors: io("decode"),
+            send_errors: io("send"),
+            spans: StageSpans::register(registry),
+        }
+    }
+
+    /// Adds one worker's per-packet stats delta into the counters.
+    fn record(&self, delta: &ServerStats) {
+        for (i, (_, v)) in server_stats_kinds(delta).into_iter().enumerate() {
+            if v != 0 {
+                self.fields[i].add(v);
+            }
+        }
     }
 }
 
@@ -238,7 +330,15 @@ pub fn serve(config: ServeConfig) -> io::Result<ServeHandle> {
 
     let stop = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(AtomicStats::default());
-    let mut template = AnswerEngine::with_shared_zones(config.site_code, Arc::clone(&config.zones));
+    let metrics = config
+        .metrics
+        .as_ref()
+        .map(|r| Arc::new(ServeMetrics::register(r, &config.site_code)));
+    let mut template = AnswerEngine::with_shared_zones(config.site_code, Arc::clone(&config.zones))
+        .with_introspection(Introspection {
+            started: std::time::Instant::now(),
+            metrics: config.metrics.is_some(),
+        });
     if let Some(collector) = &config.collector {
         template = template.with_telemetry(collector.snapshot_cell());
     }
@@ -248,6 +348,7 @@ pub fn serve(config: ServeConfig) -> io::Result<ServeHandle> {
         let socket = socket.try_clone()?;
         let stop = Arc::clone(&stop);
         let stats = Arc::clone(&stats);
+        let metrics = metrics.clone();
         let mut engine = template.fork();
         let trace = config
             .collector
@@ -256,7 +357,7 @@ pub fn serve(config: ServeConfig) -> io::Result<ServeHandle> {
         workers.push(
             std::thread::Builder::new()
                 .name(format!("netio-worker-{i}"))
-                .spawn(move || worker_loop(socket, &mut engine, &stop, &stats, trace))?,
+                .spawn(move || worker_loop(socket, &mut engine, &stop, &stats, trace, metrics))?,
         );
     }
     Ok(ServeHandle { local_addr, stop, stats, workers })
@@ -270,10 +371,16 @@ fn worker_loop(
     stop: &AtomicBool,
     stats: &AtomicStats,
     trace: Option<(Producer, u16)>,
+    metrics: Option<Arc<ServeMetrics>>,
 ) {
     let mut recv_buf = vec![0u8; MAX_MESSAGE_SIZE];
     let mut resp_buf = Vec::with_capacity(1024);
+    let spans = metrics.as_ref().map(|m| &*m.spans);
+    let mut clock = StageClock::start(spans.is_some());
     while !stop.load(Ordering::Relaxed) {
+        // Restart the lap at syscall entry, so a stretch of empty read
+        // timeouts never accumulates into the next packet's recv span.
+        clock.reset();
         let (n, peer) = match socket.recv_from(&mut recv_buf) {
             Ok(ok) => ok,
             Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
@@ -285,16 +392,31 @@ fn worker_loop(
             // visible: the chaos smoke gate balances datagram counts.
             Err(_) => {
                 stats.record_recv_error();
+                if let Some(m) = &metrics {
+                    m.recv_errors.inc();
+                }
                 continue;
             }
         };
+        clock.lap(spans, Stage::Recv);
         let start_ns = trace.as_ref().map(|(p, _)| p.now_ns());
-        let handled = engine.handle_packet(&recv_buf[..n], TransportKind::Udp, &mut resp_buf);
+        let handled =
+            engine.handle_packet_spanned(&recv_buf[..n], TransportKind::Udp, &mut resp_buf, spans);
         if handled.decode_error {
             stats.record_decode_error();
+            if let Some(m) = &metrics {
+                m.decode_errors.inc();
+            }
         }
         if handled.response {
-            let _ = socket.send_to(&resp_buf, peer);
+            clock.reset();
+            if socket.send_to(&resp_buf, peer).is_err() {
+                stats.record_send_error();
+                if let Some(m) = &metrics {
+                    m.send_errors.inc();
+                }
+            }
+            clock.lap(spans, Stage::Send);
         }
         if let (Some((producer, auth_id)), Some(start_ns)) = (&trace, start_ns) {
             let mut ev = Event::new(match handled.class {
@@ -321,16 +443,28 @@ fn worker_loop(
             } else {
                 0
             };
-            ev.flags = u16::from(handled.response) * FLAG_RESPONSE
-                | u16::from(handled.decode_error) * FLAG_DECODE_ERROR;
+            ev.flags = (u16::from(handled.response) * FLAG_RESPONSE)
+                | (u16::from(handled.decode_error) * FLAG_DECODE_ERROR);
             ev.rcode = handled.rcode.map(|r| r.to_u8()).unwrap_or(RCODE_NONE);
             producer.record(&ev);
         }
-        stats.merge(engine.take_stats());
+        // One delta, two destinations: the atomic aggregate and the
+        // registry counters see the same numbers, so at quiescence a
+        // scrape equals `ServeHandle::stats` exactly (the CI gate
+        // asserts this).
+        let delta = engine.take_stats();
+        if let Some(m) = &metrics {
+            m.record(&delta);
+        }
+        stats.merge(delta);
     }
     // Anything still unflushed (nothing, given the per-packet flush, but
     // cheap insurance if that policy ever changes).
-    stats.merge(engine.take_stats());
+    let delta = engine.take_stats();
+    if let Some(m) = &metrics {
+        m.record(&delta);
+    }
+    stats.merge(delta);
 }
 
 #[cfg(test)]
@@ -415,6 +549,60 @@ mod tests {
         agg.merge(ones);
         agg.merge(ones);
         assert_eq!(agg.snapshot(), ones + ones);
+    }
+
+    #[test]
+    fn send_errors_are_counted_not_silent() {
+        let agg = AtomicStats::default();
+        assert_eq!(agg.io_errors(), IoErrorStats::default());
+        agg.record_send_error();
+        agg.record_send_error();
+        agg.record_recv_error();
+        let io = agg.io_errors();
+        assert_eq!(io.send_errors, 2);
+        assert_eq!(io.recv_errors, 1);
+        assert_eq!(io.decode_errors, 0);
+    }
+
+    #[test]
+    fn metered_serve_mirrors_stats_into_the_registry() {
+        let origin = Name::parse("ourtestdomain.nl").unwrap();
+        let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
+        let registry = Arc::new(Registry::new());
+        let handle = serve(
+            ServeConfig::new("127.0.0.1:0", "FRA", zones)
+                .threads(2)
+                .metrics(Arc::clone(&registry)),
+        )
+        .unwrap();
+        for i in 0..5u16 {
+            let q = Message::iterative_query(i, Name::parse("p1-r1.ourtestdomain.nl").unwrap(), RType::Txt);
+            ask(handle.local_addr(), &q);
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.queries, 5);
+        // Every ServerStats field has a registry series equal to the
+        // atomic aggregate, labelled with the auth.
+        let counters = registry.counters("dnswild_server_events_total");
+        assert_eq!(counters.len(), 12);
+        for (kind, want) in server_stats_kinds(&stats) {
+            let got = counters
+                .iter()
+                .find(|(labels, _)| labels.contains(&("kind".into(), kind.into())))
+                .map(|(labels, v)| {
+                    assert!(labels.contains(&("auth".into(), "FRA".into())));
+                    *v
+                });
+            assert_eq!(got, Some(want), "kind {kind}");
+        }
+        // All five hot-path stages saw these packets.
+        for (labels, h) in registry.histograms("dnswild_stage_ns") {
+            assert!(h.count() >= 5, "stage {labels:?} recorded {}", h.count());
+        }
+        assert_eq!(
+            registry.counters("dnswild_server_io_errors_total").iter().map(|(_, v)| v).sum::<u64>(),
+            0
+        );
     }
 
     #[test]

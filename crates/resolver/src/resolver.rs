@@ -278,6 +278,7 @@ impl RecursiveResolver {
         ctx.set_timer(rto, timer_token(qid, attempt));
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn answer_stub(
         &mut self,
         ctx: &mut Context<'_>,

@@ -16,9 +16,11 @@
 use std::iter::Sum;
 use std::ops::{Add, AddAssign};
 use std::sync::Arc;
+use std::time::Instant;
 
 use dnswild_proto::rdata::Txt;
 use dnswild_proto::{Class, Message, Name, Opcode, RData, RType, Rcode, Record};
+use dnswild_metrics::{Stage, StageClock, StageSpans};
 use dnswild_telemetry::SnapshotCell;
 use dnswild_zone::presets::SITE_PLACEHOLDER;
 use dnswild_zone::{Lookup, Zone};
@@ -198,6 +200,21 @@ pub struct AnswerEngine {
     /// byte-identical (a `stats.dnswild.` query is REFUSED there, as
     /// before).
     telemetry: Option<Arc<SnapshotCell>>,
+    /// Process-level introspection for the `stats.dnswild.` answer
+    /// (uptime epoch, whether a metrics endpoint is up). Set by the
+    /// serving plane, never by the simulator — when `None` the answer
+    /// keeps its original four-field shape.
+    introspect: Option<Introspection>,
+}
+
+/// What the serving plane tells the engine about itself, echoed in the
+/// `CH TXT stats.dnswild.` answer.
+#[derive(Debug, Clone, Copy)]
+pub struct Introspection {
+    /// When the serving plane started (uptime is measured from here).
+    pub started: Instant,
+    /// Whether a live metrics endpoint is exposed.
+    pub metrics: bool,
 }
 
 impl AnswerEngine {
@@ -213,6 +230,7 @@ impl AnswerEngine {
             zones,
             stats: ServerStats::default(),
             telemetry: None,
+            introspect: None,
         }
     }
 
@@ -220,6 +238,13 @@ impl AnswerEngine {
     /// from the given live telemetry counters.
     pub fn with_telemetry(mut self, cell: Arc<SnapshotCell>) -> Self {
         self.telemetry = Some(cell);
+        self
+    }
+
+    /// Extends the `stats.dnswild.` answer with process introspection
+    /// (uptime seconds plus trace/metrics enablement flags).
+    pub fn with_introspection(mut self, introspect: Introspection) -> Self {
+        self.introspect = Some(introspect);
         self
     }
 
@@ -231,6 +256,7 @@ impl AnswerEngine {
             zones: Arc::clone(&self.zones),
             stats: ServerStats::default(),
             telemetry: self.telemetry.clone(),
+            introspect: self.introspect,
         }
     }
 
@@ -300,10 +326,22 @@ impl AnswerEngine {
     fn answer_stats(&mut self, query: &Message, qname: &Name, cell: &SnapshotCell) -> Message {
         self.stats.chaos += 1;
         let snap = cell.snapshot();
-        let text = format!(
+        let mut text = format!(
             "seen={} answered={} decode_errors={} overflow={}",
             snap.queries, snap.answered, snap.decode_errors, snap.overflow
         );
+        // With process introspection attached (serving plane only), the
+        // answer also carries uptime and which observability planes are
+        // up — cross-checkable against the scrape endpoint in one query.
+        if let Some(ins) = self.introspect {
+            use std::fmt::Write as _;
+            let _ = write!(
+                text,
+                " uptime_s={} trace=1 metrics={}",
+                ins.started.elapsed().as_secs(),
+                u8::from(ins.metrics)
+            );
+        }
         let mut resp = Message::response_to(query, Rcode::NoError);
         resp.header.authoritative = true;
         resp.answers.push(Record::with_class(
@@ -400,8 +438,25 @@ impl AnswerEngine {
         transport: TransportKind,
         resp_buf: &mut Vec<u8>,
     ) -> HandledPacket {
+        self.handle_packet_spanned(payload, transport, resp_buf, None)
+    }
+
+    /// [`AnswerEngine::handle_packet`] with per-stage span timing: when
+    /// `spans` is set, the decode / engine / encode stage durations are
+    /// recorded into the stage histograms (the transport records the
+    /// surrounding recv and send stages). With `None` no clock is read.
+    pub fn handle_packet_spanned(
+        &mut self,
+        payload: &[u8],
+        transport: TransportKind,
+        resp_buf: &mut Vec<u8>,
+        spans: Option<&StageSpans>,
+    ) -> HandledPacket {
         resp_buf.clear();
-        let query = match Message::decode(payload) {
+        let mut clock = StageClock::start(spans.is_some());
+        let decoded = Message::decode(payload);
+        clock.lap(spans, Stage::Decode);
+        let query = match decoded {
             Ok(m) => m,
             Err(_) => {
                 // Try to salvage the ID for a FORMERR; otherwise drop.
@@ -471,7 +526,9 @@ impl AnswerEngine {
             .question()
             .map(|q| QueryView { qname: q.qname.clone(), qtype: q.qtype });
 
-        let Some(resp) = self.handle_query(&query) else {
+        let answered = self.handle_query(&query);
+        clock.lap(spans, Stage::Engine);
+        let Some(resp) = answered else {
             return HandledPacket {
                 response: false,
                 query: view,
@@ -503,6 +560,7 @@ impl AnswerEngine {
             }
             tc.encode_into(resp_buf).expect("truncated response encodes");
         }
+        clock.lap(spans, Stage::Encode);
         HandledPacket {
             response: true,
             query: view,
@@ -671,6 +729,53 @@ mod tests {
         assert!(f.handle_packet(&payload, TransportKind::Udp, &mut buf).response);
         assert_eq!(f.stats().chaos, 1);
         assert_eq!(f.stats().refused, 0);
+    }
+
+    #[test]
+    fn stats_dnswild_carries_uptime_and_plane_flags_with_introspection() {
+        let cell = Arc::new(dnswild_telemetry::SnapshotCell::default());
+        let e = engine()
+            .with_telemetry(cell)
+            .with_introspection(Introspection { started: Instant::now(), metrics: true });
+        let mut q =
+            Message::iterative_query(21, Name::parse("stats.dnswild").unwrap(), RType::Txt);
+        q.questions[0].qclass = Class::Ch;
+        let payload = q.encode().unwrap();
+        let mut buf = Vec::new();
+        // The fork keeps the introspection hookup, like the telemetry one.
+        let mut f = e.fork();
+        assert!(f.handle_packet(&payload, TransportKind::Udp, &mut buf).response);
+        let resp = Message::decode(&buf).unwrap();
+        let RData::Txt(t) = &resp.answers[0].rdata else { panic!("not TXT") };
+        let text = t.first_as_string();
+        assert!(
+            text.starts_with("seen=0 answered=0 decode_errors=0 overflow=0 uptime_s="),
+            "got {text:?}"
+        );
+        assert!(text.ends_with(" trace=1 metrics=1"), "got {text:?}");
+        let _ = e;
+    }
+
+    #[test]
+    fn spanned_packets_record_decode_engine_encode_stages() {
+        let reg = Arc::new(dnswild_metrics::Registry::new());
+        let spans = StageSpans::register(&reg);
+        let mut e = engine();
+        let mut buf = Vec::new();
+        let q = Message::iterative_query(31, origin().prepend("p1-r1").unwrap(), RType::Txt);
+        let h =
+            e.handle_packet_spanned(&q.encode().unwrap(), TransportKind::Udp, &mut buf, Some(&spans));
+        assert!(h.response);
+        for stage in [Stage::Decode, Stage::Engine, Stage::Encode] {
+            assert_eq!(spans.histogram(stage).count(), 1, "{}", stage.name());
+        }
+        // Recv/send belong to the transport, not the engine.
+        assert_eq!(spans.histogram(Stage::Recv).count(), 0);
+        assert_eq!(spans.histogram(Stage::Send).count(), 0);
+        // An undecodable datagram still times its decode stage.
+        e.handle_packet_spanned(&[0u8; 2], TransportKind::Udp, &mut buf, Some(&spans));
+        assert_eq!(spans.histogram(Stage::Decode).count(), 2);
+        assert_eq!(spans.histogram(Stage::Engine).count(), 1);
     }
 
     #[test]

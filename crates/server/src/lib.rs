@@ -32,7 +32,9 @@ use dnswild_netsim::{Actor, Context, Datagram, SimAddr, SimTime, Transport};
 use dnswild_proto::{Name, RType};
 use dnswild_zone::Zone;
 
-pub use engine::{AnswerEngine, HandledPacket, PacketClass, QueryView, ServerStats, TransportKind};
+pub use engine::{
+    AnswerEngine, HandledPacket, Introspection, PacketClass, QueryView, ServerStats, TransportKind,
+};
 
 /// One query observed at the authoritative — the passive-trace view the
 /// paper uses to cross-check client-side data (§3.1) and to analyze
@@ -171,7 +173,7 @@ mod tests {
     use dnswild_netsim::geo::datacenters;
     use dnswild_netsim::{HostConfig, LatencyConfig, SimDuration, Simulator};
     use dnswild_proto::rdata::Txt;
-    use dnswild_proto::{Class, Message, Opcode, Question, RData, Rcode, Record};
+    use dnswild_proto::{Class, Message, Opcode, Question, RData, Rcode};
     use dnswild_zone::presets::test_domain_zone;
 
     /// A stub client that sends canned queries and stores responses.

@@ -185,11 +185,14 @@ impl Drop for Producer {
     }
 }
 
+/// The drain thread's join handle; it reports `(events, bytes)` written.
+type DrainHandle = thread::JoinHandle<io::Result<(u64, u64)>>;
+
 pub struct Collector {
     shared: Arc<Shared>,
     epoch: Instant,
     ring_capacity: usize,
-    drain: Mutex<Option<thread::JoinHandle<io::Result<(u64, u64)>>>>,
+    drain: Mutex<Option<DrainHandle>>,
 }
 
 impl std::fmt::Debug for Collector {
@@ -273,7 +276,7 @@ impl Collector {
             .lock()
             .unwrap()
             .take()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::Other, "collector already finished"))?;
+            .ok_or_else(|| io::Error::other("collector already finished"))?;
         self.shared.stop.store(true, Ordering::Release);
         // Notify under the wake lock so the drain thread cannot check
         // `stop` and then miss the wakeup while entering its wait.
@@ -283,7 +286,7 @@ impl Collector {
         }
         let (events, overflow) = handle
             .join()
-            .map_err(|_| io::Error::new(io::ErrorKind::Other, "telemetry drain thread panicked"))??;
+            .map_err(|_| io::Error::other("telemetry drain thread panicked"))??;
         Ok(TraceSummary { events, overflow })
     }
 }

@@ -194,7 +194,7 @@ pub fn hash_bytes(mut h: u64, bytes: &[u8]) -> u64 {
 /// event's 32-bit qname id. One seed, used by every plane, so server
 /// and client events for the same name agree on the id.
 pub fn qname_hash32(canonical_wire: &[u8]) -> u32 {
-    hash_bytes(0x716e_616d_65, canonical_wire) as u32
+    hash_bytes(0x0071_6e61_6d65, canonical_wire) as u32
 }
 
 /// Hash a socket address (IP bytes + port) into a client token. The

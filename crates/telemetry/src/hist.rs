@@ -26,12 +26,52 @@ impl Default for LatencyHistogram {
 }
 
 impl LatencyHistogram {
+    /// Number of buckets in the shared log-linear table. The `metrics`
+    /// crate's histograms reuse this exact table (via
+    /// [`LatencyHistogram::bucket_index`] /
+    /// [`LatencyHistogram::bucket_midpoint`]) so every percentile in the
+    /// workspace is computed over the same value quantisation.
+    pub const BUCKET_COUNT: usize = BUCKETS;
+
     pub fn new() -> Self {
         LatencyHistogram {
             counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             total: AtomicU64::new(0),
             max: AtomicU64::new(0),
         }
+    }
+
+    /// Bucket index for value `v` in the shared log-linear table.
+    pub fn bucket_index(v: u64) -> usize {
+        Self::index(v)
+    }
+
+    /// Midpoint of the value range bucket `i` covers (inverse of
+    /// [`LatencyHistogram::bucket_index`] up to quantisation).
+    pub fn bucket_midpoint(i: usize) -> u64 {
+        Self::value_of(i)
+    }
+
+    /// Count currently held in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i].load(Ordering::Relaxed)
+    }
+
+    /// Adds every bucket of `other` into `self` (plus total and max).
+    ///
+    /// This is how a retired ring's histogram folds into a long-lived
+    /// collector aggregate: bucket-wise, so merged percentiles equal the
+    /// percentiles of the concatenated sample streams (up to the shared
+    /// bucket quantisation).
+    pub fn merge_from(&self, other: &LatencyHistogram) {
+        for (i, c) in other.counts.iter().enumerate() {
+            let v = c.load(Ordering::Relaxed);
+            if v != 0 {
+                self.counts[i].fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.total.fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     fn index(v: u64) -> usize {
@@ -131,5 +171,66 @@ mod tests {
         assert!((p99 as f64 - 9_900_000.0).abs() / 9_900_000.0 < 0.05, "p99={p99}");
         assert!(h.value_at(100.0).unwrap() <= h.max());
         assert!(LatencyHistogram::new().value_at(50.0).is_none());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        for p in [0.0, 50.0, 99.9, 100.0] {
+            assert_eq!(h.value_at(p), None, "p={p}");
+        }
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let h = LatencyHistogram::new();
+        h.record(123_456);
+        for p in [0.0, 50.0, 99.9, 100.0] {
+            let v = h.value_at(p).unwrap();
+            // One sample: every percentile is that sample, up to the
+            // ≤ ~3% bucket quantisation (and clamped to the exact max).
+            assert!(v <= 123_456 && v.abs_diff(123_456) as f64 / 123_456.0 <= 0.04, "p={p} v={v}");
+        }
+        assert_eq!(h.value_at(100.0).unwrap(), h.max());
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_to_one_bucket() {
+        let h = LatencyHistogram::new();
+        for _ in 0..500 {
+            h.record(42_000);
+        }
+        assert_eq!(h.count(), 500);
+        let i = LatencyHistogram::bucket_index(42_000);
+        assert_eq!(h.bucket_count(i), 500);
+        let p1 = h.value_at(1.0).unwrap();
+        let p99 = h.value_at(99.0).unwrap();
+        assert_eq!(p1, p99, "degenerate distribution must have zero spread");
+    }
+
+    #[test]
+    fn retired_ring_merge_equals_concatenated_stream() {
+        // Two rings record disjoint chunks of one stream; folding the
+        // retired ring into the live one must yield the same buckets,
+        // count, max and percentiles as one histogram fed everything.
+        let retired = LatencyHistogram::new();
+        let live = LatencyHistogram::new();
+        let all = LatencyHistogram::new();
+        for v in 1..=4_000u64 {
+            let target = if v % 3 == 0 { &retired } else { &live };
+            target.record(v * 250);
+            all.record(v * 250);
+        }
+        live.merge_from(&retired);
+        assert_eq!(live.count(), all.count());
+        assert_eq!(live.max(), all.max());
+        for i in 0..LatencyHistogram::BUCKET_COUNT {
+            assert_eq!(live.bucket_count(i), all.bucket_count(i), "bucket {i}");
+        }
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            assert_eq!(live.value_at(p), all.value_at(p), "p={p}");
+        }
     }
 }

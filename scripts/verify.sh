@@ -89,3 +89,36 @@ if ! awk -v t="$traced_qps" -v p="$plain_qps" 'BEGIN { exit !(t >= 0.90 * p) }';
     exit 1
 fi
 echo "telemetry overhead: traced $traced_qps qps vs untraced $plain_qps qps (within 10%)"
+
+# Metrics gate: a metered chaos smoke must pass the scrape-equality
+# check the smoke command enforces internally — a live Prometheus
+# endpoint scraped *during* the blast, and a final scrape whose per-auth
+# counters equal the server's own atomic stats exactly, with all five
+# hot-path stage histograms populated.
+metrics_out=$(cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --chaos --queries 2000 --seed 2017 --budget-secs 120 --metrics-addr 127.0.0.1:0)
+if ! grep -q '^metrics-gate: PASS' <<<"$metrics_out"; then
+    echo "metrics gate: scrape did not match the server's counters" >&2
+    printf '%s\n' "$metrics_out" >&2
+    exit 1
+fi
+grep '^metrics-gate' <<<"$metrics_out"
+
+# Watchdog gate: with faults off, the live SLO watchdog must see every
+# paper law hold — share-vs-1/SRTT within tolerance, full coverage,
+# zero SERVFAILs, zero ring overflow. The smoke command fails the run
+# itself if a law breaches on a clean run.
+clean_out=$(cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --chaos --queries 2000 --seed 2017 --loss 0 --corrupt 0 \
+    --budget-secs 120 --metrics-addr 127.0.0.1:0)
+if ! grep -q '^watchdog-gate: PASS' <<<"$clean_out"; then
+    echo "watchdog gate: a law breached on a clean run" >&2
+    printf '%s\n' "$clean_out" >&2
+    exit 1
+fi
+grep '^watchdog-gate' <<<"$clean_out"
+
+# Lint gate: the observability plane rides the hot path, so keep the
+# whole workspace clippy-clean at -D warnings.
+cargo clippy --workspace --offline -q -- -D warnings
+echo "clippy: workspace clean at -D warnings"

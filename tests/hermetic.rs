@@ -164,6 +164,27 @@ fn telemetry_manifest_is_scanned_and_hermetic() {
     }
 }
 
+/// Same pin for the metrics plane: registries/exposition are the
+/// classic excuse to pull in prometheus/hyper/axum — the whole point of
+/// `crates/metrics` is that a scrape endpoint needs none of them.
+#[test]
+fn metrics_manifest_is_scanned_and_hermetic() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/metrics/Cargo.toml");
+    assert!(manifest.is_file(), "crates/metrics/Cargo.toml missing");
+    assert!(
+        workspace_manifests().contains(&manifest),
+        "metrics manifest not picked up by the workspace scan"
+    );
+    for entry in dependency_sections(&manifest) {
+        assert!(
+            entry.is_hermetic(),
+            "metrics gained a non-path dependency: {} (line {})",
+            entry.line,
+            entry.line_no
+        );
+    }
+}
+
 #[test]
 fn known_banned_crates_are_absent() {
     // The five crates this workspace once pulled from the registry. Name
