@@ -12,8 +12,8 @@ use std::sync::Arc;
 use dnswild_bench::{black_box, Runner, Stats};
 use dnswild_metrics::{Registry, Stage, StageClock, StageSpans};
 use dnswild_netio::{
-    blast, serve, Collector, CollectorConfig, Direction, FaultPlan, FaultProfile, LoadConfig,
-    QueryMix, ServeConfig,
+    batch_io_available, blast, serve, Collector, CollectorConfig, Direction, FaultPlan,
+    FaultProfile, IoBackend, LoadConfig, QueryMix, ServeConfig,
 };
 use dnswild_telemetry::{Event, EventKind};
 use dnswild_proto::{Message, Name, RType};
@@ -264,6 +264,56 @@ fn bench_chaos_decide(r: &mut Runner) {
     });
 }
 
+/// The batch-ceiling sweep behind the sharded hot path: the same
+/// 4k-query closed-loop blast against the std loop (the unbatched
+/// baseline) and the mmsg loop at batch ceilings 1, 8 and 32. Besides
+/// the usual JSON lines, the achieved throughput is written to
+/// `results/netio_batch.txt` so the sweep survives next to the exp_*
+/// outputs.
+fn bench_batch_sweep(r: &mut Runner) {
+    let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+    let mut lines = vec![
+        "# sharded hot path batch sweep — loopback closed-loop blast,".to_string(),
+        "# 4000 queries, concurrency 8, 2 shards (values are machine-dependent)".to_string(),
+    ];
+    let mut run = |r: &mut Runner, label: String, io: IoBackend, batch: usize| {
+        let handle = serve(
+            ServeConfig::new("127.0.0.1:0", "FRA", Arc::clone(&zones))
+                .threads(2)
+                .io(io)
+                .batch(batch),
+        )
+        .expect("bind loopback");
+        let report =
+            blast(LoadConfig::new(handle.local_addr(), origin()).concurrency(8).queries(4_000))
+                .expect("blast");
+        assert!(report.all_answered(), "{label}: loopback run lost queries: {report:?}");
+        handle.shutdown();
+        let pct = |q: f64| report.latency_percentile(q).unwrap_or(0) as f64 / 1e3;
+        lines.push(format!(
+            "{label} qps={:.0} p50_us={:.1} p99_us={:.1}",
+            report.qps(),
+            pct(0.50),
+            pct(0.99)
+        ));
+        r.record(Stats::from_ns_samples(
+            &format!("netio_blast_4k_{label}"),
+            report.latencies_ns().iter().map(|&ns| ns as u128).collect(),
+        ));
+    };
+    run(r, "io=std".to_string(), IoBackend::Std, 32);
+    if batch_io_available() {
+        for batch in [1usize, 8, 32] {
+            run(r, format!("io=mmsg,batch={batch}"), IoBackend::Mmsg, batch);
+        }
+    } else {
+        lines.push("io=mmsg unavailable on this host (std fallback only)".to_string());
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/netio_batch.txt");
+    std::fs::write(path, lines.join("\n") + "\n").expect("write results/netio_batch.txt");
+    eprintln!("netio/batch sweep written to results/netio_batch.txt");
+}
+
 fn main() {
     let mut r = Runner::from_env("netio");
     bench_encode_paths(&mut r);
@@ -272,5 +322,6 @@ fn main() {
     bench_metrics_record(&mut r);
     let bare_median = bench_loopback_round_trips(&mut r);
     bench_traced_blast(&mut r, bare_median);
+    bench_batch_sweep(&mut r);
     r.finish();
 }

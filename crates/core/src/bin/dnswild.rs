@@ -29,8 +29,8 @@ use dnswild_analysis::{
 use dnswild_metrics::{parse_exposition, scrape, Watchdog, WatchdogConfig};
 use dnswild_netio::{
     blast, mirror_collector, resolve, serve, server_stats_kinds, ChaosProxy, Collector,
-    CollectorConfig, Direction, FaultPlan, FaultProfile, LoadConfig, MetricsServer, QueryMix,
-    Registry, ResolveConfig, ServeConfig, Trace,
+    CollectorConfig, Direction, FaultPlan, FaultProfile, IoBackend, LoadConfig, MetricsServer,
+    QueryMix, Registry, ResolveConfig, ServeConfig, Trace,
 };
 use dnswild_proto::Name;
 use dnswild_server::ServerStats;
@@ -43,7 +43,11 @@ fn usage_exit(code: i32) -> ! {
          commands:\n\
            serve   run the UDP serving plane\n\
              --addr A:P       bind address (default 127.0.0.1:5300; port 0 = ephemeral)\n\
-             --threads N      worker threads (default: available parallelism, max 8)\n\
+             --threads N      worker shards (default: available parallelism, capped\n\
+                              at 8; an explicit value is never capped)\n\
+             --io MODE        I/O loop: auto|std|mmsg (default auto — batched\n\
+                              recvmmsg/sendmmsg where the kernel supports it)\n\
+             --batch N        mmsg batch ceiling, 1..=64 (default 32)\n\
              --site CODE      site identity (default FRA)\n\
              --origin NAME    zone origin (default ourtestdomain.nl)\n\
              --ns N           NS count in the preset zone (default 2)\n\
@@ -77,7 +81,10 @@ fn usage_exit(code: i32) -> ! {
              --duration SECS  stop after SECS (default: run until killed)\n\
            smoke   loopback self-test (server + blast in-process)\n\
              --queries N      total queries (default 1000)\n\
-             --threads N      server worker threads (default 2)\n\
+             --threads N      server worker shards (default 2)\n\
+             --io MODE        server I/O loop: auto|std|mmsg (default auto)\n\
+             --batch N        mmsg batch ceiling (default 32)\n\
+             --concurrency N  load client threads, non-chaos mode (default 4)\n\
              --chaos          route through two seeded fault proxies and\n\
                               apply resolver-level pass criteria\n\
              --seed S         (chaos) fault schedule seed (default 2017)\n\
@@ -276,6 +283,8 @@ fn start_watchdog(registry: &Arc<Registry>) -> dnswild_metrics::WatchdogHandle {
 fn cmd_serve(args: &[String]) {
     let mut addr = "127.0.0.1:5300".to_string();
     let mut threads: Option<usize> = None;
+    let mut io = IoBackend::Auto;
+    let mut batch: Option<usize> = None;
     let mut site = "FRA".to_string();
     let mut origin = "ourtestdomain.nl".to_string();
     let mut ns = 2usize;
@@ -287,6 +296,8 @@ fn cmd_serve(args: &[String]) {
         match arg.as_str() {
             "--addr" => addr = parse_flag(&mut it, "--addr"),
             "--threads" => threads = Some(parse_flag(&mut it, "--threads")),
+            "--io" => io = parse_flag(&mut it, "--io"),
+            "--batch" => batch = Some(parse_flag(&mut it, "--batch")),
             "--site" => site = parse_flag(&mut it, "--site"),
             "--origin" => origin = parse_flag(&mut it, "--origin"),
             "--ns" => ns = parse_flag(&mut it, "--ns"),
@@ -308,9 +319,24 @@ fn cmd_serve(args: &[String]) {
     }
     let origin = parse_origin(&origin);
     let zones = Arc::new(vec![test_domain_zone(&origin, ns)]);
-    let mut config = ServeConfig::new(addr, site.clone(), zones);
-    if let Some(t) = threads {
-        config = config.threads(t);
+    let mut config = ServeConfig::new(addr, site.clone(), zones).io(io);
+    if let Some(b) = batch {
+        config = config.batch(b);
+    }
+    match threads {
+        // An explicit --threads is honoured exactly — no silent cap.
+        Some(t) => config = config.threads(t),
+        None => {
+            let avail =
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(config.threads);
+            if avail > config.threads {
+                eprintln!(
+                    "serve: defaulting to {} worker shards (of {} available cores); \
+                     pass --threads {} to use them all",
+                    config.threads, avail, avail
+                );
+            }
+        }
     }
     let collector = trace.as_ref().map(|path| start_collector(path, &[site.as_str()]));
     if let Some(c) = &collector {
@@ -329,11 +355,13 @@ fn cmd_serve(args: &[String]) {
         std::process::exit(1)
     });
     eprintln!(
-        "serving {} as site {} on udp://{} with {} workers",
+        "serving {} as site {} on udp://{} with {} shards (io={}, reuseport={})",
         origin,
         site,
         handle.local_addr(),
-        handle.threads()
+        handle.threads(),
+        handle.backend().name(),
+        handle.reuseport()
     );
     match duration {
         Some(secs) => {
@@ -591,6 +619,9 @@ fn cmd_chaos(args: &[String]) {
 fn cmd_smoke(args: &[String]) {
     let mut queries = 1_000u64;
     let mut threads = 2usize;
+    let mut io = IoBackend::Auto;
+    let mut batch: Option<usize> = None;
+    let mut concurrency = 4usize;
     let mut chaos = false;
     let mut seed = 2017u64;
     let mut loss = 0.10f64;
@@ -604,6 +635,9 @@ fn cmd_smoke(args: &[String]) {
         match arg.as_str() {
             "--queries" => queries = parse_flag(&mut it, "--queries"),
             "--threads" => threads = parse_flag(&mut it, "--threads"),
+            "--io" => io = parse_flag(&mut it, "--io"),
+            "--batch" => batch = Some(parse_flag(&mut it, "--batch")),
+            "--concurrency" => concurrency = parse_flag(&mut it, "--concurrency"),
             "--chaos" => chaos = true,
             "--seed" => seed = parse_flag(&mut it, "--seed"),
             "--loss" => loss = parse_flag(&mut it, "--loss"),
@@ -627,6 +661,8 @@ fn cmd_smoke(args: &[String]) {
         chaos_smoke(
             queries,
             threads,
+            io,
+            batch,
             seed,
             loss,
             corrupt,
@@ -640,7 +676,10 @@ fn cmd_smoke(args: &[String]) {
     let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
     let collector = trace.as_ref().map(|path| start_collector(path, &["FRA"]));
     let metrics = metrics_addr.as_deref().map(start_metrics);
-    let mut serve_cfg = ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads);
+    let mut serve_cfg = ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads).io(io);
+    if let Some(b) = batch {
+        serve_cfg = serve_cfg.batch(b);
+    }
     if let Some(c) = &collector {
         serve_cfg = serve_cfg.collector(Arc::clone(c), 0);
     }
@@ -654,8 +693,15 @@ fn cmd_smoke(args: &[String]) {
         eprintln!("smoke: serve: {e}");
         std::process::exit(1)
     });
-    eprintln!("smoke: serving on udp://{} with {} workers", handle.local_addr(), handle.threads());
-    let mut load_cfg = LoadConfig::new(handle.local_addr(), origin).concurrency(4).queries(queries);
+    eprintln!(
+        "smoke: serving on udp://{} with {} shards (io={}, reuseport={})",
+        handle.local_addr(),
+        handle.threads(),
+        handle.backend().name(),
+        handle.reuseport()
+    );
+    let mut load_cfg =
+        LoadConfig::new(handle.local_addr(), origin).concurrency(concurrency).queries(queries);
     if let Some(c) = &collector {
         load_cfg = load_cfg.collector(Arc::clone(c), 0);
     }
@@ -728,6 +774,8 @@ fn cmd_smoke(args: &[String]) {
 fn chaos_smoke(
     queries: u64,
     threads: usize,
+    io: IoBackend,
+    batch: Option<usize>,
     seed: u64,
     loss: f64,
     corrupt: f64,
@@ -739,7 +787,10 @@ fn chaos_smoke(
     let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
     let collector = trace.map(|path| start_collector(path, &["FRA"]));
     let metrics = metrics_addr.map(start_metrics);
-    let mut serve_cfg = ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads);
+    let mut serve_cfg = ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads).io(io);
+    if let Some(b) = batch {
+        serve_cfg = serve_cfg.batch(b);
+    }
     if let Some(c) = &collector {
         serve_cfg = serve_cfg.collector(Arc::clone(c), 0);
     }
@@ -771,8 +822,9 @@ fn chaos_smoke(
     let p1 = spawn_proxy("p1");
     let p2 = spawn_proxy("p2");
     eprintln!(
-        "smoke: serving on udp://{} behind chaos proxies {} and {} (seed {seed})",
+        "smoke: serving on udp://{} (io={}) behind chaos proxies {} and {} (seed {seed})",
         handle.local_addr(),
+        handle.backend().name(),
         p1.local_addr(),
         p2.local_addr()
     );

@@ -143,6 +143,28 @@ impl StageClock {
         }
     }
 
+    /// Like [`StageClock::lap`], but for a stage boundary that covered
+    /// `n` packets at once (the batched serving loop crosses recv and
+    /// send once per *batch*): records the amortised per-packet time —
+    /// elapsed divided by `n` — as one sample, so the stage histograms
+    /// keep per-packet semantics whatever the batch size. `n == 0`
+    /// restarts the lap without recording.
+    #[inline]
+    pub fn lap_amortised(&mut self, spans: Option<&StageSpans>, stage: Stage, n: u64) {
+        #[cfg(feature = "stage-spans")]
+        if let (Some(last), Some(spans)) = (self.last, spans) {
+            let now = Instant::now();
+            if let Some(per_packet) = (now.duration_since(last).as_nanos() as u64).checked_div(n) {
+                spans.record(stage, per_packet);
+            }
+            self.last = Some(now);
+        }
+        #[cfg(not(feature = "stage-spans"))]
+        {
+            let _ = (spans, stage, n);
+        }
+    }
+
     /// Restarts the lap timer without recording. The worker loop resets
     /// on entering each `recv_from` so a stretch of empty read timeouts
     /// never accumulates into the next packet's `recv` span.

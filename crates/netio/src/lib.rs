@@ -9,13 +9,17 @@
 //! this workspace *verifies* the answering semantics in simulation, and
 //! this crate puts the same logic on the wire:
 //!
-//! * [`server`] — a multi-threaded UDP front-end: one bound
-//!   [`std::net::UdpSocket`], N worker threads, per-thread reusable
-//!   receive/encode buffers, a shared `Arc`'d zone set, lock-free
-//!   atomic stats aggregation and clean stop-flag shutdown. Every
-//!   worker drives the *same* [`dnswild_server::AnswerEngine`] the
-//!   simulator actor uses, so behaviour proven by the `exp_*`
-//!   reproductions is the behaviour that serves.
+//! * [`server`] — a sharded UDP front-end: N worker threads, each
+//!   owning a private `SO_REUSEPORT` socket (where the Linux
+//!   `dnswild-mmsg` shim is usable; one shared socket elsewhere), a
+//!   forked engine, reusable receive/encode buffers and a private
+//!   lock-free stats cell — no cross-thread sharing on the hot path.
+//!   The I/O loop is selected at runtime ([`IoBackend`]): batched
+//!   `recvmmsg`/`sendmmsg` on Linux, portable `recv_from`/`send_to`
+//!   everywhere else. Every worker drives the *same*
+//!   [`dnswild_server::AnswerEngine`] the simulator actor uses, so
+//!   behaviour proven by the `exp_*` reproductions is the behaviour
+//!   that serves.
 //! * [`load`] — a closed-loop in-process load generator: configurable
 //!   concurrency, a deterministic query mix over the preset measurement
 //!   zone, and per-query latency capture for qps / percentile
@@ -59,7 +63,10 @@ pub mod server;
 pub use chaos::{ChaosProxy, Delivery, DirTally, Direction, FaultPlan, FaultProfile};
 pub use client::{resolve, ClientStats, ResolveConfig, ResolveReport};
 pub use load::{blast, LoadConfig, LoadReport, QueryMix};
-pub use server::{serve, server_stats_kinds, AtomicStats, IoErrorStats, ServeConfig, ServeHandle};
+pub use server::{
+    batch_io_available, serve, server_stats_kinds, AtomicStats, IoBackend, IoErrorStats,
+    ServeConfig, ServeHandle, DEFAULT_BATCH,
+};
 
 // Telemetry plane: re-exported so callers wiring a collector into
 // `ServeConfig` / `LoadConfig` / `ResolveConfig` / `ChaosProxy` don't

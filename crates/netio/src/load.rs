@@ -389,6 +389,10 @@ fn client_loop(
                     }
                     break false;
                 }
+                // A signal landing mid-recv is not a timeout and not a
+                // worker-fatal error — retry the wait (the deadline
+                // check above still bounds it).
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
             }
         };

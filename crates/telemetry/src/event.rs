@@ -38,6 +38,11 @@ pub const FLAG_CHAOS_TRUNCATE: u16 = 1 << 7;
 pub const FLAG_CHAOS_REORDER: u16 = 1 << 8;
 /// Chaos proxy: delivery was delayed.
 pub const FLAG_CHAOS_DELAY: u16 = 1 << 9;
+/// Server-side: the engine produced a response but the socket refused
+/// to send it (`send_to`/`sendmmsg` failure). `bytes_out` is zero on
+/// such events so trace byte accounting matches what actually hit the
+/// wire.
+pub const FLAG_SEND_FAILED: u16 = 1 << 10;
 
 /// Sentinel for "no rcode recorded" (wire rcodes are 4 bits).
 pub const RCODE_NONE: u8 = 0xff;

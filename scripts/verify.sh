@@ -12,6 +12,39 @@ cargo test -q --offline
 # blast with internally consistent counters (exits non-zero otherwise).
 cargo run --release --offline -q -p dnswild --bin dnswild -- smoke --queries 1000
 
+# Raised-qps smoke floor: both I/O loops of the sharded hot path — the
+# portable std loop and the Linux recvmmsg/sendmmsg loop — must sustain
+# the floor on a 6k-query closed-loop blast (median of three runs each;
+# one run is hostage to scheduler noise). The floor is deliberately far
+# under the measured loopback throughput (see results/netio_batch.txt)
+# so only a real regression trips it, not a busy CI host.
+QPS_FLOOR=40000
+floor_qps() {
+    local io="$1" qps
+    qps=$(for _ in 1 2 3; do
+        cargo run --release --offline -q -p dnswild --bin dnswild -- \
+            smoke --queries 6000 --json --io "$io" | sed -n 's/.*"qps":\([0-9.]*\).*/\1/p'
+    done | sort -g | sed -n '2p')
+    if ! awk -v q="$qps" -v f="$QPS_FLOOR" 'BEGIN { exit !(q >= f) }'; then
+        echo "qps floor gate: io=$io sustained only $qps qps (floor $QPS_FLOOR)" >&2
+        exit 1
+    fi
+    echo "qps floor: io=$io sustained $qps qps (floor $QPS_FLOOR)"
+}
+floor_qps std
+# The mmsg loop only exists where the kernel cooperates; probe first so
+# the gate skips (loudly) rather than fails on non-Linux hosts.
+if mmsg_probe=$(cargo run --release --offline -q -p dnswild --bin dnswild -- \
+        smoke --queries 100 --json --io mmsg 2>&1); then
+    floor_qps mmsg
+elif grep -q "unavailable" <<<"$mmsg_probe"; then
+    echo "qps floor: io=mmsg skipped (batched I/O unavailable on this host)"
+else
+    echo "qps floor gate: io=mmsg probe failed unexpectedly:" >&2
+    printf '%s\n' "$mmsg_probe" >&2
+    exit 1
+fi
+
 # Chaos smoke gate: 2k transactions through two seeded fault proxies at
 # 10% loss + 1% corruption. The smoke command itself enforces the hard
 # criteria (100% answered-or-SERVFAIL, zero unaccounted datagrams, no

@@ -185,12 +185,34 @@ fn metrics_manifest_is_scanned_and_hermetic() {
     }
 }
 
+/// The syscall shim is the one crate allowed to hold `unsafe` FFI, and
+/// the classic way to write it is `libc = "0.2"` — which would break
+/// the offline build. Pin down that it stays *dependency-free*: its
+/// `extern "C"` declarations bind the symbols std already links.
+#[test]
+fn mmsg_shim_is_dependency_free() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/mmsg/Cargo.toml");
+    assert!(manifest.is_file(), "crates/mmsg/Cargo.toml missing");
+    assert!(
+        workspace_manifests().contains(&manifest),
+        "mmsg manifest not picked up by the workspace scan"
+    );
+    let entries = dependency_sections(&manifest);
+    assert!(
+        entries.is_empty(),
+        "the mmsg shim must stay dependency-free (no libc crate — hand-declared \
+         extern \"C\" symbols only), found:\n{}",
+        entries.iter().map(|e| e.line.clone()).collect::<Vec<_>>().join("\n")
+    );
+}
+
 #[test]
 fn known_banned_crates_are_absent() {
-    // The five crates this workspace once pulled from the registry. Name
+    // The crates this workspace once pulled from the registry, plus
+    // `libc` (the obvious shortcut for the mmsg syscall shim). Name
     // checks catch a reintroduction even via a creative spelling of the
     // dependency value.
-    const BANNED: [&str; 5] = ["rand", "proptest", "criterion", "crossbeam", "parking_lot"];
+    const BANNED: [&str; 6] = ["rand", "proptest", "criterion", "crossbeam", "parking_lot", "libc"];
     let mut violations = Vec::new();
     for manifest in workspace_manifests() {
         for entry in dependency_sections(&manifest) {
