@@ -12,12 +12,14 @@ use std::sync::Arc;
 use dnswild_bench::{black_box, Runner, Stats};
 use dnswild_metrics::{Registry, Stage, StageClock, StageSpans};
 use dnswild_netio::{
-    batch_io_available, blast, serve, Collector, CollectorConfig, Direction, FaultPlan,
-    FaultProfile, IoBackend, LoadConfig, QueryMix, ServeConfig,
+    batch_io_available, blast, resolve, serve, write_frame, Collector, CollectorConfig, Direction,
+    FaultPlan, FaultProfile, FrameReader, IoBackend, LoadConfig, QueryMix, ResolveConfig,
+    ServeConfig, TcpOptions,
 };
+use dnswild_server::TruncationPolicy;
 use dnswild_telemetry::{Event, EventKind};
 use dnswild_proto::{Message, Name, RType};
-use dnswild_zone::presets::test_domain_zone;
+use dnswild_zone::presets::{padded_test_domain_zone, test_domain_zone};
 
 fn origin() -> Name {
     Name::parse("bench.test").unwrap()
@@ -314,6 +316,136 @@ fn bench_batch_sweep(r: &mut Runner) {
     eprintln!("netio/batch sweep written to results/netio_batch.txt");
 }
 
+/// What the truncation detour costs: the same padded (~1 kB) wildcard
+/// TXT answer served whole over UDP under the default 1232-byte limit,
+/// vs truncated at a forced 512-byte ceiling and completed over the
+/// RFC 7766 TCP plane. The raw roundtrips isolate the transport cost
+/// (reused vs fresh connection); the resolver runs price the full
+/// TC=1 → TCP-retry detour, which also waits out the attempt window
+/// before falling back. Medians land in `results/netio_tcp.txt`.
+fn bench_tcp_fallback(r: &mut Runner) {
+    let zones = Arc::new(vec![padded_test_domain_zone(&origin(), 2, 900)]);
+
+    // Control: the default 1232-byte policy carries the padded answer
+    // whole over UDP.
+    let udp_srv = serve(ServeConfig::new("127.0.0.1:0", "FRA", Arc::clone(&zones)).threads(2))
+        .expect("bind udp control");
+    // Treatment: a 512-byte ceiling truncates every padded answer; the
+    // TCP listener on the same port is what completes them.
+    let tcp_srv = serve(
+        ServeConfig::new("127.0.0.1:0", "FRA", zones)
+            .threads(2)
+            .tcp(TcpOptions::default())
+            .truncation(TruncationPolicy::symmetric(512)),
+    )
+    .expect("bind truncating server");
+    let tcp_addr = tcp_srv.tcp_addr().expect("tcp listener is on");
+
+    let query = Message::iterative_query(7, origin().prepend("p1-r1").unwrap(), RType::Txt);
+    let payload = query.encode().unwrap();
+
+    r.set_samples(200);
+    let sock = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind client socket");
+    sock.connect(udp_srv.local_addr()).expect("connect client socket");
+    let mut buf = [0u8; 2048];
+    let udp_rt = r
+        .bench("tcp_plane_udp_roundtrip", || {
+            sock.send(&payload).expect("udp send");
+            black_box(sock.recv(&mut buf).expect("udp recv"))
+        })
+        .map(|s| s.median_ns);
+
+    let read_one = |conn: &mut std::net::TcpStream, reader: &mut FrameReader| loop {
+        match reader.read_frame(conn) {
+            Ok(Some(p)) => break p.len(),
+            Ok(None) => panic!("server closed the connection mid-bench"),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => panic!("tcp frame read failed: {e}"),
+        }
+    };
+    let mut conn = std::net::TcpStream::connect(tcp_addr).expect("tcp connect");
+    conn.set_nodelay(true).expect("set nodelay");
+    let mut reader = FrameReader::new();
+    let mut scratch = Vec::with_capacity(payload.len() + 2);
+    let tcp_reused = r
+        .bench("tcp_plane_tcp_roundtrip_reused_conn", || {
+            write_frame(&mut conn, &payload, &mut scratch).expect("frame write");
+            black_box(read_one(&mut conn, &mut reader))
+        })
+        .map(|s| s.median_ns);
+    let tcp_fresh = r
+        .bench("tcp_plane_tcp_roundtrip_fresh_conn", || {
+            let mut c = std::net::TcpStream::connect(tcp_addr).expect("tcp connect");
+            c.set_nodelay(true).expect("set nodelay");
+            let mut rd = FrameReader::new();
+            let mut sc = Vec::with_capacity(payload.len() + 2);
+            write_frame(&mut c, &payload, &mut sc).expect("frame write");
+            black_box(read_one(&mut c, &mut rd))
+        })
+        .map(|s| s.median_ns);
+    drop(conn);
+
+    // End-to-end resolver transactions, concurrency 1 so elapsed/txns
+    // is a true per-transaction mean. The fallback only fires once the
+    // attempt window closes on a TC=1 answer, so its latency is
+    // ~window + TCP roundtrip; a 15 ms window keeps the bench quick
+    // (the client default is 250 ms — scale accordingly).
+    let mut per_txn = |name: &str, addr: std::net::SocketAddr, edns: Option<u16>| {
+        let samples: Vec<u128> = (0..10)
+            .map(|i| {
+                let mut cfg =
+                    ResolveConfig::new(vec![addr], origin()).transactions(32).concurrency(1);
+                cfg.seed = 2017 + i as u64;
+                cfg.timeout = std::time::Duration::from_millis(15);
+                if let Some(size) = edns {
+                    cfg = cfg.edns_size(size);
+                }
+                let report = resolve(cfg).expect("resolve");
+                report.stats.check().expect("client books balance");
+                assert_eq!(report.stats.servfails, 0, "{name}: lost transactions");
+                if edns.is_some() {
+                    assert_eq!(
+                        report.stats.tcp_answered, 32,
+                        "{name}: every padded answer must complete over TCP"
+                    );
+                } else {
+                    assert_eq!(report.stats.tc_seen, 0, "{name}: control must fit under UDP");
+                }
+                report.elapsed.as_nanos() / 32
+            })
+            .collect();
+        let stats = Stats::from_ns_samples(name, samples);
+        let median = stats.median_ns;
+        r.record(stats);
+        median
+    };
+    let udp_txn = per_txn("netio_txn_udp_padded_answer", udp_srv.local_addr(), None);
+    let tcp_txn = per_txn("netio_txn_tcp_fallback_512", tcp_srv.local_addr(), Some(512));
+
+    let fmt = |label: &str, ns: Option<u128>| match ns {
+        Some(n) => format!("{label} p50_us={:.1}", n as f64 / 1e3),
+        None => format!("{label} skipped (bench filter)"),
+    };
+    let lines = [
+        "# udp vs tcp-fallback latency — loopback, padded ~1 kB wildcard TXT answer,".to_string(),
+        "# 512-byte EDNS ceiling on the tcp side; resolver txns use a 15 ms attempt".to_string(),
+        "# window (client default 250 ms) at concurrency 1 (machine-dependent);".to_string(),
+        "# txn_* rows share the client's poll-tick floor — the delta between them".to_string(),
+        "# is the truncation detour's cost, the roundtrip rows are the raw floors".to_string(),
+        fmt("udp_roundtrip", udp_rt),
+        fmt("tcp_roundtrip_reused_conn", tcp_reused),
+        fmt("tcp_roundtrip_fresh_conn", tcp_fresh),
+        fmt("txn_udp_limit_1232", Some(udp_txn)),
+        fmt("txn_tcp_fallback_limit_512", Some(tcp_txn)),
+    ];
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/netio_tcp.txt");
+    std::fs::write(path, lines.join("\n") + "\n").expect("write results/netio_tcp.txt");
+    eprintln!("netio/tcp fallback comparison written to results/netio_tcp.txt");
+
+    udp_srv.shutdown();
+    tcp_srv.shutdown();
+}
+
 fn main() {
     let mut r = Runner::from_env("netio");
     bench_encode_paths(&mut r);
@@ -323,5 +455,6 @@ fn main() {
     let bare_median = bench_loopback_round_trips(&mut r);
     bench_traced_blast(&mut r, bare_median);
     bench_batch_sweep(&mut r);
+    bench_tcp_fallback(&mut r);
     r.finish();
 }

@@ -30,11 +30,11 @@ use dnswild_metrics::{parse_exposition, scrape, Watchdog, WatchdogConfig};
 use dnswild_netio::{
     blast, mirror_collector, resolve, serve, server_stats_kinds, ChaosProxy, Collector,
     CollectorConfig, Direction, FaultPlan, FaultProfile, IoBackend, LoadConfig, MetricsServer,
-    QueryMix, Registry, ResolveConfig, ServeConfig, Trace,
+    QueryMix, Registry, ResolveConfig, ServeConfig, TcpFaultProfile, TcpOptions, Trace,
 };
 use dnswild_proto::Name;
-use dnswild_server::ServerStats;
-use dnswild_zone::presets::test_domain_zone;
+use dnswild_server::{ServerStats, TruncationPolicy};
+use dnswild_zone::presets::{padded_test_domain_zone, test_domain_zone};
 
 fn usage_exit(code: i32) -> ! {
     eprintln!(
@@ -51,6 +51,11 @@ fn usage_exit(code: i32) -> ! {
              --site CODE      site identity (default FRA)\n\
              --origin NAME    zone origin (default ourtestdomain.nl)\n\
              --ns N           NS count in the preset zone (default 2)\n\
+             --pad N          pad the wildcard TXT answer with ~N extra rdata\n\
+                              bytes (forces truncation under --edns-size)\n\
+             --tcp            also serve RFC 7766 TCP on the same port\n\
+             --edns-size N    symmetric EDNS truncation policy: advertise N\n\
+                              and truncate UDP answers over N (default 1232)\n\
              --duration SECS  stop after SECS (default: run until killed)\n\
              --trace PATH     record one telemetry event per datagram to PATH\n\
              --metrics-addr A:P  expose Prometheus-text metrics over HTTP and\n\
@@ -67,6 +72,9 @@ fn usage_exit(code: i32) -> ! {
                               resolver retry/backoff client instead\n\
              --loss P         (chaos) total drop probability (default 0.10)\n\
              --corrupt P      (chaos) per-copy corruption probability (default 0.01)\n\
+             --edns-size N    (chaos) advertise N in the client's OPT; truncated\n\
+                              answers are retried over TCP (RFC 7766)\n\
+             --no-tcp-fallback  (chaos) let TC=1 answers doom the attempt instead\n\
              --trace PATH     record one telemetry event per query to PATH\n\
              --json           emit one JSON object instead of the text report\n\
              --metrics-addr A:P  expose load/client metrics over HTTP\n\
@@ -78,6 +86,9 @@ fn usage_exit(code: i32) -> ! {
                               per-datagram fault probabilities (default 0)\n\
              --delay-min-ms M --delay-max-ms M\n\
                               per-copy delay range (default 0)\n\
+             --tcp-refuse P --tcp-reset P --tcp-stall P --tcp-badlen P\n\
+                              per-frame TCP connection-fault probabilities\n\
+                              (default 0; the proxy always relays TCP)\n\
              --duration SECS  stop after SECS (default: run until killed)\n\
            smoke   loopback self-test (server + blast in-process)\n\
              --queries N      total queries (default 1000)\n\
@@ -90,6 +101,12 @@ fn usage_exit(code: i32) -> ! {
              --seed S         (chaos) fault schedule seed (default 2017)\n\
              --loss P         (chaos) total drop probability (default 0.10)\n\
              --corrupt P      (chaos) per-copy corruption probability (default 0.01)\n\
+             --tcp            (chaos) truncation gate: serve a padded zone over\n\
+                              UDP+TCP with a small EDNS limit behind TCP\n\
+                              connection faults, and require every truncated\n\
+                              transaction to complete over TCP\n\
+             --edns-size N    (chaos) EDNS limit for the truncation gate\n\
+                              (default 512; requires --tcp)\n\
              --budget-secs S  (chaos) wall-clock budget (default 120)\n\
              --trace PATH     record server+client+proxy telemetry to PATH\n\
              --json           emit one JSON object instead of the text report\n\
@@ -119,7 +136,7 @@ fn parse_flag<T: std::str::FromStr>(args: &mut std::slice::Iter<'_, String>, fla
 fn print_stats(stats: ServerStats) {
     println!(
         "stats: queries={} answers={} nxdomain={} nodata={} referrals={} refused={} \
-         formerr={} notimp={} chaos={} truncated={} dropped={}",
+         formerr={} notimp={} chaos={} badvers={} truncated={} tcp_queries={} dropped={}",
         stats.queries,
         stats.answers,
         stats.nxdomain,
@@ -129,7 +146,9 @@ fn print_stats(stats: ServerStats) {
         stats.formerr,
         stats.notimp,
         stats.chaos,
+        stats.badvers,
         stats.truncated,
+        stats.tcp_queries,
         stats.dropped
     );
 }
@@ -215,7 +234,7 @@ fn json_blast(report: &dnswild_netio::LoadReport, stats: Option<&ServerStats>) -
         out.push_str(&format!(
             ",\"server\":{{\"queries\":{},\"answers\":{},\"nxdomain\":{},\"nodata\":{},\
              \"referrals\":{},\"refused\":{},\"formerr\":{},\"notimp\":{},\"chaos\":{},\
-             \"truncated\":{},\"dropped\":{}}}",
+             \"badvers\":{},\"truncated\":{},\"tcp_queries\":{},\"dropped\":{}}}",
             s.queries,
             s.answers,
             s.nxdomain,
@@ -225,7 +244,9 @@ fn json_blast(report: &dnswild_netio::LoadReport, stats: Option<&ServerStats>) -
             s.formerr,
             s.notimp,
             s.chaos,
+            s.badvers,
             s.truncated,
+            s.tcp_queries,
             s.dropped
         ));
     }
@@ -288,6 +309,9 @@ fn cmd_serve(args: &[String]) {
     let mut site = "FRA".to_string();
     let mut origin = "ourtestdomain.nl".to_string();
     let mut ns = 2usize;
+    let mut pad = 0usize;
+    let mut tcp = false;
+    let mut edns_size: Option<u16> = None;
     let mut duration: Option<u64> = None;
     let mut trace: Option<String> = None;
     let mut metrics_addr: Option<String> = None;
@@ -301,6 +325,9 @@ fn cmd_serve(args: &[String]) {
             "--site" => site = parse_flag(&mut it, "--site"),
             "--origin" => origin = parse_flag(&mut it, "--origin"),
             "--ns" => ns = parse_flag(&mut it, "--ns"),
+            "--pad" => pad = parse_flag(&mut it, "--pad"),
+            "--tcp" => tcp = true,
+            "--edns-size" => edns_size = Some(parse_flag(&mut it, "--edns-size")),
             "--duration" => duration = Some(parse_flag(&mut it, "--duration")),
             "--trace" => trace = Some(parse_flag(&mut it, "--trace")),
             "--metrics-addr" => metrics_addr = Some(parse_flag(&mut it, "--metrics-addr")),
@@ -318,10 +345,16 @@ fn cmd_serve(args: &[String]) {
         std::process::exit(2);
     }
     let origin = parse_origin(&origin);
-    let zones = Arc::new(vec![test_domain_zone(&origin, ns)]);
+    let zones = Arc::new(vec![padded_test_domain_zone(&origin, ns, pad)]);
     let mut config = ServeConfig::new(addr, site.clone(), zones).io(io);
     if let Some(b) = batch {
         config = config.batch(b);
+    }
+    if tcp {
+        config = config.tcp(TcpOptions::default());
+    }
+    if let Some(size) = edns_size {
+        config = config.truncation(TruncationPolicy::symmetric(size));
     }
     match threads {
         // An explicit --threads is honoured exactly — no silent cap.
@@ -363,10 +396,24 @@ fn cmd_serve(args: &[String]) {
         handle.backend().name(),
         handle.reuseport()
     );
+    if let Some(tcp_addr) = handle.tcp_addr() {
+        eprintln!(
+            "serving tcp://{} (RFC 7766; udp answers truncate over {} bytes)",
+            tcp_addr,
+            edns_size.unwrap_or(dnswild_proto::DEFAULT_EDNS_PAYLOAD)
+        );
+    }
     match duration {
         Some(secs) => {
             std::thread::sleep(Duration::from_secs(secs));
+            let tcp_stats = handle.tcp_addr().map(|_| handle.tcp_stats());
             print_stats(handle.shutdown());
+            if let Some(t) = tcp_stats {
+                println!(
+                    "tcp: accepted={} over_cap={} frame_errors={}",
+                    t.accepted, t.over_cap, t.frame_errors
+                );
+            }
             if let (Some(c), Some(path)) = (&collector, &trace) {
                 finish_trace(c, path);
             }
@@ -396,6 +443,8 @@ fn cmd_blast(args: &[String]) {
     let mut chaos = false;
     let mut loss = 0.10f64;
     let mut corrupt = 0.01f64;
+    let mut edns_size: Option<u16> = None;
+    let mut tcp_fallback = true;
     let mut trace: Option<String> = None;
     let mut json = false;
     let mut metrics_addr: Option<String> = None;
@@ -412,6 +461,8 @@ fn cmd_blast(args: &[String]) {
             "--chaos" => chaos = true,
             "--loss" => loss = parse_flag(&mut it, "--loss"),
             "--corrupt" => corrupt = parse_flag(&mut it, "--corrupt"),
+            "--edns-size" => edns_size = Some(parse_flag(&mut it, "--edns-size")),
+            "--no-tcp-fallback" => tcp_fallback = false,
             "--trace" => trace = Some(parse_flag(&mut it, "--trace")),
             "--json" => json = true,
             "--metrics-addr" => metrics_addr = Some(parse_flag(&mut it, "--metrics-addr")),
@@ -423,6 +474,12 @@ fn cmd_blast(args: &[String]) {
         }
     }
     let origin = parse_origin(&origin);
+    if !chaos && (edns_size.is_some() || !tcp_fallback) {
+        // The plain blaster is a UDP-only throughput tool; EDNS
+        // negotiation and TCP fallback live in the resolver client.
+        eprintln!("blast: --edns-size / --no-tcp-fallback require --chaos");
+        std::process::exit(2);
+    }
     let target: std::net::SocketAddr = addr.parse().unwrap_or_else(|e| {
         eprintln!("bad --addr: {e}");
         std::process::exit(2)
@@ -454,7 +511,11 @@ fn cmd_blast(args: &[String]) {
         let watchdog = metrics.as_ref().map(|(registry, _)| start_watchdog(registry));
         let mut cfg = ResolveConfig::new(vec![proxy.local_addr()], origin)
             .transactions(queries)
-            .concurrency(concurrency);
+            .concurrency(concurrency)
+            .tcp_fallback(tcp_fallback);
+        if let Some(size) = edns_size {
+            cfg = cfg.edns_size(size);
+        }
         cfg.seed = seed;
         if let Some(c) = &collector {
             cfg = cfg.collector(Arc::clone(c));
@@ -475,13 +536,18 @@ fn cmd_blast(args: &[String]) {
             let s = &report.stats;
             println!(
                 "{{\"transactions\":{},\"attempts\":{},\"answered\":{},\"servfails\":{},\
-                 \"timeouts\":{},\"retries\":{},\"elapsed_ms\":{},\"qps\":{:.1}}}",
+                 \"timeouts\":{},\"retries\":{},\"tc_seen\":{},\"tcp_attempts\":{},\
+                 \"tcp_answered\":{},\"tcp_failed\":{},\"elapsed_ms\":{},\"qps\":{:.1}}}",
                 s.transactions,
                 s.attempts,
                 s.answered,
                 s.servfails,
                 s.timeouts,
                 s.retries,
+                s.tc_seen,
+                s.tcp_attempts,
+                s.tcp_answered,
+                s.tcp_failed,
                 report.elapsed.as_millis(),
                 s.attempts as f64 / report.elapsed.as_secs_f64()
             );
@@ -489,6 +555,7 @@ fn cmd_blast(args: &[String]) {
             println!("chaos-client: {}", report.stats.render());
             println!("chaos-fwd: {}", plan.tally(Direction::Forward).render());
             println!("chaos-rev: {}", plan.tally(Direction::Reverse).render());
+            println!("chaos-tcp: {}", plan.tcp_tally().render());
             println!(
                 "elapsed_ms={} qps={:.0}",
                 report.elapsed.as_millis(),
@@ -544,6 +611,7 @@ fn cmd_chaos(args: &[String]) {
     let mut upstream = "127.0.0.1:5300".to_string();
     let mut seed = 2017u64;
     let mut profile = FaultProfile::lossless();
+    let mut tcp_profile = TcpFaultProfile::lossless();
     let mut delay_min_ms = 0u64;
     let mut delay_max_ms = 0u64;
     let mut duration: Option<u64> = None;
@@ -560,6 +628,10 @@ fn cmd_chaos(args: &[String]) {
             "--reorder" => profile.reorder = parse_flag(&mut it, "--reorder"),
             "--delay-min-ms" => delay_min_ms = parse_flag(&mut it, "--delay-min-ms"),
             "--delay-max-ms" => delay_max_ms = parse_flag(&mut it, "--delay-max-ms"),
+            "--tcp-refuse" => tcp_profile.refuse = parse_flag(&mut it, "--tcp-refuse"),
+            "--tcp-reset" => tcp_profile.reset = parse_flag(&mut it, "--tcp-reset"),
+            "--tcp-stall" => tcp_profile.stall = parse_flag(&mut it, "--tcp-stall"),
+            "--tcp-badlen" => tcp_profile.corrupt_len = parse_flag(&mut it, "--tcp-badlen"),
             "--duration" => duration = Some(parse_flag(&mut it, "--duration")),
             "--help" | "-h" => usage_exit(0),
             other => {
@@ -573,7 +645,7 @@ fn cmd_chaos(args: &[String]) {
         eprintln!("bad --upstream: {e}");
         std::process::exit(2)
     });
-    let plan = Arc::new(FaultPlan::new(seed, profile, profile));
+    let plan = Arc::new(FaultPlan::new(seed, profile, profile).with_tcp(tcp_profile));
     let proxy = ChaosProxy::spawn(listen.as_str(), upstream, Arc::clone(&plan))
         .unwrap_or_else(|e| {
             eprintln!("chaos: {e}");
@@ -596,6 +668,7 @@ fn cmd_chaos(args: &[String]) {
     let report = |plan: &FaultPlan| {
         println!("chaos-fwd: {}", plan.tally(Direction::Forward).render());
         println!("chaos-rev: {}", plan.tally(Direction::Reverse).render());
+        println!("chaos-tcp: {}", plan.tcp_tally().render());
         println!(
             "chaos-summary: seed={} digest={:016x} events={}",
             plan.seed(),
@@ -626,6 +699,8 @@ fn cmd_smoke(args: &[String]) {
     let mut seed = 2017u64;
     let mut loss = 0.10f64;
     let mut corrupt = 0.01f64;
+    let mut tcp = false;
+    let mut edns_size: Option<u16> = None;
     let mut budget_secs = 120u64;
     let mut trace: Option<String> = None;
     let mut json = false;
@@ -642,6 +717,8 @@ fn cmd_smoke(args: &[String]) {
             "--seed" => seed = parse_flag(&mut it, "--seed"),
             "--loss" => loss = parse_flag(&mut it, "--loss"),
             "--corrupt" => corrupt = parse_flag(&mut it, "--corrupt"),
+            "--tcp" => tcp = true,
+            "--edns-size" => edns_size = Some(parse_flag(&mut it, "--edns-size")),
             "--budget-secs" => budget_secs = parse_flag(&mut it, "--budget-secs"),
             "--trace" => trace = Some(parse_flag(&mut it, "--trace")),
             "--json" => json = true,
@@ -652,6 +729,16 @@ fn cmd_smoke(args: &[String]) {
                 usage_exit(2)
             }
         }
+    }
+    if !chaos && (tcp || edns_size.is_some()) {
+        eprintln!("smoke: --tcp / --edns-size are part of the --chaos truncation gate");
+        std::process::exit(2);
+    }
+    if edns_size.is_some() && !tcp {
+        // A small advertisement with no stream transport behind it
+        // cannot meet the gate's completion criteria.
+        eprintln!("smoke: --edns-size requires --tcp");
+        std::process::exit(2);
     }
     if chaos {
         if json {
@@ -666,6 +753,7 @@ fn cmd_smoke(args: &[String]) {
             seed,
             loss,
             corrupt,
+            tcp.then(|| edns_size.unwrap_or(512)),
             budget_secs,
             trace.as_deref(),
             metrics_addr.as_deref(),
@@ -770,6 +858,16 @@ fn cmd_smoke(args: &[String]) {
 /// run inside the wall-clock budget. All `chaos-` lines are
 /// deterministic for a given seed — `scripts/verify.sh` compares them
 /// verbatim across two runs.
+///
+/// With `truncation` set (`--tcp`), the run becomes the truncation
+/// gate: the zone's probe answers are padded past the EDNS limit so
+/// every UDP answer comes back TC=1, the server also listens on TCP,
+/// and the proxies inject TCP connection faults (refused connections,
+/// mid-stream resets, stalls, corrupted length prefixes). The extra
+/// pass criteria: answers truncated on UDP actually completed over
+/// TCP, and every TCP frame the fault plan let through was classified
+/// by the server — the stream books balance just like the datagram
+/// books.
 #[allow(clippy::too_many_arguments)]
 fn chaos_smoke(
     queries: u64,
@@ -779,15 +877,25 @@ fn chaos_smoke(
     seed: u64,
     loss: f64,
     corrupt: f64,
+    truncation: Option<u16>,
     budget_secs: u64,
     trace: Option<&str>,
     metrics_addr: Option<&str>,
 ) {
     let origin = Name::parse("ourtestdomain.nl").expect("static origin");
-    let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
+    // In truncation mode the wildcard probe answer is padded to ~900
+    // bytes of TXT rdata, comfortably past the gate's default 512-byte
+    // EDNS limit, so every UDP answer truncates.
+    let zones = Arc::new(vec![match truncation {
+        Some(_) => padded_test_domain_zone(&origin, 2, 900),
+        None => test_domain_zone(&origin, 2),
+    }]);
     let collector = trace.map(|path| start_collector(path, &["FRA"]));
     let metrics = metrics_addr.map(start_metrics);
     let mut serve_cfg = ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads).io(io);
+    if let Some(size) = truncation {
+        serve_cfg = serve_cfg.tcp(TcpOptions::default()).truncation(TruncationPolicy::symmetric(size));
+    }
     if let Some(b) = batch {
         serve_cfg = serve_cfg.batch(b);
     }
@@ -805,7 +913,21 @@ fn chaos_smoke(
         std::process::exit(1)
     });
     let (fwd, rev) = chaos_profiles(loss, corrupt);
-    let plan = Arc::new(FaultPlan::new(seed, fwd, rev));
+    let mut plan = FaultPlan::new(seed, fwd, rev);
+    if truncation.is_some() {
+        // TCP connection faults for the truncation gate: roughly one
+        // fallback in five hits a fault on its first try. The client's
+        // cached-then-fresh retry absorbs a single fault per fallback,
+        // and later attempts re-enter the fallback, so completion still
+        // converges.
+        plan = plan.with_tcp(TcpFaultProfile {
+            refuse: 0.10,
+            reset: 0.04,
+            stall: 0.04,
+            corrupt_len: 0.04,
+        });
+    }
+    let plan = Arc::new(plan);
     let spawn_proxy = |label: &'static str| {
         ChaosProxy::spawn_metered(
             "127.0.0.1:0",
@@ -828,6 +950,12 @@ fn chaos_smoke(
         p1.local_addr(),
         p2.local_addr()
     );
+    if let (Some(size), Some(tcp_addr)) = (truncation, handle.tcp_addr()) {
+        eprintln!(
+            "smoke: truncation gate — tcp://{tcp_addr} behind the same proxies, \
+             EDNS limit {size} bytes"
+        );
+    }
 
     let started = Instant::now();
     let mut cfg =
@@ -835,6 +963,9 @@ fn chaos_smoke(
     // Fixed, not host-dependent: the transaction→worker split is part
     // of the deterministic fault schedule.
     cfg = cfg.concurrency(8);
+    if let Some(size) = truncation {
+        cfg = cfg.edns_size(size);
+    }
     cfg.seed = seed;
     if let Some(c) = &collector {
         cfg = cfg.collector(Arc::clone(c));
@@ -868,16 +999,24 @@ fn chaos_smoke(
     scrape_stop.store(true, std::sync::atomic::Ordering::Relaxed);
     let live_scrapes = scraper.map(|h| h.join().expect("scraper panicked")).unwrap_or(0);
     // Shutting the proxies down flushes any copy still held by their
-    // delay schedulers, so the forward tally is final afterwards.
+    // delay schedulers and joins the TCP relay threads, so both tallies
+    // are final afterwards.
     p1.shutdown();
     p2.shutdown();
     let fwd_tally = plan.tally(Direction::Forward);
     let rev_tally = plan.tally(Direction::Reverse);
+    let tcp_tally = plan.tcp_tally();
+    // TCP frames that reached the server: delivered in full, plus those
+    // whose connection was reset or whose *response* length prefix was
+    // corrupted — in both cases the query itself went upstream.
+    let tcp_forwarded = tcp_tally.delivered + tcp_tally.reset + tcp_tally.corrupt_len;
 
     // Let the server catch up with the last flushed deliveries before
     // balancing the books.
     let settle = Instant::now() + Duration::from_secs(5);
-    while handle.stats().packets_seen() < fwd_tally.delivered && Instant::now() < settle {
+    while handle.stats().packets_seen() < fwd_tally.delivered + tcp_forwarded
+        && Instant::now() < settle
+    {
         std::thread::sleep(Duration::from_millis(5));
     }
     let io = handle.io_errors();
@@ -894,15 +1033,18 @@ fn chaos_smoke(
     println!("chaos-client: {}", report.stats.render());
     println!("chaos-fwd: {}", fwd_tally.render());
     println!("chaos-rev: {}", rev_tally.render());
+    println!("chaos-tcp: {}", tcp_tally.render());
     println!(
         "chaos-server: queries={} answers={} refused={} formerr={} notimp={} dropped={} \
-         decode_errors={}",
+         truncated={} tcp_queries={} decode_errors={}",
         stats.queries,
         stats.answers,
         stats.refused,
         stats.formerr,
         stats.notimp,
         stats.dropped,
+        stats.truncated,
+        stats.tcp_queries,
         io.decode_errors
     );
     // Trace lines print after the deterministic `chaos-` block: the
@@ -926,10 +1068,11 @@ fn chaos_smoke(
     if report.stats.answered == 0 {
         failures.push("no transaction was answered".into());
     }
-    if stats.packets_seen() != fwd_tally.delivered {
+    if stats.packets_seen() != fwd_tally.delivered + tcp_forwarded {
         failures.push(format!(
-            "forward leak: plan delivered {} datagrams, server classified {}",
+            "forward leak: plan forwarded {} datagrams + {} tcp frames, server classified {}",
             fwd_tally.delivered,
+            tcp_forwarded,
             stats.packets_seen()
         ));
     }
@@ -939,6 +1082,33 @@ fn chaos_smoke(
             rev_tally.delivered,
             report.stats.received()
         ));
+    }
+    if truncation.is_some() {
+        // The truncation gate: padded answers over a small EDNS limit
+        // mean *every* UDP answer came back TC=1 — so any completed
+        // transaction proves the TCP fallback, and the stream books
+        // must balance like the datagram books.
+        if report.stats.tcp_answered == 0 {
+            failures.push("truncation gate: no transaction completed over TCP".into());
+        }
+        if stats.truncated == 0 {
+            failures.push("truncation gate: the server never truncated a UDP answer".into());
+        }
+        if report.stats.answered != report.stats.tcp_answered {
+            failures.push(format!(
+                "truncation gate: {} answers but only {} over TCP — a padded answer \
+                 fit under the EDNS limit",
+                report.stats.answered, report.stats.tcp_answered
+            ));
+        }
+        if stats.tcp_queries != tcp_forwarded {
+            failures.push(format!(
+                "tcp leak: plan forwarded {} frames, server classified {}",
+                tcp_forwarded, stats.tcp_queries
+            ));
+        }
+    } else if stats.tcp_queries != 0 || report.stats.tcp_attempts != 0 {
+        failures.push("tcp traffic on a udp-only run".into());
     }
     if elapsed > Duration::from_secs(budget_secs) {
         failures.push(format!(
@@ -1028,14 +1198,26 @@ fn chaos_smoke(
         }
         std::process::exit(1);
     }
-    println!(
-        "smoke: PASS — {} transactions under {:.0}% loss: {} answered, {} servfail, \
-         every datagram accounted",
-        queries,
-        loss * 100.0,
-        report.stats.answered,
-        report.stats.servfails
-    );
+    match truncation {
+        Some(size) => println!(
+            "smoke: PASS — {} transactions under {:.0}% loss with a {size}-byte EDNS limit: \
+             {} truncated on UDP, {} completed over TCP, {} servfail, every datagram and \
+             frame accounted",
+            queries,
+            loss * 100.0,
+            stats.truncated,
+            report.stats.tcp_answered,
+            report.stats.servfails
+        ),
+        None => println!(
+            "smoke: PASS — {} transactions under {:.0}% loss: {} answered, {} servfail, \
+             every datagram accounted",
+            queries,
+            loss * 100.0,
+            report.stats.answered,
+            report.stats.servfails
+        ),
+    }
 }
 
 /// `dnswild top`: a live text view over any running metrics endpoint.

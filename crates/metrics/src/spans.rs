@@ -61,12 +61,34 @@ pub struct StageSpans {
 impl StageSpans {
     /// Registers `dnswild_stage_ns{stage=...}` histograms plus scrape-
     /// time p50/p99 gauges, and returns the recording handle.
+    ///
+    /// The unlabelled series are the UDP hot path (the original PR-5
+    /// shape, kept label-stable for existing dashboards); other
+    /// transports register their own series via
+    /// [`StageSpans::register_labelled`].
     pub fn register(registry: &Arc<Registry>) -> Arc<StageSpans> {
+        StageSpans::register_labelled(registry, &[])
+    }
+
+    /// Like [`StageSpans::register`] but with extra labels on every
+    /// series — e.g. `[("transport", "tcp")]` gives the TCP plane its
+    /// own `dnswild_stage_ns{stage=...,transport="tcp"}` histograms.
+    /// Registration is idempotent per label set (the registry dedupes
+    /// by `(name, labels)`).
+    pub fn register_labelled(
+        registry: &Arc<Registry>,
+        extra: &[(&str, &str)],
+    ) -> Arc<StageSpans> {
+        let with_stage = |s: Stage| {
+            let mut labels = vec![("stage", s.name())];
+            labels.extend_from_slice(extra);
+            labels
+        };
         let hists = STAGES.map(|s| {
             registry.histogram_with(
                 "dnswild_stage_ns",
                 "per-stage serving hot path time, nanoseconds",
-                &[("stage", s.name())],
+                &with_stage(s),
             )
         });
         let spans = Arc::new(StageSpans { hists });
@@ -75,7 +97,7 @@ impl StageSpans {
                 registry.gauge_with(
                     name,
                     "per-stage latency percentile, nanoseconds (refreshed on scrape)",
-                    &[("stage", s.name())],
+                    &with_stage(s),
                 )
             });
             let spans = Arc::clone(&spans);
@@ -197,6 +219,25 @@ mod tests {
         let text = reg.render();
         assert!(text.contains("dnswild_stage_ns_bucket{stage=\"recv\""));
         assert!(text.contains("dnswild_stage_p50_ns{stage=\"engine\"}"));
+    }
+
+    #[test]
+    fn labelled_spans_are_their_own_series_and_idempotent() {
+        let reg = Arc::new(Registry::new());
+        let udp = StageSpans::register(&reg);
+        let tcp = StageSpans::register_labelled(&reg, &[("transport", "tcp")]);
+        let mut clock = StageClock::start(true);
+        clock.lap(Some(&tcp), Stage::Recv);
+        #[cfg(feature = "stage-spans")]
+        {
+            assert_eq!(tcp.histogram(Stage::Recv).count(), 1);
+            assert_eq!(udp.histogram(Stage::Recv).count(), 0, "series are distinct");
+            // Same label set fetches the same underlying histograms.
+            let again = StageSpans::register_labelled(&reg, &[("transport", "tcp")]);
+            assert_eq!(again.histogram(Stage::Recv).count(), 1);
+        }
+        let text = reg.render();
+        assert!(text.contains("dnswild_stage_ns_bucket{stage=\"recv\",transport=\"tcp\""));
     }
 
     #[test]

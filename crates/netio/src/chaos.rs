@@ -30,8 +30,8 @@
 //! what the smoke gate compares across runs.
 
 use std::collections::{BinaryHeap, HashMap};
-use std::io;
-use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
@@ -40,6 +40,8 @@ use std::time::{Duration, Instant};
 
 use detrand::{splitmix64, DetRng, Rng};
 use dnswild_metrics::{Counter, Registry};
+
+use crate::tcp::{write_frame, FrameReader};
 use dnswild_telemetry::{
     hash_bytes as event_hash_bytes, hash_socket_addr, Collector, Event, EventKind, Producer,
     FLAG_CHAOS_CORRUPT, FLAG_CHAOS_DELAY, FLAG_CHAOS_DROP, FLAG_CHAOS_DUP, FLAG_CHAOS_REORDER,
@@ -80,7 +82,9 @@ pub struct FaultProfile {
     pub dup: f64,
     /// Probability one byte is XORed with a random non-zero mask.
     pub corrupt: f64,
-    /// Probability the datagram is cut at a random offset `>= 1`.
+    /// Probability the datagram is cut at a random offset `>= 1`, with
+    /// TC=1 set in the surviving header (as a real truncating hop
+    /// would mark it).
     pub truncate: f64,
     /// Probability the datagram is held an extra `delay_max` beyond its
     /// drawn delay, letting later traffic overtake it.
@@ -124,6 +128,108 @@ impl FaultProfile {
     /// delay would race the timer and break run-to-run determinism.
     pub fn max_hold(&self) -> Duration {
         Duration::from_micros(self.delay_max_us.saturating_mul(2))
+    }
+}
+
+/// The fault mix applied to TCP fallback traffic crossing the proxy.
+/// Each probability is drawn once per *query frame* (content-keyed like
+/// the UDP faults), in the order the fields are declared; the first
+/// draw that fires decides the whole exchange's fate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TcpFaultProfile {
+    /// Connection is closed on receipt of the frame, before anything is
+    /// forwarded — the client sees an immediate EOF, as from a refusing
+    /// or overloaded server.
+    pub refuse: f64,
+    /// The query is forwarded upstream but the connection is torn down
+    /// before the response is relayed — a mid-stream reset.
+    pub reset: f64,
+    /// The frame is swallowed and the connection left open with nothing
+    /// coming back — a slow-loris stall the client can only escape by
+    /// timing out.
+    pub stall: f64,
+    /// The response is relayed under a length prefix overstating the
+    /// payload, so the client's framing starves waiting for bytes that
+    /// never come.
+    pub corrupt_len: f64,
+}
+
+impl TcpFaultProfile {
+    /// No TCP faults: frames are relayed transparently.
+    pub const fn lossless() -> Self {
+        TcpFaultProfile { refuse: 0.0, reset: 0.0, stall: 0.0, corrupt_len: 0.0 }
+    }
+}
+
+/// The fate [`FaultPlan::decide_tcp`] chose for one TCP query frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpFate {
+    /// Relay the query and its response unmodified.
+    Deliver,
+    /// Close the connection without forwarding.
+    Refuse,
+    /// Forward the query, then close before relaying the response.
+    Reset,
+    /// Swallow the frame; leave the connection open and silent.
+    Stall,
+    /// Relay the response under an overstated length prefix.
+    CorruptLen,
+}
+
+impl TcpFate {
+    /// Distinct digest action code (UDP deliveries use 0–2).
+    fn action(self) -> u64 {
+        match self {
+            TcpFate::Deliver => 3,
+            TcpFate::Refuse => 4,
+            TcpFate::Reset => 5,
+            TcpFate::Stall => 6,
+            TcpFate::CorruptLen => 7,
+        }
+    }
+}
+
+/// Monotone TCP-side fault tallies.
+#[derive(Debug, Default)]
+struct TcpCounters {
+    conns: AtomicU64,
+    frames: AtomicU64,
+    delivered: AtomicU64,
+    refused: AtomicU64,
+    reset: AtomicU64,
+    stalled: AtomicU64,
+    corrupt_len: AtomicU64,
+}
+
+/// A point-in-time copy of the TCP-side fault tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpFaultTally {
+    /// TCP connections accepted by the proxy.
+    pub conns: u64,
+    /// Query frames read from clients.
+    pub frames: u64,
+    /// Frames relayed with their responses, unmodified.
+    pub delivered: u64,
+    /// Connections closed on receipt of a frame.
+    pub refused: u64,
+    /// Connections reset after the query went upstream.
+    pub reset: u64,
+    /// Frames swallowed with the connection left hanging.
+    pub stalled: u64,
+    /// Responses relayed under a corrupted length prefix.
+    pub corrupt_len: u64,
+}
+
+impl TcpFaultTally {
+    /// Canonical `k=v` rendering for reproducibility comparisons.
+    /// `conns` is excluded: how many connections the client opens
+    /// depends on real socket timing, while the per-frame fate counts
+    /// are content-determined.
+    pub fn render(&self) -> String {
+        format!(
+            "frames={} ok={} refuse={} reset={} stall={} badlen={}",
+            self.frames, self.delivered, self.refused, self.reset, self.stalled, self.corrupt_len
+        )
     }
 }
 
@@ -213,6 +319,7 @@ pub struct FaultPlan {
     seed: u64,
     forward: FaultProfile,
     reverse: FaultProfile,
+    tcp: TcpFaultProfile,
     /// content-key → how many times these bytes were seen.
     occurrences: Mutex<HashMap<u64, u64>>,
     /// Order-insensitive fold (wrapping sum) of per-event hashes.
@@ -220,6 +327,7 @@ pub struct FaultPlan {
     events: AtomicU64,
     fwd: DirCounters,
     rev: DirCounters,
+    tcp_counters: TcpCounters,
 }
 
 impl FaultPlan {
@@ -231,12 +339,78 @@ impl FaultPlan {
             seed,
             forward,
             reverse,
+            tcp: TcpFaultProfile::lossless(),
             occurrences: Mutex::new(HashMap::new()),
             digest: AtomicU64::new(0),
             events: AtomicU64::new(0),
             fwd: DirCounters::default(),
             rev: DirCounters::default(),
+            tcp_counters: TcpCounters::default(),
         }
+    }
+
+    /// Applies `profile` to TCP fallback traffic (lossless by default).
+    pub fn with_tcp(mut self, profile: TcpFaultProfile) -> Self {
+        self.tcp = profile;
+        self
+    }
+
+    /// The TCP fault profile.
+    pub fn tcp_profile(&self) -> &TcpFaultProfile {
+        &self.tcp
+    }
+
+    /// TCP-side fault tallies.
+    pub fn tcp_tally(&self) -> TcpFaultTally {
+        let c = &self.tcp_counters;
+        TcpFaultTally {
+            conns: c.conns.load(Ordering::Relaxed),
+            frames: c.frames.load(Ordering::Relaxed),
+            delivered: c.delivered.load(Ordering::Relaxed),
+            refused: c.refused.load(Ordering::Relaxed),
+            reset: c.reset.load(Ordering::Relaxed),
+            stalled: c.stalled.load(Ordering::Relaxed),
+            corrupt_len: c.corrupt_len.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Decides the fate of one TCP query frame, keyed — like
+    /// [`FaultPlan::decide`] — on `(seed, frame bytes, occurrence)` with
+    /// a TCP-specific stream tag, so retried frames draw fresh but
+    /// reproducible fates and the aggregate counts are content-
+    /// determined regardless of connection interleaving.
+    pub fn decide_tcp(&self, frame: &[u8]) -> TcpFate {
+        let c = &self.tcp_counters;
+        c.frames.fetch_add(1, Ordering::Relaxed);
+        let key = hash_bytes(splitmix64(self.seed ^ 0x5443_5051), frame);
+        let occurrence = {
+            let mut map = self.occurrences.lock().expect("occurrence map poisoned");
+            let slot = map.entry(key).or_insert(0);
+            let seen = *slot;
+            *slot += 1;
+            seen
+        };
+        let mut rng =
+            DetRng::seed_from_u64(splitmix64(key ^ splitmix64(occurrence ^ 0x7463_7066)));
+        let p = self.tcp;
+        let fate = if rng.gen_bool(p.refuse) {
+            c.refused.fetch_add(1, Ordering::Relaxed);
+            TcpFate::Refuse
+        } else if rng.gen_bool(p.reset) {
+            c.reset.fetch_add(1, Ordering::Relaxed);
+            TcpFate::Reset
+        } else if rng.gen_bool(p.stall) {
+            c.stalled.fetch_add(1, Ordering::Relaxed);
+            TcpFate::Stall
+        } else if rng.gen_bool(p.corrupt_len) {
+            c.corrupt_len.fetch_add(1, Ordering::Relaxed);
+            TcpFate::CorruptLen
+        } else {
+            c.delivered.fetch_add(1, Ordering::Relaxed);
+            TcpFate::Deliver
+        };
+        self.record_event(key, occurrence, fate.action(), 0, frame);
+        fate
     }
 
     /// The plan's seed.
@@ -316,6 +490,15 @@ impl FaultPlan {
             if rng.gen_bool(profile.truncate) && bytes.len() >= 2 {
                 let keep = rng.gen_range(1..bytes.len());
                 bytes.truncate(keep);
+                // Real-world truncation (a shim or middlebox cutting a
+                // datagram at a size limit) marks the damage: RFC 1035
+                // requires TC=1 on anything cut short. Set it whenever
+                // the flag byte survived the cut, so a truncated reply
+                // whose prefix still decodes classifies as TC downstream
+                // instead of masquerading as a short-but-complete one.
+                if keep >= 3 {
+                    bytes[2] |= 0x02;
+                }
                 counters.truncated.fetch_add(1, Ordering::Relaxed);
             }
             if rng.gen_bool(profile.corrupt) && !bytes.is_empty() {
@@ -407,13 +590,16 @@ impl Scheduled {
 }
 
 /// A running chaos proxy: one listen socket facing clients, one
-/// connected socket per client session facing the upstream, and a
-/// scheduler thread that holds delayed copies.
+/// connected socket per client session facing the upstream, a TCP
+/// listener on the same port relaying fallback frames (under the
+/// plan's [`TcpFaultProfile`]), and a scheduler thread that holds
+/// delayed copies.
 pub struct ChaosProxy {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     plan: Arc<FaultPlan>,
     listen: Option<JoinHandle<()>>,
+    tcp_accept: Option<JoinHandle<()>>,
     scheduler: Option<JoinHandle<()>>,
 }
 
@@ -474,12 +660,22 @@ impl ChaosProxy {
                 .name("chaos-listen".into())
                 .spawn(move || listen_loop(listen_sock, upstream, plan, stop, tx, collector, metrics))?
         };
+        // TCP fallback relay on the same port the UDP listener got.
+        let tcp_listener = TcpListener::bind(local_addr)?;
+        let tcp_accept = {
+            let stop = Arc::clone(&stop);
+            let plan = Arc::clone(&plan);
+            std::thread::Builder::new()
+                .name("chaos-tcp".into())
+                .spawn(move || tcp_accept_loop(tcp_listener, upstream, plan, stop))?
+        };
 
         Ok(ChaosProxy {
             local_addr,
             stop,
             plan,
             listen: Some(listen),
+            tcp_accept: Some(tcp_accept),
             scheduler: Some(scheduler),
         })
     }
@@ -499,6 +695,12 @@ impl ChaosProxy {
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.listen.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.tcp_accept.take() {
+            // The accept loop blocks in `accept`; a throwaway connection
+            // wakes it to observe the stop flag.
+            let _ = TcpStream::connect_timeout(&self.local_addr, STOP_POLL_INTERVAL);
             let _ = h.join();
         }
         // The listen thread owned the last scheduler sender; once it is
@@ -798,6 +1000,148 @@ fn reverse_loop(
     }
 }
 
+/// Accepts TCP fallback connections and spawns one relay thread per
+/// connection; joins them all on shutdown.
+fn tcp_accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    plan: Arc<FaultPlan>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(STOP_POLL_INTERVAL);
+                continue;
+            }
+        };
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        conns.retain(|h| !h.is_finished());
+        let plan = Arc::clone(&plan);
+        let stop = Arc::clone(&stop);
+        if let Ok(h) = std::thread::Builder::new()
+            .name("chaos-tcp-conn".into())
+            .spawn(move || tcp_relay_loop(stream, upstream, plan, stop))
+        {
+            conns.push(h);
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Relays length-prefixed frames for one client connection, applying
+/// the per-frame fate [`FaultPlan::decide_tcp`] chooses. The upstream
+/// connection is opened lazily on the first forwarded frame and reused
+/// for the rest of the client connection's life.
+fn tcp_relay_loop(
+    mut client: TcpStream,
+    upstream_addr: SocketAddr,
+    plan: Arc<FaultPlan>,
+    stop: Arc<AtomicBool>,
+) {
+    plan.tcp_counters.conns.fetch_add(1, Ordering::Relaxed);
+    let _ = client.set_nodelay(true);
+    if client.set_read_timeout(Some(STOP_POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut reader = FrameReader::new();
+    let mut upstream: Option<(TcpStream, FrameReader)> = None;
+    let mut scratch = Vec::new();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let frame = match reader.read_frame(&mut client) {
+            Ok(Some(f)) => f.to_vec(),
+            Ok(None) => return,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(_) => return,
+        };
+        let fate = match plan.decide_tcp(&frame) {
+            TcpFate::Refuse => return,
+            TcpFate::Stall => continue,
+            fate => fate,
+        };
+        if upstream.is_none() {
+            match TcpStream::connect_timeout(&upstream_addr, Duration::from_secs(2)) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    if s.set_read_timeout(Some(STOP_POLL_INTERVAL)).is_err() {
+                        return;
+                    }
+                    upstream = Some((s, FrameReader::new()));
+                }
+                Err(_) => return,
+            }
+        }
+        let (us, ur) = upstream.as_mut().expect("just connected");
+        if write_frame(us, &frame, &mut scratch).is_err() {
+            return;
+        }
+        if fate == TcpFate::Reset {
+            return;
+        }
+        let resp = loop {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match ur.read_frame(us) {
+                Ok(Some(p)) => break p.to_vec(),
+                Ok(None) => return,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue
+                }
+                Err(_) => return,
+            }
+        };
+        match fate {
+            TcpFate::Deliver => {
+                if write_frame(&mut client, &resp, &mut scratch).is_err() {
+                    return;
+                }
+            }
+            TcpFate::CorruptLen => {
+                // A length prefix overstating the payload: the client's
+                // framing starves waiting for the missing bytes.
+                let lie = (resp.len().min(u16::MAX as usize) as u16).saturating_add(7);
+                scratch.clear();
+                scratch.extend_from_slice(&lie.to_be_bytes());
+                scratch.extend_from_slice(&resp);
+                if client.write_all(&scratch).is_err() {
+                    return;
+                }
+            }
+            _ => unreachable!("refuse/stall/reset handled above"),
+        }
+    }
+}
+
 fn scheduler_loop(rx: mpsc::Receiver<Scheduled>) {
     let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
     loop {
@@ -1000,6 +1344,117 @@ mod tests {
             tally.dropped
         );
         assert!(tally.dropped > 0, "a 50% drop plan over 32 datagrams drops some");
+    }
+
+    /// Truncated copies carry TC=1 whenever the header flag byte
+    /// survived the cut — so downstream DNS-aware classification sees
+    /// the damage marked the way a real truncating hop would mark it.
+    #[test]
+    fn truncated_copies_set_the_tc_bit() {
+        let plan = FaultPlan::new(
+            21,
+            FaultProfile { truncate: 1.0, ..FaultProfile::lossless() },
+            FaultProfile::lossless(),
+        );
+        let payload = vec![0u8; 64];
+        let mut long_enough = 0;
+        for _ in 0..32 {
+            for d in plan.decide(Direction::Forward, &payload) {
+                assert!(d.payload.len() < payload.len(), "always truncated");
+                if d.payload.len() >= 3 {
+                    assert_eq!(d.payload[2] & 0x02, 0x02, "TC bit set in surviving header");
+                    long_enough += 1;
+                }
+            }
+        }
+        assert!(long_enough > 0, "some cuts keep the flag byte");
+        assert_eq!(plan.tally(Direction::Forward).truncated, 32);
+    }
+
+    /// TCP frame fates are a pure function of (seed, frame bytes,
+    /// occurrence): two identically seeded plans agree fate-for-fate,
+    /// and every fault kind fires under a heavy profile.
+    #[test]
+    fn tcp_fates_are_content_deterministic() {
+        let run = || {
+            let plan = FaultPlan::new(11, FaultProfile::lossless(), FaultProfile::lossless())
+                .with_tcp(TcpFaultProfile {
+                    refuse: 0.25,
+                    reset: 0.25,
+                    stall: 0.2,
+                    corrupt_len: 0.2,
+                });
+            let fates: Vec<TcpFate> = (0..100u32)
+                .map(|i| plan.decide_tcp(format!("frame-{}", i % 25).as_bytes()))
+                .collect();
+            (fates, plan.tcp_tally(), plan.schedule_digest())
+        };
+        assert_eq!(run(), run());
+        let (_, tally, digest) = run();
+        assert_eq!(tally.frames, 100);
+        assert_eq!(
+            tally.delivered + tally.refused + tally.reset + tally.stalled + tally.corrupt_len,
+            100,
+            "every frame gets exactly one fate"
+        );
+        for (name, v) in [
+            ("delivered", tally.delivered),
+            ("refused", tally.refused),
+            ("reset", tally.reset),
+            ("stalled", tally.stalled),
+            ("corrupt_len", tally.corrupt_len),
+        ] {
+            assert!(v > 0, "{name} never fired: {}", tally.render());
+        }
+        // TCP decisions fold into the same digest as UDP ones.
+        let lossless = FaultPlan::new(11, FaultProfile::lossless(), FaultProfile::lossless());
+        assert_ne!(digest, lossless.schedule_digest());
+    }
+
+    /// End to end through a faulty TCP relay: server-side truncation
+    /// pushes every transaction to the TCP fallback, the proxy injects
+    /// refusals/resets/stalls/length corruption, and the client still
+    /// completes everything with balanced books.
+    #[test]
+    fn truncated_transactions_complete_over_faulty_tcp() {
+        use crate::client::{resolve, ResolveConfig};
+        use crate::server::{serve, ServeConfig};
+        use crate::tcp::TcpOptions;
+        use dnswild_proto::Name;
+        use dnswild_server::TruncationPolicy;
+        use dnswild_zone::presets::padded_test_domain_zone;
+
+        let origin = Name::parse("ourtestdomain.nl").unwrap();
+        let zones = Arc::new(vec![padded_test_domain_zone(&origin, 2, 900)]);
+        let handle = serve(
+            ServeConfig::new("127.0.0.1:0", "FRA", zones)
+                .threads(2)
+                .tcp(TcpOptions::default())
+                .truncation(TruncationPolicy::symmetric(512)),
+        )
+        .unwrap();
+        let plan = Arc::new(
+            FaultPlan::new(2017, FaultProfile::lossless(), FaultProfile::lossless()).with_tcp(
+                TcpFaultProfile { refuse: 0.15, reset: 0.05, stall: 0.05, corrupt_len: 0.05 },
+            ),
+        );
+        let proxy =
+            ChaosProxy::spawn("127.0.0.1:0", handle.local_addr(), Arc::clone(&plan)).unwrap();
+        let mut cfg = ResolveConfig::new(vec![proxy.local_addr()], origin)
+            .transactions(10)
+            .concurrency(2)
+            .edns_size(512);
+        cfg.timeout = Duration::from_millis(50);
+        let report = resolve(cfg).unwrap();
+        proxy.shutdown();
+        let stats = handle.shutdown();
+        report.stats.check().unwrap();
+        assert_eq!(report.stats.answered, 10, "{}", report.stats.render());
+        assert_eq!(report.stats.tcp_answered, 10, "all answers arrived over TCP");
+        let tally = plan.tcp_tally();
+        assert!(tally.frames >= 10, "{}", tally.render());
+        assert!(tally.delivered >= 10, "{}", tally.render());
+        assert!(stats.tcp_queries >= 10, "server saw the relayed frames");
     }
 
     /// Delayed copies arrive late but arrive; the scheduler delivers

@@ -34,13 +34,18 @@
 //!   failure was a mutated duplicate copy), the failure is reclassified
 //!   as `stale`, which is exactly where the opposite arrival order
 //!   would have put it.
+//! * The TCP fallback for truncated answers fires only *after* the
+//!   attempt window closes still doomed by TC — never synchronously on
+//!   the first TC=1 read — so whether a truncated copy or a duplicated
+//!   clean answer is read first cannot change which transport completes
+//!   the transaction.
 //!
 //! Which *server* an attempt goes to (and therefore the per-server
 //! split) legitimately varies with real RTTs; the aggregate counters do
 //! not.
 
 use std::io;
-use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::net::{Ipv4Addr, SocketAddr, TcpStream, UdpSocket};
 use std::ops::{Add, AddAssign};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -52,8 +57,11 @@ use dnswild_netsim::{SimAddr, SimDuration, SimTime};
 use dnswild_proto::{Message, Name, RType, Rcode};
 use dnswild_resolver::{InfraCache, PolicyKind};
 use dnswild_telemetry::{
-    qname_hash32, Collector, Event, EventKind, FLAG_RESPONSE, FLAG_TIMEOUT, RCODE_NONE,
+    qname_hash32, Collector, Event, EventKind, FLAG_RESPONSE, FLAG_TCP, FLAG_TCP_RETRY,
+    FLAG_TC_SEEN, FLAG_TIMEOUT, RCODE_NONE,
 };
+
+use crate::tcp::{write_frame, FrameReader};
 
 /// How long a worker keeps reading after its last transaction, so every
 /// straggling duplicate or delayed reply is drained and accounted. Must
@@ -79,6 +87,14 @@ pub struct ResolveConfig {
     pub max_tries: u32,
     /// Seed for the per-worker policy RNG streams.
     pub seed: u64,
+    /// When set, every query advertises EDNS(0) with this UDP payload
+    /// size. A small size (e.g. 512) is how the truncation → TCP-retry
+    /// path is forced against zones with fat answers.
+    pub edns_size: Option<u16>,
+    /// Retry a transaction over TCP once its attempt window closes on a
+    /// TC=1 answer (RFC 7766). On by default; off leaves truncated
+    /// attempts accounted under `tc_seen` and paced into UDP retries.
+    pub tcp_fallback: bool,
     /// Zone origin the probe queries are built under.
     pub origin: Name,
     /// Telemetry collector: when set, each worker records one
@@ -108,10 +124,26 @@ impl ResolveConfig {
             timeout: Duration::from_millis(250),
             max_tries: 4,
             seed: 2017,
+            edns_size: None,
+            tcp_fallback: true,
             origin,
             collector: None,
             metrics: None,
         }
+    }
+
+    /// Advertises EDNS(0) with `size` on every query (see
+    /// [`ResolveConfig::edns_size`]).
+    pub fn edns_size(mut self, size: u16) -> Self {
+        self.edns_size = Some(size);
+        self
+    }
+
+    /// Enables or disables the truncation TCP fallback (see
+    /// [`ResolveConfig::tcp_fallback`]).
+    pub fn tcp_fallback(mut self, on: bool) -> Self {
+        self.tcp_fallback = on;
+        self
     }
 
     /// Attaches a telemetry collector (see [`ResolveConfig::collector`]).
@@ -172,6 +204,14 @@ pub struct ClientStats {
     pub formerr: u64,
     /// Attempts doomed by a TC=1 reply.
     pub tc_seen: u64,
+    /// TCP fallback queries issued after a TC-doomed attempt window.
+    pub tcp_attempts: u64,
+    /// Transactions completed by a TCP fallback answer (a subset of
+    /// `answered`).
+    pub tcp_answered: u64,
+    /// TCP fallbacks that failed (connect/frame error, timeout, or an
+    /// unusable reply); the transaction went back to UDP retries.
+    pub tcp_failed: u64,
     /// Datagrams that failed to decode as DNS messages.
     pub corrupt_replies: u64,
     /// Decoded replies not attributable to an in-flight attempt:
@@ -195,6 +235,9 @@ impl Add for ClientStats {
             lame: self.lame + o.lame,
             formerr: self.formerr + o.formerr,
             tc_seen: self.tc_seen + o.tc_seen,
+            tcp_attempts: self.tcp_attempts + o.tcp_attempts,
+            tcp_answered: self.tcp_answered + o.tcp_answered,
+            tcp_failed: self.tcp_failed + o.tcp_failed,
             corrupt_replies: self.corrupt_replies + o.corrupt_replies,
             stale: self.stale + o.stale,
         }
@@ -208,10 +251,12 @@ impl AddAssign for ClientStats {
 }
 
 impl ClientStats {
-    /// Total datagrams read and classified (every reverse-direction
-    /// delivery ends up in exactly one of these counters).
+    /// Total *UDP datagrams* read and classified (every reverse-
+    /// direction delivery ends up in exactly one of these counters).
+    /// Transactions answered over the TCP fallback are excluded: their
+    /// answer bytes never crossed the UDP socket.
     pub fn received(&self) -> u64 {
-        self.answered
+        self.answered - self.tcp_answered
             + self.lame
             + self.formerr
             + self.tc_seen
@@ -234,11 +279,31 @@ impl ClientStats {
                 self.attempts, self.transactions, self.retries
             ));
         }
-        let ended = self.answered + self.timeouts + self.lame + self.formerr + self.tc_seen;
+        if self.tcp_answered > self.answered {
+            return Err(format!(
+                "tcp books: {} tcp_answered > {} answered",
+                self.tcp_answered, self.answered
+            ));
+        }
+        // A UDP attempt ends in exactly one of: the (UDP) answer, a
+        // timeout, or a dooming failure reply. TCP-fallback answers
+        // complete a *transaction* without completing any UDP attempt —
+        // their attempt already ended in `tc_seen`.
+        let ended = self.answered - self.tcp_answered
+            + self.timeouts
+            + self.lame
+            + self.formerr
+            + self.tc_seen;
         if self.attempts != ended {
             return Err(format!(
                 "attempt outcomes sum to {ended}, expected {} ({self:?})",
                 self.attempts
+            ));
+        }
+        if self.tcp_attempts != self.tcp_answered + self.tcp_failed {
+            return Err(format!(
+                "tcp books: {} attempts != {} answered + {} failed",
+                self.tcp_attempts, self.tcp_answered, self.tcp_failed
             ));
         }
         Ok(())
@@ -249,7 +314,7 @@ impl ClientStats {
     pub fn render(&self) -> String {
         format!(
             "txns={} answered={} servfail={} attempts={} retries={} timeouts={} lame={} \
-             formerr={} tc={} corrupt={} stale={}",
+             formerr={} tc={} tcp_try={} tcp_ok={} tcp_fail={} corrupt={} stale={}",
             self.transactions,
             self.answered,
             self.servfails,
@@ -259,6 +324,9 @@ impl ClientStats {
             self.lame,
             self.formerr,
             self.tc_seen,
+            self.tcp_attempts,
+            self.tcp_answered,
+            self.tcp_failed,
             self.corrupt_replies,
             self.stale
         )
@@ -283,6 +351,57 @@ struct Attempt {
     id: u16,
     server: usize,
     sent_at: Instant,
+}
+
+/// A cached TCP fallback connection to one server, with its resumable
+/// frame reader (RFC 7766 encourages connection reuse across queries).
+struct TcpConn {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+fn tcp_connect(addr: &SocketAddr, timeout: Duration) -> io::Result<TcpConn> {
+    let stream = TcpStream::connect_timeout(addr, timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    Ok(TcpConn { stream, reader: FrameReader::new() })
+}
+
+/// Writes `query_bytes` as one frame and reads one response frame,
+/// bounded by `timeout` overall.
+fn tcp_roundtrip(conn: &mut TcpConn, query_bytes: &[u8], timeout: Duration) -> io::Result<Vec<u8>> {
+    let mut scratch = Vec::with_capacity(query_bytes.len() + 2);
+    write_frame(&mut conn.stream, query_bytes, &mut scratch)?;
+    let deadline = Instant::now() + timeout;
+    loop {
+        match conn.reader.read_frame(&mut conn.stream) {
+            Ok(Some(p)) => return Ok(p.to_vec()),
+            Ok(None) => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "tcp reply timed out"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A TCP retry reply completes the transaction only if it is a full
+/// answer to it: right ID, QR=1, TC=0, positive rcode, same question.
+fn tcp_reply_is_answer(payload: &[u8], id: u16, qname: &Name) -> bool {
+    let Ok(msg) = Message::decode(payload) else {
+        return false;
+    };
+    msg.header.id == id
+        && msg.is_response()
+        && !msg.header.truncated
+        && matches!(msg.rcode(), Rcode::NoError | Rcode::NxDomain)
+        && msg.question().is_some_and(|q| q.qname == *qname && q.qtype == RType::Txt)
 }
 
 /// How one received datagram relates to the current transaction.
@@ -444,6 +563,8 @@ fn worker_loop(
     let mut send_buf = Vec::with_capacity(128);
     let mut recv_buf = vec![0u8; 4096];
     let max_tries = cfg.max_tries.max(1);
+    // One cached TCP fallback connection per server (RFC 7766 reuse).
+    let mut tcp_conns: Vec<Option<TcpConn>> = (0..cfg.servers.len()).map(|_| None).collect();
 
     // One producer ring per worker; the client token is derived from the
     // seed and worker index so trace-side client groupings are stable
@@ -480,7 +601,13 @@ fn worker_loop(
             // are new datagrams with fresh content, so a content-keyed
             // fault plan gives each attempt an independent fate.
             let id = (txn.wrapping_mul(max_tries as u64) + attempt as u64) as u16;
-            let query = Message::iterative_query(id, qname.clone(), RType::Txt);
+            let mut query = Message::iterative_query(id, qname.clone(), RType::Txt);
+            if let Some(size) = cfg.edns_size {
+                // Replace the constructor's default OPT — RFC 6891
+                // allows exactly one.
+                query.additionals.clear();
+                query.add_edns(size);
+            }
             query
                 .encode_into(&mut send_buf)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e:?}")))?;
@@ -577,6 +704,60 @@ fn worker_loop(
                     Reply::Stale => stats.stale += 1,
                 }
             }
+            // Truncation fallback (RFC 7766): only once the window has
+            // closed still doomed by TC — see the determinism contract.
+            // The attempt itself stays accounted under `tc_seen`; a TCP
+            // answer completes the *transaction*.
+            let tc_doomed = matches!(doomed, Some(Doom::Tc));
+            let mut tcp_retried = false;
+            let mut answered_via_tcp = false;
+            if !answered && tc_doomed && cfg.tcp_fallback {
+                tcp_retried = true;
+                stats.tcp_attempts += 1;
+                let tcp_start = Instant::now();
+                let mut reply: Option<Vec<u8>> = None;
+                // The cached connection may have gone stale since the
+                // last fallback; on any error drop it and try once more
+                // on a fresh one.
+                for fresh in [false, true] {
+                    if fresh || tcp_conns[server].is_none() {
+                        tcp_conns[server] = tcp_connect(&cfg.servers[server], cfg.timeout).ok();
+                    }
+                    let Some(conn) = tcp_conns[server].as_mut() else {
+                        continue;
+                    };
+                    match tcp_roundtrip(conn, &send_buf, cfg.timeout) {
+                        Ok(p) => {
+                            reply = Some(p);
+                            break;
+                        }
+                        Err(_) => tcp_conns[server] = None,
+                    }
+                }
+                match reply {
+                    Some(p) if tcp_reply_is_answer(&p, id, &qname) => {
+                        let rtt = tcp_start.elapsed();
+                        stats.tcp_answered += 1;
+                        stats.answered += 1;
+                        infra.observe_rtt(
+                            tokens[server],
+                            SimDuration::from_micros(rtt.as_micros() as u64),
+                            sim_now(epoch),
+                        );
+                        if let Some(m) = metrics {
+                            m.observe_rtt(server, rtt);
+                        }
+                        answered = true;
+                        answered_via_tcp = true;
+                        answered_info = Some((
+                            server,
+                            rtt.as_nanos().min(u64::from(u32::MAX) as u128) as u32,
+                            p.len().min(u16::MAX as usize) as u16,
+                        ));
+                    }
+                    _ => stats.tcp_failed += 1,
+                }
+            }
             // Exactly one ClientQuery event per attempt, emitted once the
             // attempt's fate is settled. The doom-then-answer reclassify
             // above already collapsed duplicate replies, so the outcome
@@ -593,12 +774,21 @@ fn worker_loop(
                     ev.latency_ns = rtt_ns;
                     ev.bytes_out = reply_len;
                     ev.flags = FLAG_RESPONSE;
+                    if answered_via_tcp {
+                        ev.flags |= FLAG_TC_SEEN | FLAG_TCP_RETRY | FLAG_TCP;
+                    }
                     ev.rcode = 0;
                 } else {
                     ev.auth_id = server as u16;
                     ev.latency_ns = window.as_nanos().min(u64::from(u32::MAX) as u128) as u32;
                     ev.rcode = RCODE_NONE;
                     ev.flags = if doomed.is_some() { FLAG_RESPONSE } else { FLAG_TIMEOUT };
+                    if tc_doomed {
+                        ev.flags |= FLAG_TC_SEEN;
+                    }
+                    if tcp_retried {
+                        ev.flags |= FLAG_TCP_RETRY;
+                    }
                 }
                 p.record(&ev);
             }
@@ -684,7 +874,9 @@ fn classify(payload: &[u8], sent: &[Attempt], qname: &Name) -> Reply {
 mod tests {
     use super::*;
     use crate::server::{serve, ServeConfig};
-    use dnswild_zone::presets::test_domain_zone;
+    use crate::tcp::TcpOptions;
+    use dnswild_server::TruncationPolicy;
+    use dnswild_zone::presets::{padded_test_domain_zone, test_domain_zone};
     use std::sync::Arc;
 
     fn origin() -> Name {
@@ -807,6 +999,67 @@ mod tests {
         for (labels, srtt) in registry.gauges(inputs::SRTT_MS) {
             assert!(srtt > 0.0, "srtt gauge {labels:?} = {srtt}");
         }
+    }
+
+    /// Fat answers against a small negotiated EDNS payload: every UDP
+    /// attempt comes back TC=1, and every transaction still completes —
+    /// over the TCP fallback — with both sides' books balancing.
+    #[test]
+    fn truncated_udp_answers_complete_over_tcp() {
+        let zones = Arc::new(vec![padded_test_domain_zone(&origin(), 2, 900)]);
+        let handle = serve(
+            ServeConfig::new("127.0.0.1:0", "FRA", zones)
+                .threads(2)
+                .tcp(TcpOptions::default())
+                .truncation(TruncationPolicy::symmetric(512)),
+        )
+        .unwrap();
+        let mut cfg = ResolveConfig::new(vec![handle.local_addr()], origin())
+            .transactions(12)
+            .concurrency(2)
+            .edns_size(512);
+        cfg.timeout = Duration::from_millis(40);
+        let report = resolve(cfg).unwrap();
+        let stats = handle.shutdown();
+        report.stats.check().unwrap();
+        assert_eq!(report.stats.transactions, 12);
+        assert_eq!(report.stats.answered, 12, "every truncated txn completes");
+        assert_eq!(report.stats.servfails, 0);
+        assert_eq!(report.stats.tc_seen, 12, "every UDP attempt was truncated");
+        assert_eq!(report.stats.tcp_attempts, 12);
+        assert_eq!(report.stats.tcp_answered, 12);
+        assert_eq!(report.stats.tcp_failed, 0);
+        // Server side agrees: one truncated UDP answer and one TCP
+        // answer per transaction.
+        assert_eq!(stats.truncated, 12);
+        assert_eq!(stats.tcp_queries, 12);
+        assert_eq!(stats.queries, 24);
+    }
+
+    /// With the fallback disabled, truncation is accounted but the
+    /// transaction keeps burning UDP retries into SERVFAIL.
+    #[test]
+    fn tc_without_fallback_exhausts_retries() {
+        let zones = Arc::new(vec![padded_test_domain_zone(&origin(), 2, 900)]);
+        let handle = serve(
+            ServeConfig::new("127.0.0.1:0", "FRA", zones)
+                .threads(1)
+                .truncation(TruncationPolicy::symmetric(512)),
+        )
+        .unwrap();
+        let mut cfg = ResolveConfig::new(vec![handle.local_addr()], origin())
+            .transactions(4)
+            .concurrency(2)
+            .edns_size(512)
+            .tcp_fallback(false);
+        cfg.timeout = Duration::from_millis(20);
+        cfg.max_tries = 2;
+        let report = resolve(cfg).unwrap();
+        handle.shutdown();
+        report.stats.check().unwrap();
+        assert_eq!(report.stats.servfails, 4);
+        assert_eq!(report.stats.tc_seen, 8, "both tries of all 4 txns truncated");
+        assert_eq!(report.stats.tcp_attempts, 0);
     }
 
     /// The classifier is a pure function of bytes and attempt table.

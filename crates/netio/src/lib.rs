@@ -35,7 +35,12 @@
 //!   `dnswild_resolver` selection policies (timeout, exponential
 //!   backoff, SRTT re-ranking, give-up/SERVFAIL) over lossy sockets,
 //!   with full answered-or-accounted transaction accounting
-//!   ([`ClientStats::check`]).
+//!   ([`ClientStats::check`]), and retries TC=1 answers over TCP.
+//! * [`tcp`] — the RFC 7766 stream transport beside the UDP shards:
+//!   length-prefixed framing, per-shard accept loops, read/write
+//!   deadlines, connection caps, pipelined queries — so every answer
+//!   the EDNS payload negotiation truncates has a transport on which
+//!   it completes.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -59,14 +64,19 @@ pub mod chaos;
 pub mod client;
 pub mod load;
 pub mod server;
+pub mod tcp;
 
-pub use chaos::{ChaosProxy, Delivery, DirTally, Direction, FaultPlan, FaultProfile};
+pub use chaos::{
+    ChaosProxy, Delivery, DirTally, Direction, FaultPlan, FaultProfile, TcpFate, TcpFaultProfile,
+    TcpFaultTally,
+};
 pub use client::{resolve, ClientStats, ResolveConfig, ResolveReport};
 pub use load::{blast, LoadConfig, LoadReport, QueryMix};
 pub use server::{
     batch_io_available, serve, server_stats_kinds, AtomicStats, IoBackend, IoErrorStats,
     ServeConfig, ServeHandle, DEFAULT_BATCH,
 };
+pub use tcp::{write_frame, FrameReader, TcpConnStats, TcpOptions};
 
 // Telemetry plane: re-exported so callers wiring a collector into
 // `ServeConfig` / `LoadConfig` / `ResolveConfig` / `ChaosProxy` don't

@@ -25,9 +25,9 @@
 //! as before, now preserved per shard.
 
 use std::io;
-use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -35,16 +35,19 @@ use dnswild_metrics::{Counter, Registry, Stage, StageClock, StageSpans};
 use dnswild_proto::MAX_MESSAGE_SIZE;
 use dnswild_server::{
     AnswerEngine, HandledPacket, Introspection, PacketClass, ServerStats, TransportKind,
+    TruncationPolicy,
 };
 use dnswild_telemetry::{
     hash_socket_addr, qname_hash32, Collector, Event, EventKind, Producer, FLAG_DECODE_ERROR,
-    FLAG_RESPONSE, FLAG_SEND_FAILED, RCODE_NONE,
+    FLAG_RESPONSE, FLAG_SEND_FAILED, FLAG_TCP, RCODE_NONE,
 };
 use dnswild_zone::Zone;
 
+use crate::tcp::{self, TcpConnStats, TcpCounters, TcpOptions};
+
 /// How long a worker blocks in `recv_from`/`recvmmsg` before
 /// re-checking the stop flag — the upper bound on shutdown latency.
-const STOP_POLL_INTERVAL: Duration = Duration::from_millis(25);
+pub(crate) const STOP_POLL_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Default `recvmmsg`/`sendmmsg` batch ceiling (see
 /// [`ServeConfig::batch`]).
@@ -126,6 +129,7 @@ pub struct AtomicStats {
     formerr: AtomicU64,
     notimp: AtomicU64,
     chaos: AtomicU64,
+    badvers: AtomicU64,
     truncated: AtomicU64,
     tcp_queries: AtomicU64,
     dropped: AtomicU64,
@@ -208,6 +212,7 @@ impl AtomicStats {
             (&self.formerr, s.formerr),
             (&self.notimp, s.notimp),
             (&self.chaos, s.chaos),
+            (&self.badvers, s.badvers),
             (&self.truncated, s.truncated),
             (&self.tcp_queries, s.tcp_queries),
             (&self.dropped, s.dropped),
@@ -230,6 +235,7 @@ impl AtomicStats {
             formerr: self.formerr.load(Ordering::Relaxed),
             notimp: self.notimp.load(Ordering::Relaxed),
             chaos: self.chaos.load(Ordering::Relaxed),
+            badvers: self.badvers.load(Ordering::Relaxed),
             truncated: self.truncated.load(Ordering::Relaxed),
             tcp_queries: self.tcp_queries.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
@@ -273,6 +279,16 @@ pub struct ServeConfig {
     /// registry's stage histograms (batched stages lap once per batch,
     /// amortised per packet).
     pub metrics: Option<Arc<Registry>>,
+    /// TCP transport plane (RFC 7766): when set, a `TcpListener` is
+    /// bound on the same port as the UDP shards and one accept worker
+    /// per shard serves length-prefixed, pipelined queries under these
+    /// deadlines and connection caps. `None` (the default) serves UDP
+    /// only.
+    pub tcp: Option<TcpOptions>,
+    /// Per-site EDNS truncation policy: the payload size this server
+    /// advertises in its OPT records and the ceiling it imposes on
+    /// client advertisements when sizing UDP answers.
+    pub truncation: TruncationPolicy,
 }
 
 impl ServeConfig {
@@ -290,6 +306,8 @@ impl ServeConfig {
             collector: None,
             trace_auth_id: 0,
             metrics: None,
+            tcp: None,
+            truncation: TruncationPolicy::default(),
         }
     }
 
@@ -324,13 +342,26 @@ impl ServeConfig {
         self.metrics = Some(registry);
         self
     }
+
+    /// Enables the TCP transport plane (see [`ServeConfig::tcp`]).
+    pub fn tcp(mut self, opts: TcpOptions) -> Self {
+        self.tcp = Some(opts);
+        self
+    }
+
+    /// Sets the per-site truncation policy (see
+    /// [`ServeConfig::truncation`]).
+    pub fn truncation(mut self, policy: TruncationPolicy) -> Self {
+        self.truncation = policy;
+        self
+    }
 }
 
-/// The 12 [`ServerStats`] fields as `(kind, value)` pairs, in field
+/// The 13 [`ServerStats`] fields as `(kind, value)` pairs, in field
 /// order — the single source of truth for the per-auth
 /// `dnswild_server_events_total{kind=...}` series, reused by the CI
 /// gate so the scraped counters and the atomic aggregate cannot drift.
-pub fn server_stats_kinds(s: &ServerStats) -> [(&'static str, u64); 12] {
+pub fn server_stats_kinds(s: &ServerStats) -> [(&'static str, u64); 13] {
     [
         ("queries", s.queries),
         ("answers", s.answers),
@@ -341,6 +372,7 @@ pub fn server_stats_kinds(s: &ServerStats) -> [(&'static str, u64); 12] {
         ("formerr", s.formerr),
         ("notimp", s.notimp),
         ("chaos", s.chaos),
+        ("badvers", s.badvers),
         ("truncated", s.truncated),
         ("tcp_queries", s.tcp_queries),
         ("dropped", s.dropped),
@@ -349,12 +381,13 @@ pub fn server_stats_kinds(s: &ServerStats) -> [(&'static str, u64); 12] {
 
 /// Registry handles one serving plane records through: one counter per
 /// [`ServerStats`] field, the socket-level error counters, and the
-/// shared stage-span histograms.
-struct ServeMetrics {
-    fields: [Arc<Counter>; 12],
+/// shared stage-span histograms. Shared with the TCP plane (same
+/// counters, so both transports feed one set of series).
+pub(crate) struct ServeMetrics {
+    fields: [Arc<Counter>; 13],
     recv_errors: Arc<Counter>,
-    decode_errors: Arc<Counter>,
-    send_errors: Arc<Counter>,
+    pub(crate) decode_errors: Arc<Counter>,
+    pub(crate) send_errors: Arc<Counter>,
     spans: Arc<StageSpans>,
 }
 
@@ -385,7 +418,7 @@ impl ServeMetrics {
     }
 
     /// Adds one worker's stats delta into the counters.
-    fn record(&self, delta: &ServerStats) {
+    pub(crate) fn record(&self, delta: &ServerStats) {
         for (i, (_, v)) in server_stats_kinds(delta).into_iter().enumerate() {
             if v != 0 {
                 self.fields[i].add(v);
@@ -403,12 +436,29 @@ pub struct ServeHandle {
     workers: Vec<JoinHandle<()>>,
     backend: IoBackend,
     reuseport: bool,
+    tcp_addr: Option<SocketAddr>,
+    tcp_counters: Option<Arc<TcpCounters>>,
+    /// How many accept workers are (or were) blocked in `accept` — the
+    /// number of wake-up connections shutdown must make.
+    tcp_workers: usize,
 }
 
 impl ServeHandle {
     /// The address actually bound (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The TCP listener address when the TCP plane is enabled (same
+    /// port as [`ServeHandle::local_addr`]).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// A live snapshot of the TCP connection-plane counters (all zero
+    /// when the TCP plane is off).
+    pub fn tcp_stats(&self) -> TcpConnStats {
+        self.tcp_counters.as_ref().map(|c| c.snapshot()).unwrap_or_default()
     }
 
     /// A live snapshot of the traffic counters summed across shards.
@@ -448,6 +498,13 @@ impl ServeHandle {
     /// summed counters.
     pub fn shutdown(mut self) -> ServerStats {
         self.stop.store(true, Ordering::Relaxed);
+        // Accept workers block in `accept` with no timeout; a throwaway
+        // connection per worker wakes each one to observe the flag.
+        if let Some(addr) = self.tcp_addr {
+            for _ in 0..self.tcp_workers {
+                let _ = TcpStream::connect_timeout(&addr, STOP_POLL_INTERVAL);
+            }
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -516,7 +573,8 @@ pub fn serve(config: ServeConfig) -> io::Result<ServeHandle> {
         .metrics
         .as_ref()
         .map(|r| Arc::new(ServeMetrics::register(r, &config.site_code)));
-    let mut template = AnswerEngine::with_shared_zones(config.site_code, Arc::clone(&config.zones))
+    let mut template = AnswerEngine::with_shared_zones(config.site_code.clone(), Arc::clone(&config.zones))
+        .with_truncation_policy(config.truncation)
         .with_introspection(Introspection {
             started: std::time::Instant::now(),
             metrics: config.metrics.is_some(),
@@ -549,15 +607,74 @@ pub fn serve(config: ServeConfig) -> io::Result<ServeHandle> {
                 })?,
         );
     }
-    Ok(ServeHandle { local_addr, stop, shards, workers, backend, reuseport })
+
+    // The TCP plane: one listener on the UDP port, one blocking accept
+    // worker per shard off `try_clone`d handles, connections admitted
+    // under a global cap. Engine outcomes merge into additional shard
+    // cells and the same registry counters, so `stats()` and the
+    // scrape-equality gate span both transports.
+    let mut tcp_addr = None;
+    let mut tcp_counters = None;
+    let mut tcp_workers = 0;
+    if let Some(opts) = config.tcp {
+        let listener = TcpListener::bind(local_addr)?;
+        tcp_addr = Some(listener.local_addr()?);
+        let counters = Arc::new(TcpCounters::default());
+        tcp_counters = Some(Arc::clone(&counters));
+        let active = Arc::new(AtomicUsize::new(0));
+        let tcp_metrics = config
+            .metrics
+            .as_ref()
+            .map(|r| Arc::new(tcp::TcpMetrics::register(r, &config.site_code)));
+        tcp_workers = threads;
+        for i in 0..threads {
+            let shard = Arc::new(AtomicStats::default());
+            shards.push(Arc::clone(&shard));
+            let trace = config
+                .collector
+                .as_ref()
+                .map(|c| (Arc::new(Mutex::new(c.producer())), config.trace_auth_id));
+            let worker = tcp::AcceptWorker {
+                listener: listener.try_clone()?,
+                template: template.fork(),
+                stop: Arc::clone(&stop),
+                shard,
+                counters: Arc::clone(&counters),
+                active: Arc::clone(&active),
+                opts,
+                trace,
+                metrics: metrics.as_ref().zip(tcp_metrics.as_ref()).map(|(sm, tm)| {
+                    (Arc::clone(sm), Arc::clone(tm))
+                }),
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("netio-tcp-accept-{i}"))
+                    .spawn(move || tcp::accept_loop(worker))?,
+            );
+        }
+    }
+
+    Ok(ServeHandle {
+        local_addr,
+        stop,
+        shards,
+        workers,
+        backend,
+        reuseport,
+        tcp_addr,
+        tcp_counters,
+        tcp_workers,
+    })
 }
 
 /// Records the telemetry event for one handled datagram, after its send
 /// fate is known: a response that failed to send reports `bytes_out =
 /// 0` plus [`FLAG_SEND_FAILED`], so trace byte accounting matches what
-/// actually reached the wire.
+/// actually reached the wire. Stream-served packets additionally carry
+/// [`FLAG_TCP`].
 #[allow(clippy::too_many_arguments)] // one flat call per datagram on the hot path
-fn record_server_event(
+pub(crate) fn record_server_event(
     producer: &Producer,
     auth_id: u16,
     handled: &HandledPacket,
@@ -566,6 +683,7 @@ fn record_server_event(
     resp_len: usize,
     send_ok: bool,
     start_ns: u64,
+    transport: TransportKind,
 ) {
     let mut ev = Event::new(match handled.class {
         PacketClass::Query => EventKind::ServerQuery,
@@ -592,7 +710,8 @@ fn record_server_event(
     };
     ev.flags = (u16::from(handled.response) * FLAG_RESPONSE)
         | (u16::from(handled.decode_error) * FLAG_DECODE_ERROR)
-        | (u16::from(handled.response && !send_ok) * FLAG_SEND_FAILED);
+        | (u16::from(handled.response && !send_ok) * FLAG_SEND_FAILED)
+        | (u16::from(transport == TransportKind::Tcp) * FLAG_TCP);
     ev.rcode = handled.rcode.map(|r| r.to_u8()).unwrap_or(RCODE_NONE);
     producer.record(&ev);
 }
@@ -708,6 +827,7 @@ fn worker_loop_std(
                 resp_buf.len(),
                 send_ok,
                 start_ns,
+                TransportKind::Udp,
             );
         }
         // One delta, two destinations: the shard cell and the registry
@@ -829,6 +949,7 @@ fn worker_loop_mmsg(
                     resp_bufs[i].len(),
                     send_ok[i],
                     starts[i],
+                    TransportKind::Udp,
                 );
             }
         }
@@ -960,6 +1081,110 @@ mod tests {
     }
 
     #[test]
+    fn tcp_plane_answers_pipelined_queries_on_one_connection() {
+        let origin = Name::parse("ourtestdomain.nl").unwrap();
+        let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
+        let handle = serve(
+            ServeConfig::new("127.0.0.1:0", "FRA", zones)
+                .threads(2)
+                .tcp(crate::tcp::TcpOptions::default()),
+        )
+        .unwrap();
+        let addr = handle.tcp_addr().expect("tcp plane bound");
+        assert_eq!(addr.port(), handle.local_addr().port(), "same port as UDP");
+
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Three queries in one segment — RFC 7766 pipelining.
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        for id in 0..3u16 {
+            let q = Message::iterative_query(
+                id,
+                Name::parse("p1-r1.ourtestdomain.nl").unwrap(),
+                RType::Txt,
+            );
+            crate::tcp::write_frame(&mut wire, &q.encode().unwrap(), &mut scratch).unwrap();
+        }
+        use std::io::Write as _;
+        stream.write_all(&wire).unwrap();
+        let mut reader = crate::tcp::FrameReader::new();
+        for id in 0..3u16 {
+            let resp = loop {
+                match reader.read_frame(&mut stream) {
+                    Ok(Some(p)) => break Message::decode(p).unwrap(),
+                    Ok(None) => panic!("server closed early"),
+                    Err(e) if is_idle_recv(&e) => continue,
+                    Err(e) => panic!("read: {e}"),
+                }
+            };
+            assert_eq!(resp.header.id, id, "answers come back in arrival order");
+            assert_eq!(resp.rcode(), Rcode::NoError);
+            assert!(!resp.header.truncated, "no truncation over TCP");
+        }
+        drop(stream);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while handle.stats().tcp_queries < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let tcp = handle.tcp_stats();
+        let stats = handle.shutdown();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.tcp_queries, 3);
+        assert_eq!(stats.answers, 3);
+        assert_eq!(tcp.accepted, 1, "one connection served all three");
+        assert_eq!(tcp.over_cap, 0);
+        assert_eq!(tcp.frame_errors, 0);
+    }
+
+    #[test]
+    fn tcp_connection_cap_sheds_excess_connections() {
+        let origin = Name::parse("ourtestdomain.nl").unwrap();
+        let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
+        let opts = crate::tcp::TcpOptions { max_conns: 1, ..Default::default() };
+        let handle =
+            serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(2).tcp(opts)).unwrap();
+        let addr = handle.tcp_addr().unwrap();
+
+        // First connection: admitted, proven live by a served query.
+        let mut first = std::net::TcpStream::connect(addr).unwrap();
+        first.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let q = Message::iterative_query(7, Name::parse("p1-r1.ourtestdomain.nl").unwrap(), RType::Txt);
+        let mut scratch = Vec::new();
+        crate::tcp::write_frame(&mut first, &q.encode().unwrap(), &mut scratch).unwrap();
+        let mut reader = crate::tcp::FrameReader::new();
+        loop {
+            match reader.read_frame(&mut first) {
+                Ok(Some(_)) => break,
+                Err(e) if is_idle_recv(&e) => continue,
+                other => panic!("first connection must be served: {other:?}"),
+            }
+        }
+
+        // Second connection: over the cap — closed without an answer.
+        let mut second = std::net::TcpStream::connect(addr).unwrap();
+        second.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut reader2 = crate::tcp::FrameReader::new();
+        loop {
+            match reader2.read_frame(&mut second) {
+                Ok(None) => break, // shed: EOF with no frame
+                Ok(Some(_)) => panic!("over-cap connection must not be served"),
+                Err(e) if is_idle_recv(&e) => continue,
+                Err(_) => break, // a reset counts as shed too
+            }
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while handle.tcp_stats().over_cap < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let tcp = handle.tcp_stats();
+        let stats = handle.shutdown();
+        assert_eq!(tcp.accepted, 1);
+        assert_eq!(tcp.over_cap, 1);
+        assert_eq!(stats.tcp_queries, 1);
+    }
+
+    #[test]
     fn atomic_stats_round_trip_every_field() {
         let ones = ServerStats {
             queries: 1,
@@ -971,9 +1196,10 @@ mod tests {
             formerr: 7,
             notimp: 8,
             chaos: 9,
-            truncated: 10,
-            tcp_queries: 11,
-            dropped: 12,
+            badvers: 10,
+            truncated: 11,
+            tcp_queries: 12,
+            dropped: 13,
         };
         let agg = AtomicStats::default();
         agg.merge(ones);
@@ -1088,7 +1314,7 @@ mod tests {
         // Every ServerStats field has a registry series equal to the
         // summed shard stats, labelled with the auth.
         let counters = registry.counters("dnswild_server_events_total");
-        assert_eq!(counters.len(), 12);
+        assert_eq!(counters.len(), 13);
         for (kind, want) in server_stats_kinds(&stats) {
             let got = counters
                 .iter()

@@ -1,0 +1,568 @@
+//! The TCP transport plane: truncation fallback that actually
+//! completes (RFC 7766).
+//!
+//! The paper's measurement traffic is UDP, but §6's engineering
+//! guidance only works end-to-end if a TC=1 answer has somewhere to
+//! go: a recursive that sees the truncation bit retries the same
+//! question over TCP, and an authoritative that shirks TCP silently
+//! loses exactly the fat-answer tail the EDNS payload negotiation was
+//! supposed to protect. This module is the server half of that
+//! contract (the client half lives in [`crate::client`]):
+//!
+//! * **Framing** — RFC 1035 §4.2.2 / RFC 7766 two-byte big-endian
+//!   length prefixes. [`write_frame`] emits a frame in one `write_all`
+//!   (one segment with Nagle off); [`FrameReader`] is a *resumable*
+//!   decoder that survives arbitrary segmentation and read timeouts
+//!   mid-frame, so the connection loop can poll the stop flag on a
+//!   short socket timeout without ever misparsing a half-arrived
+//!   frame.
+//! * **Accept loops** — [`serve`](crate::serve) spawns one blocking
+//!   accept worker per shard beside the UDP workers, all sharing the
+//!   listener via `try_clone` (the kernel wakes one per connection).
+//!   Shutdown wakes blocked accepts with throwaway connections.
+//! * **Connections** — each accepted stream gets its own thread and its
+//!   own forked engine, under a global cap ([`TcpOptions::max_conns`]);
+//!   at the cap the stream is closed immediately and counted
+//!   ([`TcpConnStats::over_cap`]), never silently queued. Queries are
+//!   pipelined per RFC 7766: the loop keeps reading frames and answers
+//!   each in arrival order on the same stream.
+//! * **Deadlines** — reads poll on the stop interval and enforce
+//!   [`TcpOptions::read_timeout`] since the last completed frame, so
+//!   both idle connections and slow-loris partial frames are shed;
+//!   writes carry [`TcpOptions::write_timeout`], and a blown write
+//!   deadline closes the connection (a half-written frame is
+//!   unrecoverable).
+//!
+//! Counters: engine outcomes (including `tcp_queries`) merge into the
+//! same per-shard [`AtomicStats`](crate::AtomicStats) cells and
+//! registry series as UDP traffic, so the scrape-equals-stats gate
+//! holds across transports; connection-plane events (accepted,
+//! over-cap, frame errors) land in [`TcpConnStats`] and
+//! `dnswild_tcp_events_total`. Stage spans for TCP record into
+//! `dnswild_stage_ns{transport="tcp"}`, keeping the unlabelled UDP
+//! series comparable with pre-TCP baselines.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dnswild_metrics::{Counter, Registry, Stage, StageClock, StageSpans};
+use dnswild_server::{AnswerEngine, TransportKind};
+use dnswild_telemetry::Producer;
+
+use crate::server::{
+    is_idle_recv, record_server_event, AtomicStats, ServeMetrics, STOP_POLL_INTERVAL,
+};
+
+/// Knobs for the TCP listener plane (see [`crate::ServeConfig::tcp`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpOptions {
+    /// Global cap on concurrently served connections across all accept
+    /// workers. Beyond it new connections are closed on accept and
+    /// counted in [`TcpConnStats::over_cap`] — shedding beats an
+    /// unbounded thread pile-up under a SYN-happy recursive.
+    pub max_conns: usize,
+    /// How long a connection may sit without completing a frame —
+    /// measured from the last completed frame, so it bounds both idle
+    /// keep-alive and slow-loris partial frames.
+    pub read_timeout: Duration,
+    /// Socket write deadline per response frame. A blown deadline
+    /// closes the connection (the frame boundary is lost).
+    pub write_timeout: Duration,
+}
+
+impl Default for TcpOptions {
+    fn default() -> TcpOptions {
+        TcpOptions {
+            max_conns: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Connection-plane counters, outside
+/// [`ServerStats`](dnswild_server::ServerStats) (which counts *frames*
+/// through the engine; these count *connections* and framing faults).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpConnStats {
+    /// Connections accepted and served.
+    pub accepted: u64,
+    /// Connections closed immediately because [`TcpOptions::max_conns`]
+    /// live connections already existed.
+    pub over_cap: u64,
+    /// Connections that died inside a frame: EOF or a read deadline
+    /// mid-frame, or any socket error while reading — the length-prefix
+    /// stream is unrecoverable past that point.
+    pub frame_errors: u64,
+}
+
+impl std::ops::Add for TcpConnStats {
+    type Output = TcpConnStats;
+    fn add(self, rhs: TcpConnStats) -> TcpConnStats {
+        TcpConnStats {
+            accepted: self.accepted + rhs.accepted,
+            over_cap: self.over_cap + rhs.over_cap,
+            frame_errors: self.frame_errors + rhs.frame_errors,
+        }
+    }
+}
+
+/// Lock-free [`TcpConnStats`] mirror shared by the accept workers and
+/// their connection threads.
+#[derive(Debug, Default)]
+pub struct TcpCounters {
+    accepted: AtomicU64,
+    over_cap: AtomicU64,
+    frame_errors: AtomicU64,
+}
+
+impl TcpCounters {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> TcpConnStats {
+        TcpConnStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            over_cap: self.over_cap.load(Ordering::Relaxed),
+            frame_errors: self.frame_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Registry handles for the connection-plane counters plus the
+/// TCP-labelled stage spans. Engine outcome counters are *not* here —
+/// the connection loop reuses the shared [`ServeMetrics`] so both
+/// transports feed the same `dnswild_server_events_total` series.
+pub(crate) struct TcpMetrics {
+    accepted: Arc<Counter>,
+    over_cap: Arc<Counter>,
+    frame_errors: Arc<Counter>,
+    pub(crate) spans: Arc<StageSpans>,
+}
+
+impl TcpMetrics {
+    pub(crate) fn register(registry: &Arc<Registry>, auth: &str) -> TcpMetrics {
+        let conn = |kind: &str| {
+            registry.counter_with(
+                "dnswild_tcp_events_total",
+                "TCP transport connection-plane events",
+                &[("auth", auth), ("kind", kind)],
+            )
+        };
+        TcpMetrics {
+            accepted: conn("accepted"),
+            over_cap: conn("over_cap"),
+            frame_errors: conn("frame_error"),
+            spans: StageSpans::register_labelled(registry, &[("transport", "tcp")]),
+        }
+    }
+}
+
+/// Writes one RFC 7766 frame — two-byte big-endian length then the
+/// payload — as a single `write_all` (via `scratch`, reused across
+/// frames), so a Nagle-off stream sends it in one segment.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], scratch: &mut Vec<u8>) -> io::Result<()> {
+    let len = u16::try_from(payload.len()).map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidInput, "DNS/TCP frame larger than 65535 bytes")
+    })?;
+    scratch.clear();
+    scratch.extend_from_slice(&len.to_be_bytes());
+    scratch.extend_from_slice(payload);
+    w.write_all(scratch)
+}
+
+/// A resumable RFC 7766 frame decoder.
+///
+/// `read_frame` may return `WouldBlock`/`TimedOut` (from a socket read
+/// timeout) at *any* byte boundary; the partial state is kept and the
+/// next call resumes exactly where the stream paused — the
+/// property-tested guarantee that arbitrary segmentation and timeout
+/// interleavings never shift the frame boundaries. The payload buffer
+/// is reused across frames (no per-frame allocation once warm).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    head: [u8; 2],
+    have_head: usize,
+    payload: Vec<u8>,
+    have: usize,
+    complete: bool,
+}
+
+impl FrameReader {
+    /// An empty decoder.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Whether the stream paused inside a frame — distinguishes an idle
+    /// keep-alive connection from a slow-loris half-frame when a read
+    /// deadline expires.
+    pub fn mid_frame(&self) -> bool {
+        !self.complete && (self.have_head > 0 || self.have > 0)
+    }
+
+    /// Reads until one whole frame is buffered and returns its payload.
+    ///
+    /// `Ok(None)` is a clean peer close (EOF exactly on a frame
+    /// boundary). EOF anywhere *inside* a frame is
+    /// [`io::ErrorKind::UnexpectedEof`]. Timeout-ish errors pass
+    /// through with the partial state retained for the next call.
+    pub fn read_frame(&mut self, r: &mut impl Read) -> io::Result<Option<&[u8]>> {
+        if self.complete {
+            self.complete = false;
+            self.have_head = 0;
+            self.have = 0;
+        }
+        while self.have_head < 2 {
+            match r.read(&mut self.head[self.have_head..2]) {
+                Ok(0) if self.have_head == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed inside a frame length prefix",
+                    ))
+                }
+                Ok(n) => self.have_head += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let len = u16::from_be_bytes(self.head) as usize;
+        if self.payload.len() < len {
+            self.payload.resize(len, 0);
+        }
+        while self.have < len {
+            match r.read(&mut self.payload[self.have..len]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed inside a frame payload",
+                    ))
+                }
+                Ok(n) => self.have += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.complete = true;
+        Ok(Some(&self.payload[..len]))
+    }
+}
+
+/// Everything one accept worker needs, bundled so [`crate::serve`] can
+/// move it into the worker thread in one piece.
+pub(crate) struct AcceptWorker {
+    pub(crate) listener: TcpListener,
+    pub(crate) template: AnswerEngine,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) shard: Arc<AtomicStats>,
+    pub(crate) counters: Arc<TcpCounters>,
+    pub(crate) active: Arc<AtomicUsize>,
+    pub(crate) opts: TcpOptions,
+    /// The telemetry producer is mutex-shared across this worker's
+    /// connection threads: producers own an SPSC ring *registered for
+    /// the collector's lifetime*, so one-per-connection would leak a
+    /// ring per dialled connection. TCP is the fallback path — the
+    /// brief lock around each event record is cheap relative to a
+    /// stream round-trip, and the mutex restores the single-producer
+    /// guarantee the ring needs.
+    pub(crate) trace: Option<(Arc<Mutex<Producer>>, u16)>,
+    pub(crate) metrics: Option<(Arc<ServeMetrics>, Arc<TcpMetrics>)>,
+}
+
+/// Drops decrement the live-connection gauge however the connection
+/// thread exits (including panic unwinds).
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One accept worker: blocking-accept connections off the shared
+/// listener, admit them under the global cap, and hand each to its own
+/// connection thread. [`crate::ServeHandle::shutdown`] wakes blocked
+/// accepts with throwaway connections after raising the stop flag.
+pub(crate) fn accept_loop(w: AcceptWorker) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !w.stop.load(Ordering::Relaxed) {
+        let (stream, peer) = match w.listener.accept() {
+            Ok(ok) => ok,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // Transient accept failures (EMFILE, aborted handshakes):
+            // back off one poll interval rather than spinning.
+            Err(_) => {
+                std::thread::sleep(STOP_POLL_INTERVAL);
+                continue;
+            }
+        };
+        if w.stop.load(Ordering::Relaxed) {
+            break; // the shutdown wake-up connection
+        }
+        conns.retain(|h| !h.is_finished());
+        // Admission is a CAS loop so two accept workers racing at
+        // `max_conns - 1` cannot both get in.
+        let admitted = w
+            .active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < w.opts.max_conns).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            w.counters.over_cap.fetch_add(1, Ordering::Relaxed);
+            if let Some((_, tm)) = &w.metrics {
+                tm.over_cap.inc();
+            }
+            continue; // dropping the stream closes it
+        }
+        let guard = ActiveGuard(Arc::clone(&w.active));
+        w.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        if let Some((_, tm)) = &w.metrics {
+            tm.accepted.inc();
+        }
+        let mut engine = w.template.fork();
+        let stop = Arc::clone(&w.stop);
+        let shard = Arc::clone(&w.shard);
+        let counters = Arc::clone(&w.counters);
+        let opts = w.opts;
+        let trace = w.trace.as_ref().map(|(p, id)| (Arc::clone(p), *id));
+        let metrics = w.metrics.as_ref().map(|(sm, tm)| (Arc::clone(sm), Arc::clone(tm)));
+        let spawned = std::thread::Builder::new().name("netio-tcp-conn".into()).spawn(move || {
+            let _guard = guard;
+            connection_loop(stream, peer, &mut engine, &stop, &shard, &counters, &opts, trace, metrics);
+        });
+        match spawned {
+            Ok(h) => conns.push(h),
+            Err(_) => { /* guard inside the closure was moved; on spawn
+                         * failure the closure is dropped and the guard
+                         * releases the slot */ }
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Serves one connection until the peer closes, a deadline fires, the
+/// stream errors, or the plane stops. Frames are answered in arrival
+/// order on the same stream (RFC 7766 pipelining).
+#[allow(clippy::too_many_arguments)] // one flat call per connection; mirrors the UDP worker shape
+fn connection_loop(
+    mut stream: TcpStream,
+    peer: SocketAddr,
+    engine: &mut AnswerEngine,
+    stop: &AtomicBool,
+    shard: &AtomicStats,
+    counters: &TcpCounters,
+    opts: &TcpOptions,
+    trace: Option<(Arc<Mutex<Producer>>, u16)>,
+    metrics: Option<(Arc<ServeMetrics>, Arc<TcpMetrics>)>,
+) {
+    // One-segment frames (write_frame is a single buffered write).
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(STOP_POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let _ = stream.set_write_timeout(Some(opts.write_timeout));
+    let frame_error = |n: u64| {
+        counters.frame_errors.fetch_add(n, Ordering::Relaxed);
+        if let Some((_, tm)) = &metrics {
+            tm.frame_errors.add(n);
+        }
+    };
+    let mut reader = FrameReader::new();
+    let mut resp_buf = Vec::with_capacity(1024);
+    let mut scratch = Vec::with_capacity(1024);
+    let spans = metrics.as_ref().map(|(_, tm)| &*tm.spans);
+    let mut clock = StageClock::start(spans.is_some());
+    let mut last_frame = Instant::now();
+    while !stop.load(Ordering::Relaxed) {
+        clock.reset();
+        let payload = match reader.read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => break, // clean close on a frame boundary
+            Err(e) if is_idle_recv(&e) => {
+                if last_frame.elapsed() >= opts.read_timeout {
+                    // Deadline: an idle keep-alive is shed silently, a
+                    // half-frame (slow-loris or stalled sender) is a
+                    // framing fault.
+                    if reader.mid_frame() {
+                        frame_error(1);
+                    }
+                    break;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Mid-frame EOF, a reset, or any other stream error.
+                frame_error(1);
+                break;
+            }
+        };
+        last_frame = Instant::now();
+        clock.lap(spans, Stage::Recv);
+        let start_ns = trace.as_ref().map(|(p, _)| p.lock().unwrap().now_ns());
+        let handled =
+            engine.handle_packet_spanned(payload, TransportKind::Tcp, &mut resp_buf, spans);
+        if handled.decode_error {
+            shard.record_decode_error();
+            if let Some((sm, _)) = &metrics {
+                sm.decode_errors.inc();
+            }
+        }
+        let mut send_ok = false;
+        if handled.response {
+            clock.reset();
+            send_ok = write_frame(&mut stream, &resp_buf, &mut scratch).is_ok();
+            if !send_ok {
+                shard.record_send_error();
+                if let Some((sm, _)) = &metrics {
+                    sm.send_errors.inc();
+                }
+            }
+            clock.lap(spans, Stage::Send);
+        }
+        if let (Some((producer, auth_id)), Some(start_ns)) = (&trace, start_ns) {
+            let p = producer.lock().unwrap();
+            record_server_event(
+                &p,
+                *auth_id,
+                &handled,
+                payload,
+                &peer,
+                resp_buf.len(),
+                send_ok,
+                start_ns,
+                TransportKind::Tcp,
+            );
+        }
+        // Same one-delta-two-destinations flush as the UDP loops: the
+        // shard cell and the registry counters cannot drift.
+        let delta = engine.take_stats();
+        if let Some((sm, _)) = &metrics {
+            sm.record(&delta);
+        }
+        shard.merge(delta);
+        if handled.response && !send_ok {
+            break; // a half-written frame poisons the stream
+        }
+    }
+    let delta = engine.take_stats();
+    if let Some((sm, _)) = &metrics {
+        sm.record(&delta);
+    }
+    shard.merge(delta);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trip_including_empty() {
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame(&mut wire, b"hello dns", &mut scratch).unwrap();
+        write_frame(&mut wire, b"", &mut scratch).unwrap();
+        write_frame(&mut wire, &[0xab; 300], &mut scratch).unwrap();
+        let mut r = FrameReader::new();
+        let mut c = Cursor::new(wire);
+        assert_eq!(r.read_frame(&mut c).unwrap().unwrap(), b"hello dns");
+        assert_eq!(r.read_frame(&mut c).unwrap().unwrap(), b"");
+        assert_eq!(r.read_frame(&mut c).unwrap().unwrap(), &[0xab; 300][..]);
+        assert!(r.read_frame(&mut c).unwrap().is_none(), "clean EOF on the boundary");
+        assert!(!r.mid_frame());
+    }
+
+    #[test]
+    fn oversized_frame_is_refused_on_write() {
+        let mut sink = Vec::new();
+        let mut scratch = Vec::new();
+        let err = write_frame(&mut sink, &vec![0u8; 65536], &mut scratch).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(sink.is_empty(), "nothing hits the wire");
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_an_error() {
+        // Inside the length prefix.
+        let mut r = FrameReader::new();
+        let err = r.read_frame(&mut Cursor::new(vec![0x00])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Inside the payload.
+        let mut r = FrameReader::new();
+        let mut c = Cursor::new(vec![0x00, 0x05, b'x']);
+        let err = r.read_frame(&mut c).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(r.mid_frame());
+    }
+
+    /// A reader that hands out a scripted byte stream in scripted chunk
+    /// sizes with scripted timeouts in between — the adversarial
+    /// segmentation the resumable decoder must survive.
+    struct Chopped {
+        data: Vec<u8>,
+        at: usize,
+        script: Vec<usize>, // 0 = WouldBlock, n = serve up to n bytes
+    }
+
+    impl Read for Chopped {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let step = if self.script.is_empty() { usize::MAX } else { self.script.remove(0) };
+            if step == 0 {
+                return Err(io::Error::from(io::ErrorKind::WouldBlock));
+            }
+            let n = step.min(buf.len()).min(self.data.len() - self.at);
+            buf[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn qc_reader_survives_any_segmentation_and_timeout_interleaving() {
+        detrand::qc::property("netio/tcp-frame-reader-resumable").cases(512).check(|g| {
+            // A handful of frames with varied sizes (incl. empty).
+            let frames: Vec<Vec<u8>> = (0..g.usize_in(1..6))
+                .map(|_| (0..g.usize_in(0..600)).map(|_| g.u8()).collect())
+                .collect();
+            let mut data = Vec::new();
+            let mut scratch = Vec::new();
+            for f in &frames {
+                write_frame(&mut data, f, &mut scratch).unwrap();
+            }
+            let script: Vec<usize> = (0..g.usize_in(0..64)).map(|_| g.usize_in(0..9)).collect();
+            let mut src = Chopped { data, at: 0, script };
+            let mut reader = FrameReader::new();
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            loop {
+                match reader.read_frame(&mut src) {
+                    Ok(Some(p)) => got.push(p.to_vec()),
+                    Ok(None) => break,
+                    Err(e) if is_idle_recv(&e) => continue, // state retained, resume
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            assert_eq!(got, frames, "frame boundaries shifted under segmentation");
+        });
+    }
+
+    #[test]
+    fn tcp_conn_stats_add_and_snapshot() {
+        let c = TcpCounters::default();
+        c.accepted.fetch_add(2, Ordering::Relaxed);
+        c.over_cap.fetch_add(1, Ordering::Relaxed);
+        c.frame_errors.fetch_add(3, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s, TcpConnStats { accepted: 2, over_cap: 1, frame_errors: 3 });
+        let sum = s + s;
+        assert_eq!(sum.accepted, 4);
+        assert_eq!(sum.over_cap, 2);
+        assert_eq!(sum.frame_errors, 6);
+    }
+}

@@ -1,0 +1,165 @@
+//! EDNS(0) negotiation (RFC 6891): a typed view over the OPT
+//! pseudo-record.
+//!
+//! The OPT record overloads the generic record-header fields instead of
+//! carrying its payload in RDATA: CLASS holds the requestor's advertised
+//! UDP payload size, and TTL packs the upper eight bits of the extended
+//! RCODE, the EDNS version, and the DO flag:
+//!
+//! ```text
+//!          +0 (MSB)                        +1 (LSB)
+//! TTL:  +--+--+--+--+--+--+--+--+--+--+--+--+--+--+--+--+
+//!    0: |   EXTENDED-RCODE (hi 8)   |      VERSION      |
+//!    2: |DO|                  Z (15 bits)               |
+//!       +--+--+--+--+--+--+--+--+--+--+--+--+--+--+--+--+
+//! ```
+//!
+//! [`Edns`] gives those fields names, clamps advertised sizes to the
+//! RFC floor, and carries the extended RCODEs (notably BADVERS = 16)
+//! that do not fit the header's 4-bit RCODE field.
+
+use crate::rdata::{Opt, RData};
+use crate::record::Record;
+use crate::types::{Class, RType, Rcode};
+use crate::Name;
+
+/// RFC 6891 §6.2.3: a requestor advertising fewer than 512 octets is
+/// treated as advertising exactly 512 — the pre-EDNS UDP minimum.
+pub const MIN_EDNS_PAYLOAD: u16 = 512;
+
+/// Extended RCODE 16: BADVERS — the responder does not implement the
+/// EDNS version the requestor asked for (RFC 6891 §6.1.3).
+pub const EXTENDED_RCODE_BADVERS: u16 = 16;
+
+/// A decoded OPT pseudo-record: EDNS fields with their wire names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edns {
+    /// Advertised UDP payload size, exactly as carried in CLASS. Use
+    /// [`Edns::payload_limit`] for the clamped, usable value.
+    pub payload_size: u16,
+    /// Upper eight bits of the 12-bit extended RCODE (TTL bits 24..31).
+    /// Zero for every base rcode; 1 for BADVERS when the header RCODE
+    /// is 0.
+    pub extended_rcode_hi: u8,
+    /// EDNS version (TTL bits 16..23). This implementation speaks
+    /// version 0 and answers anything newer with BADVERS.
+    pub version: u8,
+    /// The DO bit (TTL bit 15): requestor wants DNSSEC records.
+    pub dnssec_ok: bool,
+    /// EDNS options carried in the RDATA.
+    pub opt: Opt,
+}
+
+impl Edns {
+    /// A plain version-0 OPT advertising `payload_size`, no options.
+    pub fn new(payload_size: u16) -> Self {
+        Edns {
+            payload_size,
+            extended_rcode_hi: 0,
+            version: 0,
+            dnssec_ok: false,
+            opt: Opt::empty(),
+        }
+    }
+
+    /// Reads the EDNS fields out of an OPT record. Returns `None` for
+    /// any other record type.
+    pub fn from_record(rec: &Record) -> Option<Self> {
+        if rec.rtype() != RType::Opt {
+            return None;
+        }
+        let opt = match &rec.rdata {
+            RData::Opt(o) => o.clone(),
+            _ => Opt::empty(),
+        };
+        Some(Edns {
+            payload_size: rec.class.to_u16(),
+            extended_rcode_hi: (rec.ttl >> 24) as u8,
+            version: (rec.ttl >> 16) as u8,
+            dnssec_ok: rec.ttl & 0x8000 != 0,
+            opt,
+        })
+    }
+
+    /// Packs the fields back into an OPT record (root name, size in
+    /// CLASS, rcode/version/DO in TTL).
+    pub fn to_record(&self) -> Record {
+        let mut ttl = ((self.extended_rcode_hi as u32) << 24) | ((self.version as u32) << 16);
+        if self.dnssec_ok {
+            ttl |= 0x8000;
+        }
+        Record {
+            name: Name::root(),
+            class: Class::Unknown(self.payload_size),
+            ttl,
+            rdata: RData::Opt(self.opt.clone()),
+        }
+    }
+
+    /// The usable UDP payload limit this OPT negotiates: the advertised
+    /// size clamped up to [`MIN_EDNS_PAYLOAD`].
+    pub fn payload_limit(&self) -> u16 {
+        self.payload_size.max(MIN_EDNS_PAYLOAD)
+    }
+
+    /// The full 12-bit extended RCODE given the message header's 4-bit
+    /// RCODE (RFC 6891 §6.1.3: OPT's high bits prepend the header's).
+    pub fn extended_rcode(&self, header_rcode: Rcode) -> u16 {
+        ((self.extended_rcode_hi as u16) << 4) | header_rcode.to_u8() as u16
+    }
+
+    /// Splits a full extended RCODE: stores the upper eight bits here
+    /// and returns the 4-bit remainder for the message header.
+    pub fn set_extended_rcode(&mut self, full: u16) -> Rcode {
+        self.extended_rcode_hi = (full >> 4) as u8;
+        Rcode::from_u8((full & 0x0f) as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_record_round_trip() {
+        let mut e = Edns::new(4096);
+        e.version = 0;
+        e.dnssec_ok = true;
+        let rec = e.to_record();
+        assert_eq!(rec.rtype(), RType::Opt);
+        assert_eq!(rec.class.to_u16(), 4096);
+        assert_eq!(Edns::from_record(&rec), Some(e));
+    }
+
+    #[test]
+    fn payload_limit_clamps_up_to_512() {
+        assert_eq!(Edns::new(0).payload_limit(), 512);
+        assert_eq!(Edns::new(100).payload_limit(), 512);
+        assert_eq!(Edns::new(511).payload_limit(), 512);
+        assert_eq!(Edns::new(512).payload_limit(), 512);
+        assert_eq!(Edns::new(513).payload_limit(), 513);
+        assert_eq!(Edns::new(1232).payload_limit(), 1232);
+    }
+
+    #[test]
+    fn badvers_splits_across_opt_and_header() {
+        let mut e = Edns::new(1232);
+        let header_rcode = e.set_extended_rcode(EXTENDED_RCODE_BADVERS);
+        // 16 = 0b1_0000: upper bits 1 in the OPT, low 4 bits 0 in the
+        // header — a pre-EDNS client sees NOERROR, an EDNS client sees
+        // BADVERS.
+        assert_eq!(e.extended_rcode_hi, 1);
+        assert_eq!(header_rcode, Rcode::NoError);
+        assert_eq!(e.extended_rcode(header_rcode), EXTENDED_RCODE_BADVERS);
+    }
+
+    #[test]
+    fn from_record_rejects_non_opt() {
+        let rec = Record::new(
+            Name::parse("a.example").unwrap(),
+            60,
+            RData::A(crate::rdata::A::new(std::net::Ipv4Addr::LOCALHOST)),
+        );
+        assert_eq!(Edns::from_record(&rec), None);
+    }
+}

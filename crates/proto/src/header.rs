@@ -21,6 +21,12 @@ pub struct Header {
     pub recursion_desired: bool,
     /// `RA`: recursion available.
     pub recursion_available: bool,
+    /// The three reserved bits between RA and RCODE (Z, and the bits
+    /// DNSSEC later assigned as AD/CD). RFC 1035 says Z "must be zero",
+    /// but real recursives set AD/CD freely, so we preserve the bits
+    /// verbatim: decode masks them out of the flags word and encode
+    /// re-emits them, making decode→encode a byte identity.
+    pub zbits: u8,
     /// Response code.
     pub rcode: Rcode,
     /// Entries in the question section.
@@ -43,6 +49,7 @@ impl Default for Header {
             truncated: false,
             recursion_desired: false,
             recursion_available: false,
+            zbits: 0,
             rcode: Rcode::NoError,
             qdcount: 0,
             ancount: 0,
@@ -76,6 +83,7 @@ impl Header {
         if self.recursion_available {
             flags |= 0x0080;
         }
+        flags |= ((self.zbits & 0x07) as u16) << 4;
         flags |= self.rcode.to_u8() as u16;
         w.write_u16(flags)?;
         w.write_u16(self.qdcount)?;
@@ -96,6 +104,7 @@ impl Header {
             truncated: flags & 0x0200 != 0,
             recursion_desired: flags & 0x0100 != 0,
             recursion_available: flags & 0x0080 != 0,
+            zbits: ((flags >> 4) & 0x07) as u8,
             rcode: Rcode::from_u8(flags as u8),
             qdcount: r.read_u16()?,
             ancount: r.read_u16()?,
@@ -119,6 +128,7 @@ mod tests {
             truncated: true,
             recursion_desired: true,
             recursion_available: true,
+            zbits: 0b101,
             rcode: Rcode::Refused,
             qdcount: 1,
             ancount: 2,
@@ -146,5 +156,37 @@ mod tests {
     fn decode_short_buffer_fails() {
         let mut r = WireReader::new(&[0; 11]);
         assert!(Header::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn zbits_masked_on_decode_and_preserved_on_encode() {
+        // A header with AD (0x0020) and CD (0x0010) set, as real
+        // validating recursives send them.
+        let mut bytes = [0u8; 12];
+        bytes[2] = 0x01; // RD
+        bytes[3] = 0x30; // AD | CD
+        let h = Header::decode(&mut WireReader::new(&bytes)).unwrap();
+        assert_eq!(h.zbits, 0b011);
+        assert_eq!(h.rcode, Rcode::NoError);
+        let mut w = WireWriter::new();
+        h.encode(&mut w).unwrap();
+        assert_eq!(w.as_slice(), &bytes);
+    }
+
+    /// Property (satellite of the transport-plane PR): for *any* 12-byte
+    /// image, decode→encode is a byte identity — every flag bit,
+    /// including the reserved Z/AD/CD bits, survives the round trip.
+    #[test]
+    fn qc_mutated_headers_round_trip_exactly() {
+        detrand::qc::property("header_decode_encode_identity").cases(512).check(|g| {
+            let mut bytes = [0u8; 12];
+            for b in bytes.iter_mut() {
+                *b = g.u8();
+            }
+            let h = Header::decode(&mut WireReader::new(&bytes)).unwrap();
+            let mut w = WireWriter::new();
+            h.encode(&mut w).unwrap();
+            assert_eq!(w.as_slice(), &bytes, "header {h:?} did not re-encode to its wire image");
+        });
     }
 }

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod edns;
 mod error;
 mod header;
 mod message;
@@ -44,6 +45,7 @@ mod record;
 mod types;
 mod wire;
 
+pub use edns::{Edns, EXTENDED_RCODE_BADVERS, MIN_EDNS_PAYLOAD};
 pub use error::{ProtoError, ProtoResult};
 pub use header::Header;
 pub use message::{Message, DEFAULT_EDNS_PAYLOAD};

@@ -1,6 +1,7 @@
 //! Whole DNS messages: sections, encoding, decoding, and convenience
 //! constructors for queries and responses.
 
+use crate::edns::Edns;
 use crate::error::{ProtoError, ProtoResult};
 use crate::header::Header;
 use crate::name::{Name, NameCompressor};
@@ -85,14 +86,40 @@ impl Message {
         });
     }
 
+    /// Appends a fully specified OPT pseudo-record (extended rcode,
+    /// version, DO bit) — what responders emit during negotiation.
+    pub fn add_edns_record(&mut self, edns: &Edns) {
+        self.additionals.push(edns.to_record());
+    }
+
     /// The OPT pseudo-record, if present.
     pub fn edns(&self) -> Option<&Record> {
         self.additionals.iter().find(|r| r.rtype() == RType::Opt)
     }
 
+    /// The typed EDNS view of the OPT pseudo-record, if present.
+    pub fn edns_info(&self) -> Option<Edns> {
+        self.edns().and_then(Edns::from_record)
+    }
+
+    /// Number of OPT records in the additional section. RFC 6891 §6.1.1
+    /// allows exactly one; responders must answer FORMERR to more.
+    pub fn opt_count(&self) -> usize {
+        self.additionals.iter().filter(|r| r.rtype() == RType::Opt).count()
+    }
+
     /// The EDNS-advertised UDP payload size, if EDNS is present.
     pub fn edns_payload_size(&self) -> Option<u16> {
         self.edns().map(|r| r.class.to_u16())
+    }
+
+    /// The full 12-bit extended RCODE: the OPT's upper bits (when EDNS
+    /// is present) prepended to the header's 4-bit RCODE.
+    pub fn extended_rcode(&self) -> u16 {
+        match self.edns_info() {
+            Some(e) => e.extended_rcode(self.header.rcode),
+            None => self.header.rcode.to_u8() as u16,
+        }
     }
 
     /// The first (usually only) question.

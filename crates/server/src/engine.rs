@@ -19,7 +19,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dnswild_proto::rdata::Txt;
-use dnswild_proto::{Class, Message, Name, Opcode, RData, RType, Rcode, Record};
+use dnswild_proto::{
+    Class, Edns, Message, Name, Opcode, RData, RType, Rcode, Record, EXTENDED_RCODE_BADVERS,
+    MIN_EDNS_PAYLOAD,
+};
 use dnswild_metrics::{Stage, StageClock, StageSpans};
 use dnswild_telemetry::SnapshotCell;
 use dnswild_zone::presets::SITE_PLACEHOLDER;
@@ -46,8 +49,11 @@ pub struct ServerStats {
     pub notimp: u64,
     /// CHAOS identification queries answered.
     pub chaos: u64,
-    /// UDP responses truncated because they exceeded the client's
-    /// advertised payload size (TC=1 sent instead).
+    /// BADVERS responses (RFC 6891: the query asked for an EDNS version
+    /// newer than 0, answered with extended RCODE 16).
+    pub badvers: u64,
+    /// UDP responses truncated because they exceeded the negotiated
+    /// payload limit (TC=1 sent instead).
     pub truncated: u64,
     /// Queries served over the TCP-like transport.
     pub tcp_queries: u64,
@@ -62,7 +68,13 @@ impl ServerStats {
     /// this equals [`ServerStats::queries`] — the consistency invariant
     /// the loopback smoke test asserts.
     pub fn question_outcomes(&self) -> u64 {
-        self.answers + self.nxdomain + self.nodata + self.referrals + self.refused + self.chaos
+        self.answers
+            + self.nxdomain
+            + self.nodata
+            + self.referrals
+            + self.refused
+            + self.chaos
+            + self.badvers
     }
 
     /// Total packets the engine classified: every inbound packet bumps
@@ -98,6 +110,7 @@ impl Add for ServerStats {
             formerr: self.formerr + rhs.formerr,
             notimp: self.notimp + rhs.notimp,
             chaos: self.chaos + rhs.chaos,
+            badvers: self.badvers + rhs.badvers,
             truncated: self.truncated + rhs.truncated,
             tcp_queries: self.tcp_queries + rhs.tcp_queries,
             dropped: self.dropped + rhs.dropped,
@@ -114,6 +127,48 @@ impl AddAssign for ServerStats {
 impl Sum for ServerStats {
     fn sum<I: Iterator<Item = ServerStats>>(iter: I) -> ServerStats {
         iter.fold(ServerStats::default(), Add::add)
+    }
+}
+
+/// How a site negotiates EDNS(0) payload sizes — the per-site
+/// truncation policy the paper's multi-site deployments tune
+/// independently (an anycast site behind a lossy path may cap UDP
+/// answers well below what clients advertise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncationPolicy {
+    /// Payload size this site advertises in the OPT record of its own
+    /// responses.
+    pub advertise: u16,
+    /// Ceiling applied to the client's advertised size: a UDP response
+    /// may never exceed `min(client_advertised, max_udp)` bytes (both
+    /// clamped up to the 512-byte RFC floor) before TC=1 replaces it.
+    pub max_udp: u16,
+}
+
+impl Default for TruncationPolicy {
+    fn default() -> Self {
+        TruncationPolicy {
+            advertise: dnswild_proto::DEFAULT_EDNS_PAYLOAD,
+            max_udp: dnswild_proto::DEFAULT_EDNS_PAYLOAD,
+        }
+    }
+}
+
+impl TruncationPolicy {
+    /// A policy advertising and capping at the same `size` — what
+    /// `dnswild serve --edns-size` configures.
+    pub fn symmetric(size: u16) -> Self {
+        TruncationPolicy { advertise: size, max_udp: size }
+    }
+
+    /// The UDP byte limit negotiated with a query: 512 without EDNS,
+    /// otherwise the client's clamped advertisement capped by this
+    /// site's ceiling (never below the RFC floor).
+    pub fn udp_limit(&self, edns: Option<&Edns>) -> usize {
+        match edns {
+            Some(e) => e.payload_limit().min(self.max_udp).max(MIN_EDNS_PAYLOAD) as usize,
+            None => MIN_EDNS_PAYLOAD as usize,
+        }
     }
 }
 
@@ -205,6 +260,8 @@ pub struct AnswerEngine {
     /// serving plane, never by the simulator — when `None` the answer
     /// keeps its original four-field shape.
     introspect: Option<Introspection>,
+    /// How this site negotiates EDNS sizes and truncates UDP answers.
+    policy: TruncationPolicy,
 }
 
 /// What the serving plane tells the engine about itself, echoed in the
@@ -231,6 +288,7 @@ impl AnswerEngine {
             stats: ServerStats::default(),
             telemetry: None,
             introspect: None,
+            policy: TruncationPolicy::default(),
         }
     }
 
@@ -248,6 +306,18 @@ impl AnswerEngine {
         self
     }
 
+    /// Sets this site's EDNS/truncation policy (default: advertise and
+    /// cap at [`dnswild_proto::DEFAULT_EDNS_PAYLOAD`]).
+    pub fn with_truncation_policy(mut self, policy: TruncationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The site's EDNS/truncation policy.
+    pub fn truncation_policy(&self) -> TruncationPolicy {
+        self.policy
+    }
+
     /// A worker-private copy: same site identity, same shared zones and
     /// telemetry cell, fresh counters.
     pub fn fork(&self) -> AnswerEngine {
@@ -257,6 +327,7 @@ impl AnswerEngine {
             stats: ServerStats::default(),
             telemetry: self.telemetry.clone(),
             introspect: self.introspect,
+            policy: self.policy,
         }
     }
 
@@ -357,6 +428,21 @@ impl AnswerEngine {
     fn handle_query(&mut self, query: &Message) -> Option<Message> {
         let question = query.question()?.clone();
 
+        // EDNS version negotiation (RFC 6891 §6.1.3): anything newer
+        // than version 0 gets BADVERS — extended RCODE 16, split across
+        // our OPT's high bits and a NOERROR header — so the client can
+        // retry at version 0.
+        if let Some(edns) = query.edns_info() {
+            if edns.version != 0 {
+                self.stats.badvers += 1;
+                let mut out = Edns::new(self.policy.advertise);
+                let header_rcode = out.set_extended_rcode(EXTENDED_RCODE_BADVERS);
+                let mut resp = Message::response_to(query, header_rcode);
+                resp.add_edns_record(&out);
+                return Some(resp);
+            }
+        }
+
         if question.qclass == Class::Ch {
             let qname_str = question.qname.to_string().to_ascii_lowercase();
             if question.qtype == RType::Txt
@@ -416,9 +502,9 @@ impl AnswerEngine {
             }
         };
 
-        // Echo EDNS0 with our own payload-size advertisement.
+        // Echo EDNS0 with this site's own payload-size advertisement.
         if query.edns().is_some() {
-            resp.add_edns(dnswild_proto::DEFAULT_EDNS_PAYLOAD);
+            resp.add_edns(self.policy.advertise);
         }
         Some(resp)
     }
@@ -518,6 +604,21 @@ impl AnswerEngine {
             };
         }
 
+        // RFC 6891 §6.1.1: a message carrying more than one OPT record
+        // is broken at the format level — FORMERR, not a query.
+        if query.opt_count() > 1 {
+            self.stats.formerr += 1;
+            let resp = Message::response_to(&query, Rcode::FormErr);
+            let sent = resp.encode_into(resp_buf).is_ok();
+            return HandledPacket {
+                response: sent,
+                query: None,
+                decode_error: false,
+                class: PacketClass::FormErr,
+                rcode: sent.then_some(Rcode::FormErr),
+            };
+        }
+
         self.stats.queries += 1;
         if transport == TransportKind::Tcp {
             self.stats.tcp_queries += 1;
@@ -546,17 +647,18 @@ impl AnswerEngine {
                 rcode: None,
             };
         }
-        // UDP responses must fit the client's advertised payload size
-        // (512 without EDNS); oversized answers are replaced by an empty
-        // TC=1 response inviting a TCP retry.
-        let limit = query.edns_payload_size().unwrap_or(512) as usize;
+        // UDP responses must fit the negotiated payload limit — the
+        // client's clamped EDNS advertisement capped by the per-site
+        // policy, or the 512-byte floor without EDNS. Oversized answers
+        // are replaced by an empty TC=1 response inviting a TCP retry.
+        let limit = self.policy.udp_limit(query.edns_info().as_ref());
         if transport == TransportKind::Udp && resp_buf.len() > limit {
             self.stats.truncated += 1;
             let mut tc = Message::response_to(&query, resp.rcode());
             tc.header.authoritative = resp.header.authoritative;
             tc.header.truncated = true;
             if query.edns().is_some() {
-                tc.add_edns(dnswild_proto::DEFAULT_EDNS_PAYLOAD);
+                tc.add_edns(self.policy.advertise);
             }
             tc.encode_into(resp_buf).expect("truncated response encodes");
         }
@@ -683,6 +785,91 @@ mod tests {
         assert_eq!(stats.truncated, 1);
         assert_eq!(stats.tcp_queries, 1);
         assert_eq!(stats.queries, 2);
+    }
+
+    /// A zone whose `mid.<origin>` TXT answer encodes to roughly
+    /// `payload` bytes — the knob the truncation-policy tests turn.
+    fn zone_with_txt_of(origin: &Name, total: usize) -> dnswild_zone::Zone {
+        use dnswild_proto::rdata::Txt;
+        let mut zone = test_domain_zone(origin, 1);
+        let strings: Vec<Vec<u8>> =
+            (0..total.div_ceil(200)).map(|i| vec![b'a' + i as u8; 200]).collect();
+        zone.insert(Record::new(
+            origin.prepend("mid").unwrap(),
+            60,
+            RData::Txt(Txt::new(strings).unwrap()),
+        ));
+        zone
+    }
+
+    #[test]
+    fn payload_below_512_clamps_to_512() {
+        // ~300B answer; a client advertising 100 bytes still gets it
+        // whole, because RFC 6891 clamps advertisements up to 512.
+        let mut e = AnswerEngine::new("FRA", vec![zone_with_txt_of(&origin(), 280)]);
+        let mut q = Message::iterative_query(41, origin().prepend("mid").unwrap(), RType::Txt);
+        q.additionals.clear();
+        q.add_edns(100);
+        let mut buf = Vec::new();
+        assert!(e.handle_packet(&q.encode().unwrap(), TransportKind::Udp, &mut buf).response);
+        let resp = Message::decode(&buf).unwrap();
+        assert!(!resp.header.truncated, "clamped limit is 512, answer fits");
+        assert_eq!(resp.answers.len(), 1);
+        assert!(buf.len() > 100 && buf.len() <= 512);
+        assert_eq!(e.stats().truncated, 0);
+    }
+
+    #[test]
+    fn duplicate_opt_records_get_formerr() {
+        let mut q = Message::iterative_query(42, origin().prepend("p1-r1").unwrap(), RType::Txt);
+        q.add_edns(4096); // iterative_query already added one OPT
+        assert_eq!(q.opt_count(), 2);
+        let (resp, stats) = run(&q.encode().unwrap(), TransportKind::Udp);
+        assert_eq!(resp.unwrap().rcode(), Rcode::FormErr);
+        assert_eq!(stats.formerr, 1);
+        assert_eq!(stats.queries, 0, "a FORMERR packet is not a query");
+        assert_eq!(stats.packets_seen(), 1);
+    }
+
+    #[test]
+    fn unknown_edns_version_gets_badvers() {
+        let mut q = Message::iterative_query(43, origin().prepend("p1-r1").unwrap(), RType::Txt);
+        q.additionals.clear();
+        let mut edns = dnswild_proto::Edns::new(1232);
+        edns.version = 1;
+        q.add_edns_record(&edns);
+        let (resp, stats) = run(&q.encode().unwrap(), TransportKind::Udp);
+        let resp = resp.unwrap();
+        assert_eq!(resp.rcode(), Rcode::NoError, "low 4 bits of BADVERS are zero");
+        assert_eq!(resp.extended_rcode(), dnswild_proto::EXTENDED_RCODE_BADVERS);
+        let echoed = resp.edns_info().expect("OPT echoed");
+        assert_eq!(echoed.version, 0, "we answer at the version we speak");
+        assert!(resp.answers.is_empty(), "BADVERS carries no answer");
+        assert_eq!(stats.badvers, 1);
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.question_outcomes(), 1);
+    }
+
+    #[test]
+    fn policy_caps_client_advertisement() {
+        // ~700B answer; the client advertises 4096 but the site policy
+        // caps UDP at 512 → TC=1. The TC response echoes the policy's
+        // own advertisement.
+        let policy = TruncationPolicy::symmetric(512);
+        let mut e = AnswerEngine::new("FRA", vec![zone_with_txt_of(&origin(), 680)])
+            .with_truncation_policy(policy);
+        assert_eq!(e.truncation_policy(), policy);
+        let mut q = Message::iterative_query(44, origin().prepend("mid").unwrap(), RType::Txt);
+        q.additionals.clear();
+        q.add_edns(4096);
+        let mut buf = Vec::new();
+        assert!(e.handle_packet(&q.encode().unwrap(), TransportKind::Udp, &mut buf).response);
+        let resp = Message::decode(&buf).unwrap();
+        assert!(resp.header.truncated);
+        assert_eq!(resp.edns_payload_size(), Some(512), "TC echoes the site's advertisement");
+        assert_eq!(e.stats().truncated, 1);
+        // Forked workers inherit the policy.
+        assert_eq!(e.fork().truncation_policy(), policy);
     }
 
     #[test]
@@ -850,6 +1037,7 @@ mod tests {
             formerr: 1,
             notimp: 1,
             chaos: 1,
+            badvers: 1,
             truncated: 1,
             tcp_queries: 1,
             dropped: 1,
@@ -865,11 +1053,12 @@ mod tests {
             formerr: 3,
             notimp: 3,
             chaos: 3,
+            badvers: 3,
             truncated: 3,
             tcp_queries: 3,
             dropped: 3,
         });
-        assert_eq!(ones.question_outcomes(), 6);
+        assert_eq!(ones.question_outcomes(), 7);
         let mut acc = ServerStats::default();
         acc += ones;
         acc += ones;

@@ -33,7 +33,8 @@ use dnswild_proto::{Name, RType};
 use dnswild_zone::Zone;
 
 pub use engine::{
-    AnswerEngine, HandledPacket, Introspection, PacketClass, QueryView, ServerStats, TransportKind,
+    AnswerEngine, HandledPacket, Introspection, PacketClass, QueryView, ServerStats,
+    TransportKind, TruncationPolicy,
 };
 
 /// One query observed at the authoritative — the passive-trace view the

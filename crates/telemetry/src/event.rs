@@ -43,6 +43,13 @@ pub const FLAG_CHAOS_DELAY: u16 = 1 << 9;
 /// such events so trace byte accounting matches what actually hit the
 /// wire.
 pub const FLAG_SEND_FAILED: u16 = 1 << 10;
+/// Client-side: the attempt window closed on a TC=1 answer (the UDP
+/// reply was truncated and unusable).
+pub const FLAG_TC_SEEN: u16 = 1 << 11;
+/// Client-side: the transaction was retried over TCP after truncation
+/// ([`FLAG_TCP`] is additionally set iff that retry produced the
+/// answer).
+pub const FLAG_TCP_RETRY: u16 = 1 << 12;
 
 /// Sentinel for "no rcode recorded" (wire rcodes are 4 bits).
 pub const RCODE_NONE: u8 = 0xff;

@@ -55,6 +55,28 @@ pub fn test_domain_zone(origin: &Name, ns_count: usize) -> Zone {
     zone
 }
 
+/// [`test_domain_zone`] with the wildcard TXT RRset padded so every
+/// probe answer's rdata totals at least `pad_bytes` — big enough to
+/// overflow a small negotiated EDNS payload and force TC=1 on UDP,
+/// which is how the truncation → TCP-retry path is exercised end to
+/// end. The site-placeholder record is kept as the RRset's *first*
+/// record (the server still brands it); padding rides in extra TXT
+/// records of opaque 200-octet strings.
+pub fn padded_test_domain_zone(origin: &Name, ns_count: usize, pad_bytes: usize) -> Zone {
+    let mut zone = test_domain_zone(origin, ns_count);
+    if pad_bytes == 0 {
+        return zone;
+    }
+    let chunk = vec![b'x'; 200];
+    let strings = vec![chunk; pad_bytes.div_ceil(200)];
+    zone.insert(Record::new(
+        origin.prepend("*").expect("short label"),
+        PROBE_TTL,
+        RData::Txt(Txt::new(strings).expect("short strings")),
+    ));
+    zone
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +100,30 @@ mod tests {
             }
             other => panic!("expected answer, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn padded_zone_fattens_the_wildcard_answer() {
+        let origin = Name::parse("x.nl").unwrap();
+        let zone = padded_test_domain_zone(&origin, 1, 900);
+        let q = Name::parse("p1.x.nl").unwrap();
+        let Lookup::Answer(recs) = zone.lookup(&q, RType::Txt) else {
+            panic!("expected answer")
+        };
+        let total: usize = recs
+            .iter()
+            .map(|r| match &r.rdata {
+                RData::Txt(t) => t.strings().iter().map(Vec::len).sum::<usize>(),
+                _ => 0,
+            })
+            .sum();
+        assert!(total >= 900, "rdata only {total} bytes");
+        assert!(
+            recs.iter().any(|r| matches!(
+                &r.rdata, RData::Txt(t) if t.first_as_string() == SITE_PLACEHOLDER
+            )),
+            "placeholder record must survive for branding"
+        );
     }
 
     #[test]

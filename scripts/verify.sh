@@ -67,6 +67,29 @@ if ! diff <(grep '^chaos' "$chaos_a") <(grep '^chaos' "$chaos_b"); then
 fi
 echo "chaos smoke reproducible: seed 2017 produced identical schedules and counters twice"
 
+# Truncation gate: with the wildcard answer padded past a forced
+# 512-byte EDNS limit, every UDP answer comes back TC=1 and must
+# complete over the TCP transport plane — through TCP connection faults
+# (refused, reset, stalled, corrupted length prefixes). The smoke
+# command enforces the hard criteria internally (every truncated
+# transaction answered over TCP or SERVFAIL, zero unaccounted datagrams
+# *and* frames); on top, the CI configuration requires actual TCP
+# completions, zero SERVFAILs, and a schedule that is byte-identical
+# across two same-seed runs.
+cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --chaos --tcp --edns-size 512 --queries 48 --seed 2017 --budget-secs 120 | tee "$chaos_a"
+if ! grep -q '^chaos-client: .* servfail=0 .* tcp_ok=[1-9]' "$chaos_a"; then
+    echo "truncation gate: expected zero SERVFAILs and >0 TCP completions" >&2
+    exit 1
+fi
+cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --chaos --tcp --edns-size 512 --queries 48 --seed 2017 --budget-secs 120 > "$chaos_b"
+if ! diff <(grep '^chaos' "$chaos_a") <(grep '^chaos' "$chaos_b"); then
+    echo "truncation gate not reproducible: TCP fault schedule or counters differ between runs" >&2
+    exit 1
+fi
+echo "truncation gate: every truncated transaction completed over TCP, reproducibly"
+
 # Telemetry closure gate: a traced chaos smoke must account for every
 # decoded query. The per-auth counts `report --from-trace` recovers
 # from the binary trace have to equal the server's own atomic counters

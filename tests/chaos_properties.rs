@@ -25,8 +25,12 @@ fn corpus() -> Vec<Vec<u8>> {
     let probe = Message::iterative_query(7, origin().prepend("p1-r1").unwrap(), RType::Txt);
     let apex_ns = Message::iterative_query(8, origin(), RType::Ns);
     let glue_a = Message::iterative_query(9, origin().prepend("ns1").unwrap(), RType::A);
+    // `iterative_query` already carries the default OPT; replace it
+    // with a smaller advertisement (RFC 6891 allows exactly one, and
+    // the engine FORMERRs duplicates).
     let mut edns = Message::iterative_query(10, origin().prepend("p2-r3").unwrap(), RType::Txt);
-    edns.add_edns(1232);
+    edns.additionals.clear();
+    edns.add_edns(512);
 
     let mut engine = AnswerEngine::new("FRA", vec![test_domain_zone(&origin(), 2)]);
     let mut resp_buf = Vec::new();
