@@ -1,0 +1,195 @@
+//! Trace-derived bandwidth amplification, attacker vs. legitimate.
+//!
+//! The attack generator flags its own `ClientQuery` events with
+//! [`FLAG_ATTACK`] and hashes each query's question bytes exactly the
+//! way the serving plane does (`qname_hash32` over the bytes past the
+//! header). That makes classification on the *server's* side of the
+//! wire a set lookup: a `ServerQuery` event whose `qname_hash` appears
+//! in the attack set is attacker traffic, everything else is
+//! legitimate. From the partition this module computes the number the
+//! defense gates pin: bytes the authoritative put on the wire per byte
+//! the attacker spent — with rate-limited drops honestly counted as
+//! zero bytes out, which is precisely how RRL shrinks the factor.
+
+use std::collections::HashSet;
+
+use dnswild_telemetry::{EventKind, Trace, FLAG_ATTACK};
+
+/// Per-class traffic totals from one trace, server-side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AmplificationReport {
+    /// Server-side queries classified as attacker traffic.
+    pub attack_queries: u64,
+    /// Query bytes the attacker delivered to the server.
+    pub attack_bytes_in: u64,
+    /// Response bytes the server put on the wire for attacker queries
+    /// (dropped and send-failed responses count zero).
+    pub attack_bytes_out: u64,
+    /// Server-side queries classified as legitimate.
+    pub legit_queries: u64,
+    /// Query bytes legitimate clients delivered.
+    pub legit_bytes_in: u64,
+    /// Response bytes the server returned to legitimate clients.
+    pub legit_bytes_out: u64,
+}
+
+impl AmplificationReport {
+    /// Bandwidth amplification granted to the attacker: response bytes
+    /// out per query byte in. `None` until attacker traffic was seen.
+    pub fn attack_factor(&self) -> Option<f64> {
+        (self.attack_bytes_in > 0)
+            .then(|| self.attack_bytes_out as f64 / self.attack_bytes_in as f64)
+    }
+
+    /// The same ratio for legitimate traffic — the baseline the attack
+    /// factor is judged against.
+    pub fn legit_factor(&self) -> Option<f64> {
+        (self.legit_bytes_in > 0).then(|| self.legit_bytes_out as f64 / self.legit_bytes_in as f64)
+    }
+
+    /// The deterministic one-line summary the smoke gate diffs across
+    /// runs. Factors print with two decimals (a pure function of the
+    /// byte counters, so still replay-stable).
+    pub fn render(&self) -> String {
+        let factor = |f: Option<f64>| f.map_or_else(|| "n/a".to_string(), |f| format!("{f:.2}"));
+        format!(
+            "attack_queries={} attack_bytes_in={} attack_bytes_out={} attack_factor={} \
+             legit_queries={} legit_bytes_in={} legit_bytes_out={} legit_factor={}",
+            self.attack_queries,
+            self.attack_bytes_in,
+            self.attack_bytes_out,
+            factor(self.attack_factor()),
+            self.legit_queries,
+            self.legit_bytes_in,
+            self.legit_bytes_out,
+            factor(self.legit_factor()),
+        )
+    }
+}
+
+/// Partitions a trace's server-side traffic into attacker and
+/// legitimate classes and totals the bytes each moved.
+///
+/// Classification is by question hash: the set of `qname_hash` values
+/// seen on [`FLAG_ATTACK`]-flagged `ClientQuery` events. Server events
+/// that never reached the question stage (`ServerBad`) are outside both
+/// classes — they carry no question to classify.
+pub fn amplification(trace: &Trace) -> AmplificationReport {
+    let attack_hashes: HashSet<u32> = trace
+        .events
+        .iter()
+        .filter(|ev| ev.kind == EventKind::ClientQuery && ev.flags & FLAG_ATTACK != 0)
+        .map(|ev| ev.qname_hash)
+        .collect();
+
+    let mut report = AmplificationReport::default();
+    for ev in &trace.events {
+        if ev.kind != EventKind::ServerQuery {
+            continue;
+        }
+        let (queries, bytes_in, bytes_out) = if attack_hashes.contains(&ev.qname_hash) {
+            (
+                &mut report.attack_queries,
+                &mut report.attack_bytes_in,
+                &mut report.attack_bytes_out,
+            )
+        } else {
+            (&mut report.legit_queries, &mut report.legit_bytes_in, &mut report.legit_bytes_out)
+        };
+        *queries += 1;
+        *bytes_in += u64::from(ev.bytes_in);
+        *bytes_out += u64::from(ev.bytes_out);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswild_telemetry::{Event, FLAG_RESPONSE};
+
+    fn server_ev(qname_hash: u32, bytes_in: u16, bytes_out: u16) -> Event {
+        let mut e = Event::new(EventKind::ServerQuery);
+        e.qname_hash = qname_hash;
+        e.bytes_in = bytes_in;
+        e.bytes_out = bytes_out;
+        e.flags = if bytes_out > 0 { FLAG_RESPONSE } else { 0 };
+        e
+    }
+
+    fn attack_client_ev(qname_hash: u32) -> Event {
+        let mut e = Event::new(EventKind::ClientQuery);
+        e.qname_hash = qname_hash;
+        e.flags = FLAG_ATTACK | FLAG_RESPONSE;
+        e
+    }
+
+    fn trace(events: Vec<Event>) -> Trace {
+        Trace { version: 1, auths: vec!["FRA".into()], events, overflow: 0 }
+    }
+
+    #[test]
+    fn empty_trace_reports_nothing_and_no_factors() {
+        let report = amplification(&trace(vec![]));
+        assert_eq!(report, AmplificationReport::default());
+        assert_eq!(report.attack_factor(), None);
+        assert_eq!(report.legit_factor(), None);
+        assert!(report.render().contains("attack_factor=n/a"));
+    }
+
+    #[test]
+    fn all_legit_traffic_stays_out_of_the_attack_class() {
+        let report = amplification(&trace(vec![
+            server_ev(0xaaaa, 40, 120),
+            server_ev(0xbbbb, 50, 150),
+        ]));
+        assert_eq!(report.attack_queries, 0);
+        assert_eq!(report.attack_factor(), None);
+        assert_eq!(report.legit_queries, 2);
+        assert_eq!(report.legit_bytes_in, 90);
+        assert_eq!(report.legit_bytes_out, 270);
+        assert_eq!(report.legit_factor(), Some(3.0));
+    }
+
+    #[test]
+    fn all_attack_traffic_classifies_by_client_side_hashes() {
+        let report = amplification(&trace(vec![
+            attack_client_ev(0x1111),
+            attack_client_ev(0x2222),
+            server_ev(0x1111, 45, 450),
+            server_ev(0x2222, 45, 0), // dropped by the limiter: zero out
+        ]));
+        assert_eq!(report.attack_queries, 2);
+        assert_eq!(report.attack_bytes_in, 90);
+        assert_eq!(report.attack_bytes_out, 450);
+        assert_eq!(report.attack_factor(), Some(5.0));
+        assert_eq!(report.legit_queries, 0);
+    }
+
+    #[test]
+    fn mixed_traffic_partitions_and_client_events_never_total() {
+        let mut bad = Event::new(EventKind::ServerBad);
+        bad.bytes_in = 2;
+        let report = amplification(&trace(vec![
+            attack_client_ev(0x1111),
+            server_ev(0x1111, 45, 900),  // attack: 20x referral
+            server_ev(0xaaaa, 40, 120),  // legit probe
+            // A legit ClientQuery sharing the attacker's hash space is
+            // impossible (hashes are of the question bytes), but a
+            // legit *server* event never joins the attack class.
+            server_ev(0xbbbb, 40, 80),
+            bad, // no question — outside both classes
+        ]));
+        assert_eq!(report.attack_queries, 1);
+        assert_eq!(report.attack_factor(), Some(20.0));
+        assert_eq!(report.legit_queries, 2);
+        assert_eq!(report.legit_bytes_in, 80);
+        assert_eq!(report.legit_bytes_out, 200);
+        assert_eq!(report.legit_factor(), Some(2.5));
+        assert_eq!(
+            report.render(),
+            "attack_queries=1 attack_bytes_in=45 attack_bytes_out=900 attack_factor=20.00 \
+             legit_queries=2 legit_bytes_in=80 legit_bytes_out=200 legit_factor=2.50"
+        );
+    }
+}

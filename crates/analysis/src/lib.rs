@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod amplification;
 pub mod ascii;
 mod coverage;
 mod interval;
@@ -22,6 +23,7 @@ mod table;
 mod timeline;
 mod trace_ingest;
 
+pub use amplification::{amplification, AmplificationReport};
 pub use coverage::{coverage, queries_to_cover, CoverageSummary};
 pub use interval::{interval_sweep, IntervalPoint};
 pub use preference::{

@@ -12,14 +12,14 @@ use std::sync::Arc;
 use dnswild_bench::{black_box, Runner, Stats};
 use dnswild_metrics::{Registry, Stage, StageClock, StageSpans};
 use dnswild_netio::{
-    batch_io_available, blast, resolve, serve, write_frame, Collector, CollectorConfig, Direction,
-    FaultPlan, FaultProfile, FrameReader, IoBackend, LoadConfig, QueryMix, ResolveConfig,
-    ServeConfig, TcpOptions,
+    assault, batch_io_available, blast, resolve, serve, write_frame, AttackConfig, AttackMode,
+    Collector, CollectorConfig, Direction, FaultPlan, FaultProfile, FrameReader, IoBackend,
+    LoadConfig, QueryMix, ResolveConfig, ServeConfig, TcpOptions,
 };
-use dnswild_server::TruncationPolicy;
+use dnswild_server::{RateLimitPolicy, TruncationPolicy};
 use dnswild_telemetry::{Event, EventKind};
 use dnswild_proto::{Message, Name, RType};
-use dnswild_zone::presets::{padded_test_domain_zone, test_domain_zone};
+use dnswild_zone::presets::{attack_test_domain_zone, padded_test_domain_zone, test_domain_zone};
 
 fn origin() -> Name {
     Name::parse("bench.test").unwrap()
@@ -446,6 +446,63 @@ fn bench_tcp_fallback(r: &mut Runner) {
     tcp_srv.shutdown();
 }
 
+/// The defense-matrix sweep: every attack mode against the padded
+/// referral zone, undefended and behind the default rate-limit policy.
+/// The attacker's own books give the bandwidth amplification factor
+/// (response bytes per query byte); the sweep lands in
+/// `results/attack_amp.txt` so the defended-vs-undefended contrast
+/// survives next to the other serving-plane numbers. Counters are
+/// seed-deterministic; only wall-clock varies between hosts.
+fn bench_attack_sweep() {
+    let zones = Arc::new(vec![attack_test_domain_zone(&origin(), 2, 20)]);
+    let mut lines = vec![
+        "# adversarial sweep — loopback, 400 queries per cell, seed 2017,".to_string(),
+        "# 20-NS padded referral zone; amp is attacker bytes_received/bytes_sent".to_string(),
+        "# (drops count zero out), rrl=on is the default policy (burst 50,".to_string(),
+        "# refill 1/8, slip 1-in-2, NXDOMAIN budget 0, scope abusive)".to_string(),
+    ];
+    for defended in [false, true] {
+        for mode in [AttackMode::NxdomainFlood, AttackMode::NxnsReferral, AttackMode::SpoofedBurst]
+        {
+            let mut config = ServeConfig::new("127.0.0.1:0", "FRA", Arc::clone(&zones))
+                .threads(2)
+                // Honor the generator's EDNS 4096 advertisement so the
+                // fat NXNS referral rides back whole.
+                .truncation(TruncationPolicy::symmetric(4096));
+            if defended {
+                config = config.rate_limit(RateLimitPolicy::default());
+            }
+            let handle = serve(config).expect("bind attack target");
+            let report = assault(
+                AttackConfig::new(handle.local_addr(), origin(), mode)
+                    .concurrency(2)
+                    .queries(400)
+                    .seed(2017)
+                    .timeout(std::time::Duration::from_millis(40)),
+            )
+            .expect("assault");
+            let stats = handle.shutdown();
+            let name = mode.name();
+            assert!(report.all_accounted(), "mode={name}: unaccounted datagrams: {report:?}");
+            assert_eq!(stats.rrl_dropped, report.timeouts, "mode={name}: RRL books");
+            let amp = report
+                .amplification()
+                .map_or_else(|| "n/a".to_string(), |f| format!("{f:.2}"));
+            lines.push(format!(
+                "mode={name} rrl={} sent={} answered={} tc_slips={} dropped={} amp={amp}",
+                if defended { "on" } else { "off" },
+                report.sent,
+                report.received,
+                report.tc_slips,
+                report.timeouts,
+            ));
+        }
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/attack_amp.txt");
+    std::fs::write(path, lines.join("\n") + "\n").expect("write results/attack_amp.txt");
+    eprintln!("netio/attack sweep written to results/attack_amp.txt");
+}
+
 fn main() {
     let mut r = Runner::from_env("netio");
     bench_encode_paths(&mut r);
@@ -456,5 +513,6 @@ fn main() {
     bench_traced_blast(&mut r, bare_median);
     bench_batch_sweep(&mut r);
     bench_tcp_fallback(&mut r);
+    bench_attack_sweep();
     r.finish();
 }

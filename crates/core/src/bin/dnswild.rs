@@ -23,18 +23,20 @@ use std::time::{Duration, Instant};
 
 use dnswild::report::{render_coverage, render_rank_profile, render_share};
 use dnswild_analysis::{
-    coverage, query_share, rank_profile, trace_auth_counts, trace_client_counts,
+    amplification, coverage, query_share, rank_profile, trace_auth_counts, trace_client_counts,
     trace_to_measurement,
 };
 use dnswild_metrics::{parse_exposition, scrape, Watchdog, WatchdogConfig};
+use dnswild_netio::attack::NXNS_EDNS_PAYLOAD;
 use dnswild_netio::{
-    blast, mirror_collector, resolve, serve, server_stats_kinds, ChaosProxy, Collector,
-    CollectorConfig, Direction, FaultPlan, FaultProfile, IoBackend, LoadConfig, MetricsServer,
-    QueryMix, Registry, ResolveConfig, ServeConfig, TcpFaultProfile, TcpOptions, Trace,
+    assault, blast, mirror_collector, resolve, serve, server_stats_kinds, AttackConfig,
+    AttackMode, ChaosProxy, Collector, CollectorConfig, Direction, FaultPlan, FaultProfile,
+    IoBackend, LoadConfig, MetricsServer, QueryMix, Registry, ResolveConfig, ServeConfig,
+    TcpFaultProfile, TcpOptions, Trace,
 };
 use dnswild_proto::Name;
-use dnswild_server::{ServerStats, TruncationPolicy};
-use dnswild_zone::presets::{padded_test_domain_zone, test_domain_zone};
+use dnswild_server::{RateLimitPolicy, RrlScope, ServerStats, TruncationPolicy};
+use dnswild_zone::presets::{attack_test_domain_zone, padded_test_domain_zone, test_domain_zone};
 
 fn usage_exit(code: i32) -> ! {
     eprintln!(
@@ -53,6 +55,9 @@ fn usage_exit(code: i32) -> ! {
              --ns N           NS count in the preset zone (default 2)\n\
              --pad N          pad the wildcard TXT answer with ~N extra rdata\n\
                               bytes (forces truncation under --edns-size)\n\
+             --attack-zone    serve the adversarial preset instead: an NXDOMAIN\n\
+                              anchor (void.<origin>) and a 20-NS fattened\n\
+                              delegation (lab.<origin>) for `blast --attack`\n\
              --tcp            also serve RFC 7766 TCP on the same port\n\
              --edns-size N    symmetric EDNS truncation policy: advertise N\n\
                               and truncate UDP answers over N (default 1232)\n\
@@ -60,6 +65,17 @@ fn usage_exit(code: i32) -> ! {
              --trace PATH     record one telemetry event per datagram to PATH\n\
              --metrics-addr A:P  expose Prometheus-text metrics over HTTP and\n\
                               run the share-vs-RTT watchdog\n\
+             --rrl            enable response-rate limiting (BIND-style token\n\
+                              buckets per client prefix; TCP is never limited)\n\
+             --rrl-burst N --rrl-rate N --rrl-period N --rrl-slip N\n\
+                              bucket capacity, refill rate per period charged\n\
+                              queries, and the 1-in-N TC=1 slip ratio\n\
+                              (defaults 50, 1, 8, 2; each implies --rrl)\n\
+             --rrl-nx-budget N  site-wide NXDOMAIN bucket (default 0 = off)\n\
+             --rrl-all        charge every query, not just NXDOMAIN/referral/\n\
+                              REFUSED responses\n\
+             --rrl-key-ports  mix the source port into the client key (loopback\n\
+                              harness knob; deployments aggregate by prefix)\n\
            blast   closed-loop load generator\n\
              --addr A:P       target address (default 127.0.0.1:5300)\n\
              --concurrency N  client threads (default 4)\n\
@@ -68,6 +84,11 @@ fn usage_exit(code: i32) -> ! {
              --seed S         query-mix / fault seed (default 2017)\n\
              --origin NAME    zone origin (default ourtestdomain.nl)\n\
              --probe-only     send only probe TXT queries\n\
+             --attack MODE    offer an adversarial workload instead of the\n\
+                              legitimate mix: nxdomain (water torture), nxns\n\
+                              (delegation amplification), spoof (port-\n\
+                              multiplexed flood); exclusive with --chaos\n\
+             --spoofed-sources N  (attack spoof) socket pool per thread (16)\n\
              --chaos          route through a fault proxy and drive the\n\
                               resolver retry/backoff client instead\n\
              --loss P         (chaos) total drop probability (default 0.10)\n\
@@ -96,9 +117,16 @@ fn usage_exit(code: i32) -> ! {
              --io MODE        server I/O loop: auto|std|mmsg (default auto)\n\
              --batch N        mmsg batch ceiling (default 32)\n\
              --concurrency N  load client threads, non-chaos mode (default 4)\n\
+             --attack MODE    the attack gate: a seeded nxdomain|nxns|spoof\n\
+                              flood runs beside the legitimate mix and every\n\
+                              `attack-` output line must replay byte-identically\n\
+             --rrl            (attack) defend with the default rate-limit\n\
+                              policy: the gate then requires drops, slips and\n\
+                              a watchdog attack-pressure breach while legit\n\
+                              goodput holds at 100%\n\
              --chaos          route through two seeded fault proxies and\n\
                               apply resolver-level pass criteria\n\
-             --seed S         (chaos) fault schedule seed (default 2017)\n\
+             --seed S         (chaos/attack) schedule seed (default 2017)\n\
              --loss P         (chaos) total drop probability (default 0.10)\n\
              --corrupt P      (chaos) per-copy corruption probability (default 0.01)\n\
              --tcp            (chaos) truncation gate: serve a padded zone over\n\
@@ -134,23 +162,11 @@ fn parse_flag<T: std::str::FromStr>(args: &mut std::slice::Iter<'_, String>, fla
 }
 
 fn print_stats(stats: ServerStats) {
-    println!(
-        "stats: queries={} answers={} nxdomain={} nodata={} referrals={} refused={} \
-         formerr={} notimp={} chaos={} badvers={} truncated={} tcp_queries={} dropped={}",
-        stats.queries,
-        stats.answers,
-        stats.nxdomain,
-        stats.nodata,
-        stats.referrals,
-        stats.refused,
-        stats.formerr,
-        stats.notimp,
-        stats.chaos,
-        stats.badvers,
-        stats.truncated,
-        stats.tcp_queries,
-        stats.dropped
-    );
+    // `server_stats_kinds` is the single source of truth for the
+    // counter set, so this line can never lag a new ServerStats field.
+    let fields: Vec<String> =
+        server_stats_kinds(&stats).iter().map(|(kind, n)| format!("{kind}={n}")).collect();
+    println!("stats: {}", fields.join(" "));
 }
 
 fn report_blast(report: &dnswild_netio::LoadReport) {
@@ -231,24 +247,9 @@ fn json_blast(report: &dnswild_netio::LoadReport, stats: Option<&ServerStats>) -
         pct(1.0)
     );
     if let Some(s) = stats {
-        out.push_str(&format!(
-            ",\"server\":{{\"queries\":{},\"answers\":{},\"nxdomain\":{},\"nodata\":{},\
-             \"referrals\":{},\"refused\":{},\"formerr\":{},\"notimp\":{},\"chaos\":{},\
-             \"badvers\":{},\"truncated\":{},\"tcp_queries\":{},\"dropped\":{}}}",
-            s.queries,
-            s.answers,
-            s.nxdomain,
-            s.nodata,
-            s.referrals,
-            s.refused,
-            s.formerr,
-            s.notimp,
-            s.chaos,
-            s.badvers,
-            s.truncated,
-            s.tcp_queries,
-            s.dropped
-        ));
+        let fields: Vec<String> =
+            server_stats_kinds(s).iter().map(|(kind, n)| format!("\"{kind}\":{n}")).collect();
+        out.push_str(&format!(",\"server\":{{{}}}", fields.join(",")));
     }
     out.push('}');
     out
@@ -310,11 +311,14 @@ fn cmd_serve(args: &[String]) {
     let mut origin = "ourtestdomain.nl".to_string();
     let mut ns = 2usize;
     let mut pad = 0usize;
+    let mut attack_zone = false;
     let mut tcp = false;
     let mut edns_size: Option<u16> = None;
     let mut duration: Option<u64> = None;
     let mut trace: Option<String> = None;
     let mut metrics_addr: Option<String> = None;
+    let mut rrl = false;
+    let mut rrl_policy = RateLimitPolicy::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -326,11 +330,24 @@ fn cmd_serve(args: &[String]) {
             "--origin" => origin = parse_flag(&mut it, "--origin"),
             "--ns" => ns = parse_flag(&mut it, "--ns"),
             "--pad" => pad = parse_flag(&mut it, "--pad"),
+            "--attack-zone" => attack_zone = true,
             "--tcp" => tcp = true,
             "--edns-size" => edns_size = Some(parse_flag(&mut it, "--edns-size")),
             "--duration" => duration = Some(parse_flag(&mut it, "--duration")),
             "--trace" => trace = Some(parse_flag(&mut it, "--trace")),
             "--metrics-addr" => metrics_addr = Some(parse_flag(&mut it, "--metrics-addr")),
+            "--rrl" => rrl = true,
+            "--rrl-burst" => (rrl, rrl_policy.burst) = (true, parse_flag(&mut it, "--rrl-burst")),
+            "--rrl-rate" => (rrl, rrl_policy.rate) = (true, parse_flag(&mut it, "--rrl-rate")),
+            "--rrl-period" => {
+                (rrl, rrl_policy.period) = (true, parse_flag(&mut it, "--rrl-period"))
+            }
+            "--rrl-slip" => (rrl, rrl_policy.slip) = (true, parse_flag(&mut it, "--rrl-slip")),
+            "--rrl-nx-budget" => {
+                (rrl, rrl_policy.nxdomain_budget) = (true, parse_flag(&mut it, "--rrl-nx-budget"))
+            }
+            "--rrl-all" => (rrl, rrl_policy.scope) = (true, RrlScope::All),
+            "--rrl-key-ports" => (rrl, rrl_policy.key_ports) = (true, true),
             "--help" | "-h" => usage_exit(0),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -344,8 +361,16 @@ fn cmd_serve(args: &[String]) {
         eprintln!("serve: --trace requires --duration");
         std::process::exit(2);
     }
+    if attack_zone && pad != 0 {
+        eprintln!("serve: --attack-zone and --pad are mutually exclusive presets");
+        std::process::exit(2);
+    }
     let origin = parse_origin(&origin);
-    let zones = Arc::new(vec![padded_test_domain_zone(&origin, ns, pad)]);
+    let zones = Arc::new(vec![if attack_zone {
+        attack_test_domain_zone(&origin, ns, ATTACK_DELEGATION_NS)
+    } else {
+        padded_test_domain_zone(&origin, ns, pad)
+    }]);
     let mut config = ServeConfig::new(addr, site.clone(), zones).io(io);
     if let Some(b) = batch {
         config = config.batch(b);
@@ -355,6 +380,18 @@ fn cmd_serve(args: &[String]) {
     }
     if let Some(size) = edns_size {
         config = config.truncation(TruncationPolicy::symmetric(size));
+    }
+    if rrl {
+        eprintln!(
+            "serve: rate limiting — burst {} rate {}/{} slip 1-in-{} nx-budget {} scope {:?}",
+            rrl_policy.burst,
+            rrl_policy.rate,
+            rrl_policy.period,
+            rrl_policy.slip,
+            rrl_policy.nxdomain_budget,
+            rrl_policy.scope
+        );
+        config = config.rate_limit(rrl_policy);
     }
     match threads {
         // An explicit --threads is honoured exactly — no silent cap.
@@ -440,6 +477,8 @@ fn cmd_blast(args: &[String]) {
     let mut seed = 2017u64;
     let mut origin = "ourtestdomain.nl".to_string();
     let mut probe_only = false;
+    let mut attack: Option<AttackMode> = None;
+    let mut spoofed_sources = 16usize;
     let mut chaos = false;
     let mut loss = 0.10f64;
     let mut corrupt = 0.01f64;
@@ -458,6 +497,8 @@ fn cmd_blast(args: &[String]) {
             "--seed" => seed = parse_flag(&mut it, "--seed"),
             "--origin" => origin = parse_flag(&mut it, "--origin"),
             "--probe-only" => probe_only = true,
+            "--attack" => attack = Some(parse_flag(&mut it, "--attack")),
+            "--spoofed-sources" => spoofed_sources = parse_flag(&mut it, "--spoofed-sources"),
             "--chaos" => chaos = true,
             "--loss" => loss = parse_flag(&mut it, "--loss"),
             "--corrupt" => corrupt = parse_flag(&mut it, "--corrupt"),
@@ -480,6 +521,10 @@ fn cmd_blast(args: &[String]) {
         eprintln!("blast: --edns-size / --no-tcp-fallback require --chaos");
         std::process::exit(2);
     }
+    if attack.is_some() && (chaos || probe_only || json) {
+        eprintln!("blast: --attack is exclusive with --chaos / --probe-only / --json");
+        std::process::exit(2);
+    }
     let target: std::net::SocketAddr = addr.parse().unwrap_or_else(|e| {
         eprintln!("bad --addr: {e}");
         std::process::exit(2)
@@ -490,6 +535,41 @@ fn cmd_blast(args: &[String]) {
     let metrics = metrics_addr.as_deref().map(start_metrics);
     if let (Some((registry, _)), Some(c)) = (&metrics, &collector) {
         mirror_collector(registry, c);
+    }
+    if let Some(mode) = attack {
+        let mut cfg = AttackConfig::new(target, origin, mode)
+            .concurrency(concurrency)
+            .queries(queries)
+            .timeout(Duration::from_millis(timeout_ms))
+            .seed(seed)
+            .spoofed_sources(spoofed_sources);
+        if let Some(c) = &collector {
+            cfg = cfg.collector(Arc::clone(c), 0);
+        }
+        let report = assault(cfg).unwrap_or_else(|e| {
+            eprintln!("blast: attack: {e}");
+            std::process::exit(1)
+        });
+        println!("{}", report.render("attack-client"));
+        if let Some(amp) = report.amplification() {
+            println!("attack-amplification: {amp:.2}");
+        }
+        println!(
+            "elapsed_ms={} qps={:.0}",
+            report.elapsed.as_millis(),
+            report.sent as f64 / report.elapsed.as_secs_f64()
+        );
+        if let (Some(c), Some(path)) = (&collector, &trace) {
+            finish_trace(c, path);
+        }
+        if let Some((_, server)) = metrics {
+            server.shutdown();
+        }
+        if !report.all_accounted() {
+            eprintln!("blast: FAIL — unaccounted attack datagrams");
+            std::process::exit(1);
+        }
+        return;
     }
     if chaos {
         // Interpose a fault proxy and drive the resolver client, whose
@@ -696,6 +776,8 @@ fn cmd_smoke(args: &[String]) {
     let mut batch: Option<usize> = None;
     let mut concurrency = 4usize;
     let mut chaos = false;
+    let mut attack: Option<AttackMode> = None;
+    let mut rrl = false;
     let mut seed = 2017u64;
     let mut loss = 0.10f64;
     let mut corrupt = 0.01f64;
@@ -714,6 +796,8 @@ fn cmd_smoke(args: &[String]) {
             "--batch" => batch = Some(parse_flag(&mut it, "--batch")),
             "--concurrency" => concurrency = parse_flag(&mut it, "--concurrency"),
             "--chaos" => chaos = true,
+            "--attack" => attack = Some(parse_flag(&mut it, "--attack")),
+            "--rrl" => rrl = true,
             "--seed" => seed = parse_flag(&mut it, "--seed"),
             "--loss" => loss = parse_flag(&mut it, "--loss"),
             "--corrupt" => corrupt = parse_flag(&mut it, "--corrupt"),
@@ -739,6 +823,29 @@ fn cmd_smoke(args: &[String]) {
         // cannot meet the gate's completion criteria.
         eprintln!("smoke: --edns-size requires --tcp");
         std::process::exit(2);
+    }
+    if rrl && attack.is_none() {
+        eprintln!("smoke: --rrl is part of the --attack gate");
+        std::process::exit(2);
+    }
+    if let Some(mode) = attack {
+        if chaos || json {
+            eprintln!("smoke: --attack is exclusive with --chaos / --json");
+            std::process::exit(2);
+        }
+        attack_smoke(
+            mode,
+            rrl,
+            queries,
+            threads,
+            io,
+            batch,
+            concurrency,
+            seed,
+            trace.as_deref(),
+            metrics_addr.as_deref(),
+        );
+        return;
     }
     if chaos {
         if json {
@@ -1218,6 +1325,363 @@ fn chaos_smoke(
             report.stats.servfails
         ),
     }
+}
+
+/// NS records behind the `lab.<origin>` delegation in the attack gate's
+/// zone — fat enough that one ~45-byte NXNS query pulls a referral
+/// several times its size.
+const ATTACK_DELEGATION_NS: usize = 20;
+
+/// Attacker-side per-query timeout in the gate. Deliberately short: a
+/// rate-limited drop is the *expected* server behaviour and the
+/// attacker's closed loop must classify it quickly; answered queries on
+/// an in-process loopback come back three orders of magnitude faster.
+const ATTACK_TIMEOUT: Duration = Duration::from_millis(40);
+
+/// RRL-off NXNS amplification floor: the 20-NS referral must grant the
+/// attacker at least this many response bytes per query byte, or the
+/// zone stopped being an amplification vector and the defense gate is
+/// testing nothing.
+const NXNS_AMP_FLOOR: f64 = 4.0;
+
+/// The attack smoke gate: one in-process server offered a seeded
+/// adversarial workload ([`AttackMode`]) *concurrently* with the
+/// legitimate closed-loop mix — the claim under test is that goodput
+/// holds during the flood, not after it.
+///
+/// With `--rrl` the server defends with the default
+/// [`RateLimitPolicy`]: the gate then requires the limiter to have
+/// dropped and slipped attack responses, the attacker's books to
+/// balance against the server's counters exactly, legitimate goodput to
+/// stay at 100% (the default `Abusive` scope never charges positive
+/// answers), and — when metrics run — the watchdog's attack-pressure
+/// law to breach while every other law stays green. Without `--rrl` the
+/// same flood must be answered in full (the no-defense baseline), and
+/// in `nxns` mode its amplification factor must clear
+/// [`NXNS_AMP_FLOOR`] — proving the threat the limiter is judged
+/// against is real.
+///
+/// Every line prefixed `attack-` is a pure function of the seed: the
+/// query schedules are `detrand` streams, and the limiter's verdicts
+/// are request-tick driven (see `dnswild_server::rrl`), so
+/// `scripts/verify.sh` diffs the block verbatim across two runs.
+#[allow(clippy::too_many_arguments)]
+fn attack_smoke(
+    mode: AttackMode,
+    rrl: bool,
+    queries: u64,
+    threads: usize,
+    io: IoBackend,
+    batch: Option<usize>,
+    concurrency: usize,
+    seed: u64,
+    trace: Option<&str>,
+    metrics_addr: Option<&str>,
+) {
+    let origin = Name::parse("ourtestdomain.nl").expect("static origin");
+    let zones = Arc::new(vec![attack_test_domain_zone(&origin, 2, ATTACK_DELEGATION_NS)]);
+    let collector = trace.map(|path| start_collector(path, &["FRA"]));
+    let metrics = metrics_addr.map(start_metrics);
+    let mut serve_cfg = ServeConfig::new("127.0.0.1:0", "FRA", zones)
+        .threads(threads)
+        .io(io)
+        // Match the NXNS generator's EDNS advertisement so the fat
+        // referral rides back whole instead of as a TC stub.
+        .truncation(TruncationPolicy::symmetric(NXNS_EDNS_PAYLOAD));
+    if rrl {
+        serve_cfg = serve_cfg.rate_limit(RateLimitPolicy::default());
+    }
+    if let Some(b) = batch {
+        serve_cfg = serve_cfg.batch(b);
+    }
+    if let Some(c) = &collector {
+        serve_cfg = serve_cfg.collector(Arc::clone(c), 0);
+    }
+    if let Some((registry, _)) = &metrics {
+        serve_cfg = serve_cfg.metrics(Arc::clone(registry));
+        if let Some(c) = &collector {
+            mirror_collector(registry, c);
+        }
+    }
+    let handle = serve(serve_cfg).unwrap_or_else(|e| {
+        eprintln!("smoke: serve: {e}");
+        std::process::exit(1)
+    });
+    eprintln!(
+        "smoke: attack gate — {} flood vs udp://{} (rrl {}, seed {seed})",
+        mode.name(),
+        handle.local_addr(),
+        if rrl { "on" } else { "off" }
+    );
+    let watchdog = metrics.as_ref().map(|(registry, _)| start_watchdog(registry));
+
+    let mut legit_cfg =
+        LoadConfig::new(handle.local_addr(), origin.clone()).concurrency(concurrency).queries(queries);
+    legit_cfg.seed = seed;
+    if let Some(c) = &collector {
+        legit_cfg = legit_cfg.collector(Arc::clone(c), 0);
+    }
+    if let Some((registry, _)) = &metrics {
+        legit_cfg = legit_cfg.metrics(Arc::clone(registry));
+    }
+    let mut attack_cfg = AttackConfig::new(handle.local_addr(), origin, mode)
+        .concurrency(concurrency)
+        .queries(queries)
+        .seed(seed)
+        .timeout(ATTACK_TIMEOUT);
+    if let Some(c) = &collector {
+        attack_cfg = attack_cfg.collector(Arc::clone(c), 0);
+    }
+    let started = Instant::now();
+    let (legit, attack) = std::thread::scope(|scope| {
+        let lh = scope.spawn(move || blast(legit_cfg));
+        let ah = scope.spawn(move || assault(attack_cfg));
+        (lh.join().expect("legit blast panicked"), ah.join().expect("attack panicked"))
+    });
+    let legit = legit.unwrap_or_else(|e| {
+        eprintln!("smoke: blast: {e}");
+        std::process::exit(1)
+    });
+    let attack = attack.unwrap_or_else(|e| {
+        eprintln!("smoke: attack: {e}");
+        std::process::exit(1)
+    });
+
+    // A rate-limited drop leaves the attacker's last datagram with no
+    // response to synchronize on: give the workers a moment to classify
+    // everything already in their socket buffers before the books close.
+    let settle = Instant::now() + Duration::from_secs(5);
+    while handle.stats().packets_seen() < legit.sent + attack.sent && Instant::now() < settle {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let io_errors = handle.io_errors();
+    let stats = handle.shutdown();
+    let elapsed = started.elapsed();
+
+    // Every `attack-` line is a pure function of the seed.
+    println!(
+        "attack-summary: mode={} rrl={} seed={} queries={}",
+        mode.name(),
+        rrl,
+        seed,
+        queries
+    );
+    println!("{}", attack.render("attack-client"));
+    println!(
+        "attack-legit: sent={} received={} timeouts={} mismatched={}",
+        legit.sent, legit.received, legit.timeouts, legit.mismatched
+    );
+    let fields: Vec<String> =
+        server_stats_kinds(&stats).iter().map(|(kind, n)| format!("{kind}={n}")).collect();
+    println!("attack-server: {}", fields.join(" "));
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // The trace cross-check: the amplification partition derived from
+    // the recorded events, attacker vs legitimate, byte-exact.
+    if let (Some(c), Some(path)) = (&collector, trace) {
+        let summary = c.finish().unwrap_or_else(|e| {
+            eprintln!("trace: finish: {e}");
+            std::process::exit(1)
+        });
+        match Trace::read_from(std::path::Path::new(path)) {
+            Ok(t) => {
+                let amp = amplification(&t);
+                println!("attack-amp: {}", amp.render());
+                if amp.attack_queries != attack.sent {
+                    failures.push(format!(
+                        "trace classified {} attack queries, attacker sent {}",
+                        amp.attack_queries, attack.sent
+                    ));
+                }
+                if rrl {
+                    // RRL's whole point, stated in bytes: the attacker's
+                    // amplification factor must not exceed the
+                    // legitimate baseline.
+                    if let (Some(af), Some(lf)) = (amp.attack_factor(), amp.legit_factor()) {
+                        if af > lf {
+                            failures.push(format!(
+                                "rate limiting left the attacker amplifying {af:.2}x \
+                                 vs the legitimate {lf:.2}x"
+                            ));
+                        }
+                    }
+                } else if mode == AttackMode::NxnsReferral {
+                    let af = amp.attack_factor().unwrap_or(0.0);
+                    if af < NXNS_AMP_FLOOR {
+                        failures.push(format!(
+                            "undefended NXNS amplification {af:.2}x is under the \
+                             {NXNS_AMP_FLOOR}x floor — the referral is no longer fat"
+                        ));
+                    }
+                }
+                println!("trace-summary: events={} overflow={}", summary.events, summary.overflow);
+                println!("trace-digest: {:016x}", t.digest());
+            }
+            Err(e) => failures.push(format!("trace read back: {e}")),
+        }
+    }
+    println!(
+        "elapsed_ms={} recv_errors={} decode_errors={}",
+        elapsed.as_millis(),
+        io_errors.recv_errors,
+        io_errors.decode_errors
+    );
+
+    // The books: every datagram accounted on both sides of the wire.
+    if !legit.all_answered() {
+        failures.push(format!(
+            "legit goodput broke under the flood: {}/{} answered",
+            legit.received, legit.sent
+        ));
+    }
+    if !attack.all_accounted() {
+        failures.push(format!(
+            "unaccounted attack datagrams: sent={} received={} timeouts={} mismatched={}",
+            attack.sent, attack.received, attack.timeouts, attack.mismatched
+        ));
+    }
+    if stats.queries != legit.sent + attack.sent {
+        failures.push(format!(
+            "server counted {} queries, clients sent {}",
+            stats.queries,
+            legit.sent + attack.sent
+        ));
+    }
+    // The legitimate mix is never charged under the Abusive scope, so
+    // the limiter's counters must mirror the attacker's books exactly.
+    if stats.rrl_dropped != attack.timeouts {
+        failures.push(format!(
+            "limiter dropped {} responses, attacker timed out {} times",
+            stats.rrl_dropped, attack.timeouts
+        ));
+    }
+    if stats.rrl_slipped != attack.tc_slips {
+        failures.push(format!(
+            "limiter slipped {} responses, attacker saw {} TC replies",
+            stats.rrl_slipped, attack.tc_slips
+        ));
+    }
+    if stats.bucket_evictions != 0 {
+        failures.push(format!(
+            "{} buckets evicted with only a handful of client keys in play",
+            stats.bucket_evictions
+        ));
+    }
+    if io_errors.decode_errors != 0 || io_errors.recv_errors != 0 {
+        failures.push(format!(
+            "io errors on a lossless loopback: recv={} decode={}",
+            io_errors.recv_errors, io_errors.decode_errors
+        ));
+    }
+    if rrl {
+        if attack.timeouts == 0 {
+            failures.push("rrl on, but the limiter never dropped an attack response".into());
+        }
+        if attack.tc_slips == 0 {
+            failures.push("rrl on, but the limiter never slipped a TC=1 reply".into());
+        }
+    } else {
+        if stats.rrl_dropped + stats.rrl_slipped + attack.tc_slips != 0 {
+            failures.push("limiter counters moved while rrl was off".into());
+        }
+        if attack.received != attack.sent {
+            failures.push(format!(
+                "no limiter, yet only {}/{} attack queries were answered",
+                attack.received, attack.sent
+            ));
+        }
+    }
+
+    // The metrics gate: scrape equality over all 16 server counters,
+    // the verdict spans covering exactly the charged queries, and the
+    // watchdog's attack-pressure law breaching iff the defense shed.
+    if let Some((_, server)) = metrics {
+        let before = failures.len();
+        let text = scrape(server.local_addr()).unwrap_or_else(|e| {
+            failures.push(format!("final scrape failed: {e}"));
+            String::new()
+        });
+        let samples = parse_exposition(&text);
+        for (kind, want) in server_stats_kinds(&stats) {
+            let got = samples
+                .iter()
+                .find(|s| {
+                    s.name == "dnswild_server_events_total"
+                        && s.label("auth") == Some("FRA")
+                        && s.label("kind") == Some(kind)
+                })
+                .map(|s| s.value);
+            if got != Some(want as f64) {
+                failures.push(format!(
+                    "scrape mismatch: dnswild_server_events_total{{auth=FRA,kind={kind}}} \
+                     = {got:?}, server counted {want}"
+                ));
+            }
+        }
+        if rrl {
+            // Under the Abusive scope exactly the attack queries are
+            // charged, so the verdict spans must total the attack load.
+            let verdicts: f64 = samples
+                .iter()
+                .filter(|s| s.name == "dnswild_rrl_verdict_ns_count")
+                .map(|s| s.value)
+                .sum();
+            if verdicts != attack.sent as f64 {
+                failures.push(format!(
+                    "verdict spans timed {verdicts} decisions, {} queries were charged",
+                    attack.sent
+                ));
+            }
+        }
+        if failures.len() == before {
+            println!("metrics-gate: PASS — scrape matches ServerStats exactly across 16 kinds");
+        }
+        if let Some(w) = watchdog {
+            let wd = w.shutdown();
+            // Deterministic: the rate is a ratio of final counters.
+            println!(
+                "attack-watchdog: rate={:.4} breach={}",
+                wd.attack_rate, wd.attack_breach
+            );
+            let others_green = !(wd.share_breach
+                || wd.coverage_breach
+                || wd.servfail_breach
+                || wd.overflow_breach);
+            if !others_green {
+                failures.push(format!("a non-attack law breached during the gate: {wd:?}"));
+            }
+            if rrl && !wd.attack_breach {
+                failures.push(format!(
+                    "rrl shed a flood but the attack-pressure law stayed green \
+                     (rate {:.4})",
+                    wd.attack_rate
+                ));
+            }
+            if !rrl && wd.attack_breach {
+                failures.push("attack-pressure breach with the limiter disabled".into());
+            }
+        }
+        server.shutdown();
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("smoke: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "smoke: PASS — {} attack queries ({} mode, rrl {}) beside {} legit: \
+         {} answered, {} slipped, {} dropped, every datagram accounted",
+        attack.sent,
+        mode.name(),
+        if rrl { "on" } else { "off" },
+        legit.sent,
+        attack.received - attack.tc_slips,
+        attack.tc_slips,
+        attack.timeouts
+    );
 }
 
 /// `dnswild top`: a live text view over any running metrics endpoint.

@@ -36,6 +36,11 @@ pub mod inputs {
     pub const SERVFAIL: &str = "dnswild_client_servfail_total";
     /// Telemetry ring-overflow mirror gauge.
     pub const OVERFLOW: &str = "dnswild_trace_overflow";
+    /// Per-auth server outcome counters (labels `auth`, `kind`). The
+    /// attack-pressure law reads the `queries`, `rrl_dropped` and
+    /// `rrl_slipped` kinds — the same single-source-of-truth series the
+    /// serving plane's scrape-equality gate pins.
+    pub const SERVER_EVENTS: &str = "dnswild_server_events_total";
 }
 
 /// Tunables for the watchdog laws.
@@ -56,6 +61,12 @@ pub struct WatchdogConfig {
     pub servfail_rate_max: f64,
     /// Transactions before coverage and SERVFAIL laws are judged.
     pub min_txn_samples: u64,
+    /// Max fraction of server queries the rate limiter may intervene on
+    /// (drop or slip) before the attack-pressure law breaches — under
+    /// legitimate closed-loop load the limiter should be all but idle.
+    pub attack_rate_max: f64,
+    /// Server queries before the attack-pressure law is judged.
+    pub min_attack_samples: u64,
     /// Per-law floor between two JSONL breach lines.
     pub log_every: Duration,
 }
@@ -70,6 +81,8 @@ impl Default for WatchdogConfig {
             coverage_min: 0.99,
             servfail_rate_max: 0.05,
             min_txn_samples: 100,
+            attack_rate_max: 0.02,
+            min_attack_samples: 100,
             log_every: Duration::from_secs(5),
         }
     }
@@ -98,12 +111,21 @@ pub struct WatchdogReport {
     pub overflow: f64,
     /// Overflow law breached.
     pub overflow_breach: bool,
+    /// Fraction of server queries the rate limiter dropped or slipped.
+    pub attack_rate: f64,
+    /// Attack-pressure law breached — the serving plane is actively
+    /// shedding a flood.
+    pub attack_breach: bool,
 }
 
 impl WatchdogReport {
     /// True when no law is in breach.
     pub fn healthy(&self) -> bool {
-        !(self.share_breach || self.coverage_breach || self.servfail_breach || self.overflow_breach)
+        !(self.share_breach
+            || self.coverage_breach
+            || self.servfail_breach
+            || self.overflow_breach
+            || self.attack_breach)
     }
 }
 
@@ -115,6 +137,8 @@ struct OutputGauges {
     servfail_rate: Arc<Gauge>,
     servfail_breach: Arc<Gauge>,
     overflow_breach: Arc<Gauge>,
+    attack_rate: Arc<Gauge>,
+    attack_breach: Arc<Gauge>,
 }
 
 /// The evaluator. Create with [`Watchdog::new`], then either drive it
@@ -126,7 +150,7 @@ pub struct Watchdog {
     out: OutputGauges,
     evals: Arc<crate::registry::Counter>,
     /// Per-law instant of the last JSONL line, for rate limiting.
-    last_log: Mutex<[Option<Instant>; 4]>,
+    last_log: Mutex<[Option<Instant>; 5]>,
 }
 
 impl Watchdog {
@@ -160,9 +184,17 @@ impl Watchdog {
                 "dnswild_watchdog_overflow_breach",
                 "1 when telemetry rings have dropped events",
             ),
+            attack_rate: g(
+                "dnswild_watchdog_attack_rate",
+                "fraction of server queries dropped or slipped by the rate limiter",
+            ),
+            attack_breach: g(
+                "dnswild_watchdog_attack_breach",
+                "1 when the attack-pressure law is breached (the serving plane is shedding)",
+            ),
         };
         let evals = registry.counter("dnswild_watchdog_evals_total", "watchdog evaluations run");
-        Watchdog { registry, config, out, evals, last_log: Mutex::new([None; 4]) }
+        Watchdog { registry, config, out, evals, last_log: Mutex::new([None; 5]) }
     }
 
     /// Runs one evaluation: reads the input metrics, updates the breach
@@ -231,6 +263,26 @@ impl Watchdog {
         r.overflow = self.registry.gauges(inputs::OVERFLOW).iter().map(|(_, v)| v).sum();
         r.overflow_breach = r.overflow > 0.0;
 
+        // Attack pressure: the share of server queries the rate limiter
+        // intervened on, summed across auths. Breaching here is the
+        // *defense working* — the gate pairs it with the goodput laws
+        // above staying green for legitimate clients.
+        let server_kind = |kind: &str| -> u64 {
+            self.registry
+                .counters(inputs::SERVER_EVENTS)
+                .iter()
+                .filter(|(labels, _)| labels.iter().any(|(k, v)| k == "kind" && v == kind))
+                .map(|(_, n)| n)
+                .sum()
+        };
+        let server_queries = server_kind("queries");
+        let limited = server_kind("rrl_dropped") + server_kind("rrl_slipped");
+        if server_queries > 0 {
+            r.attack_rate = limited as f64 / server_queries as f64;
+            r.attack_breach = server_queries >= self.config.min_attack_samples
+                && r.attack_rate > self.config.attack_rate_max;
+        }
+
         self.out.share_dev.set(r.share_dev);
         self.out.share_breach.set(f64::from(r.share_breach));
         self.out.coverage.set(r.coverage);
@@ -238,6 +290,8 @@ impl Watchdog {
         self.out.servfail_rate.set(r.servfail_rate);
         self.out.servfail_breach.set(f64::from(r.servfail_breach));
         self.out.overflow_breach.set(f64::from(r.overflow_breach));
+        self.out.attack_rate.set(r.attack_rate);
+        self.out.attack_breach.set(f64::from(r.attack_breach));
         self.evals.inc();
 
         for (law, breached, detail) in [
@@ -245,6 +299,7 @@ impl Watchdog {
             (1, r.coverage_breach, format!("\"coverage\":{:.4},\"min\":{}", r.coverage, self.config.coverage_min)),
             (2, r.servfail_breach, format!("\"rate\":{:.4},\"max\":{}", r.servfail_rate, self.config.servfail_rate_max)),
             (3, r.overflow_breach, format!("\"overflow\":{}", r.overflow)),
+            (4, r.attack_breach, format!("\"rate\":{:.4},\"max\":{}", r.attack_rate, self.config.attack_rate_max)),
         ] {
             if breached {
                 self.log_breach(law, &detail);
@@ -261,7 +316,8 @@ impl Watchdog {
             return;
         }
         last[law] = Some(now);
-        let name = ["share_vs_srtt", "coverage", "servfail_rate", "ring_overflow"][law];
+        let name =
+            ["share_vs_srtt", "coverage", "servfail_rate", "ring_overflow", "attack_pressure"][law];
         let ts_ms = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_millis())
@@ -376,6 +432,51 @@ mod tests {
         assert!(r.overflow_breach);
         assert_eq!(reg.gauges("dnswild_watchdog_coverage")[0].1, 0.5);
         assert!(reg.counters("dnswild_watchdog_evals_total")[0].1 >= 1);
+    }
+
+    #[test]
+    fn attack_pressure_breaches_only_under_real_shedding() {
+        // A flood being shed: 48% of queries limited → breach, gauge up.
+        let (reg, wd) = fixture(&[], &[]);
+        let ev = |kind: &str, n: u64| {
+            reg.counter_with(inputs::SERVER_EVENTS, "t", &[("auth", "FRA"), ("kind", kind)])
+                .add(n)
+        };
+        ev("queries", 2000);
+        ev("rrl_dropped", 600);
+        ev("rrl_slipped", 360);
+        let r = wd.eval_now();
+        assert!(r.attack_breach, "rate {}", r.attack_rate);
+        assert!((r.attack_rate - 0.48).abs() < 1e-9);
+        assert!(!r.healthy());
+        assert_eq!(reg.gauges("dnswild_watchdog_attack_breach")[0].1, 1.0);
+        assert_eq!(reg.gauges("dnswild_watchdog_attack_rate")[0].1, r.attack_rate);
+    }
+
+    #[test]
+    fn quiet_rate_limiter_keeps_the_attack_law_green() {
+        // RRL enabled but idle: 1% limited stays under the 2% ceiling.
+        let (reg, wd) = fixture(&[], &[]);
+        reg.counter_with(inputs::SERVER_EVENTS, "t", &[("auth", "FRA"), ("kind", "queries")])
+            .add(1000);
+        reg.counter_with(inputs::SERVER_EVENTS, "t", &[("auth", "FRA"), ("kind", "rrl_slipped")])
+            .add(10);
+        let r = wd.eval_now();
+        assert!(!r.attack_breach, "rate {}", r.attack_rate);
+        assert!(r.healthy());
+        assert!((r.attack_rate - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attack_law_defers_judgement_below_min_samples() {
+        let (reg, wd) = fixture(&[], &[]);
+        reg.counter_with(inputs::SERVER_EVENTS, "t", &[("auth", "FRA"), ("kind", "queries")])
+            .add(10);
+        reg.counter_with(inputs::SERVER_EVENTS, "t", &[("auth", "FRA"), ("kind", "rrl_dropped")])
+            .add(9);
+        let r = wd.eval_now();
+        assert!(!r.attack_breach, "too few samples to judge");
+        assert!(r.attack_rate > 0.8, "rate still exposed: {}", r.attack_rate);
     }
 
     #[test]

@@ -60,12 +60,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attack;
 pub mod chaos;
 pub mod client;
 pub mod load;
 pub mod server;
 pub mod tcp;
 
+pub use attack::{assault, AttackConfig, AttackMode, AttackReport};
 pub use chaos::{
     ChaosProxy, Delivery, DirTally, Direction, FaultPlan, FaultProfile, TcpFate, TcpFaultProfile,
     TcpFaultTally,

@@ -34,12 +34,12 @@ use std::time::Duration;
 use dnswild_metrics::{Counter, Registry, Stage, StageClock, StageSpans};
 use dnswild_proto::MAX_MESSAGE_SIZE;
 use dnswild_server::{
-    AnswerEngine, HandledPacket, Introspection, PacketClass, ServerStats, TransportKind,
-    TruncationPolicy,
+    AnswerEngine, HandledPacket, Introspection, PacketClass, RateLimitPolicy, ServerStats,
+    TransportKind, TruncationPolicy, VerdictSpans,
 };
 use dnswild_telemetry::{
     hash_socket_addr, qname_hash32, Collector, Event, EventKind, Producer, FLAG_DECODE_ERROR,
-    FLAG_RESPONSE, FLAG_SEND_FAILED, FLAG_TCP, RCODE_NONE,
+    FLAG_RESPONSE, FLAG_RRL, FLAG_SEND_FAILED, FLAG_TCP, RCODE_NONE,
 };
 use dnswild_zone::Zone;
 
@@ -133,6 +133,9 @@ pub struct AtomicStats {
     truncated: AtomicU64,
     tcp_queries: AtomicU64,
     dropped: AtomicU64,
+    rrl_dropped: AtomicU64,
+    rrl_slipped: AtomicU64,
+    bucket_evictions: AtomicU64,
     // Serving-plane-only counters, outside ServerStats: the simulator
     // has no socket errors, and widening ServerStats would perturb the
     // byte-exact exp_* outputs. A `recv_from` error, an undecodable
@@ -216,6 +219,9 @@ impl AtomicStats {
             (&self.truncated, s.truncated),
             (&self.tcp_queries, s.tcp_queries),
             (&self.dropped, s.dropped),
+            (&self.rrl_dropped, s.rrl_dropped),
+            (&self.rrl_slipped, s.rrl_slipped),
+            (&self.bucket_evictions, s.bucket_evictions),
         ] {
             if v != 0 {
                 cell.fetch_add(v, Ordering::Relaxed);
@@ -239,6 +245,9 @@ impl AtomicStats {
             truncated: self.truncated.load(Ordering::Relaxed),
             tcp_queries: self.tcp_queries.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
+            rrl_dropped: self.rrl_dropped.load(Ordering::Relaxed),
+            rrl_slipped: self.rrl_slipped.load(Ordering::Relaxed),
+            bucket_evictions: self.bucket_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -289,6 +298,13 @@ pub struct ServeConfig {
     /// advertises in its OPT records and the ceiling it imposes on
     /// client advertisements when sizing UDP answers.
     pub truncation: TruncationPolicy,
+    /// Response-rate-limiting policy: when set, every UDP worker keys
+    /// incoming datagrams on the source prefix and shares one site-wide
+    /// limiter (see [`RateLimitPolicy`]); limited responses are dropped
+    /// or slipped as minimal TC=1 replies. `None` (the default) answers
+    /// everything. TCP is never limited — completing the handshake is
+    /// exactly what the slip invites, and a spoofed source cannot.
+    pub rate_limit: Option<RateLimitPolicy>,
 }
 
 impl ServeConfig {
@@ -308,6 +324,7 @@ impl ServeConfig {
             metrics: None,
             tcp: None,
             truncation: TruncationPolicy::default(),
+            rate_limit: None,
         }
     }
 
@@ -355,13 +372,19 @@ impl ServeConfig {
         self.truncation = policy;
         self
     }
+
+    /// Enables response rate limiting (see [`ServeConfig::rate_limit`]).
+    pub fn rate_limit(mut self, policy: RateLimitPolicy) -> Self {
+        self.rate_limit = Some(policy);
+        self
+    }
 }
 
-/// The 13 [`ServerStats`] fields as `(kind, value)` pairs, in field
+/// The 16 [`ServerStats`] fields as `(kind, value)` pairs, in field
 /// order — the single source of truth for the per-auth
 /// `dnswild_server_events_total{kind=...}` series, reused by the CI
 /// gate so the scraped counters and the atomic aggregate cannot drift.
-pub fn server_stats_kinds(s: &ServerStats) -> [(&'static str, u64); 13] {
+pub fn server_stats_kinds(s: &ServerStats) -> [(&'static str, u64); 16] {
     [
         ("queries", s.queries),
         ("answers", s.answers),
@@ -376,6 +399,9 @@ pub fn server_stats_kinds(s: &ServerStats) -> [(&'static str, u64); 13] {
         ("truncated", s.truncated),
         ("tcp_queries", s.tcp_queries),
         ("dropped", s.dropped),
+        ("rrl_dropped", s.rrl_dropped),
+        ("rrl_slipped", s.rrl_slipped),
+        ("bucket_evictions", s.bucket_evictions),
     ]
 }
 
@@ -384,7 +410,7 @@ pub fn server_stats_kinds(s: &ServerStats) -> [(&'static str, u64); 13] {
 /// shared stage-span histograms. Shared with the TCP plane (same
 /// counters, so both transports feed one set of series).
 pub(crate) struct ServeMetrics {
-    fields: [Arc<Counter>; 13],
+    fields: [Arc<Counter>; 16],
     recv_errors: Arc<Counter>,
     pub(crate) decode_errors: Arc<Counter>,
     pub(crate) send_errors: Arc<Counter>,
@@ -582,6 +608,15 @@ pub fn serve(config: ServeConfig) -> io::Result<ServeHandle> {
     if let Some(collector) = &config.collector {
         template = template.with_telemetry(collector.snapshot_cell());
     }
+    if let Some(policy) = config.rate_limit {
+        // One limiter for the whole site: forks clone the shared handle,
+        // so every shard (and any TCP engine, though TCP is never
+        // charged) draws verdicts from the same buckets.
+        template = template.with_rate_limit(policy);
+        if let Some(registry) = &config.metrics {
+            template = template.with_verdict_spans(VerdictSpans::register(registry));
+        }
+    }
 
     let batch = config.batch.clamp(1, dnswild_mmsg::BATCH_MAX);
     let mut shards = Vec::with_capacity(threads);
@@ -596,14 +631,22 @@ pub fn serve(config: ServeConfig) -> io::Result<ServeHandle> {
             .collector
             .as_ref()
             .map(|c| (c.producer(), config.trace_auth_id));
+        let key_policy = config.rate_limit;
         workers.push(
             std::thread::Builder::new()
                 .name(format!("netio-shard-{i}"))
                 .spawn(move || match backend {
-                    IoBackend::Mmsg => {
-                        worker_loop_mmsg(socket, &mut engine, &stop, &shard, trace, metrics, batch)
-                    }
-                    _ => worker_loop_std(socket, &mut engine, &stop, &shard, trace, metrics),
+                    IoBackend::Mmsg => worker_loop_mmsg(
+                        socket,
+                        &mut engine,
+                        &stop,
+                        &shard,
+                        trace,
+                        metrics,
+                        batch,
+                        key_policy,
+                    ),
+                    _ => worker_loop_std(socket, &mut engine, &stop, &shard, trace, metrics, key_policy),
                 })?,
         );
     }
@@ -711,7 +754,8 @@ pub(crate) fn record_server_event(
     ev.flags = (u16::from(handled.response) * FLAG_RESPONSE)
         | (u16::from(handled.decode_error) * FLAG_DECODE_ERROR)
         | (u16::from(handled.response && !send_ok) * FLAG_SEND_FAILED)
-        | (u16::from(transport == TransportKind::Tcp) * FLAG_TCP);
+        | (u16::from(transport == TransportKind::Tcp) * FLAG_TCP)
+        | (u16::from(handled.rrl.is_some()) * FLAG_RRL);
     ev.rcode = handled.rcode.map(|r| r.to_u8()).unwrap_or(RCODE_NONE);
     producer.record(&ev);
 }
@@ -767,6 +811,7 @@ fn worker_loop_std(
     shard: &AtomicStats,
     trace: Option<(Producer, u16)>,
     metrics: Option<Arc<ServeMetrics>>,
+    key_policy: Option<RateLimitPolicy>,
 ) {
     let mut recv_buf = vec![0u8; MAX_MESSAGE_SIZE];
     let mut resp_buf = Vec::with_capacity(1024);
@@ -797,8 +842,16 @@ fn worker_loop_std(
         };
         clock.lap(spans, Stage::Recv);
         let start_ns = trace.as_ref().map(|(p, _)| p.now_ns());
-        let handled =
-            engine.handle_packet_spanned(&recv_buf[..n], TransportKind::Udp, &mut resp_buf, spans);
+        // The client key is hashed only when RRL is on — the unkeyed
+        // path stays byte-for-byte the pre-RRL hot path.
+        let client_key = key_policy.as_ref().map(|p| p.client_key(&peer));
+        let handled = engine.handle_packet_from(
+            &recv_buf[..n],
+            TransportKind::Udp,
+            client_key,
+            &mut resp_buf,
+            spans,
+        );
         if handled.decode_error {
             shard.record_decode_error();
             if let Some(m) = &metrics {
@@ -856,6 +909,7 @@ fn worker_loop_std(
 /// Stage spans lap once per batch on the recv/send boundaries, recording
 /// the amortised per-packet time; decode/engine/encode stay per-packet
 /// inside the engine.
+#[allow(clippy::too_many_arguments)] // one flat per-shard loop, spawned once
 fn worker_loop_mmsg(
     socket: UdpSocket,
     engine: &mut AnswerEngine,
@@ -864,6 +918,7 @@ fn worker_loop_mmsg(
     trace: Option<(Producer, u16)>,
     metrics: Option<Arc<ServeMetrics>>,
     batch_size: usize,
+    key_policy: Option<RateLimitPolicy>,
 ) {
     let mut batch = dnswild_mmsg::RecvBatch::new(batch_size, MAX_MESSAGE_SIZE);
     let cap = batch.capacity();
@@ -895,9 +950,15 @@ fn worker_loop_mmsg(
             if let Some((producer, _)) = &trace {
                 starts[i] = producer.now_ns();
             }
-            let (payload, _) = batch.datagram(i);
-            let handled =
-                engine.handle_packet_spanned(payload, TransportKind::Udp, &mut resp_bufs[i], spans);
+            let (payload, peer) = batch.datagram(i);
+            let client_key = key_policy.as_ref().map(|p| p.client_key(&peer));
+            let handled = engine.handle_packet_from(
+                payload,
+                TransportKind::Udp,
+                client_key,
+                &mut resp_bufs[i],
+                spans,
+            );
             if handled.decode_error {
                 shard.record_decode_error();
                 if let Some(m) = &metrics {
@@ -1200,6 +1261,9 @@ mod tests {
             truncated: 11,
             tcp_queries: 12,
             dropped: 13,
+            rrl_dropped: 14,
+            rrl_slipped: 15,
+            bucket_evictions: 16,
         };
         let agg = AtomicStats::default();
         agg.merge(ones);
@@ -1314,7 +1378,7 @@ mod tests {
         // Every ServerStats field has a registry series equal to the
         // summed shard stats, labelled with the auth.
         let counters = registry.counters("dnswild_server_events_total");
-        assert_eq!(counters.len(), 13);
+        assert_eq!(counters.len(), 16);
         for (kind, want) in server_stats_kinds(&stats) {
             let got = counters
                 .iter()
@@ -1333,6 +1397,90 @@ mod tests {
             registry.counters("dnswild_server_io_errors_total").iter().map(|(_, v)| v).sum::<u64>(),
             0
         );
+    }
+
+    #[test]
+    fn quiescent_scrape_equals_stats_with_rate_limiting_enabled() {
+        // Satellite gate: the scrape-equality invariant must span the
+        // new RRL counters. One shard (strict processing order), a
+        // no-refill policy of burst 3 and slip 2, seven queries from
+        // one socket: three answered, then the 1-in-2 cadence over the
+        // limited tail (drop, slip, drop, slip). The final slip doubles
+        // as the synchronisation point — once its TC reply is back,
+        // every earlier drop has been processed too.
+        use dnswild_server::RrlScope;
+        let origin = Name::parse("ourtestdomain.nl").unwrap();
+        let zones = Arc::new(vec![test_domain_zone(&origin, 2)]);
+        let registry = Arc::new(Registry::new());
+        let policy = RateLimitPolicy {
+            burst: 3,
+            rate: 0, // no refill: the verdict sequence is purely positional
+            period: 1,
+            slip: 2,
+            scope: RrlScope::All,
+            ..RateLimitPolicy::default()
+        };
+        let handle = serve(
+            ServeConfig::new("127.0.0.1:0", "FRA", zones)
+                .threads(1)
+                .metrics(Arc::clone(&registry))
+                .rate_limit(policy),
+        )
+        .unwrap();
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        for i in 0..7u16 {
+            let q = Message::iterative_query(i, Name::parse("p1-r1.ourtestdomain.nl").unwrap(), RType::Txt);
+            sock.send_to(&q.encode().unwrap(), handle.local_addr()).unwrap();
+        }
+        // Five datagrams come back: ids 0..2 full answers, ids 4 and 6
+        // minimal TC=1 slips; ids 3 and 5 are silently dropped.
+        let mut buf = [0u8; 4096];
+        let mut got = Vec::new();
+        for _ in 0..5 {
+            let (n, _) = sock.recv_from(&mut buf).unwrap();
+            got.push(Message::decode(&buf[..n]).unwrap());
+        }
+        assert_eq!(got.iter().map(|m| m.header.id).collect::<Vec<_>>(), vec![0, 1, 2, 4, 6]);
+        for m in &got[..3] {
+            assert!(!m.header.truncated);
+            assert_eq!(m.answers.len(), 1);
+        }
+        for slip in &got[3..] {
+            assert!(slip.header.truncated, "slips are TC=1");
+            assert!(slip.answers.is_empty(), "slips are header-only");
+            assert_eq!(slip.rcode(), Rcode::NoError);
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.queries, 7);
+        assert_eq!(stats.answers, 7, "outcome classification precedes enforcement");
+        assert_eq!(stats.rrl_slipped, 2);
+        assert_eq!(stats.rrl_dropped, 2);
+        assert_eq!(stats.bucket_evictions, 0);
+        assert_eq!(stats.truncated, 0, "slips are not size-driven truncation");
+        // The quiescent scrape equals the summed shard stats on every
+        // one of the 16 kinds — RRL counters included.
+        let counters = registry.counters("dnswild_server_events_total");
+        assert_eq!(counters.len(), 16);
+        for (kind, want) in server_stats_kinds(&stats) {
+            let got = counters
+                .iter()
+                .find(|(labels, _)| labels.contains(&("kind".into(), kind.into())))
+                .map(|(_, v)| *v);
+            assert_eq!(got, Some(want), "kind {kind}");
+        }
+        // The verdict histograms saw one sample per charged query.
+        let verdicts = registry.histograms("dnswild_rrl_verdict_ns");
+        assert_eq!(verdicts.len(), 3);
+        for (labels, h) in verdicts {
+            let want = match labels.iter().find(|(k, _)| k == "verdict").map(|(_, v)| v.as_str()) {
+                Some("answer") => 3,
+                Some("slip") => 2,
+                Some("drop") => 2,
+                other => panic!("unexpected verdict label {other:?}"),
+            };
+            assert_eq!(h.count(), want, "verdict {labels:?}");
+        }
     }
 
     #[test]

@@ -28,6 +28,10 @@ use dnswild_telemetry::SnapshotCell;
 use dnswild_zone::presets::SITE_PLACEHOLDER;
 use dnswild_zone::{Lookup, Zone};
 
+use crate::rrl::{
+    RateLimitPolicy, RateLimiter, RrlScope, RrlVerdict, SharedRateLimiter, VerdictSpans,
+};
+
 /// Counters a server keeps about its own traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
@@ -59,6 +63,17 @@ pub struct ServerStats {
     pub tcp_queries: u64,
     /// Datagrams dropped silently (unparseable, or responses).
     pub dropped: u64,
+    /// Responses suppressed by response-rate limiting. The query still
+    /// counts in `queries` and its outcome counter — RRL happens after
+    /// classification, ahead of encode — so `question_outcomes` and
+    /// `packets_seen` balance unchanged.
+    pub rrl_dropped: u64,
+    /// Rate-limited responses answered as minimal TC=1 replies (the
+    /// 1-in-`slip` leak inviting a TCP retry). Not counted in
+    /// `truncated`, which tracks size-driven truncation.
+    pub rrl_slipped: u64,
+    /// Client token buckets evicted (LRU) to admit new keys.
+    pub bucket_evictions: u64,
 }
 
 impl ServerStats {
@@ -114,6 +129,9 @@ impl Add for ServerStats {
             truncated: self.truncated + rhs.truncated,
             tcp_queries: self.tcp_queries + rhs.tcp_queries,
             dropped: self.dropped + rhs.dropped,
+            rrl_dropped: self.rrl_dropped + rhs.rrl_dropped,
+            rrl_slipped: self.rrl_slipped + rhs.rrl_slipped,
+            bucket_evictions: self.bucket_evictions + rhs.bucket_evictions,
         }
     }
 }
@@ -225,6 +243,10 @@ pub struct HandledPacket {
     pub class: PacketClass,
     /// Rcode of the response written, when there was one.
     pub rcode: Option<Rcode>,
+    /// Set when response-rate limiting intervened: `Some(Slip)` for a
+    /// TC=1 leak, `Some(Drop)` for a suppressed response. `None` for
+    /// everything the limiter let through (or never saw).
+    pub rrl: Option<RrlVerdict>,
 }
 
 impl HandledPacket {
@@ -235,6 +257,7 @@ impl HandledPacket {
             decode_error: false,
             class: PacketClass::Dropped,
             rcode: None,
+            rrl: None,
         }
     }
 }
@@ -262,6 +285,13 @@ pub struct AnswerEngine {
     introspect: Option<Introspection>,
     /// How this site negotiates EDNS sizes and truncates UDP answers.
     policy: TruncationPolicy,
+    /// Response-rate limiter, shared across every fork of this engine
+    /// (the per-site NXDOMAIN budget is site-wide, and sharing keeps
+    /// verdicts independent of reuseport flow hashing). `None` = no
+    /// rate limiting; the simulation plane never sets it.
+    rrl: Option<SharedRateLimiter>,
+    /// `{verdict}` decision-time histograms, when metered.
+    verdict_spans: Option<VerdictSpans>,
 }
 
 /// What the serving plane tells the engine about itself, echoed in the
@@ -289,6 +319,8 @@ impl AnswerEngine {
             telemetry: None,
             introspect: None,
             policy: TruncationPolicy::default(),
+            rrl: None,
+            verdict_spans: None,
         }
     }
 
@@ -318,6 +350,31 @@ impl AnswerEngine {
         self.policy
     }
 
+    /// Enables response-rate limiting under `policy` with a fresh
+    /// limiter. Forks share the limiter, so one call on the template
+    /// engine rate-limits the whole serving plane.
+    pub fn with_rate_limit(self, policy: RateLimitPolicy) -> Self {
+        self.with_shared_rate_limiter(RateLimiter::shared(policy))
+    }
+
+    /// Enables response-rate limiting against an existing shared
+    /// limiter (e.g. one limiter spanning several engines of a site).
+    pub fn with_shared_rate_limiter(mut self, limiter: SharedRateLimiter) -> Self {
+        self.rrl = Some(limiter);
+        self
+    }
+
+    /// Meters RRL decisions into `{verdict}` histograms.
+    pub fn with_verdict_spans(mut self, spans: VerdictSpans) -> Self {
+        self.verdict_spans = Some(spans);
+        self
+    }
+
+    /// The shared rate limiter, when rate limiting is enabled.
+    pub fn rate_limiter(&self) -> Option<&SharedRateLimiter> {
+        self.rrl.as_ref()
+    }
+
     /// A worker-private copy: same site identity, same shared zones and
     /// telemetry cell, fresh counters.
     pub fn fork(&self) -> AnswerEngine {
@@ -328,6 +385,8 @@ impl AnswerEngine {
             telemetry: self.telemetry.clone(),
             introspect: self.introspect,
             policy: self.policy,
+            rrl: self.rrl.clone(),
+            verdict_spans: self.verdict_spans.clone(),
         }
     }
 
@@ -531,10 +590,34 @@ impl AnswerEngine {
     /// `spans` is set, the decode / engine / encode stage durations are
     /// recorded into the stage histograms (the transport records the
     /// surrounding recv and send stages). With `None` no clock is read.
+    ///
+    /// No client key is supplied, so rate limiting never intervenes on
+    /// this path — the simulator and the existing `exp_*` outputs stay
+    /// byte-identical whatever policy is configured.
     pub fn handle_packet_spanned(
         &mut self,
         payload: &[u8],
         transport: TransportKind,
+        resp_buf: &mut Vec<u8>,
+        spans: Option<&StageSpans>,
+    ) -> HandledPacket {
+        self.handle_packet_from(payload, transport, None, resp_buf, spans)
+    }
+
+    /// [`AnswerEngine::handle_packet_spanned`] with a client identity:
+    /// when rate limiting is enabled and `client_key` is present (the
+    /// serving plane derives it via
+    /// [`RateLimitPolicy::client_key`]), chargeable UDP responses are
+    /// run through the limiter *ahead of encode* — `Answer` proceeds
+    /// unchanged, `Slip` replaces the response with a minimal TC=1
+    /// reply, `Drop` suppresses it. TCP is never limited: answering
+    /// over TCP is exactly what the slip leak invites, and a spoofed
+    /// source cannot complete a handshake.
+    pub fn handle_packet_from(
+        &mut self,
+        payload: &[u8],
+        transport: TransportKind,
+        client_key: Option<u64>,
         resp_buf: &mut Vec<u8>,
         spans: Option<&StageSpans>,
     ) -> HandledPacket {
@@ -568,6 +651,7 @@ impl AnswerEngine {
                             decode_error: true,
                             class: PacketClass::FormErr,
                             rcode: Some(Rcode::FormErr),
+                            rrl: None,
                         };
                     }
                     return HandledPacket {
@@ -576,6 +660,7 @@ impl AnswerEngine {
                         decode_error: true,
                         class: PacketClass::FormErr,
                         rcode: None,
+                        rrl: None,
                     };
                 }
                 self.stats.dropped += 1;
@@ -601,6 +686,7 @@ impl AnswerEngine {
                 decode_error: false,
                 class: PacketClass::NotImp,
                 rcode: sent.then_some(Rcode::NotImp),
+                rrl: None,
             };
         }
 
@@ -616,6 +702,7 @@ impl AnswerEngine {
                 decode_error: false,
                 class: PacketClass::FormErr,
                 rcode: sent.then_some(Rcode::FormErr),
+                rrl: None,
             };
         }
 
@@ -627,6 +714,7 @@ impl AnswerEngine {
             .question()
             .map(|q| QueryView { qname: q.qname.clone(), qtype: q.qtype });
 
+        let outcomes_before = self.stats;
         let answered = self.handle_query(&query);
         clock.lap(spans, Stage::Engine);
         let Some(resp) = answered else {
@@ -636,8 +724,74 @@ impl AnswerEngine {
                 decode_error: false,
                 class: PacketClass::Query,
                 rcode: None,
+                rrl: None,
             };
         };
+        // Response-rate limiting, ahead of encode: abusive response
+        // classes (or everything, under `RrlScope::All`) are charged
+        // against the client's token bucket, and NXDOMAINs additionally
+        // against the site-wide budget. The query was already counted
+        // in `queries` and its outcome counter above, so the stats
+        // books balance whatever the verdict; `rrl_dropped` /
+        // `rrl_slipped` record what the limiter did on top.
+        if transport == TransportKind::Udp && self.rrl.is_some() {
+            if let (Some(key), Some(rrl)) = (client_key, self.rrl.clone()) {
+                let started = self.verdict_spans.as_ref().map(|_| Instant::now());
+                let mut limiter = rrl.lock().expect("rate limiter mutex poisoned");
+                let is_nxdomain = self.stats.nxdomain > outcomes_before.nxdomain;
+                let charged = match limiter.policy().scope {
+                    RrlScope::All => true,
+                    RrlScope::Abusive => {
+                        is_nxdomain
+                            || self.stats.referrals > outcomes_before.referrals
+                            || self.stats.refused > outcomes_before.refused
+                    }
+                };
+                let decision = charged.then(|| limiter.verdict(key, is_nxdomain));
+                drop(limiter);
+                if let Some(d) = decision {
+                    if let (Some(t0), Some(vs)) = (started, self.verdict_spans.as_ref()) {
+                        vs.record(d.verdict, t0.elapsed().as_nanos() as u64);
+                    }
+                    if d.evicted {
+                        self.stats.bucket_evictions += 1;
+                    }
+                    match d.verdict {
+                        RrlVerdict::Answer => {}
+                        RrlVerdict::Slip => {
+                            self.stats.rrl_slipped += 1;
+                            let mut tc = Message::response_to(&query, resp.rcode());
+                            tc.header.authoritative = resp.header.authoritative;
+                            tc.header.truncated = true;
+                            if query.edns().is_some() {
+                                tc.add_edns(self.policy.advertise);
+                            }
+                            let sent = tc.encode_into(resp_buf).is_ok();
+                            clock.lap(spans, Stage::Encode);
+                            return HandledPacket {
+                                response: sent,
+                                query: view,
+                                decode_error: false,
+                                class: PacketClass::Query,
+                                rcode: sent.then(|| resp.rcode()),
+                                rrl: Some(RrlVerdict::Slip),
+                            };
+                        }
+                        RrlVerdict::Drop => {
+                            self.stats.rrl_dropped += 1;
+                            return HandledPacket {
+                                response: false,
+                                query: view,
+                                decode_error: false,
+                                class: PacketClass::Query,
+                                rcode: None,
+                                rrl: Some(RrlVerdict::Drop),
+                            };
+                        }
+                    }
+                }
+            }
+        }
         if resp.encode_into(resp_buf).is_err() {
             return HandledPacket {
                 response: false,
@@ -645,6 +799,7 @@ impl AnswerEngine {
                 decode_error: false,
                 class: PacketClass::Query,
                 rcode: None,
+                rrl: None,
             };
         }
         // UDP responses must fit the negotiated payload limit — the
@@ -669,6 +824,7 @@ impl AnswerEngine {
             decode_error: false,
             class: PacketClass::Query,
             rcode: Some(resp.rcode()),
+            rrl: None,
         }
     }
 }
@@ -1041,6 +1197,9 @@ mod tests {
             truncated: 1,
             tcp_queries: 1,
             dropped: 1,
+            rrl_dropped: 1,
+            rrl_slipped: 1,
+            bucket_evictions: 1,
         };
         let sum = ServerStats::aggregate([ones, ones, ones]);
         assert_eq!(sum, ServerStats {
@@ -1057,11 +1216,191 @@ mod tests {
             truncated: 3,
             tcp_queries: 3,
             dropped: 3,
+            rrl_dropped: 3,
+            rrl_slipped: 3,
+            bucket_evictions: 3,
         });
         assert_eq!(ones.question_outcomes(), 7);
         let mut acc = ServerStats::default();
         acc += ones;
         acc += ones;
         assert_eq!(acc, ones + ones);
+    }
+
+    /// An NXDOMAIN-generating query against the preset zone: the
+    /// wildcard only synthesises at the closest encloser, so names
+    /// below the existing-but-empty `void.<origin>` node miss it.
+    fn nx_query(id: u16, n: u32) -> Message {
+        let mut zone_name = origin().prepend("void").unwrap();
+        zone_name = zone_name.prepend(&format!("wt{n:04x}")).unwrap();
+        Message::iterative_query(id, zone_name, RType::A)
+    }
+
+    fn rrl_engine(policy: crate::rrl::RateLimitPolicy) -> AnswerEngine {
+        use dnswild_proto::Record;
+        let mut zone = test_domain_zone(&origin(), 2);
+        // An empty-looking anchor node: existing, no wildcard below it,
+        // so anything under it is NXDOMAIN (see crate::rrl docs).
+        zone.insert(Record::new(
+            origin().prepend("void").unwrap(),
+            60,
+            RData::Txt(dnswild_proto::rdata::Txt::from_string("nx-anchor").unwrap()),
+        ));
+        AnswerEngine::new("FRA", vec![zone]).with_rate_limit(policy)
+    }
+
+    #[test]
+    fn rrl_drop_suppresses_response_but_books_balance() {
+        use crate::rrl::{RateLimitPolicy, RrlVerdict};
+        // burst 2, no refill, no slip: queries 3+ are dropped.
+        let policy = RateLimitPolicy {
+            burst: 2,
+            rate: 0,
+            period: 1,
+            slip: 0,
+            ..RateLimitPolicy::default()
+        };
+        let mut e = rrl_engine(policy);
+        let key = Some(7u64);
+        let mut buf = Vec::new();
+        for n in 0..5 {
+            let q = nx_query(n as u16, n).encode().unwrap();
+            let h = e.handle_packet_from(&q, TransportKind::Udp, key, &mut buf, None);
+            if n < 2 {
+                assert!(h.response);
+                assert_eq!(h.rrl, None);
+            } else {
+                assert!(!h.response, "query {n} must be rate-dropped");
+                assert_eq!(h.rrl, Some(RrlVerdict::Drop));
+                assert!(buf.is_empty());
+            }
+        }
+        let s = e.stats();
+        assert_eq!(s.queries, 5);
+        assert_eq!(s.nxdomain, 5, "RRL happens after classification");
+        assert_eq!(s.rrl_dropped, 3);
+        assert_eq!(s.question_outcomes(), s.queries);
+        assert_eq!(s.packets_seen(), 5);
+    }
+
+    #[test]
+    fn rrl_slip_sends_minimal_tc_reply() {
+        use crate::rrl::{RateLimitPolicy, RrlVerdict};
+        // burst 0, slip 1: every charged response slips as TC=1.
+        let policy = RateLimitPolicy {
+            burst: 0,
+            rate: 0,
+            period: 1,
+            slip: 1,
+            ..RateLimitPolicy::default()
+        };
+        let mut e = rrl_engine(policy);
+        let mut buf = Vec::new();
+        let q = nx_query(1, 1).encode().unwrap();
+        let h = e.handle_packet_from(&q, TransportKind::Udp, Some(9), &mut buf, None);
+        assert!(h.response);
+        assert_eq!(h.rrl, Some(RrlVerdict::Slip));
+        let resp = Message::decode(&buf).unwrap();
+        assert!(resp.header.truncated, "slip answers carry TC=1");
+        assert!(resp.answers.is_empty() && resp.authorities.is_empty());
+        assert_eq!(resp.rcode(), Rcode::NxDomain);
+        let s = e.stats();
+        assert_eq!(s.rrl_slipped, 1);
+        assert_eq!(s.truncated, 0, "slip is not size-driven truncation");
+    }
+
+    #[test]
+    fn rrl_abusive_scope_leaves_positive_answers_alone() {
+        use crate::rrl::RateLimitPolicy;
+        // burst 0 limits every *charged* query — but positive answers
+        // are never charged under the default Abusive scope.
+        let policy = RateLimitPolicy {
+            burst: 0,
+            rate: 0,
+            period: 1,
+            ..RateLimitPolicy::default()
+        };
+        let mut e = rrl_engine(policy);
+        let mut buf = Vec::new();
+        let q = Message::iterative_query(1, origin().prepend("p1-r1").unwrap(), RType::Txt);
+        let h =
+            e.handle_packet_from(&q.encode().unwrap(), TransportKind::Udp, Some(3), &mut buf, None);
+        assert!(h.response);
+        assert_eq!(h.rrl, None);
+        assert_eq!(e.stats().answers, 1);
+        assert_eq!(e.stats().rrl_dropped + e.stats().rrl_slipped, 0);
+    }
+
+    #[test]
+    fn rrl_never_limits_tcp_or_unkeyed_packets() {
+        use crate::rrl::RateLimitPolicy;
+        let policy = RateLimitPolicy {
+            burst: 0,
+            rate: 0,
+            period: 1,
+            slip: 0,
+            ..RateLimitPolicy::default()
+        };
+        let mut e = rrl_engine(policy);
+        let mut buf = Vec::new();
+        let q = nx_query(1, 1).encode().unwrap();
+        // TCP: the slip leak's whole point is that TCP completes.
+        let h = e.handle_packet_from(&q, TransportKind::Tcp, Some(3), &mut buf, None);
+        assert!(h.response);
+        assert_eq!(h.rrl, None);
+        // No key (the simulator path): limiter never consulted.
+        let h = e.handle_packet_from(&q, TransportKind::Udp, None, &mut buf, None);
+        assert!(h.response);
+        assert_eq!(h.rrl, None);
+        assert_eq!(e.stats().rrl_dropped + e.stats().rrl_slipped, 0);
+    }
+
+    #[test]
+    fn rrl_forks_share_one_limiter() {
+        use crate::rrl::{RateLimitPolicy, RrlVerdict};
+        let policy = RateLimitPolicy {
+            burst: 2,
+            rate: 0,
+            period: 1,
+            slip: 0,
+            ..RateLimitPolicy::default()
+        };
+        let mut a = rrl_engine(policy);
+        let mut b = a.fork();
+        let mut buf = Vec::new();
+        // Two charged queries through A exhaust the shared bucket...
+        for n in 0..2 {
+            let q = nx_query(n as u16, n).encode().unwrap();
+            assert!(a.handle_packet_from(&q, TransportKind::Udp, Some(5), &mut buf, None).response);
+        }
+        // ...so the fork's next query for the same key drops.
+        let q = nx_query(9, 9).encode().unwrap();
+        let h = b.handle_packet_from(&q, TransportKind::Udp, Some(5), &mut buf, None);
+        assert_eq!(h.rrl, Some(RrlVerdict::Drop));
+        let merged = ServerStats::aggregate([a.take_stats(), b.take_stats()]);
+        assert_eq!(merged.rrl_dropped, 1);
+        assert_eq!(merged.question_outcomes(), merged.queries);
+    }
+
+    #[test]
+    fn rrl_verdict_spans_record_decision_times() {
+        use crate::rrl::{RateLimitPolicy, RrlVerdict, VerdictSpans};
+        let reg = dnswild_metrics::Registry::new();
+        let spans = VerdictSpans::register(&reg);
+        let policy = RateLimitPolicy {
+            burst: 1,
+            rate: 0,
+            period: 1,
+            slip: 0,
+            ..RateLimitPolicy::default()
+        };
+        let mut e = rrl_engine(policy).with_verdict_spans(spans.clone());
+        let mut buf = Vec::new();
+        for n in 0..3 {
+            let q = nx_query(n as u16, n).encode().unwrap();
+            e.handle_packet_from(&q, TransportKind::Udp, Some(1), &mut buf, None);
+        }
+        assert_eq!(spans.histogram(RrlVerdict::Answer).count(), 1);
+        assert_eq!(spans.histogram(RrlVerdict::Drop).count(), 2);
     }
 }

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod rrl;
 
 use std::any::Any;
 use std::sync::Arc;
@@ -35,6 +36,10 @@ use dnswild_zone::Zone;
 pub use engine::{
     AnswerEngine, HandledPacket, Introspection, PacketClass, QueryView, ServerStats,
     TransportKind, TruncationPolicy,
+};
+pub use rrl::{
+    RateLimitPolicy, RateLimiter, RrlDecision, RrlScope, RrlVerdict, SharedRateLimiter,
+    VerdictSpans, VERDICTS,
 };
 
 /// One query observed at the authoritative — the passive-trace view the

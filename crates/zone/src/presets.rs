@@ -77,6 +77,49 @@ pub fn padded_test_domain_zone(origin: &Name, ns_count: usize, pad_bytes: usize)
     zone
 }
 
+/// The label whose subtree anchors NXDOMAINs in the attack zone: the
+/// node exists (so the apex wildcard does not cover names below it —
+/// wildcard synthesis only happens at the closest encloser), but it has
+/// no wildcard child, so `anything.void.<origin>` is NXDOMAIN.
+pub const NX_ANCHOR_LABEL: &str = "void";
+
+/// The delegated label of the attack zone: `lab.<origin>` is a zone
+/// cut, so any name at or below it draws a referral.
+pub const DELEGATION_LABEL: &str = "lab";
+
+/// [`test_domain_zone`] extended into the adversarial-workload zone:
+///
+/// * `void.<origin>` — an ordinary TXT node with no wildcard below it,
+///   so random-subdomain ("water torture") queries like
+///   `wt3f9a.void.<origin>` are honest NXDOMAINs while the apex
+///   wildcard keeps answering legitimate probe labels;
+/// * `lab.<origin>` — a delegation fattened with `delegation_ns` NS
+///   records (`dns1.lab.<origin>` …) plus one A glue record each, the
+///   NXNSAttack amplification vector: a ~45-byte query for any name
+///   under `lab` pulls a referral carrying the whole NS+glue set.
+pub fn attack_test_domain_zone(origin: &Name, ns_count: usize, delegation_ns: usize) -> Zone {
+    assert!(delegation_ns >= 1, "a delegation needs at least one NS");
+    assert!(delegation_ns <= 100, "glue addressing supports at most 100 delegation NS");
+    let mut zone = test_domain_zone(origin, ns_count);
+    let anchor = origin.prepend(NX_ANCHOR_LABEL).expect("short label");
+    zone.insert(Record::new(
+        anchor,
+        3600,
+        RData::Txt(Txt::from_string("nx-anchor").expect("short string")),
+    ));
+    let cut = origin.prepend(DELEGATION_LABEL).expect("short label");
+    for i in 1..=delegation_ns {
+        let ns_name = cut.prepend(&format!("dns{i}")).expect("short label");
+        zone.insert(Record::new(cut.clone(), 3600, RData::Ns(Ns::new(ns_name.clone()))));
+        zone.insert(Record::new(
+            ns_name,
+            3600,
+            RData::A(A::new(Ipv4Addr::new(203, 0, 113, (100 + i) as u8))),
+        ));
+    }
+    zone
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +174,32 @@ mod tests {
     fn zero_ns_rejected() {
         let origin = Name::parse("x.nl").unwrap();
         test_domain_zone(&origin, 0);
+    }
+
+    #[test]
+    fn attack_zone_nxdomains_below_the_anchor() {
+        let origin = Name::parse("ourtestdomain.nl").unwrap();
+        let zone = attack_test_domain_zone(&origin, 2, 8);
+        // Water-torture names are NXDOMAIN, not wildcard-covered...
+        let wt = Name::parse("wt3f9a.void.ourtestdomain.nl").unwrap();
+        assert!(matches!(zone.lookup(&wt, RType::A), Lookup::NxDomain { .. }));
+        // ...while the apex wildcard still answers legitimate probes.
+        let probe = Name::parse("p1-r1.ourtestdomain.nl").unwrap();
+        assert!(matches!(zone.lookup(&probe, RType::Txt), Lookup::Answer(_)));
+        // The anchor node itself resolves normally.
+        let anchor = Name::parse("void.ourtestdomain.nl").unwrap();
+        assert!(matches!(zone.lookup(&anchor, RType::Txt), Lookup::Answer(_)));
+    }
+
+    #[test]
+    fn attack_zone_referrals_carry_the_full_ns_and_glue_set() {
+        let origin = Name::parse("ourtestdomain.nl").unwrap();
+        let zone = attack_test_domain_zone(&origin, 2, 12);
+        let q = Name::parse("v01.lab.ourtestdomain.nl").unwrap();
+        let Lookup::Referral { ns, glue } = zone.lookup(&q, RType::A) else {
+            panic!("expected a referral below the cut");
+        };
+        assert_eq!(ns.len(), 12, "every delegation NS rides the referral");
+        assert_eq!(glue.len(), 12, "one A glue per NS");
     }
 }

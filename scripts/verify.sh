@@ -174,6 +174,38 @@ if ! grep -q '^watchdog-gate: PASS' <<<"$clean_out"; then
 fi
 grep '^watchdog-gate' <<<"$clean_out"
 
+# Attack gate: a seeded random-subdomain NXDOMAIN flood against a
+# rate-limiting server, run concurrently with a legitimate blast. The
+# smoke command enforces the hard criteria internally (legit goodput
+# 100%, RRL books balanced against attacker-observed timeouts/TC slips,
+# watchdog attack-pressure breach firing, trace-derived amplification
+# below the legitimate baseline, scrape equality across all counters);
+# on top, CI requires actual slips and drops and a byte-identical
+# replay of every deterministic `attack` line across two same-seed runs.
+cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --attack nxdomain --rrl --queries 400 --seed 2017 \
+    --trace "$trace_a" --metrics-addr 127.0.0.1:0 | tee "$chaos_a"
+if ! grep -q '^attack-server: .* rrl_slipped=[1-9]' "$chaos_a"; then
+    echo "attack gate: the limiter never slipped a TC=1 answer" >&2
+    exit 1
+fi
+if ! grep -q '^attack-server: .* rrl_dropped=[1-9]' "$chaos_a"; then
+    echo "attack gate: the limiter never dropped a response" >&2
+    exit 1
+fi
+if ! grep -q '^attack-watchdog: .* breach=true' "$chaos_a"; then
+    echo "attack gate: the watchdog attack-pressure law never breached" >&2
+    exit 1
+fi
+cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --attack nxdomain --rrl --queries 400 --seed 2017 \
+    --trace "$trace_b" --metrics-addr 127.0.0.1:0 > "$chaos_b"
+if ! diff <(grep '^attack' "$chaos_a") <(grep '^attack' "$chaos_b"); then
+    echo "attack gate not reproducible: flood schedule or RRL verdicts differ between runs" >&2
+    exit 1
+fi
+echo "attack gate: RRL shed the seeded flood reproducibly while legit goodput held"
+
 # Lint gate: the observability plane rides the hot path, so keep the
 # whole workspace clippy-clean at -D warnings.
 cargo clippy --workspace --offline -q -- -D warnings

@@ -1,0 +1,250 @@
+//! End-to-end tests of the adversarial workload plane: a real serving
+//! plane under a seeded flood must shed attack traffic through the
+//! rate-limit policy while legitimate goodput holds, expose the
+//! breach through the watchdog's attack-pressure law, grant the
+//! attacker less bandwidth amplification than the legitimate baseline
+//! (derived from the recorded telemetry trace), and replay the whole
+//! engagement byte-identically for a fixed seed. Without the defense
+//! the same zone must be a real threat — the NXNS referral flood has a
+//! pinned amplification floor — and the limiter's TC=1 slips must lead
+//! a legitimate client to the TCP retry path RRL never limits.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dnswild_analysis::amplification;
+use dnswild_metrics::{Registry, Watchdog, WatchdogConfig};
+use dnswild_netio::{
+    assault, blast, resolve, serve, server_stats_kinds, AttackConfig, AttackMode, Collector,
+    CollectorConfig, LoadConfig, ResolveConfig, ServeConfig, TcpOptions, Trace,
+};
+use dnswild_proto::Name;
+use dnswild_server::{RateLimitPolicy, RrlScope, TruncationPolicy};
+use dnswild_zone::presets::{attack_test_domain_zone, test_domain_zone};
+
+fn origin() -> Name {
+    Name::parse("ourtestdomain.nl").unwrap()
+}
+
+fn temp_trace(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dnswild-attack-{name}-{}.dwt", std::process::id()));
+    p
+}
+
+/// The attacker-side timeout: short, because under RRL a silent drop is
+/// the expected outcome and the closed loop must classify it quickly.
+const ATTACK_TIMEOUT: Duration = Duration::from_millis(40);
+
+/// Undefended NXNS referrals must amplify at least this much, or the
+/// defense gates are judged against a toothless threat.
+const NXNS_AMP_FLOOR: f64 = 4.0;
+
+/// One complete defended engagement: a rate-limiting server with live
+/// metrics and telemetry, a legitimate blast and an NXDOMAIN flood
+/// running concurrently. Asserts every defense property and returns a
+/// digest of all seed-deterministic observables.
+fn defended_flood_run(seed: u64) -> String {
+    let registry = Arc::new(Registry::new());
+    let trace_path = temp_trace(&format!("flood-{seed}"));
+    let _ = std::fs::remove_file(&trace_path);
+    let collector = Arc::new(
+        Collector::start(CollectorConfig::new(&trace_path).auths(["FRA"])).unwrap(),
+    );
+    let zones = Arc::new(vec![attack_test_domain_zone(&origin(), 2, 20)]);
+    let handle = serve(
+        ServeConfig::new("127.0.0.1:0", "FRA", zones)
+            .threads(2)
+            .rate_limit(RateLimitPolicy::default())
+            .metrics(Arc::clone(&registry))
+            .collector(Arc::clone(&collector), 0),
+    )
+    .unwrap();
+
+    // Legit and attack loads run concurrently: the claim under test is
+    // that goodput holds *during* the flood.
+    let mut legit_cfg = LoadConfig::new(handle.local_addr(), origin()).concurrency(2).queries(300);
+    legit_cfg.seed = seed;
+    let attack_cfg = AttackConfig::new(handle.local_addr(), origin(), AttackMode::NxdomainFlood)
+        .concurrency(2)
+        .queries(300)
+        .seed(seed)
+        .timeout(ATTACK_TIMEOUT)
+        .collector(Arc::clone(&collector), 0);
+    let (legit, attack) = std::thread::scope(|scope| {
+        let lh = scope.spawn(move || blast(legit_cfg).unwrap());
+        let ah = scope.spawn(move || assault(attack_cfg).unwrap());
+        (lh.join().unwrap(), ah.join().unwrap())
+    });
+
+    // A dropped response leaves the attacker's final datagram with
+    // nothing to synchronize on — let the shards drain their buffers.
+    let settle = Instant::now() + Duration::from_secs(5);
+    while handle.stats().packets_seen() < legit.sent + attack.sent && Instant::now() < settle {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = handle.shutdown();
+
+    // Goodput holds: the Abusive scope never charges positive answers,
+    // so the legitimate mix is untouched by the limiter.
+    assert!(legit.all_answered(), "legit goodput broke: {legit:?}");
+    assert!(attack.all_accounted(), "{attack:?}");
+    assert!(attack.timeouts > 0, "the limiter never dropped: {attack:?}");
+    assert!(attack.tc_slips > 0, "the limiter never slipped: {attack:?}");
+
+    // The books balance across the wire: every flood query the server
+    // saw, every drop a timeout, every slip a TC reply.
+    assert_eq!(stats.queries, legit.sent + attack.sent);
+    assert_eq!(stats.rrl_dropped, attack.timeouts);
+    assert_eq!(stats.rrl_slipped, attack.tc_slips);
+    assert_eq!(stats.bucket_evictions, 0);
+
+    // The watchdog's attack-pressure law fires on the final counters
+    // while every other law stays green — breaching *is* the defense
+    // working.
+    let wd = Watchdog::new(Arc::clone(&registry), WatchdogConfig::default()).eval_now();
+    assert!(wd.attack_breach, "flood shed but no breach: {wd:?}");
+    assert!(
+        !(wd.share_breach || wd.coverage_breach || wd.servfail_breach || wd.overflow_breach),
+        "a non-attack law breached: {wd:?}"
+    );
+
+    // The trace tells the same story in bytes: the attacker's
+    // amplification factor sits below the legitimate baseline.
+    collector.finish().unwrap();
+    let trace = Trace::read_from(&trace_path).unwrap();
+    let _ = std::fs::remove_file(&trace_path);
+    let amp = amplification(&trace);
+    assert_eq!(amp.attack_queries, attack.sent, "{amp:?}");
+    assert_eq!(amp.legit_queries, legit.sent, "{amp:?}");
+    let attack_factor = amp.attack_factor().unwrap();
+    let legit_factor = amp.legit_factor().unwrap();
+    assert!(
+        attack_factor < legit_factor,
+        "RRL left the attacker amplifying {attack_factor:.2}x vs legit {legit_factor:.2}x"
+    );
+
+    // Everything seed-deterministic, in one comparable digest.
+    let kinds: Vec<String> =
+        server_stats_kinds(&stats).iter().map(|(k, n)| format!("{k}={n}")).collect();
+    format!(
+        "{}\nserver: {}\nwatchdog: rate={:.4} breach={}\namp: {}",
+        attack.render("attack"),
+        kinds.join(" "),
+        wd.attack_rate,
+        wd.attack_breach,
+        amp.render()
+    )
+}
+
+/// The tentpole gate: the defended engagement holds every property and
+/// replays byte-identically — verdicts are request-tick driven and the
+/// schedules are `detrand` streams, so nothing in the digest may move
+/// between runs of the same seed.
+#[test]
+fn defended_flood_replays_byte_identically_and_holds_goodput() {
+    let first = defended_flood_run(2017);
+    let second = defended_flood_run(2017);
+    assert_eq!(first, second, "attack engagement must replay byte-identically");
+}
+
+/// The no-defense baseline: with rate limiting off, the NXNS referral
+/// flood is answered in full and grants the attacker an amplification
+/// factor past the pinned floor — both from the attacker's own books
+/// and from the server-side trace partition.
+#[test]
+fn undefended_nxns_amplification_exceeds_the_pinned_floor() {
+    let trace_path = temp_trace("nxns");
+    let _ = std::fs::remove_file(&trace_path);
+    let collector = Arc::new(
+        Collector::start(CollectorConfig::new(&trace_path).auths(["FRA"])).unwrap(),
+    );
+    let zones = Arc::new(vec![attack_test_domain_zone(&origin(), 2, 20)]);
+    let handle = serve(
+        ServeConfig::new("127.0.0.1:0", "FRA", zones)
+            .threads(2)
+            // Match the generator's EDNS 4096 advertisement so the fat
+            // referral is not truncated away.
+            .truncation(TruncationPolicy::symmetric(4096))
+            .collector(Arc::clone(&collector), 0),
+    )
+    .unwrap();
+    let report = assault(
+        AttackConfig::new(handle.local_addr(), origin(), AttackMode::NxnsReferral)
+            .concurrency(2)
+            .queries(200)
+            .timeout(ATTACK_TIMEOUT)
+            .collector(Arc::clone(&collector), 0),
+    )
+    .unwrap();
+    let stats = handle.shutdown();
+
+    assert!(report.all_accounted(), "{report:?}");
+    assert_eq!(report.received, 200, "no limiter: every referral is served");
+    assert_eq!(stats.referrals, 200);
+    assert_eq!(stats.rrl_dropped + stats.rrl_slipped, 0);
+    let client_amp = report.amplification().unwrap();
+    assert!(
+        client_amp >= NXNS_AMP_FLOOR,
+        "attacker-side amplification {client_amp:.2}x under the {NXNS_AMP_FLOOR}x floor"
+    );
+
+    collector.finish().unwrap();
+    let trace = Trace::read_from(&trace_path).unwrap();
+    let _ = std::fs::remove_file(&trace_path);
+    let amp = amplification(&trace);
+    assert_eq!(amp.attack_queries, 200);
+    let trace_amp = amp.attack_factor().unwrap();
+    assert!(
+        trace_amp >= NXNS_AMP_FLOOR,
+        "trace-side amplification {trace_amp:.2}x under the {NXNS_AMP_FLOOR}x floor"
+    );
+}
+
+/// RRL's legitimate-client escape hatch, end to end: under an `All`
+/// scope policy with `slip 1`, every limited UDP answer goes out as a
+/// minimal TC=1 reply, and the resolver client follows it onto the TCP
+/// transport — which the limiter never touches — so every transaction
+/// still completes. This is the PR 7 truncation harness with the TC bit
+/// set by the limiter instead of the EDNS size negotiation.
+#[test]
+fn slipped_tc_replies_complete_over_the_unlimited_tcp_path() {
+    let policy = RateLimitPolicy {
+        burst: 4,
+        rate: 0,
+        period: 1,
+        slip: 1,
+        scope: RrlScope::All,
+        ..RateLimitPolicy::default()
+    };
+    let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+    let handle = serve(
+        ServeConfig::new("127.0.0.1:0", "FRA", zones)
+            .threads(1)
+            .tcp(TcpOptions::default())
+            .rate_limit(policy),
+    )
+    .unwrap();
+    // One sequential worker keeps the charge sequence — and therefore
+    // every verdict — fully deterministic.
+    let mut cfg =
+        ResolveConfig::new(vec![handle.local_addr()], origin()).transactions(20).concurrency(1);
+    cfg.timeout = Duration::from_millis(250);
+    let report = resolve(cfg).unwrap();
+    let stats = handle.shutdown();
+
+    report.stats.check().unwrap();
+    assert_eq!(report.stats.answered, 20, "every transaction completes: {:?}", report.stats);
+    assert_eq!(report.stats.servfails, 0);
+    assert_eq!(report.stats.tc_seen, 16, "past the burst of 4, every UDP answer slips TC=1");
+    assert_eq!(report.stats.tcp_attempts, 16);
+    assert_eq!(report.stats.tcp_answered, 16, "each slip completed over TCP");
+    assert_eq!(report.stats.tcp_failed, 0);
+    // Server side agrees: 20 UDP + 16 TCP queries, 16 slips, and no
+    // silent drops — slip 1 always offers the stream escape hatch.
+    assert_eq!(stats.rrl_slipped, 16);
+    assert_eq!(stats.rrl_dropped, 0);
+    assert_eq!(stats.tcp_queries, 16);
+    assert_eq!(stats.queries, 36);
+}
