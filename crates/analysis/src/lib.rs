@@ -36,4 +36,7 @@ pub use share::{query_share, AuthShare};
 pub use stats::{mean, median, percentile, BoxStats};
 pub use table::TextTable;
 pub use timeline::{timeline, TimeBucket};
-pub use trace_ingest::{trace_auth_counts, trace_client_counts, trace_to_measurement};
+pub use trace_ingest::{
+    trace_auth_counts, trace_cache_counts, trace_client_counts, trace_to_measurement,
+    TraceCacheCounts,
+};

@@ -25,7 +25,7 @@ use dnswild_atlas::{
 use dnswild_netsim::{Continent, SimAddr, SimDuration, SimTime};
 use dnswild_proto::Name;
 use dnswild_resolver::{PolicyKind, UpstreamSample};
-use dnswild_telemetry::{Event, EventKind, Trace, FLAG_RESPONSE};
+use dnswild_telemetry::{Event, EventKind, Trace, FLAG_PREFETCH, FLAG_RESPONSE, FLAG_TIMEOUT};
 
 /// Synthetic service address for authoritative id `id`: `10.0.H.L`
 /// where `H.L` is `id + 1`. Mirrors how simulated addresses travel in
@@ -54,6 +54,62 @@ pub fn trace_auth_counts(trace: &Trace) -> BTreeMap<String, u64> {
     for ev in &trace.events {
         if ev.kind == EventKind::ServerQuery {
             *counts.entry(trace.auth_code(ev.auth_id).to_string()).or_default() += 1;
+        }
+    }
+    counts
+}
+
+/// Record-cache activity recovered from a trace: one [`CacheLookup`]
+/// event per probe of the cache (hit when `FLAG_RESPONSE` is set, a
+/// stale serve when `FLAG_TIMEOUT` is set, otherwise a miss), plus the
+/// prefetch attempts that rode `ClientQuery` events under
+/// [`FLAG_PREFETCH`]. All zeros for traces captured without a cache —
+/// the §4.4 cache-decay re-derivation is a no-op then.
+///
+/// [`CacheLookup`]: EventKind::CacheLookup
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCacheCounts {
+    /// Live cache hits (no socket I/O happened for these).
+    pub hits: u64,
+    /// Misses — the transaction went to the wire.
+    pub misses: u64,
+    /// Expired entries served under RFC 8767 serve-stale.
+    pub stale_served: u64,
+    /// Prefetch refresh attempts (client-side, `FLAG_PREFETCH`).
+    pub prefetches: u64,
+}
+
+impl TraceCacheCounts {
+    /// Hit rate over all cache probes, `None` when the trace carries no
+    /// cache events at all.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let probes = self.hits + self.misses + self.stale_served;
+        (probes != 0).then(|| self.hits as f64 / probes as f64)
+    }
+
+    /// True when the trace recorded no cache activity.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// Tallies the cache plane's footprint in a trace — the counts behind
+/// the warm-vs-cold curves of the cache-decay experiments.
+pub fn trace_cache_counts(trace: &Trace) -> TraceCacheCounts {
+    let mut counts = TraceCacheCounts::default();
+    for ev in &trace.events {
+        match ev.kind {
+            EventKind::CacheLookup => {
+                if ev.flags & FLAG_RESPONSE != 0 {
+                    counts.hits += 1;
+                } else if ev.flags & FLAG_TIMEOUT != 0 {
+                    counts.stale_served += 1;
+                } else {
+                    counts.misses += 1;
+                }
+            }
+            EventKind::ClientQuery if ev.flags & FLAG_PREFETCH != 0 => counts.prefetches += 1,
+            _ => {}
         }
     }
     counts
@@ -243,6 +299,31 @@ mod tests {
         let shares = crate::query_share(&result);
         let total: f64 = shares.iter().map(|s| s.share).sum();
         assert!((total - 1.0).abs() < 1e-6, "hot-cache shares sum to 1, got {total}");
+    }
+
+    #[test]
+    fn cache_counts_partition_lookup_events_by_flags() {
+        let mut t = sample_trace();
+        assert!(trace_cache_counts(&t).is_empty(), "cacheless traces tally zero");
+        let mut hit = ev(EventKind::CacheLookup, 1, 0, true, 5_000);
+        hit.flags = FLAG_RESPONSE;
+        let mut stale = ev(EventKind::CacheLookup, 1, 0, false, 6_000);
+        stale.flags = FLAG_TIMEOUT;
+        let miss = ev(EventKind::CacheLookup, 1, 0, false, 7_000);
+        let mut prefetch = ev(EventKind::ClientQuery, 1, 0, true, 8_000);
+        prefetch.flags |= FLAG_PREFETCH;
+        t.events.extend([hit, stale, miss.clone(), miss, prefetch]);
+        let counts = trace_cache_counts(&t);
+        assert_eq!(
+            (counts.hits, counts.misses, counts.stale_served, counts.prefetches),
+            (1, 2, 1, 1)
+        );
+        assert_eq!(counts.hit_rate(), Some(0.25));
+
+        // Cache events must not leak into the figure analyses: the
+        // measurement reshaping only reads server/client queries.
+        let result = trace_to_measurement(&t);
+        assert_eq!(result.vps.len(), 3, "CacheLookup events add no VPs");
     }
 
     #[test]

@@ -136,7 +136,7 @@ fn bench_caches(r: &mut Runner) {
         let rec = Record::new(names[0].clone(), 5, RData::Txt(Txt::from_string("x").unwrap()));
         let mut i = 0usize;
         r.bench("resolver_record_cache_roundtrip", || {
-            let now = dnswild_netsim::SimTime::from_micros(i as u64);
+            let now = dnswild_cache::CacheTime::from_micros(i as u64);
             let name = &names[i % 64];
             cache.insert(name.clone(), RType::Txt, vec![rec.clone()], Rcode::NoError, 300, now);
             i += 1;

@@ -1,0 +1,121 @@
+//! Cache time: a plane-neutral microsecond instant.
+//!
+//! The simulator's `SimTime` and the real-socket plane's `Instant` both
+//! lower to this newtype, so the cache itself never needs to know which
+//! plane is driving it.
+
+use std::ops::Add;
+use std::time::Instant;
+
+/// An instant on the cache's timeline, in microseconds since an arbitrary
+/// epoch (simulation start, or [`WallClock`] construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CacheTime(u64);
+
+impl CacheTime {
+    /// The epoch itself.
+    pub const ZERO: CacheTime = CacheTime(0);
+
+    /// An instant `micros` microseconds past the epoch.
+    pub fn from_micros(micros: u64) -> Self {
+        CacheTime(micros)
+    }
+
+    /// Microseconds since the epoch.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds elapsed since `earlier` (saturating, truncating).
+    pub fn secs_since(self, earlier: CacheTime) -> u64 {
+        self.0.saturating_sub(earlier.0) / 1_000_000
+    }
+
+    /// Microseconds elapsed since `earlier` (saturating).
+    pub fn micros_since(self, earlier: CacheTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+/// Seconds are the only duration unit TTLs speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Secs(pub u64);
+
+impl Add<Secs> for CacheTime {
+    type Output = CacheTime;
+    fn add(self, rhs: Secs) -> CacheTime {
+        CacheTime(self.0.saturating_add(rhs.0.saturating_mul(1_000_000)))
+    }
+}
+
+/// A source of [`CacheTime`] instants.
+///
+/// The cache's own methods take `now` explicitly; this trait is for the
+/// *callers* that need to produce that `now` uniformly (the netio client
+/// holds a `WallClock`, tests hold a [`FixedClock`]).
+pub trait Clock {
+    /// The current instant on this clock's timeline.
+    fn now(&self) -> CacheTime;
+}
+
+/// Wall-clock time anchored at construction, for the real-socket plane.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        WallClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> CacheTime {
+        CacheTime(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+/// A clock pinned to a settable instant, for tests and replay.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedClock(pub CacheTime);
+
+impl Clock for FixedClock {
+    fn now(&self) -> CacheTime {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_truncates_and_saturates() {
+        let t = CacheTime::from_micros(4_500_000);
+        assert_eq!(t.secs_since(CacheTime::ZERO), 4, "truncates toward zero");
+        assert_eq!(CacheTime::ZERO.secs_since(t), 0, "saturates backwards");
+        assert_eq!((t + Secs(2)).as_micros(), 6_500_000);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_from_zero() {
+        let clock = WallClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fixed_clock_reads_back() {
+        let clock = FixedClock(CacheTime::from_micros(7));
+        assert_eq!(clock.now().as_micros(), 7);
+    }
+}

@@ -1,0 +1,28 @@
+//! The record cache, generalized over its clock.
+//!
+//! The paper goes out of its way to defeat caching (unique labels, TTL=5,
+//! 4-hour gaps between runs) so that every probe actually reaches an
+//! authoritative — which is only meaningful if a cache exists to be cold.
+//! This crate is that cache, shared by two planes:
+//!
+//! * the **simulator** drives it with `SimTime` converted to [`CacheTime`]
+//!   (deterministic virtual micros), and
+//! * the **real-socket client** drives it with a [`WallClock`] anchored at
+//!   process start.
+//!
+//! Time never comes from inside the cache: every method takes an explicit
+//! `now`, so behaviour is a pure function of the call sequence and both
+//! planes exercise the exact same expiry/decrement/eviction logic.
+//!
+//! Beyond plain TTL honoring it implements the recursive-side mechanics
+//! the paper's measured resolvers exhibit: RFC 2308 negative caching
+//! (NXDOMAIN and NODATA kept distinct, TTL from the SOA minimum),
+//! popularity-driven prefetch shortly before expiry, RFC 8767 serve-stale
+//! under a stale-answer budget, and a bounded LRU with eviction
+//! accounting.
+
+mod clock;
+mod store;
+
+pub use clock::{CacheTime, Clock, FixedClock, Secs, WallClock};
+pub use store::{CacheConfig, CacheStats, CachedResponse, EntryKind, RecordCache, STALE_TTL};

@@ -23,20 +23,22 @@ use std::time::{Duration, Instant};
 
 use dnswild::report::{render_coverage, render_rank_profile, render_share};
 use dnswild_analysis::{
-    amplification, coverage, query_share, rank_profile, trace_auth_counts, trace_client_counts,
-    trace_to_measurement,
+    amplification, coverage, query_share, rank_profile, trace_auth_counts, trace_cache_counts,
+    trace_client_counts, trace_to_measurement,
 };
 use dnswild_metrics::{parse_exposition, scrape, Watchdog, WatchdogConfig};
 use dnswild_netio::attack::NXNS_EDNS_PAYLOAD;
 use dnswild_netio::{
-    assault, blast, mirror_collector, resolve, serve, server_stats_kinds, AttackConfig,
-    AttackMode, ChaosProxy, Collector, CollectorConfig, Direction, FaultPlan, FaultProfile,
-    IoBackend, LoadConfig, MetricsServer, QueryMix, Registry, ResolveConfig, ServeConfig,
-    TcpFaultProfile, TcpOptions, Trace,
+    assault, blast, mirror_cache, mirror_collector, resolve, serve, server_stats_kinds,
+    AttackConfig, AttackMode, CacheConfig, ChaosProxy, Collector, CollectorConfig, Direction,
+    FaultPlan, FaultProfile, IoBackend, LoadConfig, MetricsServer, QueryMix, Registry,
+    ResolveConfig, ServeConfig, SharedCache, TcpFaultProfile, TcpOptions, Trace,
 };
 use dnswild_proto::Name;
 use dnswild_server::{RateLimitPolicy, RrlScope, ServerStats, TruncationPolicy};
-use dnswild_zone::presets::{attack_test_domain_zone, padded_test_domain_zone, test_domain_zone};
+use dnswild_zone::presets::{
+    attack_test_domain_zone, padded_test_domain_zone, probe_ttl_test_domain_zone, test_domain_zone,
+};
 
 fn usage_exit(code: i32) -> ! {
     eprintln!(
@@ -96,6 +98,13 @@ fn usage_exit(code: i32) -> ! {
              --edns-size N    (chaos) advertise N in the client's OPT; truncated\n\
                               answers are retried over TCP (RFC 7766)\n\
              --no-tcp-fallback  (chaos) let TC=1 answers doom the attempt instead\n\
+             --cache          (chaos) attach a record cache to the client: TTL\n\
+                              hits answer repeats with zero socket I/O and\n\
+                              NXDOMAIN/NODATA are negatively cached (RFC 2308)\n\
+             --cache-cap N    (cache) bounded LRU capacity (default 0 = unbounded)\n\
+             --serve-stale    (cache) answer from expired entries when every\n\
+                              upstream is dead (RFC 8767)\n\
+             --prefetch       (cache) refresh hot entries before they expire\n\
              --trace PATH     record one telemetry event per query to PATH\n\
              --json           emit one JSON object instead of the text report\n\
              --metrics-addr A:P  expose load/client metrics over HTTP\n\
@@ -126,6 +135,19 @@ fn usage_exit(code: i32) -> ! {
                               goodput holds at 100%\n\
              --chaos          route through two seeded fault proxies and\n\
                               apply resolver-level pass criteria\n\
+             --cache          the cache gate: a low-TTL zone served cold then\n\
+                              warm through one shared record cache — the warm\n\
+                              pass must answer over half its transactions from\n\
+                              cache, and every `cache-` line must replay\n\
+                              byte-identically for a given seed\n\
+             --cache-cap N    (cache) bounded LRU capacity (default 0 = unbounded)\n\
+             --serve-stale    (cache) third pass: expire the cache, blackhole\n\
+                              the authoritative behind a drop-everything chaos\n\
+                              proxy, and require every transaction to complete\n\
+                              from stale entries (RFC 8767)\n\
+             --prefetch       (cache) sleep the warm pass into the prefetch\n\
+                              window and require hot entries to refresh before\n\
+                              expiry\n\
              --seed S         (chaos/attack) schedule seed (default 2017)\n\
              --loss P         (chaos) total drop probability (default 0.10)\n\
              --corrupt P      (chaos) per-copy corruption probability (default 0.01)\n\
@@ -469,6 +491,35 @@ fn cmd_serve(args: &[String]) {
     }
 }
 
+/// Prefetch window for `blast --cache --prefetch`: hot entries refresh
+/// when less than this many seconds of TTL remain. Two seconds sits
+/// under the preset zone's 5-second probe TTL, so a long blast keeps
+/// its hot set warm instead of letting it expire.
+const BLAST_PREFETCH_WINDOW: u32 = 2;
+
+/// Serve-stale window for `--serve-stale` runs: expired entries stay
+/// servable for this long. RFC 8767 permits hours; ten minutes is
+/// plenty for a gate whose blackhole pass runs seconds after expiry.
+const CACHE_STALE_WINDOW: u32 = 600;
+
+/// One deterministic-for-a-fixed-run line of record-cache counters, the
+/// shape shared by `blast --cache` and the smoke cache gate.
+fn render_cache_stats(cache: &SharedCache) -> String {
+    let s = cache.stats();
+    format!(
+        "hits={} misses={} expired={} negative={} inserts={} evictions={} stale_served={} \
+         entries={}",
+        s.hits,
+        s.misses,
+        s.expired,
+        s.negative_hits,
+        s.inserts,
+        s.evictions,
+        s.stale_served,
+        cache.len()
+    )
+}
+
 fn cmd_blast(args: &[String]) {
     let mut addr = "127.0.0.1:5300".to_string();
     let mut concurrency = 4usize;
@@ -484,6 +535,10 @@ fn cmd_blast(args: &[String]) {
     let mut corrupt = 0.01f64;
     let mut edns_size: Option<u16> = None;
     let mut tcp_fallback = true;
+    let mut cache = false;
+    let mut cache_cap = 0usize;
+    let mut serve_stale = false;
+    let mut prefetch = false;
     let mut trace: Option<String> = None;
     let mut json = false;
     let mut metrics_addr: Option<String> = None;
@@ -504,6 +559,10 @@ fn cmd_blast(args: &[String]) {
             "--corrupt" => corrupt = parse_flag(&mut it, "--corrupt"),
             "--edns-size" => edns_size = Some(parse_flag(&mut it, "--edns-size")),
             "--no-tcp-fallback" => tcp_fallback = false,
+            "--cache" => cache = true,
+            "--cache-cap" => cache_cap = parse_flag(&mut it, "--cache-cap"),
+            "--serve-stale" => serve_stale = true,
+            "--prefetch" => prefetch = true,
             "--trace" => trace = Some(parse_flag(&mut it, "--trace")),
             "--json" => json = true,
             "--metrics-addr" => metrics_addr = Some(parse_flag(&mut it, "--metrics-addr")),
@@ -519,6 +578,15 @@ fn cmd_blast(args: &[String]) {
         // The plain blaster is a UDP-only throughput tool; EDNS
         // negotiation and TCP fallback live in the resolver client.
         eprintln!("blast: --edns-size / --no-tcp-fallback require --chaos");
+        std::process::exit(2);
+    }
+    if !chaos && cache {
+        // Likewise the record cache hangs off the resolver client.
+        eprintln!("blast: --cache requires --chaos");
+        std::process::exit(2);
+    }
+    if !cache && (cache_cap != 0 || serve_stale || prefetch) {
+        eprintln!("blast: --cache-cap / --serve-stale / --prefetch require --cache");
         std::process::exit(2);
     }
     if attack.is_some() && (chaos || probe_only || json) {
@@ -589,6 +657,14 @@ fn cmd_blast(args: &[String]) {
         });
         eprintln!("blast: chaos proxy on udp://{} -> {}", proxy.local_addr(), target);
         let watchdog = metrics.as_ref().map(|(registry, _)| start_watchdog(registry));
+        let shared_cache = cache.then(|| {
+            SharedCache::new(CacheConfig {
+                capacity: cache_cap,
+                prefetch_window_s: if prefetch { BLAST_PREFETCH_WINDOW } else { 0 },
+                max_stale_s: if serve_stale { CACHE_STALE_WINDOW } else { 0 },
+                ..CacheConfig::default()
+            })
+        });
         let mut cfg = ResolveConfig::new(vec![proxy.local_addr()], origin)
             .transactions(queries)
             .concurrency(concurrency)
@@ -596,12 +672,18 @@ fn cmd_blast(args: &[String]) {
         if let Some(size) = edns_size {
             cfg = cfg.edns_size(size);
         }
+        if let Some(sc) = &shared_cache {
+            cfg = cfg.cache(Arc::clone(sc)).serve_stale(serve_stale).prefetch(prefetch);
+        }
         cfg.seed = seed;
         if let Some(c) = &collector {
             cfg = cfg.collector(Arc::clone(c));
         }
         if let Some((registry, _)) = &metrics {
             cfg = cfg.metrics(Arc::clone(registry));
+            if let Some(sc) = &shared_cache {
+                mirror_cache(registry, sc);
+            }
         }
         let report = resolve(cfg).unwrap_or_else(|e| {
             eprintln!("blast: resolve: {e}");
@@ -614,10 +696,10 @@ fn cmd_blast(args: &[String]) {
         }
         if json {
             let s = &report.stats;
-            println!(
+            let mut obj = format!(
                 "{{\"transactions\":{},\"attempts\":{},\"answered\":{},\"servfails\":{},\
                  \"timeouts\":{},\"retries\":{},\"tc_seen\":{},\"tcp_attempts\":{},\
-                 \"tcp_answered\":{},\"tcp_failed\":{},\"elapsed_ms\":{},\"qps\":{:.1}}}",
+                 \"tcp_answered\":{},\"tcp_failed\":{}",
                 s.transactions,
                 s.attempts,
                 s.answered,
@@ -628,14 +710,37 @@ fn cmd_blast(args: &[String]) {
                 s.tcp_attempts,
                 s.tcp_answered,
                 s.tcp_failed,
+            );
+            if let Some(sc) = &shared_cache {
+                let cs = sc.stats();
+                obj.push_str(&format!(
+                    ",\"cache\":{{\"hits\":{},\"misses\":{},\"expired\":{},\
+                     \"negative_hits\":{},\"stale_served\":{},\"prefetches\":{},\
+                     \"evictions\":{},\"entries\":{}}}",
+                    cs.hits,
+                    cs.misses,
+                    cs.expired,
+                    cs.negative_hits,
+                    cs.stale_served,
+                    s.prefetches,
+                    cs.evictions,
+                    sc.len()
+                ));
+            }
+            obj.push_str(&format!(
+                ",\"elapsed_ms\":{},\"qps\":{:.1}}}",
                 report.elapsed.as_millis(),
                 s.attempts as f64 / report.elapsed.as_secs_f64()
-            );
+            ));
+            println!("{obj}");
         } else {
             println!("chaos-client: {}", report.stats.render());
             println!("chaos-fwd: {}", plan.tally(Direction::Forward).render());
             println!("chaos-rev: {}", plan.tally(Direction::Reverse).render());
             println!("chaos-tcp: {}", plan.tcp_tally().render());
+            if let Some(sc) = &shared_cache {
+                println!("cache-stats: {}", render_cache_stats(sc));
+            }
             println!(
                 "elapsed_ms={} qps={:.0}",
                 report.elapsed.as_millis(),
@@ -783,6 +888,10 @@ fn cmd_smoke(args: &[String]) {
     let mut corrupt = 0.01f64;
     let mut tcp = false;
     let mut edns_size: Option<u16> = None;
+    let mut cache = false;
+    let mut cache_cap = 0usize;
+    let mut serve_stale = false;
+    let mut prefetch = false;
     let mut budget_secs = 120u64;
     let mut trace: Option<String> = None;
     let mut json = false;
@@ -803,6 +912,10 @@ fn cmd_smoke(args: &[String]) {
             "--corrupt" => corrupt = parse_flag(&mut it, "--corrupt"),
             "--tcp" => tcp = true,
             "--edns-size" => edns_size = Some(parse_flag(&mut it, "--edns-size")),
+            "--cache" => cache = true,
+            "--cache-cap" => cache_cap = parse_flag(&mut it, "--cache-cap"),
+            "--serve-stale" => serve_stale = true,
+            "--prefetch" => prefetch = true,
             "--budget-secs" => budget_secs = parse_flag(&mut it, "--budget-secs"),
             "--trace" => trace = Some(parse_flag(&mut it, "--trace")),
             "--json" => json = true,
@@ -827,6 +940,29 @@ fn cmd_smoke(args: &[String]) {
     if rrl && attack.is_none() {
         eprintln!("smoke: --rrl is part of the --attack gate");
         std::process::exit(2);
+    }
+    if !cache && (cache_cap != 0 || serve_stale || prefetch) {
+        eprintln!("smoke: --cache-cap / --serve-stale / --prefetch require --cache");
+        std::process::exit(2);
+    }
+    if cache {
+        if chaos || attack.is_some() || json {
+            eprintln!("smoke: --cache is exclusive with --chaos / --attack / --json");
+            std::process::exit(2);
+        }
+        cache_smoke(
+            queries,
+            threads,
+            io,
+            batch,
+            seed,
+            cache_cap,
+            serve_stale,
+            prefetch,
+            trace.as_deref(),
+            metrics_addr.as_deref(),
+        );
+        return;
     }
     if let Some(mode) = attack {
         if chaos || json {
@@ -1325,6 +1461,329 @@ fn chaos_smoke(
             report.stats.servfails
         ),
     }
+}
+
+/// Probe TTL of the cache gate's zone without `--prefetch`: long enough
+/// that the cold and warm passes both finish well inside it on a
+/// loopback, short enough that the serve-stale pass only waits a few
+/// seconds for the cache to age out.
+const CACHE_GATE_TTL: u32 = 4;
+
+/// Probe TTL with `--prefetch`: the gate sleeps the warm pass into the
+/// prefetch window, so the TTL must leave slack on both sides of the
+/// window boundary.
+const CACHE_GATE_PREFETCH_TTL: u32 = 8;
+
+/// Prefetch window of the gate: entries refresh when under this many
+/// seconds of TTL remain. The gate sleeps [`CACHE_GATE_PREFETCH_SLEEP`]
+/// after the cold pass, leaving every entry ~3.5 s of TTL — inside the
+/// window, comfortably short of expiry.
+const CACHE_GATE_PREFETCH_WINDOW: u32 = 4;
+
+/// Sleep between the cold and warm passes with `--prefetch` on.
+const CACHE_GATE_PREFETCH_SLEEP: Duration = Duration::from_millis(4_500);
+
+/// Per-attempt timeout in the serve-stale pass. Deliberately tiny: the
+/// blackhole proxy drops every datagram, so no answer can ever arrive
+/// and the only thing this bounds is how fast the pass walks its
+/// transactions into the stale-serving path.
+const CACHE_STALE_PASS_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// The cache smoke gate: one in-process server with a *low-TTL* preset
+/// zone, resolved through one shared record cache in back-to-back
+/// passes over the same deterministic transaction set.
+///
+/// * **cold** — every qname is new: all misses, every answer inserted;
+/// * **warm** — the same qnames again, inside the TTL: over half the
+///   transactions (all of them, unbounded) must answer from cache, and
+///   with an unbounded cache and no prefetch the pass may not touch the
+///   socket at all;
+/// * with `--prefetch`, the warm pass runs inside the prefetch window
+///   instead, and every hit must also fire exactly one refresh that
+///   re-arms the entry's TTL;
+/// * with `--serve-stale`, a third pass waits out the TTL and resolves
+///   through a chaos proxy that blackholes *everything* — every
+///   transaction must still complete, answered from expired entries
+///   under RFC 8767, with zero SERVFAILs.
+///
+/// Every `cache-` line is deterministic for a fixed seed (the
+/// transaction→qname schedule is seeded and the passes stay far from
+/// their timing margins), so `scripts/verify.sh` diffs the block
+/// verbatim across two runs.
+#[allow(clippy::too_many_arguments)]
+fn cache_smoke(
+    queries: u64,
+    threads: usize,
+    io: IoBackend,
+    batch: Option<usize>,
+    seed: u64,
+    cache_cap: usize,
+    serve_stale: bool,
+    prefetch: bool,
+    trace: Option<&str>,
+    metrics_addr: Option<&str>,
+) {
+    let origin = Name::parse("ourtestdomain.nl").expect("static origin");
+    let ttl = if prefetch { CACHE_GATE_PREFETCH_TTL } else { CACHE_GATE_TTL };
+    let zones = Arc::new(vec![probe_ttl_test_domain_zone(&origin, 2, ttl)]);
+    let collector = trace.map(|path| start_collector(path, &["FRA"]));
+    let metrics = metrics_addr.map(start_metrics);
+    let cache = SharedCache::new(CacheConfig {
+        capacity: cache_cap,
+        prefetch_window_s: if prefetch { CACHE_GATE_PREFETCH_WINDOW } else { 0 },
+        max_stale_s: if serve_stale { CACHE_STALE_WINDOW } else { 0 },
+        ..CacheConfig::default()
+    });
+    let mut serve_cfg = ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads).io(io);
+    if let Some(b) = batch {
+        serve_cfg = serve_cfg.batch(b);
+    }
+    if let Some(c) = &collector {
+        serve_cfg = serve_cfg.collector(Arc::clone(c), 0);
+    }
+    if let Some((registry, _)) = &metrics {
+        serve_cfg = serve_cfg.metrics(Arc::clone(registry));
+        mirror_cache(registry, &cache);
+        if let Some(c) = &collector {
+            mirror_collector(registry, c);
+        }
+    }
+    let handle = serve(serve_cfg).unwrap_or_else(|e| {
+        eprintln!("smoke: serve: {e}");
+        std::process::exit(1)
+    });
+    eprintln!(
+        "smoke: cache gate — udp://{} serving a {ttl}s-TTL zone (cap {}, prefetch {}, \
+         serve-stale {}, seed {seed})",
+        handle.local_addr(),
+        cache_cap,
+        prefetch,
+        serve_stale
+    );
+    // One pass of the deterministic transaction set. Concurrency is
+    // fixed (not host-dependent) because the transaction→worker split
+    // decides each worker's qname sequence, and the warm pass only hits
+    // if it re-asks exactly the cold pass's questions. The 1 s timeout
+    // keeps spurious loopback retries out of the deterministic lines.
+    let pass = |servers: Vec<std::net::SocketAddr>, stale_pass: bool, prefetching: bool| {
+        let mut cfg = ResolveConfig::new(servers, origin.clone())
+            .transactions(queries)
+            .concurrency(8)
+            .cache(Arc::clone(&cache))
+            .serve_stale(stale_pass)
+            .prefetch(prefetching)
+            .timeout(Duration::from_secs(1));
+        if stale_pass {
+            cfg = cfg.timeout(CACHE_STALE_PASS_TIMEOUT).max_tries(1);
+        }
+        cfg.seed = seed;
+        if let Some(c) = &collector {
+            cfg = cfg.collector(Arc::clone(c));
+        }
+        if let Some((registry, _)) = &metrics {
+            cfg = cfg.metrics(Arc::clone(registry));
+        }
+        resolve(cfg).unwrap_or_else(|e| {
+            eprintln!("smoke: resolve: {e}");
+            std::process::exit(1)
+        })
+    };
+
+    let started = Instant::now();
+    let cold = pass(vec![handle.local_addr()], false, false);
+    if prefetch {
+        // Sleep into the prefetch window: every cold entry now has
+        // ~3.5 s of TTL left, under the 4 s window, above expiry.
+        std::thread::sleep(CACHE_GATE_PREFETCH_SLEEP);
+    }
+    let warm = pass(vec![handle.local_addr()], false, prefetch);
+    // Prefetch re-inserts refreshed answers, re-arming their TTL; the
+    // stale pass must wait for whichever insert happened last.
+    let last_insert = Instant::now();
+
+    let stale = serve_stale.then(|| {
+        let age_out = Duration::from_secs(u64::from(ttl)) + Duration::from_secs(1);
+        std::thread::sleep(age_out.saturating_sub(last_insert.elapsed()));
+        // The blackhole: a chaos proxy dropping every datagram in both
+        // directions — upstream is alive but unreachable, the shape of
+        // the outage RFC 8767 exists for.
+        let blackhole = FaultProfile { drop: 1.0, ..FaultProfile::lossless() };
+        let plan = Arc::new(FaultPlan::new(seed, blackhole, blackhole));
+        let proxy = ChaosProxy::spawn_metered(
+            "127.0.0.1:0",
+            handle.local_addr(),
+            Arc::clone(&plan),
+            collector.as_ref().map(Arc::clone),
+            metrics.as_ref().map(|(r, _)| (Arc::clone(r), "p0")),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("smoke: chaos proxy: {e}");
+            std::process::exit(1)
+        });
+        eprintln!(
+            "smoke: serve-stale pass — blackhole proxy udp://{} drops everything",
+            proxy.local_addr()
+        );
+        let report = pass(vec![proxy.local_addr()], true, false);
+        proxy.shutdown();
+        (report, plan.tally(Direction::Forward))
+    });
+    let elapsed = started.elapsed();
+
+    // Let the server catch up with the last datagrams in flight before
+    // balancing the books (the stale pass contributed none — the proxy
+    // delivered nothing).
+    let expected = cold.stats.attempts + warm.stats.attempts;
+    let settle = Instant::now() + Duration::from_secs(5);
+    while handle.stats().packets_seen() < expected && Instant::now() < settle {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let io_errors = handle.io_errors();
+    let stats = handle.shutdown();
+
+    // Every line prefixed `cache-` is deterministic for a fixed seed.
+    println!(
+        "cache-summary: seed={seed} queries={queries} cap={cache_cap} ttl={ttl} \
+         prefetch={prefetch} serve_stale={serve_stale}"
+    );
+    println!("cache-cold: {}", cold.stats.render());
+    println!("cache-warm: {}", warm.stats.render());
+    if let Some((report, _)) = &stale {
+        println!("cache-stale: {}", report.stats.render());
+    }
+    println!("cache-stats: {}", render_cache_stats(&cache));
+    if let (Some(c), Some(path)) = (&collector, trace) {
+        finish_trace(c, path);
+    }
+    println!("elapsed_ms={}", elapsed.as_millis());
+
+    let mut failures: Vec<String> = Vec::new();
+    for (name, report) in [("cold", &cold), ("warm", &warm)]
+        .into_iter()
+        .chain(stale.iter().map(|(r, _)| ("stale", r)))
+    {
+        if let Err(complaint) = report.stats.check() {
+            failures.push(format!("{name} pass books: {complaint}"));
+        }
+        if report.stats.answered != queries {
+            failures.push(format!(
+                "{name} pass answered {}/{} transactions",
+                report.stats.answered, queries
+            ));
+        }
+    }
+    if cold.stats.cache_hits != 0 {
+        failures.push(format!(
+            "{} cache hits on the cold pass — the qname schedule repeated itself",
+            cold.stats.cache_hits
+        ));
+    }
+    // The headline gate: the warm pass answers over half its
+    // transactions from cache (all of them, when unbounded).
+    if warm.stats.cache_hits * 2 <= queries {
+        failures.push(format!(
+            "warm hit-rate {}/{} is not over 1/2",
+            warm.stats.cache_hits, queries
+        ));
+    }
+    if cache_cap == 0 && !prefetch && warm.stats.attempts != 0 {
+        failures.push(format!(
+            "warm pass sent {} datagrams — cache hits must not touch the socket",
+            warm.stats.attempts
+        ));
+    }
+    if prefetch {
+        if warm.stats.prefetches != warm.stats.cache_hits {
+            failures.push(format!(
+                "only {} of {} warm hits fired a prefetch inside the window",
+                warm.stats.prefetches, warm.stats.cache_hits
+            ));
+        }
+        if warm.stats.prefetch_ok != warm.stats.prefetches {
+            failures.push(format!(
+                "{} of {} prefetches went unanswered on a lossless loopback",
+                warm.stats.prefetches - warm.stats.prefetch_ok,
+                warm.stats.prefetches
+            ));
+        }
+    }
+    if let Some((report, fwd)) = &stale {
+        if fwd.delivered != 0 {
+            failures.push(format!(
+                "blackhole leaked {} datagrams to the authoritative",
+                fwd.delivered
+            ));
+        }
+        if report.stats.stale_served != queries || report.stats.servfails != 0 {
+            failures.push(format!(
+                "serve-stale pass: {} stale answers, {} servfails — every transaction \
+                 must complete from expired entries",
+                report.stats.stale_served, report.stats.servfails
+            ));
+        }
+    }
+    // Zero unaccounted datagrams: every attempt either side of the wire
+    // classified — the server saw exactly what the passes sent.
+    if stats.packets_seen() != expected {
+        failures.push(format!(
+            "server classified {} datagrams, the passes sent {}",
+            stats.packets_seen(),
+            expected
+        ));
+    }
+    if io_errors.decode_errors != 0 || io_errors.recv_errors != 0 {
+        failures.push(format!(
+            "io errors on a lossless loopback: recv={} decode={}",
+            io_errors.recv_errors, io_errors.decode_errors
+        ));
+    }
+
+    // The metrics gate: the scraped cache gauges must equal the cache's
+    // own books exactly.
+    if let Some((_, server)) = metrics {
+        let before = failures.len();
+        let text = scrape(server.local_addr()).unwrap_or_else(|e| {
+            failures.push(format!("final scrape failed: {e}"));
+            String::new()
+        });
+        let samples = parse_exposition(&text);
+        let cs = cache.stats();
+        let wanted = [
+            ("dnswild_cache_hits", cs.hits),
+            ("dnswild_cache_misses", cs.misses),
+            ("dnswild_cache_expired", cs.expired),
+            ("dnswild_cache_negative_hits", cs.negative_hits),
+            ("dnswild_cache_inserts", cs.inserts),
+            ("dnswild_cache_evictions", cs.evictions),
+            ("dnswild_cache_stale_served", cs.stale_served),
+            ("dnswild_cache_entries", cache.len() as u64),
+        ];
+        for (name, want) in wanted {
+            let got = samples.iter().find(|s| s.name == name).map(|s| s.value);
+            if got != Some(want as f64) {
+                failures.push(format!("scrape mismatch: {name} = {got:?}, cache counted {want}"));
+            }
+        }
+        if failures.len() == before {
+            println!("metrics-gate: PASS — scrape matches the cache books across 8 gauges");
+        }
+        server.shutdown();
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("smoke: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "smoke: PASS — {} transactions warm-answered {} from cache ({} prefetches, \
+         {} stale-served), zero unaccounted datagrams",
+        queries,
+        warm.stats.cache_hits,
+        warm.stats.prefetches,
+        stale.as_ref().map(|(r, _)| r.stats.stale_served).unwrap_or(0)
+    );
 }
 
 /// NS records behind the `lab.<origin>` delegation in the attack gate's
@@ -1837,6 +2296,19 @@ fn cmd_report(args: &[String]) {
     let counts = trace_auth_counts(&trace);
     let rendered: Vec<String> = counts.iter().map(|(code, n)| format!("{code}={n}")).collect();
     println!("trace-auth-queries: {}", rendered.join(" "));
+    let cache = trace_cache_counts(&trace);
+    if !cache.is_empty() {
+        // The §4.4 cache-decay view: how much of the recorded load the
+        // record cache absorbed, re-derived from the trace alone.
+        println!(
+            "trace-cache: hits={} misses={} stale={} prefetches={} hit_rate={:.3}",
+            cache.hits,
+            cache.misses,
+            cache.stale_served,
+            cache.prefetches,
+            cache.hit_rate().unwrap_or(0.0)
+        );
+    }
 
     let result = trace_to_measurement(&trace);
     println!("{}", render_coverage(&[coverage(&result)]));

@@ -59,6 +59,7 @@ pub use experiment::{Experiment, Report};
 // Re-export the full stack under one roof.
 pub use dnswild_analysis as analysis;
 pub use dnswild_atlas as atlas;
+pub use dnswild_cache as cache;
 pub use dnswild_netio as netio;
 pub use dnswild_netsim as netsim;
 pub use dnswild_proto as proto;

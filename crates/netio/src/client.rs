@@ -48,25 +48,111 @@ use std::io;
 use std::net::{Ipv4Addr, SocketAddr, TcpStream, UdpSocket};
 use std::ops::{Add, AddAssign};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use detrand::{splitmix64, DetRng};
+use dnswild_cache::{CacheConfig, CacheStats, CacheTime, CachedResponse, Clock, EntryKind,
+    RecordCache, WallClock};
 use dnswild_metrics::{watchdog::inputs, Counter, Gauge, Registry};
 use dnswild_netsim::{SimAddr, SimDuration, SimTime};
-use dnswild_proto::{Message, Name, RType, Rcode};
+use dnswild_proto::{Message, Name, RData, RType, Rcode};
 use dnswild_resolver::{InfraCache, PolicyKind};
 use dnswild_telemetry::{
-    qname_hash32, Collector, Event, EventKind, FLAG_RESPONSE, FLAG_TCP, FLAG_TCP_RETRY,
-    FLAG_TC_SEEN, FLAG_TIMEOUT, RCODE_NONE,
+    qname_hash32, Collector, Event, EventKind, FLAG_PREFETCH, FLAG_RESPONSE, FLAG_TCP,
+    FLAG_TCP_RETRY, FLAG_TC_SEEN, FLAG_TIMEOUT, RCODE_NONE,
 };
 
 use crate::tcp::{write_frame, FrameReader};
 
 /// How long a worker keeps reading after its last transaction, so every
 /// straggling duplicate or delayed reply is drained and accounted. Must
-/// exceed the chaos plane's worst-case hold time with margin.
-const DRAIN_WINDOW: Duration = Duration::from_millis(200);
+/// exceed the chaos plane's worst-case hold time with margin. Public so
+/// benchmarks deriving per-transaction costs from a report's `elapsed`
+/// can subtract the fixed tail.
+pub const DRAIN_WINDOW: Duration = Duration::from_millis(200);
+
+/// Negative TTL when an NXDOMAIN/NODATA reply carries no SOA to take
+/// the RFC 2308 minimum from (matches the sim resolver's default).
+const DEFAULT_NEGATIVE_TTL: u32 = 300;
+
+/// The record cache shared by every worker of a [`resolve`] run — and,
+/// when the caller reuses the handle, across *runs*: that is how a
+/// second identical blast becomes the paper's warm-cache scenario.
+///
+/// The cache itself is clock-agnostic (`dnswild-cache`); this handle
+/// pairs it with a [`WallClock`] anchored at construction, so entries
+/// age with real time the way the TTLs on the wire promise.
+#[derive(Debug)]
+pub struct SharedCache {
+    inner: Mutex<RecordCache>,
+    clock: WallClock,
+}
+
+impl SharedCache {
+    /// A cache handle with the given knobs (see [`CacheConfig`]).
+    pub fn new(cfg: CacheConfig) -> Arc<SharedCache> {
+        Arc::new(SharedCache {
+            inner: Mutex::new(RecordCache::with_config(cfg)),
+            clock: WallClock::new(),
+        })
+    }
+
+    /// The current instant on this cache's timeline.
+    pub fn now(&self) -> CacheTime {
+        self.clock.now()
+    }
+
+    /// Cache-side counters (hits/misses/expired/negative/evictions/
+    /// stale_served as the *cache* saw them; the per-run client view
+    /// lives in [`ClientStats`]).
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache lock").stats()
+    }
+
+    /// Live + stale-retained entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, qname: &Name, qtype: RType) -> Option<CachedResponse> {
+        self.inner.lock().expect("cache lock").get(qname, qtype, self.clock.now())
+    }
+
+    fn get_stale(&self, qname: &Name, qtype: RType) -> Option<CachedResponse> {
+        self.inner.lock().expect("cache lock").get_stale(qname, qtype, self.clock.now())
+    }
+
+    /// Decodes an answering reply and stores it: positive answers under
+    /// their own minimum TTL, negative ones under the RFC 2308 SOA
+    /// minimum from the authority section.
+    fn insert_reply(&self, qname: &Name, qtype: RType, payload: &[u8]) {
+        let Ok(msg) = Message::decode(payload) else {
+            return; // already classified; an undecodable copy is not cacheable
+        };
+        let negative_ttl = msg
+            .authorities
+            .iter()
+            .find_map(|r| match &r.rdata {
+                RData::Soa(soa) => Some(soa.minimum.min(r.ttl)),
+                _ => None,
+            })
+            .unwrap_or(DEFAULT_NEGATIVE_TTL);
+        self.inner.lock().expect("cache lock").insert(
+            qname.clone(),
+            qtype,
+            msg.answers.clone(),
+            msg.rcode(),
+            negative_ttl,
+            self.clock.now(),
+        );
+    }
+}
 
 /// Configuration for [`resolve`].
 #[derive(Debug, Clone)]
@@ -110,6 +196,22 @@ pub struct ResolveConfig {
     /// [`ResolveReport::per_server`], these follow real RTTs and are
     /// not part of the determinism contract.
     pub metrics: Option<Arc<Registry>>,
+    /// Record cache: when set, every transaction consults it before
+    /// touching the socket (a hit costs zero socket I/O) and stores the
+    /// answer it resolves. Share one handle across [`resolve`] calls to
+    /// model a warm recursive. The counters a cached run produces are
+    /// deterministic as long as runs stay well inside the zone's TTL
+    /// (expiry follows wall time, not the seed).
+    pub cache: Option<Arc<SharedCache>>,
+    /// Serve expired entries (RFC 8767) when a transaction exhausts all
+    /// its tries without an answer — the "every authoritative is
+    /// unreachable" lifeline. Needs `cache`.
+    pub serve_stale: bool,
+    /// Refresh hot entries shortly before expiry (the cache marks a hit
+    /// `prefetch_due` per its [`CacheConfig`] window) with one
+    /// background UDP attempt, keeping popular names warm. Needs
+    /// `cache`.
+    pub prefetch: bool,
 }
 
 impl ResolveConfig {
@@ -129,7 +231,28 @@ impl ResolveConfig {
             origin,
             collector: None,
             metrics: None,
+            cache: None,
+            serve_stale: false,
+            prefetch: false,
         }
+    }
+
+    /// Attaches a shared record cache (see [`ResolveConfig::cache`]).
+    pub fn cache(mut self, cache: Arc<SharedCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Enables RFC 8767 serve-stale (see [`ResolveConfig::serve_stale`]).
+    pub fn serve_stale(mut self, on: bool) -> Self {
+        self.serve_stale = on;
+        self
+    }
+
+    /// Enables prefetch refreshes (see [`ResolveConfig::prefetch`]).
+    pub fn prefetch(mut self, on: bool) -> Self {
+        self.prefetch = on;
+        self
     }
 
     /// Advertises EDNS(0) with `size` on every query (see
@@ -173,6 +296,18 @@ impl ResolveConfig {
     /// Overrides the selection policy.
     pub fn policy(mut self, policy: PolicyKind) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Overrides the base per-attempt timeout.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Overrides the attempts-per-transaction budget.
+    pub fn max_tries(mut self, tries: u32) -> Self {
+        self.max_tries = tries.max(1);
         self
     }
 }
@@ -220,6 +355,22 @@ pub struct ClientStats {
     /// are one bucket on purpose: whether a mutated duplicate is read
     /// before or after the clean answer must not change the counts.)
     pub stale: u64,
+    /// Transactions answered from a live cache entry — no socket I/O at
+    /// all (a subset of `answered`).
+    pub cache_hits: u64,
+    /// Of `cache_hits`, those served from a negative entry (RFC 2308
+    /// NXDOMAIN or NODATA).
+    pub cache_negative: u64,
+    /// Transactions answered from an *expired* cache entry after every
+    /// try failed (RFC 8767; a subset of `answered`, disjoint from
+    /// `cache_hits`).
+    pub stale_served: u64,
+    /// Background refresh attempts launched for hot entries near expiry
+    /// (each adds one to `attempts` but belongs to no transaction's
+    /// retry budget).
+    pub prefetches: u64,
+    /// Prefetches whose refresh answer arrived and was re-cached.
+    pub prefetch_ok: u64,
 }
 
 impl Add for ClientStats {
@@ -240,6 +391,11 @@ impl Add for ClientStats {
             tcp_failed: self.tcp_failed + o.tcp_failed,
             corrupt_replies: self.corrupt_replies + o.corrupt_replies,
             stale: self.stale + o.stale,
+            cache_hits: self.cache_hits + o.cache_hits,
+            cache_negative: self.cache_negative + o.cache_negative,
+            stale_served: self.stale_served + o.stale_served,
+            prefetches: self.prefetches + o.prefetches,
+            prefetch_ok: self.prefetch_ok + o.prefetch_ok,
         }
     }
 }
@@ -254,9 +410,12 @@ impl ClientStats {
     /// Total *UDP datagrams* read and classified (every reverse-
     /// direction delivery ends up in exactly one of these counters).
     /// Transactions answered over the TCP fallback are excluded: their
-    /// answer bytes never crossed the UDP socket.
+    /// answer bytes never crossed the UDP socket — and so are cache
+    /// hits and stale serves, whose answers never crossed any socket.
+    /// Prefetch answers did, so they count.
     pub fn received(&self) -> u64 {
-        self.answered - self.tcp_answered
+        self.answered - self.tcp_answered - self.cache_hits - self.stale_served
+            + self.prefetch_ok
             + self.lame
             + self.formerr
             + self.tc_seen
@@ -273,23 +432,41 @@ impl ClientStats {
                 self.answered, self.servfails, self.transactions
             ));
         }
-        if self.attempts != self.transactions + self.retries {
+        // Cache hits never touch the socket, so they launch no first
+        // try; prefetches are extra attempts outside any retry budget.
+        if self.attempts != self.transactions - self.cache_hits + self.retries + self.prefetches {
             return Err(format!(
-                "attempt books: {} attempts != {} transactions + {} retries",
-                self.attempts, self.transactions, self.retries
+                "attempt books: {} attempts != {} transactions - {} cache hits + {} retries + {} prefetches",
+                self.attempts, self.transactions, self.cache_hits, self.retries, self.prefetches
             ));
         }
-        if self.tcp_answered > self.answered {
+        if self.tcp_answered + self.cache_hits + self.stale_served > self.answered {
             return Err(format!(
-                "tcp books: {} tcp_answered > {} answered",
-                self.tcp_answered, self.answered
+                "answer books: tcp {} + cache {} + stale-served {} > {} answered",
+                self.tcp_answered, self.cache_hits, self.stale_served, self.answered
+            ));
+        }
+        if self.cache_negative > self.cache_hits {
+            return Err(format!(
+                "cache books: {} negative hits > {} hits",
+                self.cache_negative, self.cache_hits
+            ));
+        }
+        if self.prefetch_ok > self.prefetches {
+            return Err(format!(
+                "prefetch books: {} completed > {} launched",
+                self.prefetch_ok, self.prefetches
             ));
         }
         // A UDP attempt ends in exactly one of: the (UDP) answer, a
         // timeout, or a dooming failure reply. TCP-fallback answers
         // complete a *transaction* without completing any UDP attempt —
-        // their attempt already ended in `tc_seen`.
-        let ended = self.answered - self.tcp_answered
+        // their attempt already ended in `tc_seen`. Cache hits and
+        // stale serves complete transactions without launching (or
+        // completing) any attempt; a prefetch's answer completes its
+        // attempt without completing any transaction.
+        let ended = self.answered - self.tcp_answered - self.cache_hits - self.stale_served
+            + self.prefetch_ok
             + self.timeouts
             + self.lame
             + self.formerr
@@ -314,7 +491,8 @@ impl ClientStats {
     pub fn render(&self) -> String {
         format!(
             "txns={} answered={} servfail={} attempts={} retries={} timeouts={} lame={} \
-             formerr={} tc={} tcp_try={} tcp_ok={} tcp_fail={} corrupt={} stale={}",
+             formerr={} tc={} tcp_try={} tcp_ok={} tcp_fail={} corrupt={} stale={} \
+             cache_hits={} cache_neg={} stale_srv={} prefetch={} prefetch_ok={}",
             self.transactions,
             self.answered,
             self.servfails,
@@ -328,7 +506,12 @@ impl ClientStats {
             self.tcp_answered,
             self.tcp_failed,
             self.corrupt_replies,
-            self.stale
+            self.stale,
+            self.cache_hits,
+            self.cache_negative,
+            self.stale_served,
+            self.prefetches,
+            self.prefetch_ok
         )
     }
 }
@@ -584,6 +767,176 @@ fn worker_loop(
         } else {
             0
         };
+
+        // Cache first: a live hit answers the transaction with zero
+        // socket I/O. Only a hot entry near expiry goes to the wire —
+        // as a background prefetch, not a transaction attempt.
+        let mut want_prefetch = false;
+        if let Some(cache) = &cfg.cache {
+            let hit = cache.get(&qname, RType::Txt);
+            if let Some(p) = &producer {
+                let mut ev = Event::new(EventKind::CacheLookup);
+                ev.ts_ns = p.now_ns();
+                ev.client_hash = client_token;
+                ev.qname_hash = qname_hash;
+                match &hit {
+                    Some(h) => {
+                        ev.flags = FLAG_RESPONSE;
+                        ev.rcode = h.rcode.to_u8();
+                    }
+                    None => ev.rcode = RCODE_NONE,
+                }
+                p.record(&ev);
+            }
+            if let Some(h) = hit {
+                stats.answered += 1;
+                stats.cache_hits += 1;
+                if h.kind != EntryKind::Positive {
+                    stats.cache_negative += 1;
+                }
+                if let Some(m) = metrics {
+                    m.txn.inc();
+                }
+                want_prefetch = cfg.prefetch && h.prefetch_due;
+                if !want_prefetch {
+                    continue;
+                }
+            }
+        }
+        if want_prefetch {
+            // Background refresh (one UDP attempt, no retries, no TCP
+            // fallback). The ID lives in the top half of the space so
+            // it cannot collide with transaction IDs, which are
+            // txn × max_tries + attempt.
+            let token = policy.select(&tokens, &[], &mut infra, sim_now(epoch), &mut rng);
+            let server = tokens.iter().position(|&t| t == token).expect("token is a candidate");
+            per_server[server] += 1;
+            if let Some(m) = metrics {
+                m.attempts[server].inc();
+            }
+            let id = 0x8000u16 | (txn as u16 & 0x7fff);
+            let mut query = Message::iterative_query(id, qname.clone(), RType::Txt);
+            if let Some(size) = cfg.edns_size {
+                query.additionals.clear();
+                query.add_edns(size);
+            }
+            query
+                .encode_into(&mut send_buf)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e:?}")))?;
+            let sent_at = Instant::now();
+            socket.send_to(&send_buf, cfg.servers[server])?;
+            stats.attempts += 1;
+            stats.prefetches += 1;
+            let sent = vec![Attempt { id, server, sent_at }];
+            let deadline = sent_at + cfg.timeout;
+            let mut doomed: Option<Doom> = None;
+            let mut refreshed: Option<(u32, u16)> = None; // (rtt ns, reply bytes)
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let remaining =
+                    deadline.saturating_duration_since(now).max(Duration::from_millis(1));
+                socket.set_read_timeout(Some(remaining))?;
+                let got = match socket.recv_from(&mut recv_buf) {
+                    Ok((n, _peer)) => n,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        break
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                };
+                match classify(&recv_buf[..got], &sent, &qname) {
+                    Reply::Answer { attempt: a } => {
+                        // Same doom-then-answer reclassification as the
+                        // transaction loop, so prefetch counts are
+                        // arrival-order independent too.
+                        if let Some(kind) = doomed.take() {
+                            match kind {
+                                Doom::Lame => stats.lame -= 1,
+                                Doom::FormErr => stats.formerr -= 1,
+                                Doom::Tc => stats.tc_seen -= 1,
+                            }
+                            stats.stale += 1;
+                        }
+                        stats.prefetch_ok += 1;
+                        let rtt = sent[a].sent_at.elapsed();
+                        infra.observe_rtt(
+                            tokens[sent[a].server],
+                            SimDuration::from_micros(rtt.as_micros() as u64),
+                            sim_now(epoch),
+                        );
+                        if let Some(m) = metrics {
+                            m.observe_rtt(sent[a].server, rtt);
+                        }
+                        if let Some(cache) = &cfg.cache {
+                            cache.insert_reply(&qname, RType::Txt, &recv_buf[..got]);
+                        }
+                        refreshed = Some((
+                            rtt.as_nanos().min(u64::from(u32::MAX) as u128) as u32,
+                            got.min(u16::MAX as usize) as u16,
+                        ));
+                        break;
+                    }
+                    Reply::Lame { attempt: a } if doomed.is_none() => {
+                        stats.lame += 1;
+                        infra.observe_timeout(tokens[sent[a].server], sim_now(epoch));
+                        doomed = Some(Doom::Lame);
+                    }
+                    Reply::FormErr if doomed.is_none() => {
+                        stats.formerr += 1;
+                        doomed = Some(Doom::FormErr);
+                    }
+                    Reply::Tc if doomed.is_none() => {
+                        stats.tc_seen += 1;
+                        doomed = Some(Doom::Tc);
+                    }
+                    Reply::Lame { .. } | Reply::FormErr | Reply::Tc => stats.stale += 1,
+                    Reply::Corrupt => stats.corrupt_replies += 1,
+                    Reply::Mismatch => stats.stale += 1,
+                    Reply::Stale => stats.stale += 1,
+                }
+            }
+            if refreshed.is_none() && doomed.is_none() {
+                stats.timeouts += 1;
+                infra.observe_timeout(tokens[server], sim_now(epoch));
+            }
+            if let Some(p) = &producer {
+                let mut ev = Event::new(EventKind::ClientQuery);
+                ev.ts_ns = p.now_ns();
+                ev.client_hash = client_token;
+                ev.qname_hash = qname_hash;
+                ev.bytes_in = send_buf.len().min(u16::MAX as usize) as u16;
+                ev.auth_id = server as u16;
+                ev.flags = FLAG_PREFETCH;
+                match refreshed {
+                    Some((rtt_ns, reply_len)) => {
+                        ev.latency_ns = rtt_ns;
+                        ev.bytes_out = reply_len;
+                        ev.flags |= FLAG_RESPONSE;
+                        ev.rcode = 0;
+                    }
+                    None => {
+                        ev.latency_ns =
+                            cfg.timeout.as_nanos().min(u64::from(u32::MAX) as u128) as u32;
+                        ev.rcode = RCODE_NONE;
+                        ev.flags |= if doomed.is_some() { FLAG_RESPONSE } else { FLAG_TIMEOUT };
+                        if matches!(doomed, Some(Doom::Tc)) {
+                            ev.flags |= FLAG_TC_SEEN;
+                        }
+                    }
+                }
+                p.record(&ev);
+            }
+            continue;
+        }
+
         let mut excluded: Vec<SimAddr> = Vec::new();
         let mut sent: Vec<Attempt> = Vec::with_capacity(max_tries as usize);
         let mut answered = false;
@@ -669,6 +1022,9 @@ fn worker_loop(
                         if let Some(m) = metrics {
                             m.observe_rtt(sent[a].server, rtt);
                         }
+                        if let Some(cache) = &cfg.cache {
+                            cache.insert_reply(&qname, RType::Txt, &recv_buf[..got]);
+                        }
                         answered = true;
                         answered_info = Some((
                             sent[a].server,
@@ -747,6 +1103,9 @@ fn worker_loop(
                         if let Some(m) = metrics {
                             m.observe_rtt(server, rtt);
                         }
+                        if let Some(cache) = &cfg.cache {
+                            cache.insert_reply(&qname, RType::Txt, &p);
+                        }
                         answered = true;
                         answered_via_tcp = true;
                         answered_info = Some((
@@ -803,9 +1162,34 @@ fn worker_loop(
             }
         }
         if !answered {
-            stats.servfails += 1;
-            if let Some(m) = metrics {
-                m.servfail.inc();
+            // Last resort (RFC 8767): when every try failed and the
+            // cache still holds the expired answer, serve it stale
+            // rather than SERVFAIL.
+            let stale_hit = if cfg.serve_stale {
+                cfg.cache.as_ref().and_then(|c| c.get_stale(&qname, RType::Txt))
+            } else {
+                None
+            };
+            match stale_hit {
+                Some(h) => {
+                    stats.answered += 1;
+                    stats.stale_served += 1;
+                    if let Some(p) = &producer {
+                        let mut ev = Event::new(EventKind::CacheLookup);
+                        ev.ts_ns = p.now_ns();
+                        ev.client_hash = client_token;
+                        ev.qname_hash = qname_hash;
+                        ev.flags = FLAG_TIMEOUT;
+                        ev.rcode = h.rcode.to_u8();
+                        p.record(&ev);
+                    }
+                }
+                None => {
+                    stats.servfails += 1;
+                    if let Some(m) = metrics {
+                        m.servfail.inc();
+                    }
+                }
             }
         }
         if let Some(m) = metrics {
@@ -1094,5 +1478,127 @@ mod tests {
             classify(&wrong_resp.encode().unwrap(), &sent, &qname),
             Reply::Mismatch
         ));
+    }
+
+    /// With a shared cache, a second identical run is answered entirely
+    /// from memory: every transaction a hit, zero socket I/O, and the
+    /// server never sees a warm-pass query.
+    #[test]
+    fn warm_cache_answers_without_socket_io() {
+        let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+        let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(2)).unwrap();
+        let cache = SharedCache::new(CacheConfig::default());
+        let cfg = ResolveConfig::new(vec![handle.local_addr()], origin())
+            .transactions(120)
+            .concurrency(3)
+            .cache(Arc::clone(&cache));
+        let cold = resolve(cfg.clone()).unwrap();
+        let warm = resolve(cfg).unwrap();
+        let server = handle.shutdown();
+        cold.stats.check().unwrap();
+        warm.stats.check().unwrap();
+        assert_eq!(cold.stats.cache_hits, 0, "first run is cold");
+        assert_eq!(cold.stats.answered, 120);
+        assert_eq!(warm.stats.cache_hits, 120, "every repeat hits");
+        assert_eq!(warm.stats.answered, 120);
+        assert_eq!(warm.stats.attempts, 0, "hits cost zero socket sends");
+        assert_eq!(server.queries, 120, "the warm pass never reached the server");
+        let cs = cache.stats();
+        assert_eq!((cs.hits, cs.misses, cs.inserts), (120, 120, 120));
+    }
+
+    /// NXDOMAIN answers are cached negatively (RFC 2308, TTL from the
+    /// zone's SOA minimum) and repeats hit without socket I/O.
+    #[test]
+    fn negative_answers_are_cached() {
+        use dnswild_zone::presets::attack_test_domain_zone;
+        let zones = Arc::new(vec![attack_test_domain_zone(&origin(), 2, 2)]);
+        let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(2)).unwrap();
+        // Probe labels under the NX anchor: every answer is NXDOMAIN.
+        let nx_origin = origin().prepend("void").unwrap();
+        let cache = SharedCache::new(CacheConfig::default());
+        let cfg = ResolveConfig::new(vec![handle.local_addr()], nx_origin)
+            .transactions(60)
+            .concurrency(2)
+            .cache(Arc::clone(&cache));
+        let cold = resolve(cfg.clone()).unwrap();
+        let warm = resolve(cfg).unwrap();
+        handle.shutdown();
+        cold.stats.check().unwrap();
+        warm.stats.check().unwrap();
+        assert_eq!(cold.stats.answered, 60, "NXDOMAIN is an answer, not a failure");
+        assert_eq!(cold.stats.cache_negative, 0);
+        assert_eq!(warm.stats.cache_hits, 60);
+        assert_eq!(warm.stats.cache_negative, 60, "repeats served from negative entries");
+        assert_eq!(warm.stats.attempts, 0);
+    }
+
+    /// When every authoritative goes dark after the cache warmed and
+    /// the entries have expired, serve-stale completes every
+    /// transaction (RFC 8767) instead of SERVFAILing.
+    #[test]
+    fn serve_stale_completes_when_upstreams_die() {
+        use dnswild_zone::presets::probe_ttl_test_domain_zone;
+        let zones = Arc::new(vec![probe_ttl_test_domain_zone(&origin(), 2, 1)]);
+        let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(2)).unwrap();
+        let cache = SharedCache::new(CacheConfig {
+            max_stale_s: 3600,
+            ..CacheConfig::default()
+        });
+        let cfg = ResolveConfig::new(vec![handle.local_addr()], origin())
+            .transactions(24)
+            .concurrency(2)
+            .cache(Arc::clone(&cache));
+        let cold = resolve(cfg.clone()).unwrap();
+        handle.shutdown();
+        cold.stats.check().unwrap();
+        assert_eq!(cold.stats.answered, 24);
+        // Let the 1s-TTL entries expire, then point every query at a
+        // blackhole: a bound socket nobody ever reads.
+        std::thread::sleep(Duration::from_millis(1_200));
+        let blackhole = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let dead = ResolveConfig::new(vec![blackhole.local_addr().unwrap()], origin())
+            .transactions(24)
+            .concurrency(2)
+            .timeout(Duration::from_millis(30))
+            .max_tries(2)
+            .cache(Arc::clone(&cache))
+            .serve_stale(true);
+        let stale = resolve(dead).unwrap();
+        stale.stats.check().unwrap();
+        assert_eq!(stale.stats.answered, 24, "serve-stale completes every transaction");
+        assert_eq!(stale.stats.stale_served, 24);
+        assert_eq!(stale.stats.servfails, 0);
+        assert_eq!(stale.stats.cache_hits, 0, "entries were expired, not live");
+        assert_eq!(stale.stats.timeouts, 48, "every real attempt still timed out");
+    }
+
+    /// A hot entry close to expiry triggers exactly one background
+    /// prefetch refresh, and the refreshed answer lands in the cache.
+    #[test]
+    fn prefetch_refreshes_hot_entries_near_expiry() {
+        let zones = Arc::new(vec![test_domain_zone(&origin(), 2)]);
+        let handle = serve(ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(2)).unwrap();
+        let cache = SharedCache::new(CacheConfig {
+            prefetch_window_s: 4,
+            ..CacheConfig::default()
+        });
+        let cfg = ResolveConfig::new(vec![handle.local_addr()], origin())
+            .transactions(40)
+            .concurrency(2)
+            .cache(Arc::clone(&cache))
+            .prefetch(true);
+        let cold = resolve(cfg.clone()).unwrap();
+        assert_eq!(cold.stats.prefetches, 0, "fresh entries are outside the window");
+        // Age the TTL=5 entries into the 4s prefetch window.
+        std::thread::sleep(Duration::from_millis(1_200));
+        let warm = resolve(cfg).unwrap();
+        let server = handle.shutdown();
+        warm.stats.check().unwrap();
+        assert_eq!(warm.stats.cache_hits, 40, "prefetch never blocks the hit");
+        assert_eq!(warm.stats.prefetches, 40, "each hot entry refreshed once");
+        assert_eq!(warm.stats.prefetch_ok, 40);
+        assert_eq!(warm.stats.attempts, 40, "the only socket I/O was the refreshes");
+        assert_eq!(server.queries, 80, "cold fills + prefetch refreshes");
     }
 }

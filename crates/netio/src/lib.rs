@@ -35,7 +35,11 @@
 //!   `dnswild_resolver` selection policies (timeout, exponential
 //!   backoff, SRTT re-ranking, give-up/SERVFAIL) over lossy sockets,
 //!   with full answered-or-accounted transaction accounting
-//!   ([`ClientStats::check`]), and retries TC=1 answers over TCP.
+//!   ([`ClientStats::check`]), retries TC=1 answers over TCP, and —
+//!   with a [`SharedCache`] attached — answers repeats from a
+//!   wall-clocked record cache (TTL decrement, RFC 2308 negative
+//!   caching, prefetch, RFC 8767 serve-stale) with zero socket I/O on
+//!   hits.
 //! * [`tcp`] — the RFC 7766 stream transport beside the UDP shards:
 //!   length-prefixed framing, per-shard accept loops, read/write
 //!   deadlines, connection caps, pipelined queries — so every answer
@@ -72,7 +76,7 @@ pub use chaos::{
     ChaosProxy, Delivery, DirTally, Direction, FaultPlan, FaultProfile, TcpFate, TcpFaultProfile,
     TcpFaultTally,
 };
-pub use client::{resolve, ClientStats, ResolveConfig, ResolveReport};
+pub use client::{resolve, ClientStats, ResolveConfig, ResolveReport, SharedCache, DRAIN_WINDOW};
 pub use load::{blast, LoadConfig, LoadReport, QueryMix};
 pub use server::{
     batch_io_available, serve, server_stats_kinds, AtomicStats, IoBackend, IoErrorStats,
@@ -87,6 +91,9 @@ pub use dnswild_telemetry::{Collector, CollectorConfig, Trace, TraceSummary};
 
 // Metrics plane: likewise re-exported for callers wiring a registry.
 pub use dnswild_metrics::{MetricsServer, Registry};
+
+// Cache plane: the knobs callers need to build a [`SharedCache`].
+pub use dnswild_cache::{CacheConfig, CacheStats};
 
 /// Bridges the telemetry collector into a metrics registry: on every
 /// scrape the collector's live counters are copied into
@@ -113,5 +120,32 @@ pub fn mirror_collector(registry: &Registry, collector: &std::sync::Arc<Collecto
         answered.set(snap.answered as f64);
         decode_errors.set(snap.decode_errors as f64);
         overflow.set(snap.overflow as f64);
+    });
+}
+
+/// Bridges a [`SharedCache`] into a metrics registry: on every scrape
+/// the cache's counters are copied into `dnswild_cache_*` gauges, so
+/// the warm-vs-cold curves are observable live alongside the trace and
+/// server counters.
+pub fn mirror_cache(registry: &Registry, cache: &std::sync::Arc<SharedCache>) {
+    let hits = registry.gauge("dnswild_cache_hits", "record-cache live hits");
+    let misses = registry.gauge("dnswild_cache_misses", "record-cache misses");
+    let expired = registry.gauge("dnswild_cache_expired", "record-cache expired-entry misses");
+    let negative = registry.gauge("dnswild_cache_negative_hits", "record-cache negative hits");
+    let inserts = registry.gauge("dnswild_cache_inserts", "record-cache stores");
+    let evictions = registry.gauge("dnswild_cache_evictions", "record-cache LRU evictions");
+    let stale = registry.gauge("dnswild_cache_stale_served", "record-cache stale answers served");
+    let entries = registry.gauge("dnswild_cache_entries", "record-cache entries resident");
+    let cache = std::sync::Arc::clone(cache);
+    registry.on_scrape(move || {
+        let s = cache.stats();
+        hits.set(s.hits as f64);
+        misses.set(s.misses as f64);
+        expired.set(s.expired as f64);
+        negative.set(s.negative_hits as f64);
+        inserts.set(s.inserts as f64);
+        evictions.set(s.evictions as f64);
+        stale.set(s.stale_served as f64);
+        entries.set(cache.len() as f64);
     });
 }

@@ -25,7 +25,6 @@
 
 mod infra;
 mod policy;
-mod rcache;
 mod resolver;
 
 pub use infra::{InfraCache, InfraEntry, Smoothing};
@@ -33,5 +32,5 @@ pub use policy::{
     BindSrtt, PolicyKind, PowerDnsSpeed, RoundRobin, SelectionPolicy, StickyPrimary,
     UniformRandom, UnboundBand,
 };
-pub use rcache::{CacheStats, CachedResponse, RecordCache};
+pub use dnswild_cache::{CacheStats, CachedResponse, RecordCache};
 pub use resolver::{RecursiveResolver, ResolverConfig, ResolverStats, UpstreamSample};

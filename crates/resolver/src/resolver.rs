@@ -22,9 +22,17 @@ use std::collections::HashMap;
 use dnswild_netsim::{Actor, Context, Datagram, SimAddr, SimDuration, SimTime};
 use dnswild_proto::{Class, Message, Name, RData, RType, Rcode};
 
+use dnswild_cache::{CacheTime, RecordCache};
+
 use crate::infra::InfraCache;
 use crate::policy::{PolicyKind, SelectionPolicy};
-use crate::rcache::RecordCache;
+
+/// Lowers a simulation instant onto the cache's plane-neutral timeline
+/// (both are microseconds past their epoch, so this is a unit change,
+/// not an approximation — sim outputs stay bit-identical).
+fn cache_now(now: SimTime) -> CacheTime {
+    CacheTime::from_micros(now.as_micros())
+}
 
 /// Tunables of a recursive resolver.
 #[derive(Debug, Clone)]
@@ -349,7 +357,7 @@ impl RecursiveResolver {
             return;
         }
 
-        if let Some(cached) = self.cache.get(&question.qname, question.qtype, now) {
+        if let Some(cached) = self.cache.get(&question.qname, question.qtype, cache_now(now)) {
             self.stats.cache_hits += 1;
             self.answer_stub(
                 ctx,
@@ -546,7 +554,7 @@ impl RecursiveResolver {
             resp.answers.clone(),
             resp.rcode(),
             negative_ttl,
-            now,
+            cache_now(now),
         );
         self.answer_stub(ctx, p.stub_addr, p.stub_id, &p.qname, p.qtype, resp.answers, rcode);
     }

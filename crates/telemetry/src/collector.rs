@@ -14,7 +14,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crate::event::{EventKind, TraceEvent, FLAG_DECODE_ERROR, FLAG_RESPONSE};
+use crate::event::{EventKind, TraceEvent, FLAG_DECODE_ERROR, FLAG_RESPONSE, FLAG_TIMEOUT};
 use crate::hist::LatencyHistogram;
 use crate::ring::SpscRing;
 use crate::trace::TraceWriter;
@@ -80,6 +80,9 @@ pub struct SnapshotCell {
     answered: AtomicU64,
     decode_errors: AtomicU64,
     overflow: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_stale: AtomicU64,
 }
 
 impl SnapshotCell {
@@ -89,6 +92,15 @@ impl SnapshotCell {
             self.queries.fetch_add(1, Ordering::Relaxed);
             if ev.flags & FLAG_RESPONSE != 0 {
                 self.answered.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if ev.kind == EventKind::CacheLookup {
+            if ev.flags & FLAG_RESPONSE != 0 {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            } else if ev.flags & FLAG_TIMEOUT != 0 {
+                self.cache_stale.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.cache_misses.fetch_add(1, Ordering::Relaxed);
             }
         }
         if ev.flags & FLAG_DECODE_ERROR != 0 {
@@ -107,6 +119,9 @@ impl SnapshotCell {
             answered: self.answered.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             overflow: self.overflow.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_stale: self.cache_stale.load(Ordering::Relaxed),
         }
     }
 }
@@ -124,6 +139,12 @@ pub struct TelemetrySnapshot {
     pub decode_errors: u64,
     /// Ring-overflow drops observed so far.
     pub overflow: u64,
+    /// Record-cache lookups answered from a live entry.
+    pub cache_hits: u64,
+    /// Record-cache lookups that went to the wire.
+    pub cache_misses: u64,
+    /// Record-cache lookups answered stale (RFC 8767).
+    pub cache_stale: u64,
 }
 
 /// What the trace ended up holding, returned by [`Collector::finish`].

@@ -36,8 +36,8 @@ pub use collector::{Collector, CollectorConfig, Producer, SnapshotCell, Telemetr
 pub use event::{
     hash_bytes, hash_socket_addr, qname_hash32, EventKind, TraceEvent as Event, FLAG_CHAOS_CORRUPT,
     FLAG_CHAOS_DELAY, FLAG_CHAOS_DROP, FLAG_CHAOS_DUP, FLAG_CHAOS_REORDER, FLAG_CHAOS_TRUNCATE,
-    FLAG_ATTACK, FLAG_DECODE_ERROR, FLAG_RESPONSE, FLAG_RRL, FLAG_SEND_FAILED, FLAG_TCP,
-    FLAG_TCP_RETRY, FLAG_TC_SEEN, FLAG_TIMEOUT, RCODE_NONE,
+    FLAG_ATTACK, FLAG_DECODE_ERROR, FLAG_PREFETCH, FLAG_RESPONSE, FLAG_RRL, FLAG_SEND_FAILED,
+    FLAG_TCP, FLAG_TCP_RETRY, FLAG_TC_SEEN, FLAG_TIMEOUT, RCODE_NONE,
 };
 pub use hist::LatencyHistogram;
 pub use ring::SpscRing;

@@ -23,6 +23,14 @@ pub const PROBE_TTL: u32 = 5;
 /// `SimAddr`); they make the zone well-formed and give
 /// the delegation realistic glue.
 pub fn test_domain_zone(origin: &Name, ns_count: usize) -> Zone {
+    probe_ttl_test_domain_zone(origin, ns_count, PROBE_TTL)
+}
+
+/// [`test_domain_zone`] with an explicit TTL on the wildcard probe
+/// record — the knob the caching-recursive experiments turn: a low TTL
+/// ages a warm cache quickly (the §4.4 cache-decay setup), a high one
+/// keeps hit rates pinned.
+pub fn probe_ttl_test_domain_zone(origin: &Name, ns_count: usize, probe_ttl: u32) -> Zone {
     assert!(ns_count >= 1, "a zone needs at least one NS");
     let mut zone = Zone::new(origin.clone());
     zone.insert(Record::new(
@@ -49,7 +57,7 @@ pub fn test_domain_zone(origin: &Name, ns_count: usize) -> Zone {
     }
     zone.insert(Record::new(
         origin.prepend("*").expect("short label"),
-        PROBE_TTL,
+        probe_ttl,
         RData::Txt(Txt::from_string(SITE_PLACEHOLDER).expect("short string")),
     ));
     zone

@@ -206,6 +206,50 @@ if ! diff <(grep '^attack' "$chaos_a") <(grep '^attack' "$chaos_b"); then
 fi
 echo "attack gate: RRL shed the seeded flood reproducibly while legit goodput held"
 
+# Cache gate: two back-to-back resolve passes over a low-TTL preset
+# zone through one shared record cache. The smoke command enforces the
+# hard criteria internally (warm hit-rate over 1/2, zero socket sends
+# for hits on an unbounded cache, zero unaccounted datagrams, balanced
+# books per pass); on top, CI requires a fully warm second pass and
+# byte-identical `cache-` lines across two same-seed runs.
+cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --cache --queries 400 --seed 2017 | tee "$chaos_a"
+if ! grep -q '^cache-warm: .* cache_hits=400 ' "$chaos_a"; then
+    echo "cache gate: warm pass did not answer every repeat from cache" >&2
+    exit 1
+fi
+cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --cache --queries 400 --seed 2017 > "$chaos_b"
+if ! diff <(grep '^cache-' "$chaos_a") <(grep '^cache-' "$chaos_b"); then
+    echo "cache gate not reproducible: counters differ between same-seed runs" >&2
+    exit 1
+fi
+# Full-feature pass: popularity prefetch refreshes every warm hit, then
+# a chaos blackhole kills the authoritative and RFC 8767 serve-stale
+# must complete every transaction from expired entries — with the
+# scraped cache gauges equal to the cache's own books and the trace
+# yielding per-lookup cache counts for `report --from-trace`.
+cache_out=$(cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --cache --prefetch --serve-stale --queries 400 --seed 2017 \
+    --trace "$trace_a" --metrics-addr 127.0.0.1:0)
+printf '%s\n' "$cache_out" | grep '^cache-\|^metrics-gate\|^smoke'
+if ! grep -q '^cache-stale: .* stale_srv=400 ' <<<"$cache_out"; then
+    echo "cache gate: serve-stale did not complete every transaction from expired entries" >&2
+    exit 1
+fi
+if ! grep -q '^metrics-gate: PASS' <<<"$cache_out"; then
+    echo "cache gate: scraped cache gauges did not match the cache books" >&2
+    exit 1
+fi
+report_out=$(cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    report --from-trace "$trace_a")
+if ! grep -q '^trace-cache: hits=[1-9]' <<<"$report_out"; then
+    echo "cache gate: trace did not yield cache-lookup counts" >&2
+    printf '%s\n' "$report_out" >&2
+    exit 1
+fi
+echo "cache gate: warm hits, prefetch, serve-stale and scrape equality all held, reproducibly"
+
 # Lint gate: the observability plane rides the hot path, so keep the
 # whole workspace clippy-clean at -D warnings.
 cargo clippy --workspace --offline -q -- -D warnings
