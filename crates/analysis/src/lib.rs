@@ -5,7 +5,9 @@
 //! preference and per-continent splits (Figure 4 / Table 2), RTT
 //! sensitivity (Figure 5), interval sweeps (Figure 6), and rank-share
 //! profiles of production traffic (Figure 7) — plus the statistics and
-//! text-table plumbing they share.
+//! text-table plumbing they share, and the per-query journey
+//! reconstruction behind `dnswild explain` and `report --tails`
+//! ([`reconstruct`], [`tail_report`], [`render_timeline`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,6 +16,7 @@ mod amplification;
 pub mod ascii;
 mod coverage;
 mod interval;
+mod journey;
 mod preference;
 mod rank;
 mod sensitivity;
@@ -26,6 +29,10 @@ mod trace_ingest;
 pub use amplification::{amplification, AmplificationReport};
 pub use coverage::{coverage, queries_to_cover, CoverageSummary};
 pub use interval::{interval_sweep, IntervalPoint};
+pub use journey::{
+    flag_names, reconstruct, render_timeline, tail_report, Journey, JourneyBook, TailCause,
+    TailReport, TailRow,
+};
 pub use preference::{
     preference, preference_growth, ContinentRow, GrowthSummary, PreferenceSummary,
     VpPreference, RTT_DIFFERENCE_FILTER_MS, STRONG_PREFERENCE, WEAK_PREFERENCE,

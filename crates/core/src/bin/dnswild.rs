@@ -16,15 +16,20 @@
 //!   resolver-level: every transaction answered or SERVFAIL, every
 //!   datagram accounted, and — because the fault schedule is a pure
 //!   function of the seed — every `chaos-` output line identical across
-//!   runs. Exits non-zero on any discrepancy (CI gate).
+//!   runs. Exits non-zero on any discrepancy (CI gate);
+//! * `dnswild report` — the paper's analyses over a recorded trace,
+//!   plus `--tails` journey-level tail attribution;
+//! * `dnswild explain` — per-query hop-by-hop timelines reconstructed
+//!   from a recorded trace (slowest-N, failed, or one journey by id).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dnswild::report::{render_coverage, render_rank_profile, render_share};
 use dnswild_analysis::{
-    amplification, coverage, query_share, rank_profile, trace_auth_counts, trace_cache_counts,
-    trace_client_counts, trace_to_measurement,
+    amplification, coverage, query_share, rank_profile, reconstruct, render_timeline,
+    tail_report, trace_auth_counts, trace_cache_counts, trace_client_counts,
+    trace_to_measurement, Journey,
 };
 use dnswild_metrics::{parse_exposition, scrape, Watchdog, WatchdogConfig};
 use dnswild_netio::attack::NXNS_EDNS_PAYLOAD;
@@ -35,6 +40,7 @@ use dnswild_netio::{
     ResolveConfig, ServeConfig, SharedCache, TcpFaultProfile, TcpOptions, Trace,
 };
 use dnswild_proto::Name;
+use dnswild_resolver::PolicyKind;
 use dnswild_server::{RateLimitPolicy, RrlScope, ServerStats, TruncationPolicy};
 use dnswild_zone::presets::{
     attack_test_domain_zone, padded_test_domain_zone, probe_ttl_test_domain_zone, test_domain_zone,
@@ -132,7 +138,10 @@ fn usage_exit(code: i32) -> ! {
              --rrl            (attack) defend with the default rate-limit\n\
                               policy: the gate then requires drops, slips and\n\
                               a watchdog attack-pressure breach while legit\n\
-                              goodput holds at 100%\n\
+                              goodput holds at 100%; with --chaos instead, a\n\
+                              harness-tuned limiter (per-port keys, charge\n\
+                              everything) runs under the fault plan so rate-\n\
+                              limited journeys show up in `report --tails`\n\
              --chaos          route through two seeded fault proxies and\n\
                               apply resolver-level pass criteria\n\
              --cache          the cache gate: a low-TTL zone served cold then\n\
@@ -159,6 +168,9 @@ fn usage_exit(code: i32) -> ! {
                               (default 512; requires --tcp)\n\
              --budget-secs S  (chaos) wall-clock budget (default 120)\n\
              --trace PATH     record server+client+proxy telemetry to PATH\n\
+             --flight-dump PATH  (requires --trace) dump the flight recorder's\n\
+                              retained journeys — every failed one, the\n\
+                              slowest K, the last N — as JSONL after the run\n\
              --json           emit one JSON object instead of the text report\n\
              --metrics-addr A:P  expose metrics over HTTP; with --chaos this\n\
                               also runs the scrape-equality and watchdog gates\n\
@@ -169,7 +181,21 @@ fn usage_exit(code: i32) -> ! {
              --plain          no screen clearing between polls\n\
            report  analyses over a recorded telemetry trace\n\
              --from-trace PATH  trace file written by --trace\n\
-             --min-queries N    rank-profile client threshold (default 1)"
+             --min-queries N    rank-profile client threshold (default 1)\n\
+             --tails            per-query journey attribution: an exclusive\n\
+                              tail-cause table (clean|retried|chaos-faulted|\n\
+                              tc-tcp-detour|rrl-slipped|cache-stale|servfail)\n\
+                              with touched counts, shares and tail latency\n\
+                              percentiles; `tails-` lines are seed-\n\
+                              deterministic, `tail-latency-`/`tail-mass`\n\
+                              lines carry wall-clock time\n\
+           explain  per-query timelines from a recorded trace\n\
+             <trace>          trace file written by --trace (positional)\n\
+             --txn HEXID      one journey by its 64-bit hex id\n\
+             --slowest N      the N worst client RTTs (default 10)\n\
+             --failed         every journey with a timed-out client attempt\n\
+             --canonical      omit timestamps and order hops by content, so\n\
+                              same-seed runs print byte-identical timelines"
     );
     std::process::exit(code)
 }
@@ -244,6 +270,19 @@ fn finish_trace(collector: &Collector, path: &str) {
         Ok(t) => println!("trace-digest: {:016x}", t.digest()),
         Err(e) => {
             eprintln!("trace: read back: {e}");
+            std::process::exit(1)
+        }
+    }
+}
+
+/// Dumps the flight recorder's retained journeys (failed pins, the
+/// slowest-K, the recency ring) as JSONL. Call *after* `finish_trace`:
+/// the final drain sweep has then folded every event into the recorder.
+fn dump_flight(collector: &Collector, path: &str) {
+    match collector.dump_flight(std::path::Path::new(path)) {
+        Ok(n) => println!("flight-dump: journeys={n} path={path}"),
+        Err(e) => {
+            eprintln!("flight-dump: {path}: {e}");
             std::process::exit(1)
         }
     }
@@ -894,6 +933,7 @@ fn cmd_smoke(args: &[String]) {
     let mut prefetch = false;
     let mut budget_secs = 120u64;
     let mut trace: Option<String> = None;
+    let mut flight_dump: Option<String> = None;
     let mut json = false;
     let mut metrics_addr: Option<String> = None;
     let mut it = args.iter();
@@ -918,6 +958,7 @@ fn cmd_smoke(args: &[String]) {
             "--prefetch" => prefetch = true,
             "--budget-secs" => budget_secs = parse_flag(&mut it, "--budget-secs"),
             "--trace" => trace = Some(parse_flag(&mut it, "--trace")),
+            "--flight-dump" => flight_dump = Some(parse_flag(&mut it, "--flight-dump")),
             "--json" => json = true,
             "--metrics-addr" => metrics_addr = Some(parse_flag(&mut it, "--metrics-addr")),
             "--help" | "-h" => usage_exit(0),
@@ -937,12 +978,22 @@ fn cmd_smoke(args: &[String]) {
         eprintln!("smoke: --edns-size requires --tcp");
         std::process::exit(2);
     }
-    if rrl && attack.is_none() {
-        eprintln!("smoke: --rrl is part of the --attack gate");
+    if rrl && attack.is_none() && !chaos {
+        eprintln!("smoke: --rrl is part of the --attack and --chaos gates");
+        std::process::exit(2);
+    }
+    if flight_dump.is_some() && trace.is_none() {
+        // The flight recorder lives in the collector, which only runs
+        // when a trace is being recorded.
+        eprintln!("smoke: --flight-dump requires --trace");
         std::process::exit(2);
     }
     if !cache && (cache_cap != 0 || serve_stale || prefetch) {
         eprintln!("smoke: --cache-cap / --serve-stale / --prefetch require --cache");
+        std::process::exit(2);
+    }
+    if flight_dump.is_some() && (cache || attack.is_some()) {
+        eprintln!("smoke: --flight-dump is available on the plain and --chaos smokes");
         std::process::exit(2);
     }
     if cache {
@@ -996,9 +1047,11 @@ fn cmd_smoke(args: &[String]) {
             seed,
             loss,
             corrupt,
+            rrl,
             tcp.then(|| edns_size.unwrap_or(512)),
             budget_secs,
             trace.as_deref(),
+            flight_dump.as_deref(),
             metrics_addr.as_deref(),
         );
         return;
@@ -1053,6 +1106,9 @@ fn cmd_smoke(args: &[String]) {
     }
     if let (Some(c), Some(path)) = (&collector, &trace) {
         finish_trace(c, path);
+        if let Some(fd) = &flight_dump {
+            dump_flight(c, fd);
+        }
     }
     if let Some((_, server)) = metrics {
         server.shutdown();
@@ -1111,6 +1167,24 @@ fn cmd_smoke(args: &[String]) {
 /// TCP, and every TCP frame the fault plan let through was classified
 /// by the server — the stream books balance just like the datagram
 /// books.
+///
+/// With `rrl` set the server additionally runs a harness-tuned response
+/// rate limiter (per-port keys so every proxy session socket is its own
+/// bucket, every query charged, a small burst so ~2k transactions
+/// exhaust it). The limiter's refill is charge-counted, not wall-clock,
+/// and each worker holds one datagram in flight at a time, so per-bucket
+/// verdict order is the worker's send order — deterministic — provided
+/// three wall-clock races are pinned down: the fault plan's delay range
+/// is zeroed (no duplicate may race the next attempt into a bucket),
+/// server selection is round-robin instead of measured-RTT BindSrtt
+/// (which proxy carries an attempt decides which bucket it charges),
+/// and the TCP fallback opens a fresh connection per detour (whether a
+/// *reused* connection is still alive is a timing question, and one
+/// extra retry frame shifts every later verdict in its bucket). The rrl
+/// leg also runs 32 client workers instead of 8: TC detours and rrl
+/// drops both wait out full 250 ms attempt windows, and the wider fixed
+/// split keeps thousands of those waits inside the budget without
+/// shrinking the windows toward the scheduler-jitter edge.
 #[allow(clippy::too_many_arguments)]
 fn chaos_smoke(
     queries: u64,
@@ -1120,9 +1194,11 @@ fn chaos_smoke(
     seed: u64,
     loss: f64,
     corrupt: f64,
+    rrl: bool,
     truncation: Option<u16>,
     budget_secs: u64,
     trace: Option<&str>,
+    flight_dump: Option<&str>,
     metrics_addr: Option<&str>,
 ) {
     let origin = Name::parse("ourtestdomain.nl").expect("static origin");
@@ -1137,7 +1213,38 @@ fn chaos_smoke(
     let metrics = metrics_addr.map(start_metrics);
     let mut serve_cfg = ServeConfig::new("127.0.0.1:0", "FRA", zones).threads(threads).io(io);
     if let Some(size) = truncation {
-        serve_cfg = serve_cfg.tcp(TcpOptions::default()).truncation(TruncationPolicy::symmetric(size));
+        // The rrl leg churns connections (fresh connection per
+        // fallback, and faulted ones linger until their relay notices
+        // the hangup): against the default 64-connection cap an
+        // over-cap close loses a frame the fault plan already tallied
+        // as forwarded, failing the stream books. Give it headroom;
+        // the plain truncation gate keeps the defaults.
+        let tcp_opts = if rrl {
+            TcpOptions { max_conns: 512, ..TcpOptions::default() }
+        } else {
+            TcpOptions::default()
+        };
+        serve_cfg = serve_cfg.tcp(tcp_opts).truncation(TruncationPolicy::symmetric(size));
+    }
+    if rrl {
+        // Small burst so a ~2k-transaction run exhausts every bucket,
+        // rate 1/2 so half the post-burst charges still pass (the drop
+        // feedback loop — drop, timeout, retry, charge again — must
+        // damp, or the run crawls), slip=2 so the limited tail splits
+        // into TC=1 slips (which complete over TCP — it is never
+        // limited) and outright drops (which cost the client a
+        // timeout). Per-port keys give each proxy session socket its
+        // own bucket.
+        serve_cfg = serve_cfg.rate_limit(RateLimitPolicy {
+            burst: 20,
+            rate: 1,
+            period: 2,
+            slip: 2,
+            nxdomain_budget: 0,
+            scope: RrlScope::All,
+            key_ports: true,
+            ..RateLimitPolicy::default()
+        });
     }
     if let Some(b) = batch {
         serve_cfg = serve_cfg.batch(b);
@@ -1155,7 +1262,15 @@ fn chaos_smoke(
         eprintln!("smoke: serve: {e}");
         std::process::exit(1)
     });
-    let (fwd, rev) = chaos_profiles(loss, corrupt);
+    let (mut fwd, mut rev) = chaos_profiles(loss, corrupt);
+    if rrl {
+        // See the function docs: a delayed duplicate racing the next
+        // attempt into the same limiter bucket would flip verdict order
+        // across runs, and the tail-attribution gate diffs `tails-`
+        // lines verbatim.
+        fwd = FaultProfile { delay_min_us: 0, delay_max_us: 0, ..fwd };
+        rev = FaultProfile { delay_min_us: 0, delay_max_us: 0, ..rev };
+    }
     let mut plan = FaultPlan::new(seed, fwd, rev);
     if truncation.is_some() {
         // TCP connection faults for the truncation gate: roughly one
@@ -1199,15 +1314,36 @@ fn chaos_smoke(
              EDNS limit {size} bytes"
         );
     }
+    if rrl {
+        eprintln!("smoke: rrl gate — per-port buckets, burst 20, slip 2, every query charged");
+    }
 
     let started = Instant::now();
     let mut cfg =
         ResolveConfig::new(vec![p1.local_addr(), p2.local_addr()], origin).transactions(queries);
     // Fixed, not host-dependent: the transaction→worker split is part
-    // of the deterministic fault schedule.
-    cfg = cfg.concurrency(8);
+    // of the deterministic fault schedule. The rrl leg runs wider:
+    // every TC detour and every rrl-dropped attempt waits out its full
+    // attempt window first, and 32 workers amortise those waits
+    // without touching per-flow ordering (RRL buckets are keyed by
+    // flow, so each bucket's charge order is one worker's send order
+    // either way).
+    cfg = cfg.concurrency(if rrl { 32 } else { 8 });
     if let Some(size) = truncation {
-        cfg = cfg.edns_size(size);
+        // Fresh connection per fallback: a *reused* connection's fate
+        // (alive or shed/reset since last use) is a wall-clock race,
+        // and one extra retry frame shifts every later RRL verdict in
+        // that bucket. No reuse keeps the frame schedule seed-pure.
+        cfg = cfg.edns_size(size).tcp_reuse(false);
+    }
+    if rrl {
+        // The default BindSrtt policy picks servers by *measured* RTT —
+        // harmless without RRL (the shared fault plan is content-keyed,
+        // so a query meets the same fate through either proxy) but
+        // fatal with it: buckets are per flow, so which proxy carries
+        // an attempt decides which bucket it charges. Round-robin makes
+        // the charge schedule a pure function of the seed.
+        cfg = cfg.policy(PolicyKind::RoundRobin);
     }
     cfg.seed = seed;
     if let Some(c) = &collector {
@@ -1290,11 +1426,20 @@ fn chaos_smoke(
         stats.tcp_queries,
         io.decode_errors
     );
+    if rrl {
+        println!(
+            "chaos-rrl: dropped={} slipped={}",
+            stats.rrl_dropped, stats.rrl_slipped
+        );
+    }
     // Trace lines print after the deterministic `chaos-` block: the
     // event/overflow counts are seed-deterministic too, but the digest
     // commits to which proxy each attempt picked, which is not.
     if let (Some(c), Some(path)) = (&collector, trace) {
         finish_trace(c, path);
+        if let Some(fd) = flight_dump {
+            dump_flight(c, fd);
+        }
     }
     println!(
         "elapsed_ms={} recv_errors={} send_errors={} per_server={:?}",
@@ -1352,6 +1497,14 @@ fn chaos_smoke(
         }
     } else if stats.tcp_queries != 0 || report.stats.tcp_attempts != 0 {
         failures.push("tcp traffic on a udp-only run".into());
+    }
+    if rrl && (stats.rrl_dropped == 0 || stats.rrl_slipped == 0) {
+        // A limiter that never acted makes the rrl leg vacuous — the
+        // burst/rate tuning above must exhaust the buckets.
+        failures.push(format!(
+            "rrl gate: limiter never exercised both verdicts (dropped={} slipped={})",
+            stats.rrl_dropped, stats.rrl_slipped
+        ));
     }
     if elapsed > Duration::from_secs(budget_secs) {
         failures.push(format!(
@@ -2266,11 +2419,13 @@ fn cmd_top(args: &[String]) {
 fn cmd_report(args: &[String]) {
     let mut from_trace: Option<String> = None;
     let mut min_queries = 1u64;
+    let mut tails = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--from-trace" => from_trace = Some(parse_flag(&mut it, "--from-trace")),
             "--min-queries" => min_queries = parse_flag(&mut it, "--min-queries"),
+            "--tails" => tails = true,
             "--help" | "-h" => usage_exit(0),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -2310,12 +2465,102 @@ fn cmd_report(args: &[String]) {
         );
     }
 
+    if tails {
+        // Tail attribution: reconstruct every journey, prove the books
+        // balance, then attribute the latency tail to its causes. The
+        // `tails-` lines are a pure function of the run's seed; the
+        // `tail-latency-` / `tail-mass` lines carry wall-clock time
+        // and are excluded from the determinism diff.
+        let book = reconstruct(&trace);
+        if let Err(e) = book.check_books() {
+            eprintln!("report: journey books unbalanced: {e}");
+            std::process::exit(1);
+        }
+        print!("{}", tail_report(&book).render());
+    }
+
     let result = trace_to_measurement(&trace);
     println!("{}", render_coverage(&[coverage(&result)]));
     println!("{}", render_share("trace", &query_share(&result)));
     let clients = trace_client_counts(&trace);
     let profile = rank_profile(&clients, result.deployment.ns_count(), min_queries);
     println!("{}", render_rank_profile("trace", &profile));
+}
+
+/// `dnswild explain`: reconstruct per-query journeys from a recorded
+/// trace and print hop-by-hop timelines — the "why was this query
+/// slow" view. Every invocation first proves the journey books balance
+/// (each event in exactly one journey or the unattributed pool) and
+/// exits non-zero if they do not.
+fn cmd_explain(args: &[String]) {
+    let mut path: Option<String> = None;
+    let mut txn: Option<String> = None;
+    let mut slowest: Option<usize> = None;
+    let mut failed = false;
+    let mut canonical = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--txn" => txn = Some(parse_flag(&mut it, "--txn")),
+            "--slowest" => slowest = Some(parse_flag(&mut it, "--slowest")),
+            "--failed" => failed = true,
+            "--canonical" => canonical = true,
+            "--help" | "-h" => usage_exit(0),
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage_exit(2)
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("explain needs a trace path");
+        usage_exit(2)
+    };
+    if u32::from(txn.is_some()) + u32::from(slowest.is_some()) + u32::from(failed) > 1 {
+        eprintln!("explain: --txn / --slowest / --failed are mutually exclusive");
+        std::process::exit(2);
+    }
+    let trace = Trace::read_from(std::path::Path::new(&path)).unwrap_or_else(|e| {
+        eprintln!("explain: {path}: {e}");
+        std::process::exit(1)
+    });
+    let book = reconstruct(&trace);
+    let books = book.check_books();
+    println!(
+        "explain-books: events={} journeys={} unattributed={} balanced={}",
+        book.total_events,
+        book.journeys.len(),
+        book.unattributed.len(),
+        books.is_ok()
+    );
+    let selected: Vec<&Journey> = if let Some(hex) = txn {
+        let id = u64::from_str_radix(hex.trim_start_matches("0x"), 16).unwrap_or_else(|_| {
+            eprintln!("explain: --txn wants a hex journey id (as printed by explain)");
+            std::process::exit(2)
+        });
+        match book.get(id) {
+            Some(j) => vec![j],
+            None => {
+                eprintln!("explain: journey {id:016x} is not in this trace");
+                std::process::exit(1)
+            }
+        }
+    } else if failed {
+        book.failed()
+    } else {
+        book.slowest(slowest.unwrap_or(10))
+    };
+    for journey in &selected {
+        print!("{}", render_timeline(&trace, journey, canonical));
+    }
+    if selected.is_empty() {
+        println!("explain: no matching journeys");
+    }
+    if let Err(e) = books {
+        eprintln!("explain: journey books unbalanced: {e}");
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -2327,6 +2572,7 @@ fn main() {
         Some("smoke") => cmd_smoke(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("--help") | Some("-h") | None => usage_exit(if args.is_empty() { 2 } else { 0 }),
         Some(other) => {
             eprintln!("unknown command: {other}");

@@ -33,8 +33,8 @@ use detrand::{splitmix64, DetRng, Rng};
 use dnswild_proto::{Message, Name, RType};
 use dnswild_server::ServerStats;
 use dnswild_telemetry::{
-    qname_hash32, Collector, Event, EventKind, FLAG_ATTACK, FLAG_RESPONSE, FLAG_TC_SEEN,
-    FLAG_TIMEOUT, RCODE_NONE,
+    journey_from_payload, qname_hash32, Collector, Event, EventKind, FLAG_ATTACK, FLAG_RESPONSE,
+    FLAG_TC_SEEN, FLAG_TIMEOUT, RCODE_NONE,
 };
 use dnswild_zone::presets::{DELEGATION_LABEL, NX_ANCHOR_LABEL};
 
@@ -395,6 +395,7 @@ fn attacker_loop(config: &AttackConfig, thread: usize, queries: u64) -> io::Resu
             ev.ts_ns = sent_ns;
             ev.client_hash = client_token;
             ev.qname_hash = qname_hash32(send_buf.get(12..).unwrap_or(&[]));
+            (ev.journey, ev.dns_id) = journey_from_payload(&send_buf);
             ev.latency_ns =
                 u32::try_from(producer.now_ns().saturating_sub(sent_ns)).unwrap_or(u32::MAX);
             ev.auth_id = config.trace_auth_id;

@@ -43,9 +43,9 @@ use dnswild_metrics::{Counter, Registry};
 
 use crate::tcp::{write_frame, FrameReader};
 use dnswild_telemetry::{
-    hash_bytes as event_hash_bytes, hash_socket_addr, Collector, Event, EventKind, Producer,
-    FLAG_CHAOS_CORRUPT, FLAG_CHAOS_DELAY, FLAG_CHAOS_DROP, FLAG_CHAOS_DUP, FLAG_CHAOS_REORDER,
-    FLAG_CHAOS_TRUNCATE, RCODE_NONE,
+    hash_bytes as event_hash_bytes, hash_socket_addr, journey_from_payload, Collector, Event,
+    EventKind, Producer, FLAG_CHAOS_CORRUPT, FLAG_CHAOS_DELAY, FLAG_CHAOS_DROP, FLAG_CHAOS_DUP,
+    FLAG_CHAOS_REORDER, FLAG_CHAOS_TRUNCATE, RCODE_NONE,
 };
 
 /// How long proxy threads block in a socket read before re-checking the
@@ -777,6 +777,13 @@ fn trace_decision(
     let (flags, max_delay) = delivery_flags(profile, payload, deliveries);
     ev.flags = flags;
     ev.latency_ns = max_delay.as_nanos().min(u64::from(u32::MAX) as u128) as u32;
+    // The proxy only holds opaque bytes, but a DNS question is parseable
+    // enough to recover the journey id — that is what lets `explain`
+    // place the fault decision *between* the client attempt and the
+    // server hop. Corrupted-beyond-parsing payloads stay journey 0.
+    let (journey, dns_id) = journey_from_payload(payload);
+    ev.journey = journey;
+    ev.dns_id = dns_id;
     producer.record(&ev);
 }
 

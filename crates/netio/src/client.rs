@@ -59,7 +59,7 @@ use dnswild_netsim::{SimAddr, SimDuration, SimTime};
 use dnswild_proto::{Message, Name, RData, RType, Rcode};
 use dnswild_resolver::{InfraCache, PolicyKind};
 use dnswild_telemetry::{
-    qname_hash32, Collector, Event, EventKind, FLAG_PREFETCH, FLAG_RESPONSE, FLAG_TCP,
+    journey_id, qname_hash32, Collector, Event, EventKind, FLAG_PREFETCH, FLAG_RESPONSE, FLAG_TCP,
     FLAG_TCP_RETRY, FLAG_TC_SEEN, FLAG_TIMEOUT, RCODE_NONE,
 };
 
@@ -181,6 +181,14 @@ pub struct ResolveConfig {
     /// TC=1 answer (RFC 7766). On by default; off leaves truncated
     /// attempts accounted under `tc_seen` and paced into UDP retries.
     pub tcp_fallback: bool,
+    /// Reuse one TCP fallback connection per server across queries
+    /// (RFC 7766). On by default. Off opens a fresh connection per
+    /// fallback: whether a *cached* connection still works when reused
+    /// depends on wall-clock races (server idle sheds, chaos resets),
+    /// so deterministic harnesses — the chaos smoke and its verify
+    /// gates — turn reuse off to keep the frame sequence a pure
+    /// function of the seed.
+    pub tcp_reuse: bool,
     /// Zone origin the probe queries are built under.
     pub origin: Name,
     /// Telemetry collector: when set, each worker records one
@@ -228,6 +236,7 @@ impl ResolveConfig {
             seed: 2017,
             edns_size: None,
             tcp_fallback: true,
+            tcp_reuse: true,
             origin,
             collector: None,
             metrics: None,
@@ -266,6 +275,13 @@ impl ResolveConfig {
     /// [`ResolveConfig::tcp_fallback`]).
     pub fn tcp_fallback(mut self, on: bool) -> Self {
         self.tcp_fallback = on;
+        self
+    }
+
+    /// Enables or disables fallback-connection reuse (see
+    /// [`ResolveConfig::tcp_reuse`]).
+    pub fn tcp_reuse(mut self, on: bool) -> Self {
+        self.tcp_reuse = on;
         self
     }
 
@@ -762,10 +778,13 @@ fn worker_loop(
             .origin
             .prepend(&format!("c{worker}-t{txn}"))
             .expect("short probe label");
-        let qname_hash = if producer.is_some() {
-            qname_hash32(&qname.canonical_wire())
+        let (qname_hash, journey) = if producer.is_some() {
+            let wire = qname.canonical_wire();
+            // Same canonical bytes every other hop derives from the
+            // payload, so the ids agree without coordination.
+            (qname_hash32(&wire), journey_id(&wire))
         } else {
-            0
+            (0, 0)
         };
 
         // Cache first: a live hit answers the transaction with zero
@@ -779,6 +798,7 @@ fn worker_loop(
                 ev.ts_ns = p.now_ns();
                 ev.client_hash = client_token;
                 ev.qname_hash = qname_hash;
+                ev.journey = journey;
                 match &hit {
                     Some(h) => {
                         ev.flags = FLAG_RESPONSE;
@@ -912,6 +932,8 @@ fn worker_loop(
                 ev.ts_ns = p.now_ns();
                 ev.client_hash = client_token;
                 ev.qname_hash = qname_hash;
+                ev.journey = journey;
+                ev.dns_id = id;
                 ev.bytes_in = send_buf.len().min(u16::MAX as usize) as u16;
                 ev.auth_id = server as u16;
                 ev.flags = FLAG_PREFETCH;
@@ -1074,8 +1096,11 @@ fn worker_loop(
                 let mut reply: Option<Vec<u8>> = None;
                 // The cached connection may have gone stale since the
                 // last fallback; on any error drop it and try once more
-                // on a fresh one.
-                for fresh in [false, true] {
+                // on a fresh one. With reuse off there is no cached
+                // connection to gamble on, so each fallback is exactly
+                // one fresh connection carrying exactly one frame.
+                let plans: &[bool] = if cfg.tcp_reuse { &[false, true] } else { &[true] };
+                for &fresh in plans {
                     if fresh || tcp_conns[server].is_none() {
                         tcp_conns[server] = tcp_connect(&cfg.servers[server], cfg.timeout).ok();
                     }
@@ -1089,6 +1114,9 @@ fn worker_loop(
                         }
                         Err(_) => tcp_conns[server] = None,
                     }
+                }
+                if !cfg.tcp_reuse {
+                    tcp_conns[server] = None;
                 }
                 match reply {
                     Some(p) if tcp_reply_is_answer(&p, id, &qname) => {
@@ -1126,6 +1154,8 @@ fn worker_loop(
                 ev.ts_ns = p.now_ns();
                 ev.client_hash = client_token;
                 ev.qname_hash = qname_hash;
+                ev.journey = journey;
+                ev.dns_id = id;
                 ev.bytes_in = send_buf.len().min(u16::MAX as usize) as u16;
                 if answered {
                     let (srv, rtt_ns, reply_len) = answered_info.expect("answer recorded");
@@ -1179,6 +1209,7 @@ fn worker_loop(
                         ev.ts_ns = p.now_ns();
                         ev.client_hash = client_token;
                         ev.qname_hash = qname_hash;
+                        ev.journey = journey;
                         ev.flags = FLAG_TIMEOUT;
                         ev.rcode = h.rcode.to_u8();
                         p.record(&ev);

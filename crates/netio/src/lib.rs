@@ -112,6 +112,21 @@ pub fn mirror_collector(registry: &Registry, collector: &std::sync::Arc<Collecto
         dnswild_metrics::watchdog::inputs::OVERFLOW,
         "telemetry ring-overflow drops",
     );
+    let journeys_recorded = registry.gauge(
+        "dnswild_trace_journeys_recorded",
+        "journeys admitted to the flight recorder",
+    );
+    let journeys_dropped = registry.gauge(
+        "dnswild_trace_journeys_dropped",
+        "journeys evicted from the flight recorder unpinned",
+    );
+    // A journey-sampled exemplar: the worst client RTT the flight
+    // recorder currently retains, so dashboards can point at a concrete
+    // slow query rather than a histogram bucket.
+    let journey_slowest = registry.gauge(
+        "dnswild_journey_slowest_rtt_ns",
+        "worst client RTT retained in the flight recorder",
+    );
     let collector = std::sync::Arc::clone(collector);
     registry.on_scrape(move || {
         let snap = collector.snapshot();
@@ -120,6 +135,9 @@ pub fn mirror_collector(registry: &Registry, collector: &std::sync::Arc<Collecto
         answered.set(snap.answered as f64);
         decode_errors.set(snap.decode_errors as f64);
         overflow.set(snap.overflow as f64);
+        journeys_recorded.set(snap.journeys_recorded as f64);
+        journeys_dropped.set(snap.journeys_dropped as f64);
+        journey_slowest.set(snap.journey_slowest_ns as f64);
     });
 }
 

@@ -23,7 +23,8 @@ use dnswild_metrics::{Counter, LogHistogram, Registry};
 use dnswild_proto::{Class, Message, Name, RType};
 use dnswild_server::ServerStats;
 use dnswild_telemetry::{
-    qname_hash32, Collector, Event, EventKind, FLAG_RESPONSE, FLAG_TIMEOUT, RCODE_NONE,
+    journey_from_payload, qname_hash32, Collector, Event, EventKind, FLAG_RESPONSE, FLAG_TIMEOUT,
+    RCODE_NONE,
 };
 
 /// Relative weights of the query kinds the generator draws from.
@@ -404,6 +405,7 @@ fn client_loop(
             // byte-identical to what the server hashes for this
             // datagram on its side.
             ev.qname_hash = qname_hash32(send_buf.get(12..).unwrap_or(&[]));
+            (ev.journey, ev.dns_id) = journey_from_payload(&send_buf);
             ev.latency_ns =
                 u32::try_from(producer.now_ns().saturating_sub(sent_ns)).unwrap_or(u32::MAX);
             ev.auth_id = config.trace_auth_id;

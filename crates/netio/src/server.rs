@@ -38,8 +38,8 @@ use dnswild_server::{
     TransportKind, TruncationPolicy, VerdictSpans,
 };
 use dnswild_telemetry::{
-    hash_socket_addr, qname_hash32, Collector, Event, EventKind, Producer, FLAG_DECODE_ERROR,
-    FLAG_RESPONSE, FLAG_RRL, FLAG_SEND_FAILED, FLAG_TCP, RCODE_NONE,
+    hash_socket_addr, journey_from_payload, qname_hash32, Collector, Event, EventKind, Producer,
+    FLAG_DECODE_ERROR, FLAG_RESPONSE, FLAG_RRL, FLAG_SEND_FAILED, FLAG_TCP, RCODE_NONE,
 };
 use dnswild_zone::Zone;
 
@@ -757,6 +757,12 @@ pub(crate) fn record_server_event(
         | (u16::from(transport == TransportKind::Tcp) * FLAG_TCP)
         | (u16::from(handled.rrl.is_some()) * FLAG_RRL);
     ev.rcode = handled.rcode.map(|r| r.to_u8()).unwrap_or(RCODE_NONE);
+    // The journey id ties this server-side hop to the client attempt
+    // and any chaos decisions the same query passed through; derived
+    // from the payload so it needs no shared state with the client.
+    let (journey, dns_id) = journey_from_payload(payload);
+    ev.journey = if handled.query.is_some() { journey } else { 0 };
+    ev.dns_id = dns_id;
     producer.record(&ev);
 }
 

@@ -29,8 +29,9 @@ mod resolver;
 
 pub use infra::{InfraCache, InfraEntry, Smoothing};
 pub use policy::{
-    BindSrtt, PolicyKind, PowerDnsSpeed, RoundRobin, SelectionPolicy, StickyPrimary,
-    UniformRandom, UnboundBand,
+    clamp_rto, BindSrtt, PolicyKind, PolicyPreset, PowerDnsSpeed, RoundRobin, SelectionPolicy,
+    StickyPrimary, UniformRandom, UnboundBand, RTT_BAND_MS, RTT_MAX_TIMEOUT_MS,
+    RTT_MIN_TIMEOUT_MS, UNKNOWN_SERVER_RTO_MS,
 };
 pub use dnswild_cache::{CacheStats, CachedResponse, RecordCache};
 pub use resolver::{RecursiveResolver, ResolverConfig, ResolverStats, UpstreamSample};

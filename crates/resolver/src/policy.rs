@@ -190,6 +190,63 @@ impl SelectionPolicy for BindSrtt {
     }
 }
 
+/// Floor applied to every computed retransmission timeout, in
+/// milliseconds (Unbound's `RTT_MIN_TIMEOUT`): even a LAN-fast server
+/// is never trusted with less than 50 ms before a retry.
+pub const RTT_MIN_TIMEOUT_MS: f64 = 50.0;
+/// Ceiling applied to every computed retransmission timeout, in
+/// milliseconds (Unbound's `RTT_MAX_TIMEOUT` is 120 s): repeated
+/// timeout-doubling saturates here instead of growing without bound.
+pub const RTT_MAX_TIMEOUT_MS: f64 = 120_000.0;
+/// RTO assumed for never-queried servers (Unbound's
+/// `UNKNOWN_SERVER_NICENESS`, 376 ms). Deliberately below
+/// [`RTT_MIN_TIMEOUT_MS`]` + `[`RTT_BAND_MS`], so an unknown server
+/// always lands inside the selection band of even the fastest known
+/// one and gets explored naturally.
+pub const UNKNOWN_SERVER_RTO_MS: f64 = 376.0;
+/// Width of the selection band in milliseconds (Unbound's `RTT_BAND`):
+/// servers whose RTO lies within this many ms of the best candidate
+/// are equally eligible, trading a little latency for load spread.
+pub const RTT_BAND_MS: f64 = 400.0;
+
+/// Clamps a computed retransmission timeout into Unbound's legal
+/// window `[`[`RTT_MIN_TIMEOUT_MS`]`, `[`RTT_MAX_TIMEOUT_MS`]`]`.
+pub fn clamp_rto(rto_ms: f64) -> f64 {
+    rto_ms.clamp(RTT_MIN_TIMEOUT_MS, RTT_MAX_TIMEOUT_MS)
+}
+
+/// Named constant bundles lifted from real resolver implementations,
+/// for callers who want a policy parameterised exactly as the modeled
+/// software ships rather than hand-tuned fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyPreset {
+    /// Unbound's production RTT constants: [`RTT_BAND_MS`] selection
+    /// band, [`UNKNOWN_SERVER_RTO_MS`] optimism for unprobed servers,
+    /// RTOs clamped to `[`[`RTT_MIN_TIMEOUT_MS`]`,
+    /// `[`RTT_MAX_TIMEOUT_MS`]`]`.
+    Unbound,
+}
+
+impl PolicyPreset {
+    /// The concrete parameterised policy this preset names, with its
+    /// fields inspectable (unlike the boxed [`PolicyPreset::build`]).
+    pub fn unbound_band(self) -> UnboundBand {
+        match self {
+            PolicyPreset::Unbound => UnboundBand {
+                band_ms: RTT_BAND_MS,
+                unknown_rto_ms: UNKNOWN_SERVER_RTO_MS,
+            },
+        }
+    }
+
+    /// Builds the preset's policy state machine.
+    pub fn build(self) -> Box<dyn SelectionPolicy> {
+        match self {
+            PolicyPreset::Unbound => Box::new(self.unbound_band()),
+        }
+    }
+}
+
 /// Unbound-like band selection. See [`PolicyKind::UnboundBand`].
 #[derive(Debug)]
 pub struct UnboundBand {
@@ -203,7 +260,7 @@ pub struct UnboundBand {
 
 impl Default for UnboundBand {
     fn default() -> Self {
-        UnboundBand { band_ms: 400.0, unknown_rto_ms: 376.0 }
+        UnboundBand { band_ms: RTT_BAND_MS, unknown_rto_ms: UNKNOWN_SERVER_RTO_MS }
     }
 }
 
@@ -218,10 +275,12 @@ impl SelectionPolicy for UnboundBand {
     ) -> SimAddr {
         let usable = usable(candidates, exclude);
         let rto = |addr: SimAddr| -> f64 {
-            infra
-                .peek(addr, now)
-                .map(|e| e.srtt_ms + 4.0 * e.rttvar_ms)
-                .unwrap_or(self.unknown_rto_ms)
+            clamp_rto(
+                infra
+                    .peek(addr, now)
+                    .map(|e| e.srtt_ms + 4.0 * e.rttvar_ms)
+                    .unwrap_or(self.unknown_rto_ms),
+            )
         };
         let best = usable.iter().map(|&a| rto(a)).fold(f64::MAX, f64::min);
         let in_band: Vec<SimAddr> =
@@ -674,6 +733,56 @@ mod tests {
         }
         let refast = phase2.get(&servers[1]).copied().unwrap_or(0);
         assert!(refast >= 90, "preference re-forms toward the new fast server, got {refast}/100");
+    }
+
+    #[test]
+    fn rto_clamp_boundaries() {
+        // Below, at, inside, at, and above the legal window.
+        assert_eq!(clamp_rto(0.0), RTT_MIN_TIMEOUT_MS);
+        assert_eq!(clamp_rto(49.999), RTT_MIN_TIMEOUT_MS);
+        assert_eq!(clamp_rto(RTT_MIN_TIMEOUT_MS), RTT_MIN_TIMEOUT_MS);
+        assert_eq!(clamp_rto(UNKNOWN_SERVER_RTO_MS), UNKNOWN_SERVER_RTO_MS);
+        assert_eq!(clamp_rto(RTT_MAX_TIMEOUT_MS), RTT_MAX_TIMEOUT_MS);
+        assert_eq!(clamp_rto(RTT_MAX_TIMEOUT_MS + 1.0), RTT_MAX_TIMEOUT_MS);
+        assert_eq!(clamp_rto(7_000_000.0), RTT_MAX_TIMEOUT_MS);
+    }
+
+    #[test]
+    fn unknown_rto_sits_inside_the_band_of_the_floor() {
+        // The whole point of 376: even against a server pinned at the
+        // 50 ms clamp floor, an unknown server stays band-eligible.
+        assert!(UNKNOWN_SERVER_RTO_MS < RTT_MIN_TIMEOUT_MS + RTT_BAND_MS);
+    }
+
+    #[test]
+    fn unbound_preset_uses_documented_constants() {
+        let band = PolicyPreset::Unbound.unbound_band();
+        assert_eq!(band.band_ms, RTT_BAND_MS);
+        assert_eq!(band.unknown_rto_ms, UNKNOWN_SERVER_RTO_MS);
+        assert_eq!(PolicyPreset::Unbound.build().kind(), PolicyKind::UnboundBand);
+    }
+
+    #[test]
+    fn unbound_preset_keeps_exploring_an_unprobed_server() {
+        // servers[0] is measured blazing fast (RTO clamps to the 50 ms
+        // floor); servers[1] is never observed, so it keeps its 376 ms
+        // optimism — inside the 450 ms band top, hence ~uniform picks.
+        let servers = addrs(2);
+        let mut policy = PolicyPreset::Unbound.build();
+        let mut infra = InfraCache::new(None, Smoothing::TCP);
+        let mut rng = DetRng::seed_from_u64(13);
+        let mut unknown_picks = 0usize;
+        for i in 0..400u64 {
+            let now = t(i);
+            let chosen = policy.select(&servers, &[], &mut infra, now, &mut rng);
+            if chosen == servers[1] {
+                unknown_picks += 1;
+            } else {
+                infra.observe_rtt(chosen, SimDuration::from_millis(1), now);
+            }
+        }
+        let share = unknown_picks as f64 / 400.0;
+        assert!((0.35..0.65).contains(&share), "unknown server explored, got {share}");
     }
 
     #[test]

@@ -452,20 +452,25 @@ impl AnswerEngine {
     }
 
     /// Answers `CH TXT stats.dnswild.` from the live telemetry snapshot
-    /// (queries seen, answered, decode errors, ring-overflow drops, and
-    /// the recursive plane's cache hit/miss/stale tallies).
+    /// (queries seen, answered, decode errors, ring-overflow drops, the
+    /// recursive plane's cache hit/miss/stale tallies, the limiter's
+    /// dropped/slipped counts, and the flight recorder's journey books).
     fn answer_stats(&mut self, query: &Message, qname: &Name, cell: &SnapshotCell) -> Message {
         self.stats.chaos += 1;
         let snap = cell.snapshot();
         let mut text = format!(
-            "seen={} answered={} decode_errors={} overflow={} cache={}/{}/{}",
+            "seen={} answered={} decode_errors={} overflow={} cache={}/{}/{} rrl={}/{} journeys={}/{}",
             snap.queries,
             snap.answered,
             snap.decode_errors,
             snap.overflow,
             snap.cache_hits,
             snap.cache_misses,
-            snap.cache_stale
+            snap.cache_stale,
+            snap.rrl_dropped,
+            snap.rrl_slipped,
+            snap.journeys_recorded,
+            snap.journeys_dropped
         );
         // With process introspection attached (serving plane only), the
         // answer also carries uptime and which observability planes are
@@ -1072,7 +1077,10 @@ mod tests {
         assert_eq!(handled.rcode, Some(Rcode::NoError));
         let resp = Message::decode(&buf).unwrap();
         let RData::Txt(t) = &resp.answers[0].rdata else { panic!("not TXT") };
-        assert_eq!(t.first_as_string(), "seen=0 answered=0 decode_errors=0 overflow=0 cache=0/0/0");
+        assert_eq!(
+            t.first_as_string(),
+            "seen=0 answered=0 decode_errors=0 overflow=0 cache=0/0/0 rrl=0/0 journeys=0/0"
+        );
         assert_eq!(e.stats().chaos, 1);
         // The fork keeps the telemetry hookup.
         let mut f = e.fork();
@@ -1099,7 +1107,9 @@ mod tests {
         let RData::Txt(t) = &resp.answers[0].rdata else { panic!("not TXT") };
         let text = t.first_as_string();
         assert!(
-            text.starts_with("seen=0 answered=0 decode_errors=0 overflow=0 cache=0/0/0 uptime_s="),
+            text.starts_with(
+                "seen=0 answered=0 decode_errors=0 overflow=0 cache=0/0/0 rrl=0/0 journeys=0/0 uptime_s="
+            ),
             "got {text:?}"
         );
         assert!(text.ends_with(" trace=1 metrics=1"), "got {text:?}");

@@ -8,13 +8,16 @@
 //! per-event path.
 
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crate::event::{EventKind, TraceEvent, FLAG_DECODE_ERROR, FLAG_RESPONSE, FLAG_TIMEOUT};
+use crate::event::{
+    EventKind, TraceEvent, FLAG_DECODE_ERROR, FLAG_RESPONSE, FLAG_RRL, FLAG_TIMEOUT,
+};
+use crate::flight::{FlightConfig, FlightRecorder, FlightStats};
 use crate::hist::LatencyHistogram;
 use crate::ring::SpscRing;
 use crate::trace::TraceWriter;
@@ -34,6 +37,8 @@ pub struct CollectorConfig {
     pub ring_capacity: usize,
     /// How often the drain thread sweeps the rings.
     pub drain_interval: Duration,
+    /// Flight-recorder bounds (last-N ring, slowest-K, failed cap).
+    pub flight: FlightConfig,
 }
 
 impl CollectorConfig {
@@ -47,6 +52,7 @@ impl CollectorConfig {
             // freshness for hot-path quiet. 50 ms keeps the traced
             // throughput within a few percent of untraced.
             drain_interval: Duration::from_millis(50),
+            flight: FlightConfig::default(),
         }
     }
 
@@ -68,6 +74,11 @@ impl CollectorConfig {
         self.drain_interval = interval;
         self
     }
+
+    pub fn flight(mut self, flight: FlightConfig) -> Self {
+        self.flight = flight;
+        self
+    }
 }
 
 /// Aggregated counters maintained by the drain thread; cheap enough to
@@ -83,6 +94,11 @@ pub struct SnapshotCell {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_stale: AtomicU64,
+    rrl_dropped: AtomicU64,
+    rrl_slipped: AtomicU64,
+    journeys_recorded: AtomicU64,
+    journeys_dropped: AtomicU64,
+    journey_slowest_ns: AtomicU64,
 }
 
 impl SnapshotCell {
@@ -92,6 +108,15 @@ impl SnapshotCell {
             self.queries.fetch_add(1, Ordering::Relaxed);
             if ev.flags & FLAG_RESPONSE != 0 {
                 self.answered.fetch_add(1, Ordering::Relaxed);
+            }
+            // The limiter's verdict rides on the server event: a slip
+            // still sent a (TC=1) response, a drop sent nothing.
+            if ev.flags & FLAG_RRL != 0 {
+                if ev.flags & FLAG_RESPONSE != 0 {
+                    self.rrl_slipped.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.rrl_dropped.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         if ev.kind == EventKind::CacheLookup {
@@ -112,6 +137,12 @@ impl SnapshotCell {
         self.overflow.store(overflow, Ordering::Relaxed);
     }
 
+    fn set_flight(&self, stats: FlightStats) {
+        self.journeys_recorded.store(stats.recorded, Ordering::Relaxed);
+        self.journeys_dropped.store(stats.dropped, Ordering::Relaxed);
+        self.journey_slowest_ns.store(stats.slowest_ns, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
             events: self.events.load(Ordering::Relaxed),
@@ -122,6 +153,11 @@ impl SnapshotCell {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_stale: self.cache_stale.load(Ordering::Relaxed),
+            rrl_dropped: self.rrl_dropped.load(Ordering::Relaxed),
+            rrl_slipped: self.rrl_slipped.load(Ordering::Relaxed),
+            journeys_recorded: self.journeys_recorded.load(Ordering::Relaxed),
+            journeys_dropped: self.journeys_dropped.load(Ordering::Relaxed),
+            journey_slowest_ns: self.journey_slowest_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -145,6 +181,16 @@ pub struct TelemetrySnapshot {
     pub cache_misses: u64,
     /// Record-cache lookups answered stale (RFC 8767).
     pub cache_stale: u64,
+    /// Server responses suppressed by response-rate limiting.
+    pub rrl_dropped: u64,
+    /// Server responses slipped as TC=1 by response-rate limiting.
+    pub rrl_slipped: u64,
+    /// Journeys admitted to the flight recorder.
+    pub journeys_recorded: u64,
+    /// Journeys the flight recorder evicted unpinned.
+    pub journeys_dropped: u64,
+    /// Worst client RTT retained in the flight recorder (exemplar).
+    pub journey_slowest_ns: u64,
 }
 
 /// What the trace ended up holding, returned by [`Collector::finish`].
@@ -159,6 +205,9 @@ struct Shared {
     stop: AtomicBool,
     snapshot: Arc<SnapshotCell>,
     histogram: LatencyHistogram,
+    /// The flight recorder. Locked by the drain thread once per sweep
+    /// and by dump requests; never on the per-event hot path.
+    flight: Mutex<FlightRecorder>,
     /// Overflow carried over from retired rings (producer dropped,
     /// backlog fully drained), so the footer never loses drops.
     retired_overflow: AtomicU64,
@@ -234,6 +283,7 @@ impl Collector {
             stop: AtomicBool::new(false),
             snapshot: Arc::new(SnapshotCell::default()),
             histogram: LatencyHistogram::new(),
+            flight: Mutex::new(FlightRecorder::new(config.flight)),
             retired_overflow: AtomicU64::new(0),
             wake_lock: Mutex::new(()),
             wake_cv: Condvar::new(),
@@ -289,6 +339,23 @@ impl Collector {
         self.shared.histogram.value_at(p)
     }
 
+    /// Flight-recorder counters as of the last drain sweep.
+    pub fn flight_stats(&self) -> FlightStats {
+        self.shared.flight.lock().unwrap().stats()
+    }
+
+    /// Dump every retained journey (failed pins, slowest-K, recency
+    /// ring) as JSONL. Callable at any point in the run — the recorder
+    /// lock briefly pauses the drain sweep, never the hot path.
+    pub fn dump_flight(&self, path: &Path) -> io::Result<u64> {
+        let flight = self.shared.flight.lock().unwrap();
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        flight.dump_jsonl(&mut out)?;
+        use std::io::Write as _;
+        out.flush()?;
+        Ok(flight.retained() as u64)
+    }
+
     /// Stop the drain thread, drain whatever is left in the rings,
     /// write the trace footer, and return the totals.
     pub fn finish(&self) -> io::Result<TraceSummary> {
@@ -322,14 +389,19 @@ fn drain_loop(
         // Snapshot the ring list, then sweep without holding the lock
         // so registration never contends with producers.
         let rings: Vec<Arc<SpscRing>> = shared.rings.lock().unwrap().clone();
-        for ring in &rings {
-            while let Some(ev) = ring.pop() {
-                writer.write_event(&ev)?;
-                shared.snapshot.apply(&ev);
-                if ev.latency_ns > 0 {
-                    shared.histogram.record(u64::from(ev.latency_ns));
+        {
+            let mut flight = shared.flight.lock().unwrap();
+            for ring in &rings {
+                while let Some(ev) = ring.pop() {
+                    writer.write_event(&ev)?;
+                    shared.snapshot.apply(&ev);
+                    flight.observe(&ev);
+                    if ev.latency_ns > 0 {
+                        shared.histogram.record(u64::from(ev.latency_ns));
+                    }
                 }
             }
+            shared.snapshot.set_flight(flight.stats());
         }
         // Retire rings whose producer is gone and whose backlog the
         // sweep above fully drained: abandoned + empty can never grow

@@ -1,0 +1,354 @@
+//! The flight recorder: a bounded in-memory store of recent query
+//! journeys, kept by the collector's drain thread so that when a run
+//! goes sideways the *interesting* per-query timelines are still in
+//! memory — no trace file required.
+//!
+//! Retention policy, in priority order:
+//!
+//! 1. **every failed journey** (a non-prefetch, non-attack client
+//!    attempt that timed out), up to a hard safety cap;
+//! 2. **the slowest K** journeys seen so far, by worst client RTT;
+//! 3. **the last N** journeys, as a recency ring.
+//!
+//! Everything else is evicted and counted in `dropped`. Each retained
+//! journey keeps its hops (capped) *including the 48-byte wire image*
+//! of every event, so a JSONL dump is a lossless record of what the
+//! telemetry plane saw for that query.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+
+use crate::event::{EventKind, TraceEvent, FLAG_ATTACK, FLAG_PREFETCH, FLAG_TIMEOUT};
+
+/// Bounds for the recorder. The defaults keep the whole structure under
+/// ~2 MB even with every slot full.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightConfig {
+    /// Size of the recency ring (journeys retained just for being new).
+    pub last_n: usize,
+    /// How many of the slowest journeys are always retained.
+    pub slowest_k: usize,
+    /// Safety cap on failed-journey retention — a run that fails
+    /// *everything* must not grow without bound.
+    pub failed_cap: usize,
+    /// Per-journey hop cap; further hops are counted, not stored.
+    pub max_hops: usize,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig { last_n: 256, slowest_k: 16, failed_cap: 4096, max_hops: 64 }
+    }
+}
+
+/// One retained journey: its hops in drain order.
+///
+/// The rank inputs (`worst_rtt`, `failed`) are cached incrementally as
+/// hops arrive rather than recomputed by scanning `hops`: `observe`
+/// runs on the collector's drain thread for *every* drained event, and
+/// on small hosts that thread competes with the serving shards for
+/// cores — the recorder must stay O(1) per event.
+#[derive(Debug, Clone)]
+pub struct JourneyLog {
+    pub journey: u64,
+    pub hops: Vec<TraceEvent>,
+    /// Hops beyond [`FlightConfig::max_hops`], counted but not stored.
+    pub hops_dropped: u64,
+    worst_rtt: u64,
+    has_failed: bool,
+}
+
+impl JourneyLog {
+    /// Worst client-side RTT across the journey's stored attempts — the
+    /// value the slowest-K policy ranks on.
+    pub fn worst_rtt_ns(&self) -> u64 {
+        self.worst_rtt
+    }
+
+    /// Whether a foreground client attempt timed out: the signal that
+    /// pins this journey in the recorder regardless of recency.
+    pub fn failed(&self) -> bool {
+        self.has_failed
+    }
+
+    fn absorb(&mut self, ev: &TraceEvent) {
+        if ev.kind == EventKind::ClientQuery {
+            self.worst_rtt = self.worst_rtt.max(u64::from(ev.latency_ns));
+            if ev.flags & FLAG_TIMEOUT != 0 && ev.flags & (FLAG_PREFETCH | FLAG_ATTACK) == 0 {
+                self.has_failed = true;
+            }
+        }
+    }
+}
+
+/// Live counters, mirrored into the collector snapshot after each sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlightStats {
+    /// Journeys ever admitted to the recorder.
+    pub recorded: u64,
+    /// Journeys evicted without earning a pinned slot.
+    pub dropped: u64,
+    /// Worst client RTT currently retained (exemplar gauge).
+    pub slowest_ns: u64,
+}
+
+pub struct FlightRecorder {
+    cfg: FlightConfig,
+    journeys: HashMap<u64, JourneyLog>,
+    /// Recency ring: journey ids in admission order. Ids may linger
+    /// here after promotion to a pinned set; eviction skips those.
+    recent: std::collections::VecDeque<u64>,
+    /// Journey ids pinned as slowest-K (unordered; ranked on demand).
+    slow: Vec<u64>,
+    /// Journey ids pinned as failed.
+    failed: Vec<u64>,
+    stats: FlightStats,
+}
+
+impl FlightRecorder {
+    pub fn new(cfg: FlightConfig) -> Self {
+        FlightRecorder {
+            cfg,
+            journeys: HashMap::new(),
+            recent: std::collections::VecDeque::new(),
+            slow: Vec::new(),
+            failed: Vec::new(),
+            stats: FlightStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> FlightStats {
+        self.stats
+    }
+
+    pub fn retained(&self) -> usize {
+        self.journeys.len()
+    }
+
+    /// Feed one drained event. Events without a journey id are not part
+    /// of any query's story and are skipped.
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        if ev.journey == 0 {
+            return;
+        }
+        let recorded_before = self.stats.recorded;
+        let log = self.journeys.entry(ev.journey).or_insert_with(|| {
+            self.stats.recorded += 1;
+            self.recent.push_back(ev.journey);
+            JourneyLog {
+                journey: ev.journey,
+                hops: Vec::new(),
+                hops_dropped: 0,
+                worst_rtt: 0,
+                has_failed: false,
+            }
+        });
+        if log.hops.len() < self.cfg.max_hops {
+            log.absorb(ev);
+            log.hops.push(*ev);
+        } else {
+            log.hops_dropped += 1;
+        }
+        self.stats.slowest_ns = self.stats.slowest_ns.max(log.worst_rtt);
+        // Only a newly admitted journey can grow the recency ring.
+        if self.stats.recorded != recorded_before {
+            self.enforce_bounds();
+        }
+    }
+
+    /// Evict from the recency ring until it fits, promoting journeys
+    /// that earned a pinned slot on their way out.
+    fn enforce_bounds(&mut self) {
+        while self.recent.len() > self.cfg.last_n {
+            let Some(id) = self.recent.pop_front() else { break };
+            if self.slow.contains(&id) || self.failed.contains(&id) {
+                continue; // already pinned, just drop the recency entry
+            }
+            let Some(log) = self.journeys.get(&id) else { continue };
+            if log.failed() && self.failed.len() < self.cfg.failed_cap {
+                self.failed.push(id);
+                continue;
+            }
+            let rtt = log.worst_rtt_ns();
+            if self.slow.len() < self.cfg.slowest_k {
+                self.slow.push(id);
+                continue;
+            }
+            // Full slowest set: displace its current minimum if this
+            // journey is slower, then evict the displaced one.
+            let (min_idx, min_rtt) = self
+                .slow
+                .iter()
+                .enumerate()
+                .map(|(i, sid)| {
+                    (i, self.journeys.get(sid).map(|l| l.worst_rtt_ns()).unwrap_or(0))
+                })
+                .min_by_key(|&(_, r)| r)
+                .unwrap();
+            if rtt > min_rtt {
+                let displaced = std::mem::replace(&mut self.slow[min_idx], id);
+                self.evict(displaced);
+            } else {
+                self.evict(id);
+            }
+        }
+    }
+
+    fn evict(&mut self, id: u64) {
+        // A displaced slow journey may still deserve its failed pin.
+        if let Some(log) = self.journeys.get(&id) {
+            if log.failed() && self.failed.len() < self.cfg.failed_cap {
+                self.failed.push(id);
+                return;
+            }
+        }
+        if self.journeys.remove(&id).is_some() {
+            self.stats.dropped += 1;
+        }
+    }
+
+    /// Every retained journey: failed pins first, then slowest (worst
+    /// RTT first), then the recency ring oldest-first. Each journey
+    /// appears once.
+    pub fn journeys(&self) -> Vec<&JourneyLog> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::with_capacity(self.journeys.len());
+        let mut slow_sorted = self.slow.clone();
+        slow_sorted.sort_by_key(|id| {
+            std::cmp::Reverse(self.journeys.get(id).map(|l| l.worst_rtt_ns()).unwrap_or(0))
+        });
+        for id in self.failed.iter().chain(slow_sorted.iter()).chain(self.recent.iter()) {
+            if let Some(log) = self.journeys.get(id) {
+                if seen.insert(*id) {
+                    out.push(log);
+                }
+            }
+        }
+        out
+    }
+
+    /// Dump every retained journey as one JSON object per line. Each
+    /// hop carries the hex wire image of its 48-byte DWTRACE2 encoding,
+    /// so the dump can be re-ingested losslessly.
+    pub fn dump_jsonl<W: Write>(&self, mut out: W) -> io::Result<()> {
+        for log in self.journeys() {
+            write!(
+                out,
+                "{{\"journey\":\"{:016x}\",\"failed\":{},\"worst_rtt_ns\":{},\"hops_dropped\":{},\"hops\":[",
+                log.journey,
+                log.failed(),
+                log.worst_rtt_ns(),
+                log.hops_dropped
+            )?;
+            for (i, h) in log.hops.iter().enumerate() {
+                if i > 0 {
+                    out.write_all(b",")?;
+                }
+                let mut wire = String::with_capacity(96);
+                for w in h.encode_words() {
+                    for b in w.to_le_bytes() {
+                        wire.push_str(&format!("{b:02x}"));
+                    }
+                }
+                write!(
+                    out,
+                    "{{\"ts_ns\":{},\"kind\":\"{}\",\"flags\":{},\"rcode\":{},\"dns_id\":{},\"auth_id\":{},\"latency_ns\":{},\"bytes_in\":{},\"bytes_out\":{},\"wire\":\"{}\"}}",
+                    h.ts_ns,
+                    h.kind.label(),
+                    h.flags,
+                    h.rcode,
+                    h.dns_id,
+                    h.auth_id,
+                    h.latency_ns,
+                    h.bytes_in,
+                    h.bytes_out,
+                    wire
+                )?;
+            }
+            out.write_all(b"]}\n")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FLAG_RESPONSE;
+
+    fn hop(journey: u64, kind: EventKind, latency_ns: u32, flags: u16) -> TraceEvent {
+        let mut e = TraceEvent::new(kind);
+        e.journey = journey;
+        e.latency_ns = latency_ns;
+        e.flags = flags;
+        e
+    }
+
+    fn tiny() -> FlightRecorder {
+        FlightRecorder::new(FlightConfig { last_n: 4, slowest_k: 2, failed_cap: 8, max_hops: 4 })
+    }
+
+    #[test]
+    fn recency_ring_evicts_oldest_plain_journey() {
+        let mut fr = tiny();
+        for j in 1..=10u64 {
+            fr.observe(&hop(j, EventKind::ClientQuery, 100, FLAG_RESPONSE));
+        }
+        let stats = fr.stats();
+        assert_eq!(stats.recorded, 10);
+        // 4 recent + 2 promoted into the (initially empty) slow set.
+        assert_eq!(fr.retained(), 6);
+        assert_eq!(stats.dropped, 4);
+    }
+
+    #[test]
+    fn slowest_journeys_survive_eviction() {
+        let mut fr = tiny();
+        fr.observe(&hop(99, EventKind::ClientQuery, 1_000_000, FLAG_RESPONSE));
+        for j in 1..=20u64 {
+            fr.observe(&hop(j, EventKind::ClientQuery, 100, FLAG_RESPONSE));
+        }
+        assert!(fr.journeys.contains_key(&99), "slowest journey was evicted");
+        assert_eq!(fr.stats().slowest_ns, 1_000_000);
+    }
+
+    #[test]
+    fn failed_journeys_are_always_retained() {
+        let mut fr = tiny();
+        fr.observe(&hop(77, EventKind::ClientQuery, 50, FLAG_TIMEOUT));
+        for j in 1..=50u64 {
+            fr.observe(&hop(j, EventKind::ClientQuery, 100, FLAG_RESPONSE));
+        }
+        assert!(fr.journeys.contains_key(&77), "failed journey was evicted");
+        // Prefetch and attack timeouts are not "failures".
+        let mut fr2 = tiny();
+        fr2.observe(&hop(5, EventKind::ClientQuery, 50, FLAG_TIMEOUT | FLAG_PREFETCH));
+        assert!(!fr2.journeys.get(&5).unwrap().failed());
+    }
+
+    #[test]
+    fn hop_cap_counts_not_stores() {
+        let mut fr = tiny();
+        for _ in 0..10 {
+            fr.observe(&hop(1, EventKind::ChaosForward, 0, 0));
+        }
+        let log = fr.journeys.get(&1).unwrap();
+        assert_eq!(log.hops.len(), 4);
+        assert_eq!(log.hops_dropped, 6);
+    }
+
+    #[test]
+    fn jsonl_dump_includes_wire_images() {
+        let mut fr = tiny();
+        fr.observe(&hop(3, EventKind::ClientQuery, 42, FLAG_RESPONSE));
+        let mut buf = Vec::new();
+        fr.dump_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"journey\":\"0000000000000003\""));
+        assert!(text.contains("\"kind\":\"ClientQuery\""));
+        // 48 bytes -> 96 hex chars.
+        let wire = text.split("\"wire\":\"").nth(1).unwrap();
+        assert_eq!(wire.split('"').next().unwrap().len(), 96);
+    }
+}

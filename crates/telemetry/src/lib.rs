@@ -27,6 +27,7 @@
 
 mod collector;
 mod event;
+mod flight;
 mod hist;
 mod ring;
 pub mod stats;
@@ -34,11 +35,15 @@ mod trace;
 
 pub use collector::{Collector, CollectorConfig, Producer, SnapshotCell, TelemetrySnapshot, TraceSummary};
 pub use event::{
-    hash_bytes, hash_socket_addr, qname_hash32, EventKind, TraceEvent as Event, FLAG_CHAOS_CORRUPT,
-    FLAG_CHAOS_DELAY, FLAG_CHAOS_DROP, FLAG_CHAOS_DUP, FLAG_CHAOS_REORDER, FLAG_CHAOS_TRUNCATE,
-    FLAG_ATTACK, FLAG_DECODE_ERROR, FLAG_PREFETCH, FLAG_RESPONSE, FLAG_RRL, FLAG_SEND_FAILED,
-    FLAG_TCP, FLAG_TCP_RETRY, FLAG_TC_SEEN, FLAG_TIMEOUT, RCODE_NONE,
+    hash_bytes, hash_socket_addr, journey_from_payload, journey_id, qname_hash32, EventKind,
+    TraceEvent as Event, FLAG_CHAOS_CORRUPT, FLAG_CHAOS_DELAY, FLAG_CHAOS_DROP, FLAG_CHAOS_DUP,
+    FLAG_CHAOS_REORDER, FLAG_CHAOS_TRUNCATE, FLAG_ATTACK, FLAG_DECODE_ERROR, FLAG_PREFETCH,
+    FLAG_RESPONSE, FLAG_RRL, FLAG_SEND_FAILED, FLAG_TCP, FLAG_TCP_RETRY, FLAG_TC_SEEN,
+    FLAG_TIMEOUT, RCODE_NONE,
 };
+pub use flight::{FlightConfig, FlightRecorder, FlightStats, JourneyLog};
 pub use hist::LatencyHistogram;
 pub use ring::SpscRing;
-pub use trace::{Trace, TraceWriter, EVENT_BYTES, TRACE_FORMAT_VERSION};
+pub use trace::{
+    Trace, TraceWriter, EVENT_BYTES, EVENT_BYTES_V1, TRACE_FORMAT_VERSION, TRACE_FORMAT_VERSION_V1,
+};

@@ -1,5 +1,5 @@
 //! A lock-free single-producer/single-consumer ring of trace events,
-//! written entirely in safe code: each slot is five `AtomicU64` words
+//! written entirely in safe code: each slot is six `AtomicU64` words
 //! and the head/tail are Lamport-style monotonically increasing
 //! counters. The producer is a serving-plane worker (one ring each);
 //! the sole consumer is the collector's drain thread.
@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::event::TraceEvent;
 
-const WORDS: usize = 5;
+const WORDS: usize = 6;
 
 struct Slot([AtomicU64; WORDS]);
 

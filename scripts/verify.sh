@@ -250,6 +250,75 @@ if ! grep -q '^trace-cache: hits=[1-9]' <<<"$report_out"; then
 fi
 echo "cache gate: warm hits, prefetch, serve-stale and scrape equality all held, reproducibly"
 
+# Explain gate, part 1 — cache-stale attribution: $trace_a still holds
+# the cache gate's prefetch + serve-stale capture, where every
+# transaction completed from an expired entry; the journey taxonomy
+# must label those cache-stale.
+tails_out=$(cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    report --from-trace "$trace_a" --tails)
+if ! grep -q '^tails-cache-stale: journeys=[1-9]' <<<"$tails_out"; then
+    echo "explain gate: serve-stale trace yielded no cache-stale journeys" >&2
+    printf '%s\n' "$tails_out" >&2
+    exit 1
+fi
+echo "explain gate: serve-stale journeys attributed to cache-stale"
+
+# Explain gate, part 2 — the full journey pipeline: a 2k-transaction
+# chaos smoke through the truncation plane with a harness-tuned rate
+# limiter (per-port buckets, charge everything), traced and run twice
+# at seed 2017. Journey ids are pure functions of the seed, so the
+# reconstructed `report --tails` attribution table and the canonical
+# `explain` timelines must be byte-identical across runs; every
+# non-clean tail cause the leg can produce must be touched; and
+# `explain --failed` must exit clean with balanced hop books. The
+# flight recorder's JSONL dump must retain journeys.
+flight_a=$(mktemp)
+trap 'rm -f "$chaos_a" "$chaos_b" "$trace_chaos" "$trace_a" "$trace_b" "$flight_a"' EXIT
+cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --chaos --tcp --edns-size 512 --rrl --queries 2000 --seed 2017 \
+    --budget-secs 120 --trace "$trace_a" --flight-dump "$flight_a" | tee "$chaos_a"
+cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    smoke --chaos --tcp --edns-size 512 --rrl --queries 2000 --seed 2017 \
+    --budget-secs 120 --trace "$trace_b" > "$chaos_b"
+if ! diff <(grep '^chaos' "$chaos_a") <(grep '^chaos' "$chaos_b"); then
+    echo "explain gate not reproducible: chaos+rrl schedule differs between runs" >&2
+    exit 1
+fi
+tails_a=$(cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    report --from-trace "$trace_a" --tails)
+tails_b=$(cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    report --from-trace "$trace_b" --tails)
+if ! diff <(grep '^tails-' <<<"$tails_a") <(grep '^tails-' <<<"$tails_b"); then
+    echo "explain gate not reproducible: tail attribution tables differ between runs" >&2
+    exit 1
+fi
+grep '^tails-' <<<"$tails_a"
+for cause in servfail rrl-slipped tc-tcp-detour chaos-faulted retried; do
+    if ! grep -q "^tails-$cause: journeys=[0-9]* touched=[1-9]" <<<"$tails_a"; then
+        echo "explain gate: tail cause $cause was never touched" >&2
+        exit 1
+    fi
+done
+exp_a=$(cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    explain "$trace_a" --failed --canonical)
+exp_b=$(cargo run --release --offline -q -p dnswild --bin dnswild -- \
+    explain "$trace_b" --failed --canonical)
+if ! grep -q '^explain-books: .* balanced=true' <<<"$exp_a"; then
+    echo "explain gate: hop books did not balance" >&2
+    printf '%s\n' "$exp_a" | head -3 >&2
+    exit 1
+fi
+if ! diff <(printf '%s\n' "$exp_a") <(printf '%s\n' "$exp_b") > /dev/null; then
+    echo "explain gate not reproducible: canonical failed-journey timelines differ" >&2
+    exit 1
+fi
+grep '^explain-books' <<<"$exp_a"
+if ! grep -q '"journey"' "$flight_a"; then
+    echo "explain gate: flight-recorder dump is empty or malformed" >&2
+    exit 1
+fi
+echo "explain gate: tails and timelines byte-identical across same-seed runs; flight recorder dumped $(wc -l < "$flight_a") journeys"
+
 # Lint gate: the observability plane rides the hot path, so keep the
 # whole workspace clippy-clean at -D warnings.
 cargo clippy --workspace --offline -q -- -D warnings
